@@ -1,0 +1,49 @@
+//! **Ablation** — sensitivity of R-MATEX to the shift parameter γ.
+//!
+//! The paper (Sec. 3.3.2, citing van den Eshof & Hochbruck) claims the
+//! shift-and-invert basis "is not very sensitive to γ, once it is set to
+//! around the order [of the] time steps used", and uses γ = 1e-10 for the
+//! IBM grids. This ablation sweeps γ across six decades and reports the
+//! Krylov dimensions, accuracy and runtime.
+
+use matex_bench::{pg_suite, secs, timed, Scale, Table};
+use matex_core::{
+    reference_solution, MatexOptions, MatexSolver, ReferenceMethod, TransientEngine,
+    TransientSpec,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("\n=== Ablation: R-MATEX shift parameter γ ===\n");
+    let case = pg_suite(scale).into_iter().next().expect("suite case");
+    let sys = case.builder.build().expect("grid builds");
+    let rows: Vec<usize> = (0..sys.num_nodes()).step_by(7).collect();
+    let spec = TransientSpec::new(0.0, case.window, case.window / 100.0)
+        .expect("valid spec")
+        .observing(rows);
+    let reference =
+        reference_solution(&sys, &spec, ReferenceMethod::Trapezoidal, 20).expect("reference");
+
+    let mut table = Table::new(&["gamma", "m_avg", "m_peak", "Max.Err", "transient(s)"]);
+    let mut dims = Vec::new();
+    for &gamma in &[1e-12, 1e-11, 1e-10, 1e-9, 1e-8] {
+        let solver = MatexSolver::new(MatexOptions::default().gamma(gamma));
+        let (result, _) = timed(|| solver.run(&sys, &spec).expect("R-MATEX run"));
+        let (max_err, _) = result.error_vs(&reference).expect("comparable");
+        dims.push(result.stats.krylov_dim_avg());
+        table.row(vec![
+            format!("{gamma:.0e}"),
+            format!("{:.1}", result.stats.krylov_dim_avg()),
+            format!("{}", result.stats.krylov_dim_peak),
+            format!("{max_err:.1e}"),
+            secs(result.stats.transient_time),
+        ]);
+    }
+    table.print();
+    let spread = dims.iter().cloned().fold(0.0_f64, f64::max)
+        / dims.iter().cloned().fold(f64::INFINITY, f64::min).max(1.0);
+    println!(
+        "\nshape check: m_avg varies only {spread:.1}x across six decades of γ"
+    );
+    println!("(paper: R-MATEX is 'not very sensitive' near the step-size scale).");
+}

@@ -1,0 +1,114 @@
+//! **Sec. 3.4 model** — predicted vs measured speedups (Eqs. (11)–(12)).
+//!
+//! Measures distributed MATEX against single-node MATEX and fixed-step TR
+//! on one mid-size grid, then feeds the *measured* per-operation costs
+//! into the paper's analytic model and compares predictions with
+//! observations. Also sweeps the model over k and N to reproduce the
+//! paper's scaling arguments (fixed-step speedup grows with the span;
+//! decomposition speedup saturates as k → K).
+
+use matex_bench::{pg_suite, timed, Scale, Table};
+use matex_core::{MatexOptions, TransientEngine, TransientSpec, Trapezoidal};
+use matex_dist::{run_distributed, DistributedOptions, SpeedupModel};
+use matex_waveform::GroupingStrategy;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("\n=== Sec 3.4: speedup model vs measurement ===\n");
+    let case = pg_suite(scale).into_iter().nth(2).expect("suite has 6 cases");
+    let sys = case.builder.build().expect("grid builds");
+    let rows: Vec<usize> = (0..sys.num_nodes()).step_by(13).collect();
+    let spec = TransientSpec::new(0.0, case.window, case.window / 100.0)
+        .expect("valid spec")
+        .observing(rows);
+
+    // Baseline TR at 10 ps.
+    let (tr, _) = timed(|| Trapezoidal::new(1e-11).run(&sys, &spec).expect("TR run"));
+
+    // Single-node MATEX (no decomposition).
+    let single = run_distributed(
+        &sys,
+        &spec,
+        &DistributedOptions {
+            matex: MatexOptions::default(),
+            strategy: GroupingStrategy::Single,
+            workers: Some(1),
+        },
+    )
+    .expect("single-node run");
+
+    // Distributed by bump feature.
+    let dist = run_distributed(
+        &sys,
+        &spec,
+        &DistributedOptions {
+            matex: MatexOptions::default(),
+            strategy: GroupingStrategy::ByBumpFeature,
+            workers: Some(1),
+        },
+    )
+    .expect("distributed run");
+
+    // Measured per-operation costs from the busiest node.
+    let busy = dist
+        .nodes
+        .iter()
+        .max_by_key(|n| n.result.stats.transient_time)
+        .expect("nodes exist");
+    let st = &busy.result.stats;
+    let t_bs = tr.stats.transient_time.as_secs_f64()
+        / tr.stats.substitution_pairs.max(1) as f64;
+    let t_he = (st.transient_time.as_secs_f64()
+        - st.substitution_pairs as f64 * t_bs)
+        .max(0.0)
+        / st.expm_evals.max(1) as f64;
+    let model = SpeedupModel {
+        gts_points: dist.gts.len(),
+        lts_points: busy.num_lts.max(1),
+        m: st.krylov_dim_avg().max(1.0),
+        fixed_steps: tr.stats.substitution_pairs,
+        t_bs,
+        t_h: t_he / 2.0,
+        t_e: t_he / 2.0,
+        t_serial: 0.0, // transient-only comparison, as in Eq. (12)
+    };
+
+    let meas_over_single = single.emulated_transient.as_secs_f64()
+        / dist.emulated_transient.as_secs_f64().max(1e-12);
+    let meas_over_tr = tr.stats.transient_time.as_secs_f64()
+        / dist.emulated_transient.as_secs_f64().max(1e-12);
+    let mut table = Table::new(&["Quantity", "Model", "Measured"]);
+    table.row(vec![
+        "Speedup vs single-node MATEX (Eq. 11)".into(),
+        format!("{:.1}X", model.speedup_over_single()),
+        format!("{meas_over_single:.1}X"),
+    ]);
+    table.row(vec![
+        "Speedup vs fixed TR (Eq. 12)".into(),
+        format!("{:.1}X", model.speedup_over_fixed()),
+        format!("{meas_over_tr:.1}X"),
+    ]);
+    table.print();
+    println!(
+        "\nmodel inputs: K = {}, k = {}, m = {:.1}, N = {}, Tbs = {:.2e}s, TH+Te = {:.2e}s",
+        model.gts_points, model.lts_points, model.m, model.fixed_steps, model.t_bs, t_he
+    );
+
+    // Analytic sweeps (paper's qualitative arguments).
+    println!("\nEq. (12) sweep over span length (k fixed, N and K grow):");
+    let mut sweep = Table::new(&["N", "K", "Spdp'"]);
+    for mult in [1usize, 2, 4, 8] {
+        let m2 = SpeedupModel {
+            fixed_steps: model.fixed_steps * mult,
+            gts_points: model.gts_points * mult,
+            ..model
+        };
+        sweep.row(vec![
+            format!("{}", m2.fixed_steps),
+            format!("{}", m2.gts_points),
+            format!("{:.1}X", m2.speedup_over_fixed()),
+        ]);
+    }
+    sweep.print();
+    println!("\nshape check: Spdp' grows with the simulation span (paper Sec. 3.4).");
+}

@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the kernels every table is built from:
+//! sparse LU factorization and the forward/backward substitution pair
+//! (`T_bs`), the dense Hessenberg exponential (`T_H`), and one Arnoldi
+//! step.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use matex_bench::{pg_suite, Scale};
+use matex_dense::{expm, DMat};
+use matex_krylov::{Arnoldi, RationalOp};
+use matex_sparse::{CsrMatrix, LuOptions, SparseLu};
+
+fn bench_sparse_lu(c: &mut Criterion) {
+    let case = pg_suite(Scale::Ci).into_iter().next().expect("case");
+    let sys = case.builder.build().expect("grid builds");
+    let g = sys.g().clone();
+    let mut group = c.benchmark_group("sparse_lu");
+    group.sample_size(10);
+    group.bench_function("factor_G", |b| {
+        b.iter(|| SparseLu::factor(&g, &LuOptions::default()).expect("factorable"))
+    });
+    let lu = SparseLu::factor(&g, &LuOptions::default()).expect("factorable");
+    let rhs: Vec<f64> = (0..g.nrows()).map(|i| (i as f64).cos()).collect();
+    group.bench_function("substitution_pair", |b| {
+        b.iter_batched(
+            || (vec![0.0; g.nrows()], vec![0.0; g.nrows()]),
+            |(mut x, mut w)| lu.solve_into(&rhs, &mut x, &mut w),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_dense_expm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_expm");
+    for m in [10usize, 30, 60] {
+        // Hessenberg-like stable test matrix.
+        let h = DMat::from_fn(m, m, |i, j| {
+            if i == j {
+                -1.0 - i as f64
+            } else if i < j || i == j + 1 {
+                0.1 / (1.0 + (i + j) as f64)
+            } else {
+                0.0
+            }
+        });
+        group.bench_function(format!("expm_{m}x{m}"), |b| {
+            b.iter(|| expm(&h).expect("expm ok"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_arnoldi_step(c: &mut Criterion) {
+    let case = pg_suite(Scale::Ci).into_iter().next().expect("case");
+    let sys = case.builder.build().expect("grid builds");
+    let gamma = 1e-10;
+    let shifted =
+        CsrMatrix::linear_combination(1.0, sys.c(), gamma, sys.g()).expect("same shape");
+    let lu = SparseLu::factor(&shifted, &LuOptions::default()).expect("factorable");
+    let op = RationalOp::new(&lu, sys.c(), gamma);
+    let v: Vec<f64> = (0..sys.dim()).map(|i| 1.0 + (i as f64).sin()).collect();
+    c.bench_function("arnoldi_10_steps_rational", |b| {
+        b.iter(|| {
+            let mut ar = Arnoldi::new(&op, &v, true).expect("nonzero start");
+            for _ in 0..10 {
+                ar.step().expect("step ok");
+            }
+            ar.m()
+        })
+    });
+}
+
+criterion_group!(kernels, bench_sparse_lu, bench_dense_expm, bench_arnoldi_step);
+criterion_main!(kernels);

@@ -1,0 +1,220 @@
+//! Benchmark harness for the MATEX paper reproduction.
+//!
+//! Each bench target under `benches/` regenerates one table or figure of
+//! the paper (see DESIGN.md §4 for the index). This library holds the
+//! shared pieces: the workload suite standing in for the IBM power-grid
+//! benchmarks, stiff-mesh construction for Table 1, wall-clock helpers
+//! and a plain-text table printer.
+//!
+//! Scale is controlled by the `MATEX_BENCH_SCALE` environment variable:
+//! `ci` (default) finishes in minutes on a laptop; `paper` approaches the
+//! paper's node counts (hundreds of thousands of unknowns) and takes
+//! correspondingly longer.
+
+use matex_circuit::{PdnBuilder, RcMeshBuilder};
+use std::time::{Duration, Instant};
+
+/// Benchmark scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small grids; the whole suite runs in minutes.
+    Ci,
+    /// Paper-approaching node counts.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `MATEX_BENCH_SCALE` (defaults to `ci`).
+    pub fn from_env() -> Scale {
+        match std::env::var("MATEX_BENCH_SCALE").as_deref() {
+            Ok("paper") | Ok("PAPER") => Scale::Paper,
+            _ => Scale::Ci,
+        }
+    }
+}
+
+/// One workload of the IBM-like suite.
+#[derive(Debug, Clone)]
+pub struct PgCase {
+    /// Case name (`ibmpg1t`-like naming).
+    pub name: String,
+    /// The configured grid builder.
+    pub builder: PdnBuilder,
+    /// Transient window (seconds) matching the paper's 10 ns runs.
+    pub window: f64,
+}
+
+/// The six-grid suite standing in for `ibmpg1t…ibmpg6t`.
+///
+/// Node counts grow monotonically like the originals; each case has
+/// thousands of pulse loads sharing ~`features` bump shapes, which is the
+/// structure Table 3's "Group #" column counts.
+pub fn pg_suite(scale: Scale) -> Vec<PgCase> {
+    let window = 1e-8;
+    let (dims, load_div, features): (&[usize], usize, usize) = match scale {
+        Scale::Ci => (&[20, 28, 36, 44, 52, 60], 4, 8),
+        Scale::Paper => (&[90, 130, 180, 220, 260, 320], 2, 32),
+    };
+    dims.iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            let mut builder = PdnBuilder::new(d, d)
+                .num_loads((d * d / load_div).max(8))
+                .num_features(features)
+                .window(window)
+                .cap_spread(30.0)
+                .seed(1000 + i as u64);
+            // The larger IBM cases are RLC grids: give pg4t–pg6t package
+            // inductance (C becomes singular — the regularization-free
+            // path of Sec. 3.3.3 is then load-bearing).
+            if i >= 3 {
+                builder = builder.pad_inductance(1e-11);
+            }
+            PgCase {
+                name: format!("pg{}t", i + 1),
+                builder,
+                window,
+            }
+        })
+        .collect()
+}
+
+/// Table-1-style stiff RC mesh for a target stiffness ratio.
+///
+/// The achieved stiffness of `−C⁻¹G` (measurable with
+/// `matex_core::measure_stiffness` for small meshes) tracks the requested
+/// cap ratio times the mesh's intrinsic spread.
+pub fn stiff_rc_case(stiffness_ratio: f64, scale: Scale) -> RcMeshBuilder {
+    let n = match scale {
+        Scale::Ci => 12,
+        Scale::Paper => 20,
+    };
+    RcMeshBuilder::new(n, n)
+        .stiffness_ratio(stiffness_ratio)
+        .segment_resistance(1.0)
+        .node_capacitance(1e-15)
+}
+
+/// Times a closure, returning `(result, wall_time)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Formats a `Duration` in seconds with 3 decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// A minimal fixed-width table printer for paper-style output.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "table row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut width = vec![0usize; ncol];
+        for (c, h) in self.header.iter().enumerate() {
+            width[c] = width[c].max(h.len());
+        }
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                width[c] = width[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                out.push_str(&format!("{:>w$}", cell, w = width[c]));
+                if c + 1 < ncol {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = width.iter().sum::<usize>() + 2 * (ncol - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Ratio of two durations as a "Spdp"-style string (`12.3X`).
+pub fn speedup(baseline: Duration, improved: Duration) -> String {
+    let r = baseline.as_secs_f64() / improved.as_secs_f64().max(1e-12);
+    format!("{r:.1}X")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_six_growing_cases() {
+        let suite = pg_suite(Scale::Ci);
+        assert_eq!(suite.len(), 6);
+        let dims: Vec<usize> = suite
+            .iter()
+            .map(|c| c.builder.clone().build().unwrap().dim())
+            .collect();
+        for w in dims.windows(2) {
+            assert!(w[1] > w[0], "suite must grow: {dims:?}");
+        }
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("a  bb"));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn speedup_format() {
+        assert_eq!(
+            speedup(Duration::from_secs(10), Duration::from_secs(2)),
+            "5.0X"
+        );
+    }
+
+    #[test]
+    fn scale_default_is_ci() {
+        // Cannot mutate the environment safely in tests; just check the
+        // default path.
+        assert_eq!(Scale::from_env(), Scale::Ci);
+    }
+}

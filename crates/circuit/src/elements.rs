@@ -1,0 +1,152 @@
+//! Circuit node and element types.
+
+use matex_waveform::Waveform;
+
+/// A circuit node handle.
+///
+/// `Node::GROUND` is the reference node (SPICE node `0`); all other nodes
+/// are indexed from 1 in creation order. Node handles are only meaningful
+/// within the [`Netlist`](crate::Netlist) that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Node(pub(crate) u32);
+
+impl Node {
+    /// The reference (ground) node.
+    pub const GROUND: Node = Node(0);
+
+    /// `true` for the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The MNA matrix row/column of this node, or `None` for ground.
+    pub fn mna_index(self) -> Option<usize> {
+        if self.is_ground() {
+            None
+        } else {
+            Some(self.0 as usize - 1)
+        }
+    }
+}
+
+/// A two-terminal circuit element.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Element {
+    /// Linear resistor between `a` and `b`.
+    Resistor {
+        /// Instance name.
+        name: String,
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Resistance in ohms (> 0).
+        ohms: f64,
+    },
+    /// Linear capacitor between `a` and `b`.
+    Capacitor {
+        /// Instance name.
+        name: String,
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Capacitance in farads (> 0).
+        farads: f64,
+    },
+    /// Linear inductor between `a` and `b` (adds one branch-current
+    /// unknown).
+    Inductor {
+        /// Instance name.
+        name: String,
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Inductance in henries (> 0).
+        henries: f64,
+    },
+    /// Independent voltage source from `pos` to `neg` (adds one
+    /// branch-current unknown).
+    VSource {
+        /// Instance name.
+        name: String,
+        /// Positive terminal.
+        pos: Node,
+        /// Negative terminal.
+        neg: Node,
+        /// Source waveform, volts.
+        waveform: Waveform,
+    },
+    /// Independent current source driving conventional current from
+    /// `from` through the source into `to`.
+    ISource {
+        /// Instance name.
+        name: String,
+        /// Terminal the current leaves.
+        from: Node,
+        /// Terminal the current enters.
+        to: Node,
+        /// Source waveform, amperes.
+        waveform: Waveform,
+    },
+}
+
+impl Element {
+    /// Instance name of the element.
+    pub fn name(&self) -> &str {
+        match self {
+            Element::Resistor { name, .. }
+            | Element::Capacitor { name, .. }
+            | Element::Inductor { name, .. }
+            | Element::VSource { name, .. }
+            | Element::ISource { name, .. } => name,
+        }
+    }
+
+    /// `true` for independent sources (V or I).
+    pub fn is_source(&self) -> bool {
+        matches!(self, Element::VSource { .. } | Element::ISource { .. })
+    }
+}
+
+/// Which kind of independent source a B-matrix column belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceKind {
+    /// Voltage source (supply rails in a PDN).
+    Voltage,
+    /// Current source (switching loads in a PDN).
+    Current,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_properties() {
+        assert!(Node::GROUND.is_ground());
+        assert_eq!(Node::GROUND.mna_index(), None);
+        assert_eq!(Node(3).mna_index(), Some(2));
+    }
+
+    #[test]
+    fn element_names() {
+        let r = Element::Resistor {
+            name: "r1".into(),
+            a: Node(1),
+            b: Node::GROUND,
+            ohms: 10.0,
+        };
+        assert_eq!(r.name(), "r1");
+        assert!(!r.is_source());
+        let i = Element::ISource {
+            name: "iload".into(),
+            from: Node(1),
+            to: Node::GROUND,
+            waveform: Waveform::Dc(1e-3),
+        };
+        assert!(i.is_source());
+    }
+}

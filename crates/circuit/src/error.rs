@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// Errors from circuit construction, parsing and analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// An element had an invalid value (non-positive resistance, NaN, ...).
+    InvalidElement(String),
+    /// The netlist references an unknown node or is otherwise inconsistent.
+    InvalidNetlist(String),
+    /// A netlist file could not be parsed; carries line number and reason.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// The MNA system was singular (e.g. a floating subcircuit with no DC
+    /// path to ground).
+    SingularSystem(String),
+    /// An underlying sparse-solver error.
+    Solver(matex_sparse::SparseError),
+    /// An underlying waveform error.
+    Waveform(matex_waveform::WaveformError),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::InvalidElement(msg) => write!(f, "invalid element: {msg}"),
+            CircuitError::InvalidNetlist(msg) => write!(f, "invalid netlist: {msg}"),
+            CircuitError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            CircuitError::SingularSystem(msg) => write!(f, "singular system: {msg}"),
+            CircuitError::Solver(e) => write!(f, "sparse solver error: {e}"),
+            CircuitError::Waveform(e) => write!(f, "waveform error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CircuitError::Solver(e) => Some(e),
+            CircuitError::Waveform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<matex_sparse::SparseError> for CircuitError {
+    fn from(e: matex_sparse::SparseError) -> Self {
+        CircuitError::Solver(e)
+    }
+}
+
+impl From<matex_waveform::WaveformError> for CircuitError {
+    fn from(e: matex_waveform::WaveformError) -> Self {
+        CircuitError::Waveform(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CircuitError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+        assert!(CircuitError::InvalidElement("r<=0".into())
+            .to_string()
+            .contains("r<=0"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let e = CircuitError::from(matex_sparse::SparseError::Singular { column: 1 });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,414 @@
+//! Modified nodal analysis (MNA) assembly.
+//!
+//! Produces the system of the paper's Eq. (1):
+//!
+//! ```text
+//! C x'(t) = -G x(t) + B u(t)
+//! ```
+//!
+//! with unknowns `x = [node voltages | inductor currents | vsource
+//! currents]` and one input column per independent source.
+
+use crate::{CircuitError, Element, Netlist, SourceKind};
+use matex_sparse::{CooMatrix, CsrMatrix};
+use matex_waveform::Waveform;
+
+/// Metadata for one input (one column of `B`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceInfo {
+    /// Instance name from the netlist.
+    pub name: String,
+    /// Voltage or current source.
+    pub kind: SourceKind,
+    /// The source waveform.
+    pub waveform: Waveform,
+}
+
+/// The assembled MNA system `C x' = -G x + B u(t)`.
+///
+/// # Example
+///
+/// ```
+/// use matex_circuit::{Netlist, MnaSystem};
+/// use matex_waveform::Waveform;
+///
+/// # fn main() -> Result<(), matex_circuit::CircuitError> {
+/// let mut nl = Netlist::new();
+/// let a = nl.node("a");
+/// nl.add_isource("i1", Netlist::ground(), a, Waveform::Dc(1e-3))?;
+/// nl.add_resistor("r1", a, Netlist::ground(), 1000.0)?;
+/// nl.add_capacitor("c1", a, Netlist::ground(), 1e-12)?;
+/// let sys = MnaSystem::assemble(&nl)?;
+/// assert_eq!(sys.dim(), 1);
+/// assert_eq!(sys.g().get(0, 0), 1e-3); // 1/R
+/// assert_eq!(sys.c().get(0, 0), 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MnaSystem {
+    g: CsrMatrix,
+    c: CsrMatrix,
+    b: CsrMatrix,
+    sources: Vec<SourceInfo>,
+    num_nodes: usize,
+    num_inductors: usize,
+    num_vsources: usize,
+    row_names: Vec<String>,
+}
+
+impl MnaSystem {
+    /// Assembles the MNA system from a netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidNetlist`] for an empty netlist
+    /// (nothing to simulate).
+    pub fn assemble(netlist: &Netlist) -> Result<Self, CircuitError> {
+        let nv = netlist.num_nodes();
+        if nv == 0 {
+            return Err(CircuitError::InvalidNetlist(
+                "netlist has no non-ground nodes".into(),
+            ));
+        }
+        let mut nl_count = 0usize;
+        let mut vs_count = 0usize;
+        for e in netlist.elements() {
+            match e {
+                Element::Inductor { .. } => nl_count += 1,
+                Element::VSource { .. } => vs_count += 1,
+                _ => {}
+            }
+        }
+        let dim = nv + nl_count + vs_count;
+        let num_sources = netlist.num_sources();
+        let mut g = CooMatrix::with_capacity(dim, dim, 4 * netlist.num_elements());
+        let mut c = CooMatrix::with_capacity(dim, dim, 4 * netlist.num_elements());
+        let mut b = CooMatrix::with_capacity(dim, num_sources, 2 * num_sources);
+        let mut sources = Vec::with_capacity(num_sources);
+        let mut row_names: Vec<String> = netlist.node_names().map(|s| s.to_string()).collect();
+
+        let mut l_row = nv; // next inductor branch row
+        let mut v_row = nv + nl_count; // next vsource branch row
+        let mut src_col = 0usize;
+
+        for e in netlist.elements() {
+            match e {
+                Element::Resistor { a, b: nb, ohms, .. } => {
+                    let gval = 1.0 / ohms;
+                    stamp_conductance(&mut g, a.mna_index(), nb.mna_index(), gval);
+                }
+                Element::Capacitor { a, b: nb, farads, .. } => {
+                    stamp_conductance(&mut c, a.mna_index(), nb.mna_index(), *farads);
+                }
+                Element::Inductor {
+                    a, b: nb, henries, name,
+                } => {
+                    let row = l_row;
+                    l_row += 1;
+                    row_names.push(format!("i({name})"));
+                    // KCL: branch current leaves `a`, enters `b`.
+                    if let Some(ia) = a.mna_index() {
+                        g.push(ia, row, 1.0);
+                    }
+                    if let Some(ib) = nb.mna_index() {
+                        g.push(ib, row, -1.0);
+                    }
+                    // Branch: L di/dt = v_a - v_b  →  C[row,row] = L,
+                    // G[row, a] = -1, G[row, b] = +1.
+                    c.push(row, row, *henries);
+                    if let Some(ia) = a.mna_index() {
+                        g.push(row, ia, -1.0);
+                    }
+                    if let Some(ib) = nb.mna_index() {
+                        g.push(row, ib, 1.0);
+                    }
+                }
+                Element::VSource {
+                    pos, neg, waveform, name,
+                } => {
+                    let row = v_row;
+                    v_row += 1;
+                    row_names.push(format!("i({name})"));
+                    // KCL: branch current leaves `pos`, enters `neg`.
+                    if let Some(ip) = pos.mna_index() {
+                        g.push(ip, row, 1.0);
+                    }
+                    if let Some(in_) = neg.mna_index() {
+                        g.push(in_, row, -1.0);
+                    }
+                    // Branch: v_pos - v_neg = E(t)  →  G[row, pos] = 1,
+                    // G[row, neg] = -1, B[row, col] = 1.
+                    if let Some(ip) = pos.mna_index() {
+                        g.push(row, ip, 1.0);
+                    }
+                    if let Some(in_) = neg.mna_index() {
+                        g.push(row, in_, -1.0);
+                    }
+                    b.push(row, src_col, 1.0);
+                    sources.push(SourceInfo {
+                        name: name.clone(),
+                        kind: SourceKind::Voltage,
+                        waveform: waveform.clone(),
+                    });
+                    src_col += 1;
+                }
+                Element::ISource {
+                    from, to, waveform, name,
+                } => {
+                    // Injection: -u at `from`, +u at `to`.
+                    if let Some(i) = from.mna_index() {
+                        b.push(i, src_col, -1.0);
+                    }
+                    if let Some(i) = to.mna_index() {
+                        b.push(i, src_col, 1.0);
+                    }
+                    sources.push(SourceInfo {
+                        name: name.clone(),
+                        kind: SourceKind::Current,
+                        waveform: waveform.clone(),
+                    });
+                    src_col += 1;
+                }
+            }
+        }
+        Ok(MnaSystem {
+            g: g.to_csr(),
+            c: c.to_csr(),
+            b: b.to_csr(),
+            sources,
+            num_nodes: nv,
+            num_inductors: nl_count,
+            num_vsources: vs_count,
+            row_names,
+        })
+    }
+
+    /// System dimension (nodes + inductor currents + vsource currents).
+    pub fn dim(&self) -> usize {
+        self.num_nodes + self.num_inductors + self.num_vsources
+    }
+
+    /// Number of non-ground node unknowns.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of inductor branch unknowns.
+    pub fn num_inductors(&self) -> usize {
+        self.num_inductors
+    }
+
+    /// Number of voltage-source branch unknowns.
+    pub fn num_vsources(&self) -> usize {
+        self.num_vsources
+    }
+
+    /// The conductance matrix `G`.
+    pub fn g(&self) -> &CsrMatrix {
+        &self.g
+    }
+
+    /// The capacitance/inductance matrix `C`.
+    pub fn c(&self) -> &CsrMatrix {
+        &self.c
+    }
+
+    /// The input selector matrix `B` (`dim × num_sources`).
+    pub fn b(&self) -> &CsrMatrix {
+        &self.b
+    }
+
+    /// Per-column source metadata.
+    pub fn sources(&self) -> &[SourceInfo] {
+        &self.sources
+    }
+
+    /// Number of independent sources (columns of `B`).
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// The waveforms in column order (cloned).
+    pub fn source_waveforms(&self) -> Vec<Waveform> {
+        self.sources.iter().map(|s| s.waveform.clone()).collect()
+    }
+
+    /// Evaluates the full input vector `u(t)`.
+    pub fn input_at(&self, t: f64) -> Vec<f64> {
+        self.sources.iter().map(|s| s.waveform.value(t)).collect()
+    }
+
+    /// Evaluates `u(t)` with only the listed source columns active; all
+    /// other entries are zero. This is the superposition mask used by
+    /// distributed MATEX subtasks.
+    pub fn input_masked_at(&self, t: f64, members: &[usize]) -> Vec<f64> {
+        let mut u = vec![0.0; self.sources.len()];
+        for &m in members {
+            u[m] = self.sources[m].waveform.value(t);
+        }
+        u
+    }
+
+    /// Computes `B u(t)` into a dense right-hand-side vector.
+    pub fn bu_at(&self, t: f64) -> Vec<f64> {
+        self.b.matvec(&self.input_at(t))
+    }
+
+    /// Human-readable name of an unknown (node name or `i(branch)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= dim()`.
+    pub fn row_name(&self, row: usize) -> &str {
+        &self.row_names[row]
+    }
+
+    /// Row index of the node with the given (lower-case) name, if any.
+    pub fn node_row(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.row_names[..self.num_nodes]
+            .iter()
+            .position(|n| *n == lower)
+    }
+
+    /// Rows of `C` that are entirely zero (structurally singular part).
+    ///
+    /// Nonempty for circuits with cap-less nodes or voltage sources; the
+    /// paper's MEXP variant requires regularization in that case, while
+    /// I-MATEX / R-MATEX do not (Sec. 3.3.3).
+    pub fn zero_c_rows(&self) -> Vec<usize> {
+        (0..self.dim())
+            .filter(|&r| self.c.row_values(r).iter().all(|&v| v == 0.0))
+            .collect()
+    }
+}
+
+/// Symmetric two-terminal stamp into a COO matrix.
+fn stamp_conductance(
+    m: &mut CooMatrix,
+    a: Option<usize>,
+    b: Option<usize>,
+    val: f64,
+) {
+    if let Some(i) = a {
+        m.push(i, i, val);
+    }
+    if let Some(j) = b {
+        m.push(j, j, val);
+    }
+    if let (Some(i), Some(j)) = (a, b) {
+        m.push(i, j, -val);
+        m.push(j, i, -val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Netlist;
+    use matex_sparse::{LuOptions, SparseLu};
+
+    #[test]
+    fn voltage_divider_dc() {
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let out = nl.node("out");
+        nl.add_vsource("vs", vdd, Netlist::ground(), Waveform::Dc(1.8))
+            .unwrap();
+        nl.add_resistor("r1", vdd, out, 100.0).unwrap();
+        nl.add_resistor("r2", out, Netlist::ground(), 100.0).unwrap();
+        let sys = MnaSystem::assemble(&nl).unwrap();
+        assert_eq!(sys.dim(), 3);
+        // Solve G x = B u(0).
+        let lu = SparseLu::factor(sys.g(), &LuOptions::default()).unwrap();
+        let x = lu.solve(&sys.bu_at(0.0));
+        let out_row = sys.node_row("out").unwrap();
+        let vdd_row = sys.node_row("vdd").unwrap();
+        assert!((x[vdd_row] - 1.8).abs() < 1e-12);
+        assert!((x[out_row] - 0.9).abs() < 1e-12);
+        // Source current = -9 mA (flows out of + terminal).
+        assert!((x[2] + 0.009).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_source_direction() {
+        // 1 mA pushed from ground into node a with 1 kΩ to ground: +1 V.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.add_isource("i1", Netlist::ground(), a, Waveform::Dc(1e-3))
+            .unwrap();
+        nl.add_resistor("r1", a, Netlist::ground(), 1000.0).unwrap();
+        let sys = MnaSystem::assemble(&nl).unwrap();
+        let lu = SparseLu::factor(sys.g(), &LuOptions::default()).unwrap();
+        let x = lu.solve(&sys.bu_at(0.0));
+        assert!((x[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inductor_is_dc_short() {
+        // V source -> R -> L -> ground: at DC the inductor row forces
+        // v_mid = 0 ... actually v_a - v_b = 0 across the inductor.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let m = nl.node("m");
+        nl.add_vsource("v", a, Netlist::ground(), Waveform::Dc(1.0))
+            .unwrap();
+        nl.add_resistor("r", a, m, 50.0).unwrap();
+        nl.add_inductor("l", m, Netlist::ground(), 1e-9).unwrap();
+        let sys = MnaSystem::assemble(&nl).unwrap();
+        assert_eq!(sys.dim(), 4); // 2 nodes + 1 inductor + 1 vsource
+        let lu = SparseLu::factor(sys.g(), &LuOptions::default()).unwrap();
+        let x = lu.solve(&sys.bu_at(0.0));
+        let m_row = sys.node_row("m").unwrap();
+        assert!(x[m_row].abs() < 1e-12, "inductor should short m to ground");
+        // Current through the inductor = 1/50 A.
+        let il_row = sys.num_nodes(); // first branch row
+        assert!((x[il_row] - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_input_zeroes_others() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.add_isource("i1", Netlist::ground(), a, Waveform::Dc(1.0))
+            .unwrap();
+        nl.add_isource("i2", Netlist::ground(), a, Waveform::Dc(2.0))
+            .unwrap();
+        nl.add_resistor("r", a, Netlist::ground(), 1.0).unwrap();
+        let sys = MnaSystem::assemble(&nl).unwrap();
+        assert_eq!(sys.input_at(0.0), vec![1.0, 2.0]);
+        assert_eq!(sys.input_masked_at(0.0, &[1]), vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_c_rows_reported() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.add_capacitor("c", a, Netlist::ground(), 1e-12).unwrap();
+        nl.add_resistor("r", a, b, 1.0).unwrap();
+        nl.add_resistor("r2", b, Netlist::ground(), 1.0).unwrap();
+        let sys = MnaSystem::assemble(&nl).unwrap();
+        // Node b has no capacitor: its C row is empty.
+        assert_eq!(sys.zero_c_rows(), vec![1]);
+    }
+
+    #[test]
+    fn empty_netlist_rejected() {
+        let nl = Netlist::new();
+        assert!(MnaSystem::assemble(&nl).is_err());
+    }
+
+    #[test]
+    fn row_names_cover_branches() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.add_vsource("vs", a, Netlist::ground(), Waveform::Dc(1.0))
+            .unwrap();
+        nl.add_resistor("r", a, Netlist::ground(), 1.0).unwrap();
+        let sys = MnaSystem::assemble(&nl).unwrap();
+        assert_eq!(sys.row_name(0), "a");
+        assert_eq!(sys.row_name(1), "i(vs)");
+    }
+}

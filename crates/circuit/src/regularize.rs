@@ -1,0 +1,133 @@
+//! Regularization of singular `C` matrices for the MEXP variant.
+//!
+//! The standard-Krylov MEXP method must factor `C` (paper Alg. 1 with
+//! `X1 = C`), which fails when `C` is singular — cap-less nodes and
+//! voltage-source/inductor branch rows have empty `C` rows. The paper cites
+//! a structural regularization [Chen, Weng, Cheng TCAD'12]; we implement the
+//! practical ε-variant: every zero diagonal of `C` receives a small
+//! parasitic value, chosen relative to the largest capacitance present.
+//!
+//! I-MATEX and R-MATEX never need this (they factor `G` or `C + γG`): the
+//! regularization-free property demonstrated in Sec. 3.3.3.
+
+use crate::MnaSystem;
+use matex_sparse::CsrMatrix;
+
+/// Result of regularizing an MNA system for MEXP.
+#[derive(Debug, Clone)]
+pub struct Regularized {
+    /// The replacement `C` matrix with ε on previously zero diagonals.
+    pub c: CsrMatrix,
+    /// Rows that received the parasitic ε.
+    pub patched_rows: Vec<usize>,
+    /// The ε value used.
+    pub epsilon: f64,
+}
+
+/// Returns a nonsingular replacement for `C`, patching zero diagonal rows
+/// with `eps_rel · max|C|` (parasitic capacitance / inertia).
+///
+/// When `C` has no zero rows the original matrix is returned unchanged
+/// (empty `patched_rows`).
+///
+/// # Panics
+///
+/// Panics if `eps_rel` is not a positive finite number.
+pub fn regularize_c(sys: &MnaSystem, eps_rel: f64) -> Regularized {
+    assert!(
+        eps_rel.is_finite() && eps_rel > 0.0,
+        "eps_rel must be positive"
+    );
+    let c = sys.c();
+    let cmax = c
+        .indptr()
+        .windows(2)
+        .enumerate()
+        .flat_map(|(r, _)| c.row_values(r).iter().copied())
+        .fold(0.0_f64, |m, v| m.max(v.abs()));
+    let eps = if cmax > 0.0 { eps_rel * cmax } else { eps_rel };
+    let dim = sys.dim();
+    let num_nodes = sys.num_nodes();
+    let mut patched = Vec::new();
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(c.nnz() + dim);
+    for r in 0..dim {
+        for (k, &col) in c.row_indices(r).iter().enumerate() {
+            triplets.push((r, col, c.row_values(r)[k]));
+        }
+        let diag_zero = c.get(r, r) == 0.0;
+        let row_zero = c.row_values(r).iter().all(|&v| v == 0.0);
+        if diag_zero && row_zero {
+            // Sign matters for stability of the regularized pencil:
+            // node rows behave like parasitic caps (+ε), but voltage-
+            // source branch rows (`v+ − v− = E` with the `+A_V`/`+A_Vᵀ`
+            // bordered coupling) need −ε — a +ε there creates a
+            // positive-feedback runaway mode (+1/ε eigenvalue).
+            let signed = if r < num_nodes { eps } else { -eps };
+            triplets.push((r, r, signed));
+            patched.push(r);
+        }
+    }
+    Regularized {
+        c: CsrMatrix::from_triplets(dim, dim, &triplets),
+        patched_rows: patched,
+        epsilon: eps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MnaSystem, Netlist};
+    use matex_sparse::{LuOptions, SparseLu};
+    use matex_waveform::Waveform;
+
+    fn rc_with_capless_node() -> MnaSystem {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.add_capacitor("c", a, Netlist::ground(), 1e-12).unwrap();
+        nl.add_resistor("r1", a, b, 10.0).unwrap();
+        nl.add_resistor("r2", b, Netlist::ground(), 10.0).unwrap();
+        nl.add_vsource("v", a, Netlist::ground(), Waveform::Dc(1.0))
+            .unwrap();
+        MnaSystem::assemble(&nl).unwrap()
+    }
+
+    #[test]
+    fn patches_exactly_the_zero_rows() {
+        let sys = rc_with_capless_node();
+        let reg = regularize_c(&sys, 1e-9);
+        // Node b and the vsource branch have empty C rows.
+        assert_eq!(reg.patched_rows, sys.zero_c_rows());
+        assert_eq!(reg.patched_rows.len(), 2);
+        // ε relative to the 1e-12 cap.
+        assert!((reg.epsilon - 1e-21).abs() < 1e-30);
+    }
+
+    #[test]
+    fn regularized_c_is_factorable() {
+        let sys = rc_with_capless_node();
+        assert!(SparseLu::factor(sys.c(), &LuOptions::default()).is_err());
+        let reg = regularize_c(&sys, 1e-9);
+        assert!(SparseLu::factor(&reg.c, &LuOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn nonsingular_c_untouched() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.add_capacitor("c", a, Netlist::ground(), 1e-12).unwrap();
+        nl.add_resistor("r", a, Netlist::ground(), 1.0).unwrap();
+        let sys = MnaSystem::assemble(&nl).unwrap();
+        let reg = regularize_c(&sys, 1e-9);
+        assert!(reg.patched_rows.is_empty());
+        assert_eq!(&reg.c, sys.c());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_eps() {
+        let sys = rc_with_capless_node();
+        let _ = regularize_c(&sys, -1.0);
+    }
+}

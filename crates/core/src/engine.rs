@@ -1,0 +1,229 @@
+//! Shared engine infrastructure: the [`TransientEngine`] trait, masked
+//! input evaluation, and output-grid recording.
+
+use crate::{CoreError, TransientResult, TransientSpec};
+use matex_circuit::MnaSystem;
+
+/// A transient simulation engine.
+///
+/// All engines consume the same `C x' = -G x + B u(t)` system and emit
+/// results on the spec's sample grid, so they are interchangeable in
+/// benches and in the distributed framework.
+pub trait TransientEngine {
+    /// Runs the transient analysis.
+    ///
+    /// # Errors
+    ///
+    /// Engine-specific; see the concrete types.
+    fn run(&self, sys: &MnaSystem, spec: &TransientSpec) -> Result<TransientResult, CoreError>;
+
+    /// Short engine label for reports (e.g. `"TR"`, `"R-MATEX"`).
+    fn name(&self) -> String;
+}
+
+/// Evaluates the input vector `u(t)` and right-hand side `B u(t)`,
+/// optionally restricted to a subset of source columns (the superposition
+/// mask of a distributed subtask).
+#[derive(Debug, Clone)]
+pub struct InputEval<'a> {
+    sys: &'a MnaSystem,
+    mask: Option<&'a [usize]>,
+}
+
+impl<'a> InputEval<'a> {
+    /// Full-input evaluator.
+    pub fn new(sys: &'a MnaSystem) -> Self {
+        InputEval { sys, mask: None }
+    }
+
+    /// Evaluator with only the listed source columns active.
+    pub fn masked(sys: &'a MnaSystem, members: &'a [usize]) -> Self {
+        InputEval {
+            sys,
+            mask: Some(members),
+        }
+    }
+
+    /// The (masked) input vector `u(t)`.
+    pub fn u_at(&self, t: f64) -> Vec<f64> {
+        match self.mask {
+            None => self.sys.input_at(t),
+            Some(members) => self.sys.input_masked_at(t, members),
+        }
+    }
+
+    /// The (masked) right-hand side `B u(t)`.
+    pub fn bu_at(&self, t: f64) -> Vec<f64> {
+        self.sys.b().matvec(&self.u_at(t))
+    }
+
+    /// Active source column indices.
+    pub fn active_columns(&self) -> Vec<usize> {
+        match self.mask {
+            None => (0..self.sys.num_sources()).collect(),
+            Some(members) => members.to_vec(),
+        }
+    }
+}
+
+/// Records solution values onto the spec's output sample grid, linearly
+/// interpolating when an engine's accepted steps do not land on samples.
+#[derive(Debug)]
+pub struct Recorder {
+    sample_times: Vec<f64>,
+    rows: Vec<usize>,
+    series: Vec<Vec<f64>>,
+    next: usize,
+}
+
+impl Recorder {
+    /// Creates a recorder for the spec over a system of dimension `dim`.
+    pub fn new(spec: &TransientSpec, dim: usize) -> Self {
+        let sample_times = spec.sample_times();
+        let rows = spec.observed_rows(dim);
+        let series = vec![Vec::with_capacity(sample_times.len()); rows.len()];
+        Recorder {
+            sample_times,
+            rows,
+            series,
+            next: 0,
+        }
+    }
+
+    /// The output grid.
+    pub fn sample_times(&self) -> &[f64] {
+        &self.sample_times
+    }
+
+    /// `true` once every sample has been filled.
+    pub fn is_complete(&self) -> bool {
+        self.next >= self.sample_times.len()
+    }
+
+    /// Time of the next unfilled sample, if any.
+    pub fn next_sample(&self) -> Option<f64> {
+        self.sample_times.get(self.next).copied()
+    }
+
+    /// Records the exact state at the next sample time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all samples are already filled or `t` is not (close to)
+    /// the next sample time.
+    pub fn record_at_sample(&mut self, t: f64, x: &[f64]) {
+        let expect = self.sample_times[self.next];
+        assert!(
+            (t - expect).abs() <= 1e-9 * expect.abs().max(1e-30) + 1e-30,
+            "record_at_sample: t = {t} but next sample is {expect}"
+        );
+        for (k, &row) in self.rows.iter().enumerate() {
+            self.series[k].push(x[row]);
+        }
+        self.next += 1;
+    }
+
+    /// Records an accepted step `(t0, x0) → (t1, x1)`, filling every
+    /// sample in `(t0, t1]` by linear interpolation. Call once with
+    /// `t0 == t1 == t_start` to capture an initial sample.
+    pub fn record_step(&mut self, t0: f64, x0: &[f64], t1: f64, x1: &[f64]) {
+        while let Some(ts) = self.next_sample() {
+            let within = if t0 == t1 {
+                (ts - t1).abs() <= 1e-12 * t1.abs().max(1e-30) + 1e-300
+            } else {
+                ts <= t1 + 1e-12 * t1.abs().max(1e-30)
+            };
+            if !within {
+                break;
+            }
+            let w = if t1 == t0 {
+                1.0
+            } else {
+                ((ts - t0) / (t1 - t0)).clamp(0.0, 1.0)
+            };
+            for (k, &row) in self.rows.iter().enumerate() {
+                self.series[k].push(x0[row] * (1.0 - w) + x1[row] * w);
+            }
+            self.next += 1;
+        }
+    }
+
+    /// Finalizes into `(times, rows, series)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample was left unfilled (engine bug).
+    pub fn finish(self) -> (Vec<f64>, Vec<usize>, Vec<Vec<f64>>) {
+        assert!(
+            self.is_complete(),
+            "recorder: {} of {} samples unfilled",
+            self.sample_times.len() - self.next,
+            self.sample_times.len()
+        );
+        (self.sample_times, self.rows, self.series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matex_circuit::Netlist;
+    use matex_waveform::Waveform;
+
+    fn two_source_sys() -> MnaSystem {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.add_isource("i1", Netlist::ground(), a, Waveform::Dc(1.0))
+            .unwrap();
+        nl.add_isource("i2", Netlist::ground(), a, Waveform::Dc(10.0))
+            .unwrap();
+        nl.add_resistor("r", a, Netlist::ground(), 1.0).unwrap();
+        MnaSystem::assemble(&nl).unwrap()
+    }
+
+    #[test]
+    fn masked_input_eval() {
+        let sys = two_source_sys();
+        let full = InputEval::new(&sys);
+        assert_eq!(full.bu_at(0.0), vec![11.0]);
+        let members = [1usize];
+        let sub = InputEval::masked(&sys, &members);
+        assert_eq!(sub.bu_at(0.0), vec![10.0]);
+        assert_eq!(sub.active_columns(), vec![1]);
+    }
+
+    #[test]
+    fn recorder_interpolates() {
+        let spec = TransientSpec::new(0.0, 1.0, 0.5).unwrap();
+        let mut rec = Recorder::new(&spec, 1);
+        let x0 = [0.0];
+        rec.record_step(0.0, &x0, 0.0, &x0); // initial point
+        let x1 = [2.0];
+        rec.record_step(0.0, &x0, 0.8, &x1); // covers sample 0.5
+        let x2 = [3.0];
+        rec.record_step(0.8, &x1, 1.0, &x2); // covers sample 1.0
+        let (times, rows, series) = rec.finish();
+        assert_eq!(times, vec![0.0, 0.5, 1.0]);
+        assert_eq!(rows, vec![0]);
+        assert_eq!(series[0], vec![0.0, 1.25, 3.0]);
+    }
+
+    #[test]
+    fn recorder_exact_samples() {
+        let spec = TransientSpec::new(0.0, 1.0, 1.0).unwrap();
+        let mut rec = Recorder::new(&spec, 2);
+        rec.record_at_sample(0.0, &[1.0, 2.0]);
+        rec.record_at_sample(1.0, &[3.0, 4.0]);
+        let (_, _, series) = rec.finish();
+        assert_eq!(series[0], vec![1.0, 3.0]);
+        assert_eq!(series[1], vec![2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unfilled")]
+    fn unfinished_recorder_panics() {
+        let spec = TransientSpec::new(0.0, 1.0, 0.5).unwrap();
+        let rec = Recorder::new(&spec, 1);
+        let _ = rec.finish();
+    }
+}

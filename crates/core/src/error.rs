@@ -1,0 +1,87 @@
+use std::fmt;
+
+/// Errors from transient-simulation engines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The transient specification was inconsistent (non-positive window,
+    /// bad sample step, ...).
+    InvalidSpec(String),
+    /// An engine option was invalid.
+    InvalidOption(String),
+    /// The adaptive step controller could not meet its tolerance above
+    /// the minimum step size.
+    StepUnderflow {
+        /// Time at which the controller gave up.
+        at: f64,
+        /// The rejected step size.
+        h: f64,
+    },
+    /// Two results could not be compared (different grids/rows).
+    Incomparable(String),
+    /// Circuit-level failure (DC, assembly, regularization).
+    Circuit(matex_circuit::CircuitError),
+    /// Sparse-solver failure.
+    Sparse(matex_sparse::SparseError),
+    /// Krylov kernel failure.
+    Krylov(matex_krylov::KrylovError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidSpec(m) => write!(f, "invalid transient spec: {m}"),
+            CoreError::InvalidOption(m) => write!(f, "invalid option: {m}"),
+            CoreError::StepUnderflow { at, h } => {
+                write!(f, "adaptive step underflow at t = {at:.3e} (h = {h:.3e})")
+            }
+            CoreError::Incomparable(m) => write!(f, "results are not comparable: {m}"),
+            CoreError::Circuit(e) => write!(f, "circuit error: {e}"),
+            CoreError::Sparse(e) => write!(f, "sparse error: {e}"),
+            CoreError::Krylov(e) => write!(f, "krylov error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Circuit(e) => Some(e),
+            CoreError::Sparse(e) => Some(e),
+            CoreError::Krylov(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<matex_circuit::CircuitError> for CoreError {
+    fn from(e: matex_circuit::CircuitError) -> Self {
+        CoreError::Circuit(e)
+    }
+}
+
+impl From<matex_sparse::SparseError> for CoreError {
+    fn from(e: matex_sparse::SparseError) -> Self {
+        CoreError::Sparse(e)
+    }
+}
+
+impl From<matex_krylov::KrylovError> for CoreError {
+    fn from(e: matex_krylov::KrylovError) -> Self {
+        CoreError::Krylov(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::StepUnderflow { at: 1e-9, h: 1e-15 };
+        assert!(e.to_string().contains("underflow"));
+        let wrapped = CoreError::from(matex_sparse::SparseError::Singular { column: 0 });
+        assert!(wrapped.source().is_some());
+    }
+}

@@ -1,0 +1,192 @@
+//! The PWL input terms `F(t)` and `P(t, h)` of the matrix-exponential
+//! update (paper Eq. (5)), computed regularization-free.
+//!
+//! With `A = −C⁻¹G` and `b(t) = C⁻¹B u(t)`, the closed-form update for a
+//! piecewise-linear input of slope `u̇` on `[t, t+h]` is
+//!
+//! ```text
+//! x(t+h) = e^{hA} (x(t) + F(t)) − P(t, h)
+//! F(t)   = A⁻¹ b(t)   + A⁻² s
+//! P(t,h) = A⁻¹ b(t+h) + A⁻² s,      s = (b(t+h) − b(t))/h
+//! ```
+//!
+//! The paper's Sec. 3.3.3 observation makes these computable without ever
+//! forming `C⁻¹`:
+//!
+//! ```text
+//! A⁻¹ b(t) = −G⁻¹ B u(t)              A⁻² s = G⁻¹ C G⁻¹ B u̇
+//! ```
+//!
+//! so one interval costs three forward/backward substitution pairs with
+//! the *already factored* `G` (two when the input slope is zero).
+
+use crate::engine::InputEval;
+use crate::SolveStats;
+use matex_circuit::MnaSystem;
+use matex_sparse::SparseLu;
+
+/// Precomputed input terms for one linear interval `[t0, t1]`.
+#[derive(Debug, Clone)]
+pub struct IntervalTerms {
+    /// `q0 = G⁻¹ B u(t0)`.
+    q0: Vec<f64>,
+    /// `qd = G⁻¹ B u̇` (zero vector when the slope is zero).
+    qd: Vec<f64>,
+    /// `r = G⁻¹ C qd = A⁻² s`.
+    r: Vec<f64>,
+    /// Interval start.
+    t0: f64,
+}
+
+impl IntervalTerms {
+    /// Computes the terms for the interval `[t0, t1]`, on which the
+    /// (masked) input must be linear. Updates substitution counters in
+    /// `stats`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t1 <= t0`.
+    pub fn compute(
+        sys: &MnaSystem,
+        lu_g: &SparseLu,
+        input: &InputEval<'_>,
+        t0: f64,
+        t1: f64,
+        stats: &mut SolveStats,
+    ) -> IntervalTerms {
+        assert!(t1 > t0, "interval must have positive length");
+        let n = sys.dim();
+        let bu0 = input.bu_at(t0);
+        let bu1 = input.bu_at(t1);
+        let mut du: Vec<f64> = bu1.iter().zip(&bu0).map(|(a, b)| (a - b) / (t1 - t0)).collect();
+        let q0 = lu_g.solve(&bu0);
+        stats.substitution_pairs += 1;
+        let slope_zero = du.iter().all(|&v| v == 0.0);
+        let (qd, r) = if slope_zero {
+            (vec![0.0; n], vec![0.0; n])
+        } else {
+            let qd = lu_g.solve(&du);
+            stats.substitution_pairs += 1;
+            sys.c().matvec_into(&qd, &mut du);
+            let r = lu_g.solve(&du);
+            stats.substitution_pairs += 1;
+            (qd, r)
+        };
+        IntervalTerms { q0, qd, r, t0 }
+    }
+
+    /// `F(t0) = −q0 + r`: added to the state before projection.
+    pub fn f(&self) -> Vec<f64> {
+        self.q0
+            .iter()
+            .zip(&self.r)
+            .map(|(q, r)| -q + r)
+            .collect()
+    }
+
+    /// `P(t0, h) = −(q0 + h·qd) + r`: subtracted after projection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h < 0`.
+    pub fn p(&self, h: f64) -> Vec<f64> {
+        assert!(h >= 0.0, "P requires a non-negative step");
+        let mut out = Vec::with_capacity(self.q0.len());
+        for i in 0..self.q0.len() {
+            out.push(-(self.q0[i] + h * self.qd[i]) + self.r[i]);
+        }
+        out
+    }
+
+    /// Interval start time.
+    pub fn t0(&self) -> f64 {
+        self.t0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matex_circuit::Netlist;
+    use matex_sparse::LuOptions;
+    use matex_waveform::{Pulse, Waveform};
+
+    fn rc() -> MnaSystem {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let p = Pulse::new(0.0, 2e-3, 0.0, 1e-9, 1e-9, 1e-9).unwrap();
+        nl.add_isource("i", Netlist::ground(), a, Waveform::Pulse(p))
+            .unwrap();
+        nl.add_resistor("r", a, Netlist::ground(), 500.0).unwrap();
+        nl.add_capacitor("c", a, Netlist::ground(), 1e-12).unwrap();
+        MnaSystem::assemble(&nl).unwrap()
+    }
+
+    #[test]
+    fn steady_state_identity() {
+        // For constant input: F = -q0 and P(h) = -q0, and the DC solution
+        // is exactly q0, so v = x_dc + F = 0.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.add_isource("i", Netlist::ground(), a, Waveform::Dc(1e-3))
+            .unwrap();
+        nl.add_resistor("r", a, Netlist::ground(), 1000.0).unwrap();
+        nl.add_capacitor("c", a, Netlist::ground(), 1e-12).unwrap();
+        let sys = MnaSystem::assemble(&nl).unwrap();
+        let lu_g = SparseLu::factor(sys.g(), &LuOptions::default()).unwrap();
+        let input = InputEval::new(&sys);
+        let mut stats = SolveStats::default();
+        let terms = IntervalTerms::compute(&sys, &lu_g, &input, 0.0, 1e-9, &mut stats);
+        let x_dc = lu_g.solve(&input.bu_at(0.0));
+        let f = terms.f();
+        for i in 0..sys.dim() {
+            assert!((x_dc[i] + f[i]).abs() < 1e-15, "steady-state v != 0");
+        }
+        // Constant slope: only one substitution pair spent.
+        assert_eq!(stats.substitution_pairs, 1);
+    }
+
+    #[test]
+    fn ramp_terms_match_definitions() {
+        // During the rising ramp, verify F/P against directly computed
+        // -G^{-1}Bu and G^{-1}CG^{-1}Bu̇.
+        let sys = rc();
+        let lu_g = SparseLu::factor(sys.g(), &LuOptions::default()).unwrap();
+        let input = InputEval::new(&sys);
+        let mut stats = SolveStats::default();
+        let (t0, t1) = (2e-10, 6e-10); // inside the 0..1ns ramp
+        let terms = IntervalTerms::compute(&sys, &lu_g, &input, t0, t1, &mut stats);
+        assert_eq!(stats.substitution_pairs, 3);
+        // Manual computation.
+        let bu0 = input.bu_at(t0);
+        let q0 = lu_g.solve(&bu0);
+        let udot: Vec<f64> = input
+            .bu_at(t1)
+            .iter()
+            .zip(&bu0)
+            .map(|(a, b)| (a - b) / (t1 - t0))
+            .collect();
+        let qd = lu_g.solve(&udot);
+        let r = lu_g.solve(&sys.c().matvec(&qd));
+        let f = terms.f();
+        for i in 0..sys.dim() {
+            assert!((f[i] - (-q0[i] + r[i])).abs() < 1e-18);
+        }
+        let h = 1e-10;
+        let p = terms.p(h);
+        for i in 0..sys.dim() {
+            assert!((p[i] - (-(q0[i] + h * qd[i]) + r[i])).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_step_panics() {
+        let sys = rc();
+        let lu_g = SparseLu::factor(sys.g(), &LuOptions::default()).unwrap();
+        let input = InputEval::new(&sys);
+        let mut stats = SolveStats::default();
+        let terms = IntervalTerms::compute(&sys, &lu_g, &input, 0.0, 1e-9, &mut stats);
+        let _ = terms.p(-1.0);
+    }
+}

@@ -1,0 +1,598 @@
+//! The MATEX circuit solver (paper Alg. 2).
+//!
+//! One engine covers all three variants (MEXP / I-MATEX / R-MATEX): after
+//! a single factorization of the variant's `X1` matrix (plus `G` for the
+//! input terms), the solver marches over the evaluation grid:
+//!
+//! * at a **local transition spot** (LTS) it generates a fresh Krylov
+//!   subspace from `v = x(t) + F(t)`,
+//! * at every other point (snapshots + output samples) it *reuses* the
+//!   most recent subspace, paying only a small `e^{h·H_m}` evaluation —
+//!   no substitutions, no refactorization,
+//! * when the posterior error estimate rejects a reuse distance, it
+//!   inserts pseudo-anchors (sub-steps) and rebuilds — the adaptive
+//!   stepping of Alg. 2, still with the original factorization.
+//!
+//! In distributed mode ([`MatexSolver::with_source_mask`] +
+//! [`MatexSolver::with_lts`]) the solver becomes one slave node of the
+//! paper's Fig. 4: it simulates only its source group but evaluates on the
+//! shared grid so results superpose.
+
+use crate::engine::{InputEval, Recorder, TransientEngine};
+use crate::fp_terms::IntervalTerms;
+use crate::{CoreError, SolveStats, TransientResult, TransientSpec};
+use matex_circuit::{regularize_c, MnaSystem};
+use matex_dense::norm2;
+use matex_krylov::{
+    build_basis_multi, ExpmParams, InvertedOp, KrylovBasis, KrylovError, KrylovKind, KrylovOp,
+    RationalOp, StandardOp,
+};
+use matex_sparse::{CsrMatrix, LuOptions, SparseLu};
+use matex_waveform::SpotSet;
+use std::time::Instant;
+
+
+
+/// Options for the MATEX solver.
+#[derive(Debug, Clone)]
+pub struct MatexOptions {
+    /// Krylov variant (default: rational / R-MATEX).
+    pub kind: KrylovKind,
+    /// Shift parameter γ for the rational variant. The paper sets it
+    /// "around the order of the time steps used" — 1e-10 s for the IBM
+    /// grids (Sec. 4.3) — and shows low sensitivity.
+    pub gamma: f64,
+    /// Krylov construction parameters (tolerance, m bounds, reorth).
+    pub expm: ExpmParams,
+    /// Relative ε for regularizing a singular `C` (standard variant
+    /// only; see Sec. 3.3.3 — the other variants never regularize).
+    /// Too small an ε creates parasitic modes fast enough to overflow
+    /// the projected exponential; the default (1e-3 · max|C|) keeps the
+    /// parasitic time constants physically invisible yet numerically
+    /// benign.
+    pub regularize_eps: f64,
+    /// Maximum sub-step insertions per evaluation before accepting the
+    /// best-effort value.
+    pub max_substeps: usize,
+}
+
+impl MatexOptions {
+    /// Defaults for the given variant. MEXP gets a larger `m_max` budget
+    /// (it genuinely needs hundreds of vectors on stiff circuits —
+    /// Table 1).
+    pub fn new(kind: KrylovKind) -> Self {
+        let m_max = match kind {
+            KrylovKind::Standard => 300,
+            _ => 100,
+        };
+        MatexOptions {
+            kind,
+            gamma: 1e-10,
+            expm: ExpmParams {
+                tol: 1e-6,
+                m_min: 2,
+                m_max,
+                reorth: true,
+            },
+            regularize_eps: 1e-3,
+            max_substeps: 30,
+        }
+    }
+
+    /// Sets the Krylov tolerance (builder style).
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.expm.tol = tol;
+        self
+    }
+
+    /// Sets γ (builder style).
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+}
+
+impl Default for MatexOptions {
+    fn default() -> Self {
+        MatexOptions::new(KrylovKind::Rational)
+    }
+}
+
+/// The MATEX transient engine (Alg. 2).
+///
+/// # Example
+///
+/// ```
+/// use matex_circuit::RcMeshBuilder;
+/// use matex_core::{KrylovKind, MatexOptions, MatexSolver, TransientEngine, TransientSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sys = RcMeshBuilder::new(4, 4).build()?;
+/// let spec = TransientSpec::new(0.0, 1e-9, 1e-11)?;
+/// let solver = MatexSolver::new(MatexOptions::new(KrylovKind::Rational));
+/// let result = solver.run(&sys, &spec)?;
+/// // One factorization of (C + γG), one of G — never refactored.
+/// assert!(result.stats.factorizations <= 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatexSolver {
+    opts: MatexOptions,
+    mask: Option<Vec<usize>>,
+    lts_override: Option<SpotSet>,
+}
+
+impl MatexSolver {
+    /// Creates a solver with the given options.
+    pub fn new(opts: MatexOptions) -> Self {
+        MatexSolver {
+            opts,
+            mask: None,
+            lts_override: None,
+        }
+    }
+
+    /// Restricts the active sources to the listed `B` columns
+    /// (superposition subtask mode).
+    pub fn with_source_mask(mut self, members: Vec<usize>) -> Self {
+        self.mask = Some(members);
+        self
+    }
+
+    /// Overrides the derived local transition spots (distributed mode:
+    /// the scheduler hands each node its group's LTS).
+    pub fn with_lts(mut self, lts: SpotSet) -> Self {
+        self.lts_override = Some(lts);
+        self
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &MatexOptions {
+        &self.opts
+    }
+}
+
+/// Owns whichever matrices the variant needs, so the operator can borrow.
+enum OpHolder<'a> {
+    Std(StandardOp<'a>),
+    Inv(InvertedOp<'a>),
+    Rat(RationalOp<'a>),
+}
+
+impl OpHolder<'_> {
+    fn as_op(&self) -> &dyn KrylovOp {
+        match self {
+            OpHolder::Std(o) => o,
+            OpHolder::Inv(o) => o,
+            OpHolder::Rat(o) => o,
+        }
+    }
+}
+
+impl TransientEngine for MatexSolver {
+    fn run(&self, sys: &MnaSystem, spec: &TransientSpec) -> Result<TransientResult, CoreError> {
+        let mut stats = SolveStats::default();
+        let input = match &self.mask {
+            None => InputEval::new(sys),
+            Some(m) => InputEval::masked(sys, m),
+        };
+        let t_start = spec.t_start();
+        let t_stop = spec.t_stop();
+
+        // Local transition spots of the active sources.
+        let lts = match &self.lts_override {
+            Some(s) => s.clip(t_start, t_stop),
+            None => {
+                let sets: Vec<SpotSet> = input
+                    .active_columns()
+                    .iter()
+                    .map(|&c| {
+                        SpotSet::from_times(sys.sources()[c].waveform.transition_spots(t_stop))
+                    })
+                    .collect();
+                SpotSet::union(&sets).clip(t_start, t_stop)
+            }
+        };
+
+        // --- DC initial condition (factors G, kept for F/P terms).
+        let t0 = Instant::now();
+        let lu_g = SparseLu::factor(sys.g(), &LuOptions::default())?;
+        stats.factorizations += 1;
+        let x0 = lu_g.solve(&input.bu_at(t_start));
+        stats.substitution_pairs += 1;
+        stats.dc_time = t0.elapsed();
+
+        // --- Variant matrices: factor X1 once.
+        let tf = Instant::now();
+        let mut c_reg_storage: Option<CsrMatrix> = None;
+        let mut shifted_storage: Option<CsrMatrix> = None;
+        let mut lu_x1_storage: Option<SparseLu> = None;
+        match self.opts.kind {
+            KrylovKind::Standard => {
+                let c_eff = if sys.zero_c_rows().is_empty() {
+                    sys.c().clone()
+                } else {
+                    regularize_c(sys, self.opts.regularize_eps).c
+                };
+                lu_x1_storage = Some(SparseLu::factor(&c_eff, &LuOptions::default())?);
+                stats.factorizations += 1;
+                c_reg_storage = Some(c_eff);
+            }
+            KrylovKind::Inverted => {
+                // X1 = G: reuse the DC factorization — zero extra cost.
+            }
+            KrylovKind::Rational => {
+                let shifted =
+                    CsrMatrix::linear_combination(1.0, sys.c(), self.opts.gamma, sys.g())?;
+                lu_x1_storage = Some(SparseLu::factor(&shifted, &LuOptions::default())?);
+                stats.factorizations += 1;
+                shifted_storage = Some(shifted);
+            }
+        }
+        let _ = &shifted_storage; // keep alive for the operator's lifetime
+        let op_holder = match self.opts.kind {
+            KrylovKind::Standard => OpHolder::Std(StandardOp::new(
+                lu_x1_storage.as_ref().expect("lu(C) present"),
+                sys.g(),
+            )),
+            KrylovKind::Inverted => OpHolder::Inv(InvertedOp::new(&lu_g, sys.c())),
+            KrylovKind::Rational => OpHolder::Rat(RationalOp::new(
+                lu_x1_storage.as_ref().expect("lu(C+γG) present"),
+                sys.c(),
+                self.opts.gamma,
+            )),
+        };
+        let _ = &c_reg_storage;
+        let op = op_holder.as_op();
+        stats.factor_time = tf.elapsed();
+
+        // --- Evaluation grid: output samples ∪ LTS.
+        let mut eval = SpotSet::from_times(spec.sample_times());
+        for &t in lts.iter() {
+            if t > t_start {
+                eval.insert(t);
+            }
+        }
+
+        let tt = Instant::now();
+        let mut rec = Recorder::new(spec, sys.dim());
+        rec.record_at_sample(t_start, &x0);
+
+        let mut anchor_t = t_start;
+        let mut anchor_x = x0;
+        let mut win_end = next_window_end(&lts, anchor_t, t_stop);
+        let mut terms: Option<IntervalTerms> = None;
+        let mut basis: Option<KrylovBasis> = None;
+        let mut x_final = anchor_x.clone();
+
+        for &te in eval.iter() {
+            if te <= anchor_t + 1e-30 || te <= t_start {
+                continue;
+            }
+            // Evaluate x(te) from the current anchor, sub-stepping if the
+            // posterior estimate rejects the distance.
+            let mut local_substeps = 0usize;
+            let x_te = loop {
+                let h = te - anchor_t;
+                if h <= 0.0 {
+                    break anchor_x.clone();
+                }
+                let trm = match terms.take() {
+                    Some(t) => t,
+                    None => {
+                        IntervalTerms::compute(sys, &lu_g, &input, anchor_t, win_end, &mut stats)
+                    }
+                };
+                // v = x(anchor) + F(anchor)
+                let f = trm.f();
+                let v: Vec<f64> = anchor_x.iter().zip(&f).map(|(x, f)| x + f).collect();
+                if norm2(&v) == 0.0 {
+                    // Pure steady state: x(t+h) = −P(h).
+                    let p = trm.p(h);
+                    terms = Some(trm);
+                    break p.iter().map(|q| -q).collect();
+                }
+                if basis.is_none() {
+                    // Build for the current target and the window end, so
+                    // snapshot reuse across the window holds; also check
+                    // intermediate offsets — on stiff systems the
+                    // residual at the window end underflows (all modes
+                    // decayed) while mid-window it is still large.
+                    let hw = (win_end - anchor_t).max(h);
+                    let checks = [h, hw, hw / 8.0, hw / 64.0];
+                    let outcome = match build_basis_multi(op, &v, &checks, &self.opts.expm) {
+                        Ok(o) => o,
+                        Err(KrylovError::ZeroStartVector) => {
+                            let p = trm.p(h);
+                            terms = Some(trm);
+                            break p.iter().map(|q| -q).collect();
+                        }
+                        Err(e) => return Err(e.into()),
+                    };
+                    stats.krylov_bases += 1;
+                    stats.krylov_dim_sum += outcome.basis.m();
+                    stats.krylov_dim_peak = stats.krylov_dim_peak.max(outcome.basis.m());
+                    stats.substitution_pairs += outcome.substitutions;
+                    basis = Some(outcome.basis);
+                }
+                let b = basis.as_ref().expect("basis present");
+                // A non-finite projected exponential (overflow from a
+                // sign-flipped Ritz artifact at long reuse distances)
+                // is treated as a failed estimate: force sub-stepping.
+                let (xh, est) = match b.eval_with_estimate(h) {
+                    Ok(pair) => pair,
+                    Err(KrylovError::Dense(matex_dense::DenseError::NotFinite)) => {
+                        (Vec::new(), f64::INFINITY)
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                stats.expm_evals += 1;
+                let tol_abs = self.opts.expm.tol * b.beta();
+                if est <= tol_abs || (local_substeps >= self.opts.max_substeps && !xh.is_empty())
+                {
+                    let p = trm.p(h);
+                    terms = Some(trm);
+                    break xh.iter().zip(&p).map(|(x, p)| x - p).collect();
+                }
+                if local_substeps >= self.opts.max_substeps {
+                    // Exhausted and still non-finite: hard failure.
+                    return Err(CoreError::Krylov(KrylovError::Dense(
+                        matex_dense::DenseError::NotFinite,
+                    )));
+                }
+                // Sub-step: find a shorter reuse distance that passes,
+                // re-anchor there and rebuild.
+                let mut hs = h * 0.5;
+                let mut moved = false;
+                while hs > h * 2f64.powi(-(self.opts.max_substeps as i32)) {
+                    let (xm, em) = match b.eval_with_estimate(hs) {
+                        Ok(pair) => pair,
+                        Err(KrylovError::Dense(matex_dense::DenseError::NotFinite)) => {
+                            (Vec::new(), f64::INFINITY)
+                        }
+                        Err(e) => return Err(e.into()),
+                    };
+                    stats.expm_evals += 1;
+                    stats.substeps += 1;
+                    local_substeps += 1;
+                    if em <= tol_abs && !xm.is_empty() {
+                        let p = trm.p(hs);
+                        let xa: Vec<f64> = xm.iter().zip(&p).map(|(x, p)| x - p).collect();
+                        anchor_t += hs;
+                        anchor_x = xa;
+                        basis = None;
+                        moved = true;
+                        break;
+                    }
+                    hs *= 0.5;
+                    if local_substeps >= self.opts.max_substeps {
+                        break;
+                    }
+                }
+                if !moved {
+                    if xh.is_empty() {
+                        // Every distance was non-finite: hard failure.
+                        return Err(CoreError::Krylov(KrylovError::Dense(
+                            matex_dense::DenseError::NotFinite,
+                        )));
+                    }
+                    // Could not find any acceptable sub-step: accept the
+                    // best-effort full-step value.
+                    let p = trm.p(h);
+                    terms = Some(trm);
+                    break xh.iter().zip(&p).map(|(x, p)| x - p).collect();
+                }
+                // Re-anchored: recompute terms for [anchor_t, win_end] on
+                // the next pass (the window itself is unchanged).
+            };
+            stats.steps += 1;
+
+            // Record if this evaluation lands on the next output sample.
+            if let Some(ts) = rec.next_sample() {
+                if (ts - te).abs() <= 1e-9 * ts.abs().max(1e-30) + 1e-30 {
+                    rec.record_at_sample(te, &x_te);
+                }
+            }
+            x_final.copy_from_slice(&x_te);
+
+            // Window advance: a new Krylov subspace is required at LTS
+            // (input slope changes there).
+            if lts.contains(te) || te >= win_end * (1.0 - 1e-12) {
+                anchor_t = te;
+                anchor_x = x_te;
+                terms = None;
+                basis = None;
+                win_end = next_window_end(&lts, te, t_stop);
+            }
+        }
+        stats.transient_time = tt.elapsed();
+        let (times, rows, series) = rec.finish();
+        Ok(TransientResult::new(
+            self.name(),
+            times,
+            rows,
+            series,
+            x_final,
+            stats,
+        ))
+    }
+
+    fn name(&self) -> String {
+        match self.opts.kind {
+            KrylovKind::Rational => format!("R-MATEX(γ={:.1e})", self.opts.gamma),
+            k => k.label().to_string(),
+        }
+    }
+}
+
+/// End of the input-linearity window starting at `t`: the next LTS, or
+/// the simulation end.
+fn next_window_end(lts: &SpotSet, t: f64, t_stop: f64) -> f64 {
+    match lts.next_after(t) {
+        Some(next) if next < t_stop => next,
+        _ => t_stop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trapezoidal;
+    use matex_circuit::{Netlist, RcMeshBuilder};
+    use matex_waveform::{Pulse, Waveform};
+
+    fn pulsed_rc() -> MnaSystem {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let p = Pulse::new(0.0, 1e-3, 1e-10, 5e-11, 2e-10, 5e-11).unwrap();
+        nl.add_isource("i", Netlist::ground(), a, Waveform::Pulse(p))
+            .unwrap();
+        nl.add_resistor("r", a, Netlist::ground(), 1000.0).unwrap();
+        nl.add_capacitor("c", a, Netlist::ground(), 1e-13).unwrap();
+        MnaSystem::assemble(&nl).unwrap()
+    }
+
+    fn check_against_reference(kind: KrylovKind, sys: &MnaSystem, tol: f64) {
+        let spec = TransientSpec::new(0.0, 1e-9, 1e-11).unwrap();
+        let solver = MatexSolver::new(MatexOptions::new(kind).tol(1e-9));
+        let result = solver.run(sys, &spec).unwrap();
+        // Second-order reference at 0.2 ps: its own error is ~1e-7.
+        let reference = Trapezoidal::new(2e-13).run(sys, &spec).unwrap();
+        let (max_err, _) = result.error_vs(&reference).unwrap();
+        assert!(
+            max_err < tol,
+            "{}: max error {max_err:.3e} vs reference",
+            kind.label()
+        );
+    }
+
+    #[test]
+    fn rational_matches_reference_on_rc() {
+        check_against_reference(KrylovKind::Rational, &pulsed_rc(), 5e-6);
+    }
+
+    #[test]
+    fn inverted_matches_reference_on_rc() {
+        check_against_reference(KrylovKind::Inverted, &pulsed_rc(), 5e-6);
+    }
+
+    #[test]
+    fn standard_matches_reference_on_rc() {
+        check_against_reference(KrylovKind::Standard, &pulsed_rc(), 5e-6);
+    }
+
+    #[test]
+    fn rational_on_mesh_matches_tr() {
+        let sys = RcMeshBuilder::new(5, 5).build().unwrap();
+        let spec = TransientSpec::new(0.0, 5e-10, 1e-11).unwrap();
+        let matex = MatexSolver::new(MatexOptions::default().tol(1e-8))
+            .run(&sys, &spec)
+            .unwrap();
+        let tr = Trapezoidal::new(5e-13).run(&sys, &spec).unwrap();
+        let (max_err, _) = matex.error_vs(&tr).unwrap();
+        assert!(max_err < 1e-5, "mesh error {max_err:.3e}");
+    }
+
+    #[test]
+    fn no_refactorization_during_transient() {
+        let sys = pulsed_rc();
+        let spec = TransientSpec::new(0.0, 1e-9, 1e-11).unwrap();
+        let result = MatexSolver::new(MatexOptions::default())
+            .run(&sys, &spec)
+            .unwrap();
+        // G + (C + γG): exactly two factorizations, regardless of steps.
+        assert_eq!(result.stats.factorizations, 2);
+        assert!(result.stats.krylov_bases >= 1);
+    }
+
+    #[test]
+    fn inverted_reuses_g_factorization() {
+        let sys = pulsed_rc();
+        let spec = TransientSpec::new(0.0, 1e-9, 1e-11).unwrap();
+        let result = MatexSolver::new(MatexOptions::new(KrylovKind::Inverted))
+            .run(&sys, &spec)
+            .unwrap();
+        assert_eq!(result.stats.factorizations, 1);
+    }
+
+    #[test]
+    fn standard_regularizes_singular_c() {
+        // Node b has no capacitor: C is singular; MEXP must still run.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        let p = Pulse::new(0.0, 1e-3, 1e-10, 5e-11, 2e-10, 5e-11).unwrap();
+        nl.add_isource("i", Netlist::ground(), a, Waveform::Pulse(p))
+            .unwrap();
+        nl.add_resistor("r1", a, b, 500.0).unwrap();
+        nl.add_resistor("r2", b, Netlist::ground(), 500.0).unwrap();
+        nl.add_capacitor("c", a, Netlist::ground(), 1e-13).unwrap();
+        let sys = MnaSystem::assemble(&nl).unwrap();
+        assert!(!sys.zero_c_rows().is_empty());
+        let spec = TransientSpec::new(0.0, 1e-9, 2e-11).unwrap();
+        let mexp = MatexSolver::new(MatexOptions::new(KrylovKind::Standard))
+            .run(&sys, &spec)
+            .unwrap();
+        // Inverted variant needs no regularization — compare them.
+        let imatex = MatexSolver::new(MatexOptions::new(KrylovKind::Inverted).tol(1e-9))
+            .run(&sys, &spec)
+            .unwrap();
+        let (max_err, _) = mexp.error_vs(&imatex).unwrap();
+        assert!(max_err < 1e-3, "regularized MEXP deviates: {max_err:.3e}");
+    }
+
+    #[test]
+    fn masked_subtasks_superpose() {
+        // Two pulse loads: run each in its own subtask, sum, compare to
+        // the monolithic run. This is the core distributed-MATEX property.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        let p1 = Pulse::new(0.0, 1e-3, 1e-10, 5e-11, 2e-10, 5e-11).unwrap();
+        let p2 = Pulse::new(0.0, 2e-3, 4e-10, 5e-11, 1e-10, 5e-11).unwrap();
+        nl.add_isource("i1", Netlist::ground(), a, Waveform::Pulse(p1))
+            .unwrap();
+        nl.add_isource("i2", Netlist::ground(), b, Waveform::Pulse(p2))
+            .unwrap();
+        nl.add_resistor("r1", a, b, 100.0).unwrap();
+        nl.add_resistor("r2", b, Netlist::ground(), 100.0).unwrap();
+        nl.add_resistor("r3", a, Netlist::ground(), 100.0).unwrap();
+        nl.add_capacitor("c1", a, Netlist::ground(), 1e-13).unwrap();
+        nl.add_capacitor("c2", b, Netlist::ground(), 2e-13).unwrap();
+        let sys = MnaSystem::assemble(&nl).unwrap();
+        let spec = TransientSpec::new(0.0, 1e-9, 1e-11).unwrap();
+        let opts = || MatexOptions::default().tol(1e-10);
+        let full = MatexSolver::new(opts()).run(&sys, &spec).unwrap();
+        let sub1 = MatexSolver::new(opts())
+            .with_source_mask(vec![0])
+            .run(&sys, &spec)
+            .unwrap();
+        let sub2 = MatexSolver::new(opts())
+            .with_source_mask(vec![1])
+            .run(&sys, &spec)
+            .unwrap();
+        let mut sum = sub1.clone();
+        sum.add_scaled(&sub2, 1.0).unwrap();
+        let (max_err, _) = sum.error_vs(&full).unwrap();
+        assert!(max_err < 1e-7, "superposition violated: {max_err:.3e}");
+    }
+
+    #[test]
+    fn fewer_substitutions_than_fixed_tr() {
+        // The headline claim: MATEX needs far fewer substitution pairs
+        // than 100-step fixed TR on the same window.
+        let sys = pulsed_rc();
+        let spec = TransientSpec::new(0.0, 1e-9, 1e-11).unwrap();
+        let matex = MatexSolver::new(MatexOptions::default())
+            .run(&sys, &spec)
+            .unwrap();
+        let tr = Trapezoidal::new(1e-11).run(&sys, &spec).unwrap();
+        assert!(
+            matex.stats.substitution_pairs * 2 < tr.stats.substitution_pairs,
+            "MATEX pairs {} not well below TR pairs {}",
+            matex.stats.substitution_pairs,
+            tr.stats.substitution_pairs
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Reference solutions and error reporting.
+//!
+//! The paper reports accuracy against externally supplied solutions
+//! (Table 1: BE at 0.05 ps; Table 3: the IBM benchmark `.solution`
+//! files). Without the vendor files, the stand-in reference is a
+//! fine-step run of an independent engine (see DESIGN.md §2).
+
+use crate::engine::TransientEngine;
+use crate::{BackwardEuler, CoreError, Trapezoidal, TransientResult, TransientSpec};
+use matex_circuit::MnaSystem;
+
+/// Which discretization generates the reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReferenceMethod {
+    /// Backward Euler (first order, very robust) — Table 1 style.
+    BackwardEuler,
+    /// Trapezoidal (second order) — tighter for smooth waveforms.
+    #[default]
+    Trapezoidal,
+}
+
+/// Computes a fine-step reference solution with `steps_per_sample`
+/// integration steps per output sample.
+///
+/// # Errors
+///
+/// Propagates engine failures.
+///
+/// # Example
+///
+/// ```
+/// use matex_circuit::RcMeshBuilder;
+/// use matex_core::{reference_solution, ReferenceMethod, TransientSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sys = RcMeshBuilder::new(3, 3).build()?;
+/// let spec = TransientSpec::new(0.0, 1e-10, 1e-11)?;
+/// let reference = reference_solution(&sys, &spec, ReferenceMethod::Trapezoidal, 10)?;
+/// assert_eq!(reference.num_time_points(), 11);
+/// # Ok(())
+/// # }
+/// ```
+pub fn reference_solution(
+    sys: &MnaSystem,
+    spec: &TransientSpec,
+    method: ReferenceMethod,
+    steps_per_sample: usize,
+) -> Result<TransientResult, CoreError> {
+    let h = spec.dt_out() / steps_per_sample.max(1) as f64;
+    match method {
+        ReferenceMethod::BackwardEuler => BackwardEuler::new(h).run(sys, spec),
+        ReferenceMethod::Trapezoidal => Trapezoidal::new(h).run(sys, spec),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matex_circuit::RcMeshBuilder;
+
+    #[test]
+    fn both_references_agree() {
+        let sys = RcMeshBuilder::new(4, 4).build().unwrap();
+        let spec = TransientSpec::new(0.0, 2e-10, 2e-11).unwrap();
+        let be = reference_solution(&sys, &spec, ReferenceMethod::BackwardEuler, 40).unwrap();
+        let tr = reference_solution(&sys, &spec, ReferenceMethod::Trapezoidal, 10).unwrap();
+        let (max_err, _) = be.error_vs(&tr).unwrap();
+        assert!(max_err < 1e-4, "references disagree: {max_err:.3e}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Transient analysis specification.
+
+use crate::CoreError;
+
+/// Which unknowns a transient run records.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum ObserveSpec {
+    /// Record every unknown (nodes and branch currents). Fine for small
+    /// systems; memory-heavy for full grids.
+    #[default]
+    All,
+    /// Record only the listed state rows.
+    Rows(Vec<usize>),
+}
+
+/// A transient-analysis request: the window `[t_start, t_stop]` and the
+/// output sampling step.
+///
+/// All engines emit their solution *on the sample grid* (MATEX evaluates
+/// there directly via Krylov reuse; fixed-step engines land on or
+/// interpolate onto it), so results from different engines are directly
+/// comparable.
+///
+/// # Example
+///
+/// ```
+/// use matex_core::TransientSpec;
+///
+/// # fn main() -> Result<(), matex_core::CoreError> {
+/// let spec = TransientSpec::new(0.0, 1e-9, 1e-11)?;
+/// assert_eq!(spec.sample_times().len(), 101);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientSpec {
+    t_start: f64,
+    t_stop: f64,
+    dt_out: f64,
+    /// Which rows to record.
+    pub observe: ObserveSpec,
+}
+
+impl TransientSpec {
+    /// Creates a spec for `[t_start, t_stop]` sampled every `dt_out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] when the window is empty, the
+    /// sample step is non-positive, any value is non-finite, or the grid
+    /// would exceed 10⁸ points.
+    pub fn new(t_start: f64, t_stop: f64, dt_out: f64) -> Result<Self, CoreError> {
+        if !t_start.is_finite() || !t_stop.is_finite() || !dt_out.is_finite() {
+            return Err(CoreError::InvalidSpec("times must be finite".into()));
+        }
+        if t_stop <= t_start {
+            return Err(CoreError::InvalidSpec(format!(
+                "t_stop ({t_stop}) must exceed t_start ({t_start})"
+            )));
+        }
+        if dt_out <= 0.0 {
+            return Err(CoreError::InvalidSpec("dt_out must be positive".into()));
+        }
+        let n = (t_stop - t_start) / dt_out;
+        if n > 1e8 {
+            return Err(CoreError::InvalidSpec(format!(
+                "sample grid of {n:.1e} points is too large"
+            )));
+        }
+        Ok(TransientSpec {
+            t_start,
+            t_stop,
+            dt_out,
+            observe: ObserveSpec::All,
+        })
+    }
+
+    /// Restricts recording to the given state rows (builder style).
+    pub fn observing(mut self, rows: Vec<usize>) -> Self {
+        self.observe = ObserveSpec::Rows(rows);
+        self
+    }
+
+    /// Window start, seconds.
+    pub fn t_start(&self) -> f64 {
+        self.t_start
+    }
+
+    /// Window end, seconds.
+    pub fn t_stop(&self) -> f64 {
+        self.t_stop
+    }
+
+    /// Output sampling step, seconds.
+    pub fn dt_out(&self) -> f64 {
+        self.dt_out
+    }
+
+    /// The output sample grid (includes both endpoints; the last interval
+    /// may be short).
+    pub fn sample_times(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut k = 0usize;
+        loop {
+            let t = self.t_start + k as f64 * self.dt_out;
+            if t >= self.t_stop - 1e-12 * self.dt_out {
+                break;
+            }
+            out.push(t);
+            k += 1;
+        }
+        out.push(self.t_stop);
+        out
+    }
+
+    /// Resolves the observation row list for a system dimension.
+    pub fn observed_rows(&self, dim: usize) -> Vec<usize> {
+        match &self.observe {
+            ObserveSpec::All => (0..dim).collect(),
+            ObserveSpec::Rows(rows) => rows.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_includes_endpoints() {
+        let s = TransientSpec::new(0.0, 1.0, 0.25).unwrap();
+        assert_eq!(s.sample_times(), vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn ragged_last_interval() {
+        let s = TransientSpec::new(0.0, 0.9, 0.4).unwrap();
+        let t = s.sample_times();
+        assert_eq!(t.len(), 4);
+        assert_eq!(*t.last().unwrap(), 0.9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(TransientSpec::new(0.0, 0.0, 0.1).is_err());
+        assert!(TransientSpec::new(0.0, 1.0, 0.0).is_err());
+        assert!(TransientSpec::new(0.0, f64::NAN, 0.1).is_err());
+        assert!(TransientSpec::new(0.0, 1.0, 1e-10).is_err()); // too many points
+    }
+
+    #[test]
+    fn observed_rows_modes() {
+        let s = TransientSpec::new(0.0, 1.0, 0.5).unwrap();
+        assert_eq!(s.observed_rows(3), vec![0, 1, 2]);
+        let s = s.observing(vec![7, 2]);
+        assert_eq!(s.observed_rows(100), vec![7, 2]);
+    }
+}

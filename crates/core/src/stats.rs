@@ -1,0 +1,104 @@
+//! Solver cost accounting.
+//!
+//! The paper's comparisons are phrased in these units (Sec. 3.4): pairs of
+//! forward/backward substitutions (`T_bs`), small-exponential evaluations
+//! (`T_H + T_e`), matrix factorizations, and Krylov basis dimensions
+//! (`m_a`, `m_p` in Table 1). Every engine fills in a [`SolveStats`] so
+//! benches can report exactly the paper's columns.
+
+use std::time::Duration;
+
+/// Cost counters and timings for one transient run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolveStats {
+    /// Sparse LU factorizations performed.
+    pub factorizations: usize,
+    /// Pairs of forward/backward substitutions (the `T_bs` unit).
+    pub substitution_pairs: usize,
+    /// Accepted time steps (fixed-step engines) or evaluation points
+    /// (MATEX).
+    pub steps: usize,
+    /// Rejected steps (adaptive engines).
+    pub rejected_steps: usize,
+    /// Krylov subspaces generated.
+    pub krylov_bases: usize,
+    /// Sum of generated Krylov dimensions (for `m_a` = average).
+    pub krylov_dim_sum: usize,
+    /// Peak Krylov dimension (`m_p` of Table 1).
+    pub krylov_dim_peak: usize,
+    /// Small-exponential evaluations (`T_H + T_e` events).
+    pub expm_evals: usize,
+    /// Sub-step bisections forced by non-converged subspaces.
+    pub substeps: usize,
+    /// Wall time of DC analysis.
+    pub dc_time: Duration,
+    /// Wall time of matrix factorization(s).
+    pub factor_time: Duration,
+    /// Wall time of the transient computation after factorization (the
+    /// paper's "pure transient computing" column).
+    pub transient_time: Duration,
+}
+
+impl SolveStats {
+    /// Average Krylov dimension `m_a` (0 when no bases were built).
+    pub fn krylov_dim_avg(&self) -> f64 {
+        if self.krylov_bases == 0 {
+            0.0
+        } else {
+            self.krylov_dim_sum as f64 / self.krylov_bases as f64
+        }
+    }
+
+    /// Total wall time (DC + factorization + transient).
+    pub fn total_time(&self) -> Duration {
+        self.dc_time + self.factor_time + self.transient_time
+    }
+
+    /// Merges counters from another run (used when summing distributed
+    /// subtask costs).
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.factorizations += other.factorizations;
+        self.substitution_pairs += other.substitution_pairs;
+        self.steps += other.steps;
+        self.rejected_steps += other.rejected_steps;
+        self.krylov_bases += other.krylov_bases;
+        self.krylov_dim_sum += other.krylov_dim_sum;
+        self.krylov_dim_peak = self.krylov_dim_peak.max(other.krylov_dim_peak);
+        self.expm_evals += other.expm_evals;
+        self.substeps += other.substeps;
+        self.dc_time += other.dc_time;
+        self.factor_time += other.factor_time;
+        self.transient_time += other.transient_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages() {
+        let mut s = SolveStats::default();
+        assert_eq!(s.krylov_dim_avg(), 0.0);
+        s.krylov_bases = 4;
+        s.krylov_dim_sum = 40;
+        assert_eq!(s.krylov_dim_avg(), 10.0);
+    }
+
+    #[test]
+    fn absorb_sums_and_maxes() {
+        let mut a = SolveStats {
+            substitution_pairs: 10,
+            krylov_dim_peak: 5,
+            ..SolveStats::default()
+        };
+        let b = SolveStats {
+            substitution_pairs: 7,
+            krylov_dim_peak: 9,
+            ..SolveStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.substitution_pairs, 17);
+        assert_eq!(a.krylov_dim_peak, 9);
+    }
+}

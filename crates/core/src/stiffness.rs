@@ -1,0 +1,88 @@
+//! Circuit stiffness measurement.
+//!
+//! The paper defines stiffness as `Re(λ_min)/Re(λ_max)` of `A = −C⁻¹G`
+//! (Sec. 4.1) — the spread between the fastest and slowest time constants.
+//! For the (small) Table-1 meshes this module computes the spectrum
+//! densely and reports the ratio.
+
+use crate::CoreError;
+use matex_circuit::MnaSystem;
+use matex_dense::eig::eig_vals;
+use matex_dense::DenseLu;
+
+/// Measures stiffness `|Re(λ)|_max / |Re(λ)|_min` of `A = −C⁻¹G`.
+///
+/// The returned value matches the paper's Table-1 convention (a huge
+/// number for stiff circuits; ≥ 1 always). Only eigenvalues with
+/// `|Re λ| > 0` participate.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidOption`] if the system exceeds `max_dim`
+///   (dense eigen-decomposition would be intractable) or has no usable
+///   eigenvalues.
+/// * Propagates dense failures (singular `C`) as [`CoreError`].
+pub fn measure_stiffness(sys: &MnaSystem, max_dim: usize) -> Result<f64, CoreError> {
+    let n = sys.dim();
+    if n > max_dim {
+        return Err(CoreError::InvalidOption(format!(
+            "stiffness measurement needs dense eigenvalues; dim {n} > allowed {max_dim}"
+        )));
+    }
+    let c = sys.c().to_dense();
+    let g = sys.g().to_dense();
+    let a = DenseLu::factor(&c)
+        .and_then(|lu| lu.solve_mat(&g))
+        .map_err(|e| CoreError::InvalidOption(format!("C must be nonsingular: {e}")))?
+        .scaled(-1.0);
+    let eigs = eig_vals(&a).map_err(|e| CoreError::InvalidOption(e.to_string()))?;
+    let mut re_min = f64::INFINITY;
+    let mut re_max = 0.0_f64;
+    for (re, _) in eigs {
+        let m = re.abs();
+        if m > 1e-300 {
+            re_min = re_min.min(m);
+            re_max = re_max.max(m);
+        }
+    }
+    if !re_max.is_finite() || re_max == 0.0 || !re_min.is_finite() {
+        return Err(CoreError::InvalidOption(
+            "no usable eigenvalues for stiffness".into(),
+        ));
+    }
+    Ok(re_max / re_min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matex_circuit::RcMeshBuilder;
+
+    #[test]
+    fn uniform_mesh_is_mildly_stiff() {
+        let sys = RcMeshBuilder::new(4, 4).build().unwrap();
+        let s = measure_stiffness(&sys, 100).unwrap();
+        assert!(s >= 1.0);
+        assert!(s < 1e6, "uniform mesh unexpectedly stiff: {s:.3e}");
+    }
+
+    #[test]
+    fn stiffness_ratio_scales_measured_stiffness() {
+        let mild = measure_stiffness(&RcMeshBuilder::new(4, 4).build().unwrap(), 100).unwrap();
+        let stiff = measure_stiffness(
+            &RcMeshBuilder::new(4, 4).stiffness_ratio(1e8).build().unwrap(),
+            100,
+        )
+        .unwrap();
+        assert!(
+            stiff > mild * 1e6,
+            "stiffness did not scale: mild {mild:.3e}, stiff {stiff:.3e}"
+        );
+    }
+
+    #[test]
+    fn dimension_guard() {
+        let sys = RcMeshBuilder::new(20, 20).build().unwrap();
+        assert!(measure_stiffness(&sys, 100).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Ground-truth validation of every engine against the closed-form
+//! solution of a single-node RC circuit driven by a pulse current.
+//!
+//! For `C v' = −v/R + i(t)` with `i` linear on a segment
+//! (`i(t) = a + b·(t − t0)`), the exact solution is
+//!
+//! ```text
+//! v_p(t) = R(a + b(t−t0)) − R·b·τ          (particular, τ = RC)
+//! v(t)   = v_p(t) + (v(t0) − v_p(t0)) e^{−(t−t0)/τ}
+//! ```
+//!
+//! stitched across the pulse's breakpoints. This is independent of all
+//! numerical machinery, so it cleanly separates engine error from
+//! reference error.
+
+use matex_circuit::{MnaSystem, Netlist};
+use matex_core::{
+    BackwardEuler, KrylovKind, MatexOptions, MatexSolver, TransientEngine, Trapezoidal,
+    TrapezoidalAdaptive, TransientSpec,
+};
+use matex_waveform::{Pulse, Waveform};
+
+const R: f64 = 1000.0;
+const CAP: f64 = 1e-13;
+const TAU: f64 = R * CAP; // 1e-10 s
+
+fn pulse() -> Pulse {
+    Pulse::new(0.0, 1e-3, 1e-10, 5e-11, 2e-10, 5e-11).unwrap()
+}
+
+fn circuit() -> MnaSystem {
+    let mut nl = Netlist::new();
+    let a = nl.node("a");
+    nl.add_isource("i", Netlist::ground(), a, Waveform::Pulse(pulse()))
+        .unwrap();
+    nl.add_resistor("r", a, Netlist::ground(), R).unwrap();
+    nl.add_capacitor("c", a, Netlist::ground(), CAP).unwrap();
+    MnaSystem::assemble(&nl).unwrap()
+}
+
+/// Exact v(t) for the pulse-driven RC node, evaluated on a time grid.
+fn analytic(times: &[f64]) -> Vec<f64> {
+    let p = pulse();
+    let w = Waveform::Pulse(p);
+    // Segment breakpoints.
+    let mut bps = vec![0.0];
+    bps.extend(w.transition_spots(1e-6));
+    bps.push(1e-6);
+    let mut out = Vec::with_capacity(times.len());
+    // March segment by segment, keeping the exact state at each
+    // breakpoint.
+    let mut v0 = 0.0; // DC: i(0) = 0
+    let mut seg = 0usize;
+    for &t in times {
+        while seg + 1 < bps.len() - 1 && t > bps[seg + 1] + 1e-18 {
+            // Advance the segment state to the next breakpoint.
+            v0 = exact_on_segment(&w, bps[seg], v0, bps[seg + 1]);
+            seg += 1;
+        }
+        out.push(exact_on_segment(&w, bps[seg], v0, t));
+    }
+    out
+}
+
+/// Exact solution at time `t` within the linear segment starting at `t0`
+/// with initial value `v0`.
+fn exact_on_segment(w: &Waveform, t0: f64, v0: f64, t: f64) -> f64 {
+    if t <= t0 {
+        return v0;
+    }
+    let dt = 1e-15;
+    let a = w.value(t0);
+    let b = (w.value(t0 + dt) - w.value(t0)) / dt; // segment slope
+    let vp = |tt: f64| R * (a + b * (tt - t0)) - R * b * TAU;
+    vp(t) + (v0 - vp(t0)) * (-(t - t0) / TAU).exp()
+}
+
+fn max_err_vs_analytic(result: &matex_core::TransientResult) -> f64 {
+    let exact = analytic(result.times());
+    result
+        .waveform(0)
+        .expect("node a recorded")
+        .iter()
+        .zip(&exact)
+        .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+}
+
+fn spec() -> TransientSpec {
+    TransientSpec::new(0.0, 1e-9, 1e-11).unwrap()
+}
+
+#[test]
+fn backward_euler_first_order() {
+    let sys = circuit();
+    let e1 = max_err_vs_analytic(&BackwardEuler::new(1e-12).run(&sys, &spec()).unwrap());
+    let e2 = max_err_vs_analytic(&BackwardEuler::new(5e-13).run(&sys, &spec()).unwrap());
+    // First order: halving h halves the error (within slack). The
+    // absolute level is large because τ = 100 ps makes this a demanding
+    // waveform for a first-order method.
+    assert!(e2 < 0.7 * e1, "BE not converging: e(h)={e1:.3e}, e(h/2)={e2:.3e}");
+    assert!(e1 < 2e-2, "BE error too large: {e1:.3e}");
+}
+
+#[test]
+fn trapezoidal_second_order() {
+    let sys = circuit();
+    let e1 = max_err_vs_analytic(&Trapezoidal::new(1e-11).run(&sys, &spec()).unwrap());
+    let e2 = max_err_vs_analytic(&Trapezoidal::new(5e-12).run(&sys, &spec()).unwrap());
+    assert!(
+        e2 < 0.3 * e1,
+        "TR not second order: e(h)={e1:.3e}, e(h/2)={e2:.3e}"
+    );
+    assert!(e1 < 5e-3, "TR error too large: {e1:.3e}");
+}
+
+#[test]
+fn adaptive_tr_meets_tolerance() {
+    let sys = circuit();
+    let r = TrapezoidalAdaptive::new(1e-5, 1e-12).run(&sys, &spec()).unwrap();
+    let e = max_err_vs_analytic(&r);
+    // Sample-grid values are linearly interpolated between the (long)
+    // accepted steps, so the recorded error is interpolation-dominated;
+    // the integration itself is LTE-controlled.
+    assert!(e < 2e-2, "adaptive TR error {e:.3e}");
+    // Bounding the step from above must shrink the interpolation error.
+    let mut clamped = TrapezoidalAdaptive::new(1e-5, 1e-12);
+    clamped.h_max = 1e-11;
+    let e_clamped = max_err_vs_analytic(&clamped.run(&sys, &spec()).unwrap());
+    assert!(
+        e_clamped < e,
+        "clamped steps did not help: {e_clamped:.3e} vs {e:.3e}"
+    );
+}
+
+#[test]
+fn matex_variants_hit_krylov_tolerance() {
+    let sys = circuit();
+    for kind in [KrylovKind::Standard, KrylovKind::Inverted, KrylovKind::Rational] {
+        let r = MatexSolver::new(MatexOptions::new(kind).tol(1e-9))
+            .run(&sys, &spec())
+            .unwrap();
+        let e = max_err_vs_analytic(&r);
+        // The exponential update is exact for PWL inputs: the only error
+        // sources are the Krylov projection and the tiny-dt slope probe
+        // in the analytic reference.
+        assert!(e < 1e-7, "{}: error vs analytic {e:.3e}", kind.label());
+    }
+}
+
+#[test]
+fn matex_exactness_beats_tr_at_equal_output_grid() {
+    let sys = circuit();
+    let tr = Trapezoidal::new(1e-11).run(&sys, &spec()).unwrap();
+    let mx = MatexSolver::new(MatexOptions::default().tol(1e-10))
+        .run(&sys, &spec())
+        .unwrap();
+    let e_tr = max_err_vs_analytic(&tr);
+    let e_mx = max_err_vs_analytic(&mx);
+    assert!(
+        e_mx < e_tr,
+        "MATEX ({e_mx:.3e}) should beat TR ({e_tr:.3e}) on PWL inputs"
+    );
+}

@@ -1,0 +1,623 @@
+//! Eigenvalue kernels for stiffness diagnostics.
+//!
+//! The MATEX paper defines circuit *stiffness* as `Re(λ_min)/Re(λ_max)` of
+//! `A = −C⁻¹G` (Sec. 4.1) and relies on spectral arguments (small-magnitude
+//! eigenvalues dominate the transient; rational Krylov captures them first).
+//! This module provides the small-scale eigenvalue machinery used to
+//! construct and verify the stiff test cases:
+//!
+//! * cyclic Jacobi for symmetric matrices (values + vectors),
+//! * Hessenberg reduction + Francis double-shift QR for general real
+//!   matrices (values only, possibly complex),
+//! * power / inverse iteration for dominant and targeted eigenpairs.
+
+use crate::{DMat, DenseError, DenseLu, Result};
+use crate::vector::{norm2, normalize};
+
+/// A real or complex eigenvalue, stored as `(re, im)`.
+pub type Complex = (f64, f64);
+
+/// Eigen-decomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, eigenvectors)` where column `k` of the returned
+/// matrix is the unit eigenvector for `eigenvalues[k]`. Eigenvalues are
+/// sorted ascending.
+///
+/// # Errors
+///
+/// * [`DenseError::NotSquare`] for rectangular input.
+/// * [`DenseError::NoConvergence`] if the off-diagonal mass fails to decay
+///   (does not occur for symmetric finite input).
+///
+/// # Example
+///
+/// ```
+/// use matex_dense::{DMat, eig::sym_eig};
+///
+/// # fn main() -> Result<(), matex_dense::DenseError> {
+/// let a = DMat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let (vals, _vecs) = sym_eig(&a)?;
+/// assert!((vals[0] - 1.0).abs() < 1e-12);
+/// assert!((vals[1] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sym_eig(a: &DMat) -> Result<(Vec<f64>, DMat)> {
+    if !a.is_square() {
+        return Err(DenseError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
+    }
+    let n = a.nrows();
+    let mut m = a.clone();
+    let mut v = DMat::identity(n);
+    let max_sweeps = 64;
+    for sweep in 0..=max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= 1e-30 + 1e-15 * m.norm_fro() {
+            break;
+        }
+        if sweep == max_sweeps {
+            return Err(DenseError::NoConvergence {
+                iterations: max_sweeps,
+            });
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply rotation J(p,q,θ) on both sides.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // Sort ascending, permuting eigenvector columns to match.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).expect("finite"));
+    let vals: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let mut vecs = DMat::zeros(n, n);
+    for (dst, &src) in order.iter().enumerate() {
+        vecs.set_col(dst, &v.col(src));
+    }
+    Ok((vals, vecs))
+}
+
+/// Reduces `a` to upper Hessenberg form by Householder similarity
+/// transformations (eigenvalue-preserving).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn hessenberg(a: &DMat) -> DMat {
+    assert!(a.is_square(), "hessenberg: matrix must be square");
+    let n = a.nrows();
+    let mut h = a.clone();
+    for k in 0..n.saturating_sub(2) {
+        // Householder vector annihilating h[k+2.., k].
+        let mut norm2_col = 0.0;
+        for i in (k + 1)..n {
+            norm2_col += h[(i, k)] * h[(i, k)];
+        }
+        let norm = norm2_col.sqrt();
+        if norm == 0.0 {
+            continue;
+        }
+        let alpha = if h[(k + 1, k)] >= 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; n];
+        v[k + 1] = h[(k + 1, k)] - alpha;
+        for i in (k + 2)..n {
+            v[i] = h[(i, k)];
+        }
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            continue;
+        }
+        let beta = 2.0 / vnorm2;
+        // H ← (I − β v vᵀ) H
+        for j in 0..n {
+            let mut s = 0.0;
+            for i in (k + 1)..n {
+                s += v[i] * h[(i, j)];
+            }
+            s *= beta;
+            for i in (k + 1)..n {
+                h[(i, j)] -= s * v[i];
+            }
+        }
+        // H ← H (I − β v vᵀ)
+        for i in 0..n {
+            let mut s = 0.0;
+            for j in (k + 1)..n {
+                s += h[(i, j)] * v[j];
+            }
+            s *= beta;
+            for j in (k + 1)..n {
+                h[(i, j)] -= s * v[j];
+            }
+        }
+    }
+    // Zero out the (numerically tiny) entries below the first subdiagonal.
+    for i in 0..n {
+        for j in 0..i.saturating_sub(1) {
+            h[(i, j)] = 0.0;
+        }
+    }
+    h
+}
+
+/// All eigenvalues of a general real square matrix, as `(re, im)` pairs,
+/// via Hessenberg reduction and the Francis double-shift QR iteration.
+///
+/// # Errors
+///
+/// * [`DenseError::NotSquare`] for rectangular input.
+/// * [`DenseError::NotFinite`] for NaN/inf input.
+/// * [`DenseError::NoConvergence`] if QR iteration stalls.
+///
+/// # Example
+///
+/// ```
+/// use matex_dense::{DMat, eig::eig_vals};
+///
+/// # fn main() -> Result<(), matex_dense::DenseError> {
+/// // Rotation-like matrix has eigenvalues ±i.
+/// let a = DMat::from_rows(&[&[0.0, 1.0], &[-1.0, 0.0]]);
+/// let mut vals = eig_vals(&a)?;
+/// vals.sort_by(|x, y| x.1.partial_cmp(&y.1).unwrap());
+/// assert!((vals[0].1 + 1.0).abs() < 1e-12);
+/// assert!((vals[1].1 - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn eig_vals(a: &DMat) -> Result<Vec<Complex>> {
+    if !a.is_square() {
+        return Err(DenseError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
+    }
+    if !a.is_finite() {
+        return Err(DenseError::NotFinite);
+    }
+    let n = a.nrows();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut h = hessenberg(a);
+    let mut eigs: Vec<Complex> = Vec::with_capacity(n);
+    let mut hi = n; // active block is h[0..hi, 0..hi]
+    let mut stall = 0usize;
+    let mut total_iters = 0usize;
+    let max_total = 80 * n.max(4);
+    while hi > 0 {
+        if hi == 1 {
+            eigs.push((h[(0, 0)], 0.0));
+            break;
+        }
+        // Find the start of the trailing unreduced block.
+        let mut lo = hi - 1;
+        while lo > 0 {
+            let s = h[(lo - 1, lo - 1)].abs() + h[(lo, lo)].abs();
+            let s = if s == 0.0 { 1.0 } else { s };
+            if h[(lo, lo - 1)].abs() <= f64::EPSILON * s {
+                h[(lo, lo - 1)] = 0.0;
+                break;
+            }
+            lo -= 1;
+        }
+        if lo == hi - 1 {
+            // 1×1 block deflates.
+            eigs.push((h[(hi - 1, hi - 1)], 0.0));
+            hi -= 1;
+            stall = 0;
+            continue;
+        }
+        if lo == hi - 2 {
+            // 2×2 block deflates: solve its characteristic quadratic.
+            let (e1, e2) = eig2(
+                h[(hi - 2, hi - 2)],
+                h[(hi - 2, hi - 1)],
+                h[(hi - 1, hi - 2)],
+                h[(hi - 1, hi - 1)],
+            );
+            eigs.push(e1);
+            eigs.push(e2);
+            hi -= 2;
+            stall = 0;
+            continue;
+        }
+        total_iters += 1;
+        stall += 1;
+        if total_iters > max_total {
+            return Err(DenseError::NoConvergence {
+                iterations: total_iters,
+            });
+        }
+        if stall % 11 == 10 {
+            // Exceptional (ad-hoc) shift to break symmetric stalls.
+            let s = h[(hi - 1, hi - 2)].abs() + h[(hi - 2, hi - 3)].abs();
+            francis_step_with(&mut h, lo, hi, 2.0 * s, s * s);
+        } else {
+            // Standard Francis shift from the trailing 2×2 block.
+            let m = hi - 1;
+            let s = h[(m - 1, m - 1)] + h[(m, m)];
+            let t = h[(m - 1, m - 1)] * h[(m, m)] - h[(m - 1, m)] * h[(m, m - 1)];
+            francis_step_with(&mut h, lo, hi, s, t);
+        }
+    }
+    Ok(eigs)
+}
+
+/// Eigenvalues of a real 2×2 `[[a, b], [c, d]]`.
+fn eig2(a: f64, b: f64, c: f64, d: f64) -> (Complex, Complex) {
+    let tr = a + d;
+    let det = a * d - b * c;
+    let disc = tr * tr / 4.0 - det;
+    if disc >= 0.0 {
+        let sq = disc.sqrt();
+        // Stable form: compute the larger-magnitude root first, then the
+        // other via the product of roots (avoids cancellation).
+        let big = if tr >= 0.0 { tr / 2.0 + sq } else { tr / 2.0 - sq };
+        let (l1, l2) = if big != 0.0 {
+            (big, det / big)
+        } else {
+            (tr / 2.0 + sq, tr / 2.0 - sq)
+        };
+        ((l1, 0.0), (l2, 0.0))
+    } else {
+        let im = (-disc).sqrt();
+        ((tr / 2.0, im), (tr / 2.0, -im))
+    }
+}
+
+/// One Francis double-shift QR sweep on the active block `h[lo..hi, lo..hi]`
+/// with shift polynomial `z² − s z + t`.
+fn francis_step_with(h: &mut DMat, lo: usize, hi: usize, s: f64, t: f64) {
+    let n = h.nrows();
+    // First column of (H − σ₁)(H − σ₂) e₁ restricted to the block.
+    let mut x = h[(lo, lo)] * h[(lo, lo)] + h[(lo, lo + 1)] * h[(lo + 1, lo)] - s * h[(lo, lo)] + t;
+    let mut y = h[(lo + 1, lo)] * (h[(lo, lo)] + h[(lo + 1, lo + 1)] - s);
+    let mut z = if lo + 2 < hi {
+        h[(lo + 1, lo)] * h[(lo + 2, lo + 1)]
+    } else {
+        0.0
+    };
+    for k in lo..hi - 2 {
+        // Householder on (x, y, z).
+        let (v, beta) = house3(x, y, z);
+        if beta != 0.0 {
+            let q = k.saturating_sub(1); // first affected column
+            // Left multiply rows k..k+3.
+            for j in q..n {
+                let h0 = h[(k, j)];
+                let h1 = h[(k + 1, j)];
+                let h2 = h[(k + 2, j)];
+                let sum = v[0] * h0 + v[1] * h1 + v[2] * h2;
+                let bsum = beta * sum;
+                h[(k, j)] = h0 - bsum * v[0];
+                h[(k + 1, j)] = h1 - bsum * v[1];
+                h[(k + 2, j)] = h2 - bsum * v[2];
+            }
+            // Right multiply columns k..k+3.
+            let rmax = (k + 4).min(hi);
+            for i in 0..rmax {
+                let h0 = h[(i, k)];
+                let h1 = h[(i, k + 1)];
+                let h2 = h[(i, k + 2)];
+                let sum = v[0] * h0 + v[1] * h1 + v[2] * h2;
+                let bsum = beta * sum;
+                h[(i, k)] = h0 - bsum * v[0];
+                h[(i, k + 1)] = h1 - bsum * v[1];
+                h[(i, k + 2)] = h2 - bsum * v[2];
+            }
+        }
+        x = h[(k + 1, k)];
+        y = h[(k + 2, k)];
+        if k + 3 < hi {
+            z = h[(k + 3, k)];
+        } else {
+            z = 0.0;
+        }
+    }
+    // Final 2-element Householder on (x, y).
+    let (v, beta) = house2(x, y);
+    if beta != 0.0 {
+        let k = hi - 2;
+        let q = if k > lo { k - 1 } else { lo };
+        for j in q..n {
+            let h0 = h[(k, j)];
+            let h1 = h[(k + 1, j)];
+            let sum = v[0] * h0 + v[1] * h1;
+            let bsum = beta * sum;
+            h[(k, j)] = h0 - bsum * v[0];
+            h[(k + 1, j)] = h1 - bsum * v[1];
+        }
+        for i in 0..hi {
+            let h0 = h[(i, k)];
+            let h1 = h[(i, k + 1)];
+            let sum = v[0] * h0 + v[1] * h1;
+            let bsum = beta * sum;
+            h[(i, k)] = h0 - bsum * v[0];
+            h[(i, k + 1)] = h1 - bsum * v[1];
+        }
+    }
+}
+
+/// Householder reflector for a 3-vector: returns `(v, β)` with `v[0] = 1`
+/// convention folded into the returned unnormalized `v`.
+fn house3(x: f64, y: f64, z: f64) -> ([f64; 3], f64) {
+    let norm = (x * x + y * y + z * z).sqrt();
+    if norm == 0.0 {
+        return ([0.0; 3], 0.0);
+    }
+    let alpha = if x >= 0.0 { -norm } else { norm };
+    let v0 = x - alpha;
+    let v = [v0, y, z];
+    let vnorm2 = v0 * v0 + y * y + z * z;
+    if vnorm2 == 0.0 {
+        return ([0.0; 3], 0.0);
+    }
+    (v, 2.0 / vnorm2)
+}
+
+/// Householder reflector for a 2-vector.
+fn house2(x: f64, y: f64) -> ([f64; 2], f64) {
+    let norm = (x * x + y * y).sqrt();
+    if norm == 0.0 {
+        return ([0.0; 2], 0.0);
+    }
+    let alpha = if x >= 0.0 { -norm } else { norm };
+    let v0 = x - alpha;
+    let v = [v0, y];
+    let vnorm2 = v0 * v0 + y * y;
+    if vnorm2 == 0.0 {
+        return ([0.0; 2], 0.0);
+    }
+    (v, 2.0 / vnorm2)
+}
+
+/// Dominant eigenvalue magnitude estimate by power iteration.
+///
+/// Returns `(|λ_max| estimate, iterations used)`. For matrices with a real
+/// dominant eigenvalue (the RC-circuit case) the estimate converges
+/// geometrically.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `iters == 0`.
+pub fn power_iteration(a: &DMat, iters: usize) -> (f64, usize) {
+    assert!(a.is_square() && iters > 0);
+    let n = a.nrows();
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7).sin()).collect();
+    normalize(&mut v);
+    let mut lambda = 0.0;
+    for it in 0..iters {
+        let mut w = a.matvec(&v);
+        let nw = norm2(&w);
+        if nw == 0.0 {
+            return (0.0, it);
+        }
+        for x in w.iter_mut() {
+            *x /= nw;
+        }
+        let prev = lambda;
+        lambda = nw;
+        v = w;
+        if it > 2 && (lambda - prev).abs() <= 1e-12 * lambda.abs() {
+            return (lambda, it + 1);
+        }
+    }
+    (lambda, iters)
+}
+
+/// Eigenvector for a known (approximate) real eigenvalue via shifted inverse
+/// iteration.
+///
+/// # Errors
+///
+/// Returns [`DenseError::SingularPivot`] only if the shifted matrix is
+/// exactly singular *and* perturbing the shift fails.
+pub fn inverse_iteration(a: &DMat, lambda: f64, iters: usize) -> Result<Vec<f64>> {
+    let n = a.nrows();
+    // Shift slightly off the eigenvalue so the solve is merely
+    // ill-conditioned (which is exactly what makes it converge fast).
+    let scale = a.norm_inf().max(1.0);
+    let mut shift = lambda + 1e-10 * scale;
+    let shifted = |s: f64| {
+        let mut m = a.clone();
+        for i in 0..n {
+            m[(i, i)] -= s;
+        }
+        m
+    };
+    let lu = match DenseLu::factor(&shifted(shift)) {
+        Ok(f) => f,
+        Err(_) => {
+            shift = lambda + 1e-6 * scale;
+            DenseLu::factor(&shifted(shift))?
+        }
+    };
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+    normalize(&mut v);
+    for _ in 0..iters {
+        lu.solve_in_place(&mut v);
+        if normalize(&mut v) == 0.0 {
+            break;
+        }
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sym_eig_known_spectrum() {
+        // Tridiagonal [-2, 1] matrix of size 4: eigenvalues -2 + 2cos(kπ/5).
+        let n = 4;
+        let a = DMat::from_fn(n, n, |i, j| {
+            if i == j {
+                -2.0
+            } else if i.abs_diff(j) == 1 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let (vals, vecs) = sym_eig(&a).unwrap();
+        let pi = std::f64::consts::PI;
+        let mut expect: Vec<f64> = (1..=n)
+            .map(|k| -2.0 + 2.0 * (k as f64 * pi / (n as f64 + 1.0)).cos())
+            .collect();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (v, e) in vals.iter().zip(&expect) {
+            assert!((v - e).abs() < 1e-12, "{v} vs {e}");
+        }
+        // A v = λ v for each column.
+        for k in 0..n {
+            let v = vecs.col(k);
+            let av = a.matvec(&v);
+            for i in 0..n {
+                assert!((av[i] - vals[k] * v[i]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn hessenberg_preserves_structure() {
+        let a = DMat::from_rows(&[
+            &[4.0, 1.0, 2.0, 3.0],
+            &[1.0, 3.0, 0.0, 1.0],
+            &[2.0, 0.0, 2.0, 0.5],
+            &[3.0, 1.0, 0.5, 1.0],
+        ]);
+        let h = hessenberg(&a);
+        for i in 2..4 {
+            for j in 0..(i - 1) {
+                assert_eq!(h[(i, j)], 0.0);
+            }
+        }
+        // Trace is preserved by similarity.
+        let tr_a: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        let tr_h: f64 = (0..4).map(|i| h[(i, i)]).sum();
+        assert!((tr_a - tr_h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eig_vals_diagonal() {
+        let a = DMat::from_diag(&[3.0, -1.0, 0.5]);
+        let mut vals = eig_vals(&a).unwrap();
+        vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        assert!((vals[0].0 + 1.0).abs() < 1e-12);
+        assert!((vals[1].0 - 0.5).abs() < 1e-12);
+        assert!((vals[2].0 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eig_vals_known_general() {
+        // [[1, 2], [3, 4]] has eigenvalues (5 ± sqrt(33))/2.
+        let a = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut vals = eig_vals(&a).unwrap();
+        vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let sq = 33.0_f64.sqrt();
+        assert!((vals[0].0 - (5.0 - sq) / 2.0).abs() < 1e-10);
+        assert!((vals[1].0 - (5.0 + sq) / 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eig_vals_complex_pair() {
+        // Companion matrix of z² − 2z + 5 → 1 ± 2i.
+        let a = DMat::from_rows(&[&[2.0, -5.0], &[1.0, 0.0]]);
+        let mut vals = eig_vals(&a).unwrap();
+        vals.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        assert!((vals[0].0 - 1.0).abs() < 1e-10 && (vals[0].1 + 2.0).abs() < 1e-10);
+        assert!((vals[1].0 - 1.0).abs() < 1e-10 && (vals[1].1 - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eig_vals_larger_spd() {
+        // Symmetric case cross-check against Jacobi.
+        let n = 8;
+        let a = DMat::from_fn(n, n, |i, j| {
+            if i == j {
+                (i + 2) as f64
+            } else if i.abs_diff(j) == 1 {
+                -0.5
+            } else {
+                0.0
+            }
+        });
+        let (jac, _) = sym_eig(&a).unwrap();
+        let mut qr: Vec<f64> = eig_vals(&a).unwrap().iter().map(|e| e.0).collect();
+        qr.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (x, y) in jac.iter().zip(&qr) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn eig_vals_wide_spread_spectrum() {
+        // Stiffness-style spectrum over 12 decades.
+        let a = DMat::from_diag(&[-1.0, -1e4, -1e8, -1e12]);
+        let mut vals: Vec<f64> = eig_vals(&a).unwrap().iter().map(|e| e.0).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((vals[0] / -1e12 - 1.0).abs() < 1e-8);
+        assert!((vals[3] / -1.0 - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn power_iteration_dominant() {
+        let a = DMat::from_diag(&[1.0, -5.0, 2.0]);
+        let (lam, _) = power_iteration(&a, 500);
+        assert!((lam - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inverse_iteration_recovers_eigenvector() {
+        let a = DMat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        // Eigenvalue 3 has eigenvector (1, 1)/sqrt(2).
+        let v = inverse_iteration(&a, 3.0, 8).unwrap();
+        assert!((v[0].abs() - v[1].abs()).abs() < 1e-8);
+        let av = a.matvec(&v);
+        for i in 0..2 {
+            assert!((av[i] - 3.0 * v[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        assert!(eig_vals(&DMat::zeros(0, 0)).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+use std::fmt;
+
+/// Errors produced by dense linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DenseError {
+    /// Two operands had incompatible shapes. The payload carries the two
+    /// offending `(rows, cols)` pairs.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// An operation required a square matrix but received a rectangular one.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// A factorization hit an exactly (or numerically) zero pivot.
+    SingularPivot {
+        /// Column at which the zero pivot was encountered.
+        column: usize,
+    },
+    /// An iterative eigenvalue computation failed to converge.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An input contained a NaN or infinity.
+    NotFinite,
+}
+
+impl fmt::Display for DenseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DenseError::ShapeMismatch { left, right } => write!(
+                f,
+                "shape mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            DenseError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square: {rows}x{cols}")
+            }
+            DenseError::SingularPivot { column } => {
+                write!(f, "singular pivot encountered at column {column}")
+            }
+            DenseError::NoConvergence { iterations } => {
+                write!(f, "iteration failed to converge after {iterations} steps")
+            }
+            DenseError::NotFinite => write!(f, "input contains a NaN or infinite value"),
+        }
+    }
+}
+
+impl std::error::Error for DenseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DenseError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+        };
+        assert_eq!(e.to_string(), "shape mismatch: 2x3 vs 4x5");
+        let e = DenseError::SingularPivot { column: 7 };
+        assert!(e.to_string().contains("column 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DenseError>();
+    }
+}

@@ -1,0 +1,350 @@
+//! Dense matrix exponential via Padé scaling-and-squaring.
+//!
+//! This is the same algorithm family as MATLAB's `expm` (Higham 2005), which
+//! the MATEX paper uses to evaluate `e^{h H_m}` on the small projected
+//! Hessenberg matrices. The cost is `O(m³)` — the `T_H` term of the paper's
+//! complexity model (Sec. 3.4).
+
+use crate::{DMat, DenseLu, DenseError, Result};
+
+/// Padé coefficient tables, degree → coefficients `b₀..b_m` (Higham 2005,
+/// Table 2.3 generators).
+const PADE3: [f64; 4] = [120.0, 60.0, 12.0, 1.0];
+const PADE5: [f64; 6] = [30240.0, 15120.0, 3360.0, 420.0, 30.0, 1.0];
+const PADE7: [f64; 8] = [
+    17_297_280.0,
+    8_648_640.0,
+    1_995_840.0,
+    277_200.0,
+    25_200.0,
+    1_512.0,
+    56.0,
+    1.0,
+];
+const PADE9: [f64; 10] = [
+    17_643_225_600.0,
+    8_821_612_800.0,
+    2_075_673_600.0,
+    302_702_400.0,
+    30_270_240.0,
+    2_162_160.0,
+    110_880.0,
+    3_960.0,
+    90.0,
+    1.0,
+];
+const PADE13: [f64; 14] = [
+    64_764_752_532_480_000.0,
+    32_382_376_266_240_000.0,
+    7_771_770_303_897_600.0,
+    1_187_353_796_428_800.0,
+    129_060_195_264_000.0,
+    10_559_470_521_600.0,
+    670_442_572_800.0,
+    33_522_128_640.0,
+    1_323_241_920.0,
+    40_840_800.0,
+    960_960.0,
+    16_380.0,
+    182.0,
+    1.0,
+];
+
+/// 1-norm thresholds θ_m below which the degree-m Padé approximant meets
+/// double-precision accuracy (Higham 2005, Table 2.3).
+const THETA3: f64 = 1.495_585_217_958_292e-2;
+const THETA5: f64 = 2.539_398_330_063_23e-1;
+const THETA7: f64 = 9.504_178_996_162_932e-1;
+const THETA9: f64 = 2.097_847_961_257_068;
+const THETA13: f64 = 5.371_920_351_148_152;
+
+/// Computes the matrix exponential `e^A`.
+///
+/// Uses the [m/m] Padé approximant of the smallest adequate degree
+/// (3/5/7/9/13) with scaling-and-squaring for large-norm inputs.
+///
+/// # Errors
+///
+/// * [`DenseError::NotSquare`] when `a` is rectangular.
+/// * [`DenseError::NotFinite`] when `a` contains NaN/inf.
+/// * [`DenseError::SingularPivot`] if the Padé denominator cannot be
+///   factored (does not occur for finite inputs in practice).
+///
+/// # Example
+///
+/// ```
+/// use matex_dense::{DMat, expm};
+///
+/// # fn main() -> Result<(), matex_dense::DenseError> {
+/// // For diagonal matrices, expm exponentiates the diagonal.
+/// let d = DMat::from_diag(&[0.0, (2.0_f64).ln()]);
+/// let e = expm(&d)?;
+/// assert!((e[(1, 1)] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn expm(a: &DMat) -> Result<DMat> {
+    if !a.is_square() {
+        return Err(DenseError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
+    }
+    if !a.is_finite() {
+        return Err(DenseError::NotFinite);
+    }
+    let norm = a.norm_one();
+    if norm <= THETA9 {
+        let coeffs: &[f64] = if norm <= THETA3 {
+            &PADE3
+        } else if norm <= THETA5 {
+            &PADE5
+        } else if norm <= THETA7 {
+            &PADE7
+        } else {
+            &PADE9
+        };
+        return pade_low(a, coeffs);
+    }
+    // Scaling and squaring with degree-13 Padé.
+    let s = if norm > THETA13 {
+        ((norm / THETA13).log2().ceil()) as u32
+    } else {
+        0
+    };
+    let scaled = a.scaled(0.5_f64.powi(s as i32));
+    let mut e = pade13(&scaled)?;
+    for _ in 0..s {
+        e = e.matmul(&e)?;
+    }
+    // Intermediate squaring of ill-conditioned inputs can overflow; a
+    // non-finite exponential must never escape silently.
+    if !e.is_finite() {
+        return Err(DenseError::NotFinite);
+    }
+    Ok(e)
+}
+
+/// Degree 3/5/7/9 Padé approximant (even/odd polynomial split).
+fn pade_low(a: &DMat, b: &[f64]) -> Result<DMat> {
+    let n = a.nrows();
+    let ident = DMat::identity(n);
+    let a2 = a.matmul(a)?;
+    // Powers of A²: pows[k] = A^{2k}, k = 0..=(m-1)/2
+    let mut pows: Vec<DMat> = vec![ident.clone(), a2.clone()];
+    let half = (b.len() - 1) / 2; // m/2 rounded down; m odd => (m-1)/2
+    while pows.len() <= half {
+        let next = pows.last().expect("nonempty").matmul(&a2)?;
+        pows.push(next);
+    }
+    // U = A * Σ_{k} b[2k+1] A^{2k};  V = Σ_{k} b[2k] A^{2k}
+    let mut u_inner = DMat::zeros(n, n);
+    let mut v = DMat::zeros(n, n);
+    for (k, p) in pows.iter().enumerate() {
+        if 2 * k + 1 < b.len() {
+            u_inner = &u_inner + &p.scaled(b[2 * k + 1]);
+        }
+        v = &v + &p.scaled(b[2 * k]);
+    }
+    let u = a.matmul(&u_inner)?;
+    pade_solve(&u, &v)
+}
+
+/// Degree-13 Padé approximant with the Higham factored form.
+fn pade13(a: &DMat) -> Result<DMat> {
+    let n = a.nrows();
+    let b = &PADE13;
+    let ident = DMat::identity(n);
+    let a2 = a.matmul(a)?;
+    let a4 = a2.matmul(&a2)?;
+    let a6 = a4.matmul(&a2)?;
+    // U = A (A6 (b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I)
+    let w1 = &(&a6.scaled(b[13]) + &a4.scaled(b[11])) + &a2.scaled(b[9]);
+    let w2 = &(&(&a6.scaled(b[7]) + &a4.scaled(b[5])) + &a2.scaled(b[3])) + &ident.scaled(b[1]);
+    let u = a.matmul(&(&a6.matmul(&w1)? + &w2))?;
+    // V = A6 (b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
+    let z1 = &(&a6.scaled(b[12]) + &a4.scaled(b[10])) + &a2.scaled(b[8]);
+    let z2 = &(&(&a6.scaled(b[6]) + &a4.scaled(b[4])) + &a2.scaled(b[2])) + &ident.scaled(b[0]);
+    let v = &a6.matmul(&z1)? + &z2;
+    pade_solve(&u, &v)
+}
+
+/// Solves `(V − U) X = (V + U)` for the Padé quotient.
+fn pade_solve(u: &DMat, v: &DMat) -> Result<DMat> {
+    let denom = v - u;
+    let numer = v + u;
+    DenseLu::factor(&denom)?.solve_mat(&numer)
+}
+
+/// First column of `e^{A}`, i.e. `e^{A} e₁`.
+///
+/// This is the quantity MATEX evaluates at every time point:
+/// `x(t+h) ≈ ‖v‖ V_m e^{h H_m} e₁`. For the small `m × m` Hessenberg blocks
+/// the full exponential is formed and its first column returned.
+///
+/// # Errors
+///
+/// Same as [`expm`].
+pub fn expm_col0(a: &DMat) -> Result<Vec<f64>> {
+    Ok(expm(a)?.col(0))
+}
+
+/// The phi-1 function `φ₁(A) = A⁻¹(e^A − I)`, evaluated stably via an
+/// augmented-matrix trick: `expm([[A, I], [0, 0]])` has `φ₁(A)` in its upper
+/// right block. Useful for exponential integrators with constant inputs and
+/// for validating the closed-form PWL update.
+///
+/// # Errors
+///
+/// Same as [`expm`].
+pub fn phi1(a: &DMat) -> Result<DMat> {
+    let n = a.nrows();
+    if !a.is_square() {
+        return Err(DenseError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
+    }
+    let mut aug = DMat::zeros(2 * n, 2 * n);
+    for i in 0..n {
+        for j in 0..n {
+            aug[(i, j)] = a[(i, j)];
+        }
+        aug[(i, n + i)] = 1.0;
+    }
+    let e = expm(&aug)?;
+    Ok(DMat::from_fn(n, n, |i, j| e[(i, n + j)]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Taylor-series reference implementation (only valid for small norms).
+    fn expm_taylor(a: &DMat, terms: usize) -> DMat {
+        let n = a.nrows();
+        let mut sum = DMat::identity(n);
+        let mut term = DMat::identity(n);
+        for k in 1..=terms {
+            term = term.matmul(a).unwrap().scaled(1.0 / k as f64);
+            sum = &sum + &term;
+        }
+        sum
+    }
+
+    #[test]
+    fn expm_zero_is_identity() {
+        let e = expm(&DMat::zeros(4, 4)).unwrap();
+        assert!(e.max_abs_diff(&DMat::identity(4)) < 1e-15);
+    }
+
+    #[test]
+    fn expm_diagonal() {
+        let d = DMat::from_diag(&[1.0, -2.0, 0.5]);
+        let e = expm(&d).unwrap();
+        for (i, &v) in [1.0_f64, -2.0, 0.5].iter().enumerate() {
+            assert!((e[(i, i)] - v.exp()).abs() < 1e-12 * v.exp().max(1.0));
+        }
+        assert!(e[(0, 1)].abs() < 1e-15);
+    }
+
+    #[test]
+    fn expm_matches_taylor_small_norm() {
+        let a = DMat::from_rows(&[&[0.01, 0.002], &[-0.003, 0.004]]);
+        let e = expm(&a).unwrap();
+        let t = expm_taylor(&a, 20);
+        assert!(e.max_abs_diff(&t) < 1e-14);
+    }
+
+    #[test]
+    fn expm_matches_taylor_medium_norm() {
+        let a = DMat::from_rows(&[&[0.9, 0.3], &[-0.2, 0.5]]);
+        let e = expm(&a).unwrap();
+        let t = expm_taylor(&a, 40);
+        assert!(e.max_abs_diff(&t) < 1e-12);
+    }
+
+    #[test]
+    fn expm_large_norm_scaling_squaring() {
+        // e^{[[0, w], [-w, 0]]} is a rotation by w.
+        let w = 100.0;
+        let a = DMat::from_rows(&[&[0.0, w], &[-w, 0.0]]);
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - w.cos()).abs() < 1e-9);
+        assert!((e[(0, 1)] - w.sin()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expm_group_property() {
+        // e^{A} e^{A} = e^{2A}
+        let a = DMat::from_rows(&[&[0.3, 0.1], &[0.0, -0.4]]);
+        let e1 = expm(&a).unwrap();
+        let e2 = expm(&a.scaled(2.0)).unwrap();
+        let sq = e1.matmul(&e1).unwrap();
+        assert!(sq.max_abs_diff(&e2) < 1e-12);
+    }
+
+    #[test]
+    fn expm_inverse_property() {
+        // e^{A} e^{-A} = I
+        let a = DMat::from_rows(&[&[1.2, -0.7], &[0.4, 0.9]]);
+        let p = expm(&a)
+            .unwrap()
+            .matmul(&expm(&a.scaled(-1.0)).unwrap())
+            .unwrap();
+        assert!(p.max_abs_diff(&DMat::identity(2)) < 1e-10);
+    }
+
+    #[test]
+    fn expm_stiff_decay_underflows_gracefully() {
+        // Very stiff decay: entries underflow to ~0, no NaN.
+        let a = DMat::from_diag(&[-1e6, -1.0]);
+        let e = expm(&a).unwrap();
+        assert!(e.is_finite());
+        assert!(e[(0, 0)].abs() < 1e-200);
+        // Squaring 2^s times amplifies rounding error by ~2^s; allow for it.
+        assert!((e[(1, 1)] - (-1.0_f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expm_col0_matches_full() {
+        let a = DMat::from_rows(&[&[0.2, 1.0, 0.0], &[0.3, -0.1, 0.5], &[0.0, 0.2, 0.1]]);
+        let full = expm(&a).unwrap();
+        let c = expm_col0(&a).unwrap();
+        for i in 0..3 {
+            assert_eq!(c[i], full[(i, 0)]);
+        }
+    }
+
+    #[test]
+    fn phi1_of_zero_is_identity() {
+        // φ₁(0) = I
+        let p = phi1(&DMat::zeros(3, 3)).unwrap();
+        assert!(p.max_abs_diff(&DMat::identity(3)) < 1e-14);
+    }
+
+    #[test]
+    fn phi1_satisfies_definition() {
+        // A φ₁(A) = e^A − I
+        let a = DMat::from_rows(&[&[0.5, 0.2], &[-0.1, 0.8]]);
+        let p = phi1(&a).unwrap();
+        let lhs = a.matmul(&p).unwrap();
+        let rhs = &expm(&a).unwrap() - &DMat::identity(2);
+        assert!(lhs.max_abs_diff(&rhs) < 1e-12);
+    }
+
+    #[test]
+    fn expm_rejects_rectangular() {
+        assert!(matches!(
+            expm(&DMat::zeros(2, 3)),
+            Err(DenseError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn expm_rejects_nan() {
+        let mut a = DMat::zeros(2, 2);
+        a[(0, 0)] = f64::INFINITY;
+        assert!(matches!(expm(&a), Err(DenseError::NotFinite)));
+    }
+}

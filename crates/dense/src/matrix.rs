@@ -1,0 +1,508 @@
+//! Row-major dense matrix type.
+
+use crate::{DenseError, Result};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense, row-major `f64` matrix.
+///
+/// `DMat` is the workhorse for all *projected* (small) computations in
+/// MATEX: Hessenberg matrices from Arnoldi, their inverses, and matrix
+/// exponentials. Sizes are typically below a few hundred, so the
+/// implementation favours clarity and numerical robustness over blocking.
+///
+/// # Example
+///
+/// ```
+/// use matex_dense::DMat;
+///
+/// let a = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let x = vec![1.0, 1.0];
+/// assert_eq!(a.matvec(&x), vec![3.0, 7.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct DMat {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DMat {
+    /// Creates an `nrows × ncols` matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DMat {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DMat::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            assert_eq!(r.len(), ncols, "from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        DMat { nrows, ncols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` at every position.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(nrows: usize, ncols: usize, mut f: F) -> Self {
+        let mut m = DMat::zeros(nrows, ncols);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                m.data[i * ncols + j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_row_major(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "from_row_major: length mismatch");
+        DMat { nrows, ncols, data }
+    }
+
+    /// Builds a diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = DMat::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.data[i * n + i] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `true` when the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.nrows == self.ncols
+    }
+
+    /// Borrow of the underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.nrows, "row index out of bounds");
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Mutable row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.nrows, "row index out of bounds");
+        &mut self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Column `j` copied into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.ncols, "column index out of bounds");
+        (0..self.nrows).map(|i| self.data[i * self.ncols + j]).collect()
+    }
+
+    /// Overwrites column `j` with `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds or `v.len() != nrows`.
+    pub fn set_col(&mut self, j: usize, v: &[f64]) {
+        assert!(j < self.ncols, "column index out of bounds");
+        assert_eq!(v.len(), self.nrows, "set_col: length mismatch");
+        for (i, &x) in v.iter().enumerate() {
+            self.data[i * self.ncols + j] = x;
+        }
+    }
+
+    /// Swaps rows `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(a < self.nrows && b < self.nrows, "row index out of bounds");
+        if a == b {
+            return;
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(hi * self.ncols);
+        head[lo * self.ncols..(lo + 1) * self.ncols].swap_with_slice(&mut tail[..self.ncols]);
+    }
+
+    /// Matrix-vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "matvec: length mismatch");
+        let mut y = vec![0.0; self.nrows];
+        for i in 0..self.nrows {
+            let row = &self.data[i * self.ncols..(i + 1) * self.ncols];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Transposed matrix-vector product `Aᵀ x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != nrows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.nrows, "matvec_t: length mismatch");
+        let mut y = vec![0.0; self.ncols];
+        for i in 0..self.nrows {
+            let row = &self.data[i * self.ncols..(i + 1) * self.ncols];
+            for (yj, a) in y.iter_mut().zip(row) {
+                *yj += a * x[i];
+            }
+        }
+        y
+    }
+
+    /// Matrix product `A B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DenseError::ShapeMismatch`] when `self.ncols != b.nrows`.
+    pub fn matmul(&self, b: &DMat) -> Result<DMat> {
+        if self.ncols != b.nrows {
+            return Err(DenseError::ShapeMismatch {
+                left: (self.nrows, self.ncols),
+                right: (b.nrows, b.ncols),
+            });
+        }
+        let mut c = DMat::zeros(self.nrows, b.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let aik = self.data[i * self.ncols + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b.data[k * b.ncols..(k + 1) * b.ncols];
+                let crow = &mut c.data[i * b.ncols..(i + 1) * b.ncols];
+                for (cij, bkj) in crow.iter_mut().zip(brow) {
+                    *cij += aik * bkj;
+                }
+            }
+        }
+        Ok(c)
+    }
+
+    /// Transpose as a new matrix.
+    pub fn transpose(&self) -> DMat {
+        let mut t = DMat::zeros(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                t.data[j * self.nrows + i] = self.data[i * self.ncols + j];
+            }
+        }
+        t
+    }
+
+    /// Returns `a·self` as a new matrix.
+    pub fn scaled(&self, a: f64) -> DMat {
+        DMat {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data: self.data.iter().map(|v| a * v).collect(),
+        }
+    }
+
+    /// Applies `f` to every entry, returning a new matrix.
+    pub fn map<F: FnMut(f64) -> f64>(&self, mut f: F) -> DMat {
+        DMat {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Leading principal `m × m` submatrix.
+    ///
+    /// Used to truncate an Arnoldi Hessenberg matrix to the converged
+    /// dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` exceeds either dimension.
+    pub fn principal(&self, m: usize) -> DMat {
+        assert!(m <= self.nrows && m <= self.ncols, "principal: m too large");
+        DMat::from_fn(m, m, |i, j| self.data[i * self.ncols + j])
+    }
+
+    /// One-norm (maximum absolute column sum).
+    pub fn norm_one(&self) -> f64 {
+        let mut best = 0.0_f64;
+        for j in 0..self.ncols {
+            let s: f64 = (0..self.nrows)
+                .map(|i| self.data[i * self.ncols + j].abs())
+                .sum();
+            best = best.max(s);
+        }
+        best
+    }
+
+    /// Infinity-norm (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.nrows)
+            .map(|i| self.row(i).iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry-wise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &DMat) -> f64 {
+        assert_eq!(
+            (self.nrows, self.ncols),
+            (other.nrows, other.ncols),
+            "max_abs_diff: shape mismatch"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    /// `true` when all entries are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for DMat {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        &self.data[i * self.ncols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DMat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        &mut self.data[i * self.ncols + j]
+    }
+}
+
+impl Add for &DMat {
+    type Output = DMat;
+
+    fn add(self, rhs: &DMat) -> DMat {
+        assert_eq!(
+            (self.nrows, self.ncols),
+            (rhs.nrows, rhs.ncols),
+            "add: shape mismatch"
+        );
+        DMat {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+}
+
+impl Sub for &DMat {
+    type Output = DMat;
+
+    fn sub(self, rhs: &DMat) -> DMat {
+        assert_eq!(
+            (self.nrows, self.ncols),
+            (rhs.nrows, rhs.ncols),
+            "sub: shape mismatch"
+        );
+        DMat {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+}
+
+impl Mul<f64> for &DMat {
+    type Output = DMat;
+
+    fn mul(self, rhs: f64) -> DMat {
+        self.scaled(rhs)
+    }
+}
+
+impl Neg for &DMat {
+    type Output = DMat;
+
+    fn neg(self) -> DMat {
+        self.scaled(-1.0)
+    }
+}
+
+impl fmt::Debug for DMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DMat {}x{} [", self.nrows, self.ncols)?;
+        for i in 0..self.nrows.min(8) {
+            write!(f, "  [")?;
+            for j in 0..self.ncols.min(8) {
+                write!(f, "{:>12.5e}", self[(i, j)])?;
+                if j + 1 < self.ncols.min(8) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.ncols > 8 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.nrows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for DMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let i3 = DMat::identity(3);
+        let x = vec![1.0, -2.0, 3.0];
+        assert_eq!(i3.matvec(&x), x);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DMat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, DMat::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = DMat::zeros(2, 3);
+        let b = DMat::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(DenseError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = DMat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose_matvec() {
+        let a = DMat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let x = vec![1.0, -1.0];
+        assert_eq!(a.matvec_t(&x), a.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn norms_on_known_matrix() {
+        let a = DMat::from_rows(&[&[1.0, -2.0], &[-3.0, 4.0]]);
+        assert_eq!(a.norm_one(), 6.0); // col 1: 1+3=4, col 2: 2+4=6
+        assert_eq!(a.norm_inf(), 7.0); // row 2: 3+4=7
+        assert!((a.norm_fro() - 30.0_f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn principal_truncates() {
+        let a = DMat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
+        let p = a.principal(2);
+        assert_eq!(p, DMat::from_rows(&[&[1.0, 2.0], &[4.0, 5.0]]));
+    }
+
+    #[test]
+    fn swap_rows_swaps() {
+        let mut a = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        a.swap_rows(0, 1);
+        assert_eq!(a, DMat::from_rows(&[&[3.0, 4.0], &[1.0, 2.0]]));
+        a.swap_rows(1, 1); // no-op
+        assert_eq!(a.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn operators_work() {
+        let a = DMat::identity(2);
+        let b = DMat::from_diag(&[2.0, 3.0]);
+        assert_eq!((&a + &b)[(0, 0)], 3.0);
+        assert_eq!((&b - &a)[(1, 1)], 2.0);
+        assert_eq!((&a * 4.0)[(1, 1)], 4.0);
+        assert_eq!((-&b)[(0, 0)], -2.0);
+    }
+
+    #[test]
+    fn col_roundtrip() {
+        let mut a = DMat::zeros(3, 2);
+        a.set_col(1, &[1.0, 2.0, 3.0]);
+        assert_eq!(a.col(1), vec![1.0, 2.0, 3.0]);
+        assert_eq!(a.col(0), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = format!("{:?}", DMat::zeros(1, 1));
+        assert!(s.contains("DMat 1x1"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Householder QR factorization.
+
+use crate::{DMat, DenseError, Result};
+
+/// Householder QR factorization `A = Q R` of an `m × n` matrix with
+/// `m >= n`.
+///
+/// Used for least-squares diagnostics and for verifying the orthonormality
+/// of Arnoldi bases in tests. `Q` is kept in factored (Householder-vector)
+/// form.
+///
+/// # Example
+///
+/// ```
+/// use matex_dense::{DMat, DenseQr};
+///
+/// # fn main() -> Result<(), matex_dense::DenseError> {
+/// let a = DMat::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+/// let qr = DenseQr::factor(&a)?;
+/// // Least-squares fit of y = 1 + 2x through (0,1), (1,3), (2,5): exact.
+/// let c = qr.solve_ls(&[1.0, 3.0, 5.0])?;
+/// assert!((c[0] - 1.0).abs() < 1e-12 && (c[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseQr {
+    /// Packed factors: R in the upper triangle, Householder vectors below
+    /// the diagonal (with implicit unit leading entry).
+    qr: DMat,
+    /// Householder coefficients β_k.
+    beta: Vec<f64>,
+}
+
+impl DenseQr {
+    /// Factorizes `a` (requires `nrows >= ncols`).
+    ///
+    /// # Errors
+    ///
+    /// * [`DenseError::ShapeMismatch`] when `nrows < ncols`.
+    /// * [`DenseError::NotFinite`] when `a` contains NaN/inf.
+    pub fn factor(a: &DMat) -> Result<Self> {
+        let (m, n) = (a.nrows(), a.ncols());
+        if m < n {
+            return Err(DenseError::ShapeMismatch {
+                left: (m, n),
+                right: (n, n),
+            });
+        }
+        if !a.is_finite() {
+            return Err(DenseError::NotFinite);
+        }
+        let mut qr = a.clone();
+        let mut beta = vec![0.0; n];
+        for k in 0..n {
+            // Build Householder vector for column k below row k.
+            let mut norm2 = 0.0;
+            for i in k..m {
+                norm2 += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm2.sqrt();
+            if norm == 0.0 {
+                beta[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // v = (v0, qr[k+1.., k]); normalize so v[0] = 1.
+            let mut vnorm2 = v0 * v0;
+            for i in (k + 1)..m {
+                vnorm2 += qr[(i, k)] * qr[(i, k)];
+            }
+            if vnorm2 == 0.0 {
+                beta[k] = 0.0;
+                continue;
+            }
+            beta[k] = 2.0 * v0 * v0 / vnorm2;
+            for i in (k + 1)..m {
+                qr[(i, k)] /= v0;
+            }
+            qr[(k, k)] = alpha;
+            // Apply reflector to remaining columns.
+            for j in (k + 1)..n {
+                let mut s = qr[(k, j)];
+                for i in (k + 1)..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s *= beta[k];
+                qr[(k, j)] -= s;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+        }
+        Ok(DenseQr { qr, beta })
+    }
+
+    /// Applies `Qᵀ` to a vector in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != nrows`.
+    pub fn apply_qt(&self, x: &mut [f64]) {
+        let (m, n) = (self.qr.nrows(), self.qr.ncols());
+        assert_eq!(x.len(), m, "apply_qt: length mismatch");
+        for k in 0..n {
+            if self.beta[k] == 0.0 {
+                continue;
+            }
+            let mut s = x[k];
+            for i in (k + 1)..m {
+                s += self.qr[(i, k)] * x[i];
+            }
+            s *= self.beta[k];
+            x[k] -= s;
+            for i in (k + 1)..m {
+                x[i] -= s * self.qr[(i, k)];
+            }
+        }
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// * [`DenseError::ShapeMismatch`] when `b.len() != nrows`.
+    /// * [`DenseError::SingularPivot`] when `R` has a zero diagonal entry
+    ///   (rank-deficient `A`).
+    pub fn solve_ls(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = (self.qr.nrows(), self.qr.ncols());
+        if b.len() != m {
+            return Err(DenseError::ShapeMismatch {
+                left: (m, n),
+                right: (b.len(), 1),
+            });
+        }
+        let mut y = b.to_vec();
+        self.apply_qt(&mut y);
+        // Back substitution on R; treat numerically negligible diagonal
+        // entries (relative to the largest) as rank deficiency.
+        let rmax = (0..n)
+            .map(|i| self.qr[(i, i)].abs())
+            .fold(0.0_f64, f64::max);
+        let tiny = f64::EPSILON * rmax * n as f64;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.qr[(i, j)] * x[j];
+            }
+            let d = self.qr[(i, i)];
+            if d.abs() <= tiny {
+                return Err(DenseError::SingularPivot { column: i });
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+
+    /// The upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> DMat {
+        let n = self.qr.ncols();
+        DMat::from_fn(n, n, |i, j| if j >= i { self.qr[(i, j)] } else { 0.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_via_least_squares_of_square() {
+        let a = DMat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let qr = DenseQr::factor(&a).unwrap();
+        let x = qr.solve_ls(&[5.0, 10.0]).unwrap();
+        // Exact solve for square nonsingular systems.
+        let b = a.matvec(&x);
+        assert!((b[0] - 5.0).abs() < 1e-12 && (b[1] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_correct_norms() {
+        let a = DMat::from_rows(&[&[1.0, 1.0], &[1.0, 0.0], &[0.0, 1.0]]);
+        let qr = DenseQr::factor(&a).unwrap();
+        let r = qr.r();
+        assert_eq!(r[(1, 0)], 0.0);
+        // |R[0,0]| = norm of first column of A = sqrt(2).
+        assert!((r[(0, 0)].abs() - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qt_preserves_norm() {
+        let a = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let qr = DenseQr::factor(&a).unwrap();
+        let mut x = vec![1.0, -2.0, 0.5];
+        let before = crate::norm2(&x);
+        qr.apply_qt(&mut x);
+        assert!((crate::norm2(&x) - before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let a = DMat::zeros(2, 3);
+        assert!(DenseQr::factor(&a).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_solve_errors() {
+        let a = DMat::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]);
+        let qr = DenseQr::factor(&a).unwrap();
+        assert!(matches!(
+            qr.solve_ls(&[1.0, 2.0, 3.0]),
+            Err(DenseError::SingularPivot { .. })
+        ));
+    }
+}

@@ -1,0 +1,160 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! MATEX manipulates node-voltage vectors with hundreds of thousands of
+//! entries as plain `Vec<f64>`; these helpers implement the handful of BLAS-1
+//! operations the solvers need without pulling in an external BLAS.
+
+/// Dot product `xᵀ y`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// One-norm `‖x‖₁ = Σ|xᵢ|`.
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Infinity norm `‖x‖∞ = max|xᵢ|`.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// In-place `y ← y + a·x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// In-place `x ← a·x`.
+pub fn scale_in_place(a: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Element-wise difference `x − y` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Linear combination `Σ cᵢ·vᵢ` of equally sized vectors.
+///
+/// Returns the zero vector of length `len` when `terms` is empty.
+///
+/// # Panics
+///
+/// Panics if any vector's length differs from `len`.
+pub fn lin_comb(len: usize, terms: &[(f64, &[f64])]) -> Vec<f64> {
+    let mut out = vec![0.0; len];
+    for (c, v) in terms {
+        axpy(*c, v, &mut out);
+    }
+    out
+}
+
+/// Normalizes `x` in place and returns its former 2-norm.
+///
+/// When `‖x‖₂ == 0` the vector is left untouched and `0.0` is returned, so
+/// callers can detect the degenerate "zero starting vector" case that
+/// terminates an Arnoldi process.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 {
+        scale_in_place(1.0 / n, x);
+    }
+    n
+}
+
+/// The `i`-th standard basis vector of length `n`.
+///
+/// # Panics
+///
+/// Panics if `i >= n`.
+pub fn unit_vector(n: usize, i: usize) -> Vec<f64> {
+    assert!(i < n, "unit_vector: index {i} out of range {n}");
+    let mut v = vec![0.0; n];
+    v[i] = 1.0;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let x = [3.0, -4.0];
+        assert_eq!(dot(&x, &x), 25.0);
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(norm1(&x), 7.0);
+        assert_eq!(norm_inf(&x), 4.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn lin_comb_empty_is_zero() {
+        assert_eq!(lin_comb(3, &[]), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn lin_comb_combines() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        let c = lin_comb(2, &[(2.0, &a[..]), (-3.0, &b[..])]);
+        assert_eq!(c, vec![2.0, -3.0]);
+    }
+
+    #[test]
+    fn normalize_zero_vector_reports_zero() {
+        let mut z = [0.0, 0.0];
+        assert_eq!(normalize(&mut z), 0.0);
+        assert_eq!(z, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_makes_unit() {
+        let mut v = [3.0, 4.0];
+        let n = normalize(&mut v);
+        assert_eq!(n, 5.0);
+        assert!((norm2(&v) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unit_vector_basis() {
+        assert_eq!(unit_vector(3, 1), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unit_vector_oob_panics() {
+        let _ = unit_vector(2, 2);
+    }
+}

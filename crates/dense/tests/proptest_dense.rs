@@ -1,0 +1,146 @@
+//! Property-based tests of the dense kernels: LU/QR identities, `expm`
+//! group laws, and eigenvalue invariants on random matrices.
+
+use matex_dense::eig::{eig_vals, sym_eig};
+use matex_dense::{expm, DenseLu, DenseQr, DMat};
+use proptest::prelude::*;
+
+/// Random well-conditioned matrix: diagonally dominant with bounded
+/// off-diagonal mass.
+fn dd(n: usize, vals: &[f64]) -> DMat {
+    DMat::from_fn(n, n, |i, j| {
+        if i == j {
+            n as f64 + 1.0 + vals[(i * 31 + 7) % vals.len()].abs()
+        } else {
+            vals[(i * 17 + j * 5) % vals.len()] / (n as f64)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_reconstructs_solution(
+        n in 1usize..12,
+        vals in prop::collection::vec(-3.0..3.0_f64, 8),
+    ) {
+        let a = dd(n, &vals);
+        let lu = DenseLu::factor(&a).expect("dd factors");
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 2.0).collect();
+        let b = a.matvec(&x_true);
+        let x = lu.solve(&b).expect("solves");
+        for (p, q) in x.iter().zip(&x_true) {
+            prop_assert!((p - q).abs() < 1e-9);
+        }
+        // det(A) * det(A^{-1}) == 1
+        let inv = lu.inverse().expect("invertible");
+        let det_inv = DenseLu::factor(&inv).expect("factors").det();
+        prop_assert!((lu.det() * det_inv - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn expm_group_law(
+        n in 1usize..7,
+        vals in prop::collection::vec(-0.5..0.5_f64, 8),
+        s in 0.1..2.0_f64,
+    ) {
+        // e^{sA} e^{sA} == e^{2sA}
+        let a = DMat::from_fn(n, n, |i, j| vals[(i * 7 + j * 3) % vals.len()] * 0.3
+            - if i == j { 0.5 } else { 0.0 });
+        let e1 = expm(&a.scaled(s)).expect("expm ok");
+        let e2 = expm(&a.scaled(2.0 * s)).expect("expm ok");
+        let sq = e1.matmul(&e1).expect("square");
+        prop_assert!(sq.max_abs_diff(&e2) < 1e-9 * e2.norm_inf().max(1.0));
+    }
+
+    #[test]
+    fn expm_commutes_with_transpose(
+        n in 1usize..7,
+        vals in prop::collection::vec(-0.5..0.5_f64, 8),
+    ) {
+        // (e^{A})^T == e^{A^T}
+        let a = DMat::from_fn(n, n, |i, j| vals[(i * 5 + j) % vals.len()]);
+        let lhs = expm(&a).expect("ok").transpose();
+        let rhs = expm(&a.transpose()).expect("ok");
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-10 * rhs.norm_inf().max(1.0));
+    }
+
+    #[test]
+    fn qr_least_squares_residual_orthogonal(
+        m in 3usize..10,
+        vals in prop::collection::vec(-2.0..2.0_f64, 12),
+    ) {
+        // Residual of LS solution is orthogonal to the column space.
+        let n = 2usize;
+        let a = DMat::from_fn(m, n, |i, j| vals[(i * 3 + j) % vals.len()] + if j == 0 { 3.0 } else { 0.0 });
+        let b: Vec<f64> = (0..m).map(|i| vals[(i * 7) % vals.len()]).collect();
+        let qr = DenseQr::factor(&a).expect("factors");
+        match qr.solve_ls(&b) {
+            Ok(x) => {
+                let ax = a.matvec(&x);
+                let resid: Vec<f64> = b.iter().zip(&ax).map(|(p, q)| p - q).collect();
+                let atr = a.matvec_t(&resid);
+                for v in atr {
+                    prop_assert!(v.abs() < 1e-8, "residual not orthogonal: {v}");
+                }
+            }
+            Err(_) => {
+                // Rank-deficient random draw: acceptable outcome.
+            }
+        }
+    }
+
+    #[test]
+    fn sym_eig_reconstructs(
+        n in 1usize..8,
+        vals in prop::collection::vec(-2.0..2.0_f64, 10),
+    ) {
+        // Symmetric matrix: A == V diag(w) V^T, eigenvalues sum to trace.
+        let a = DMat::from_fn(n, n, |i, j| {
+            let (lo, hi) = (i.min(j), i.max(j));
+            vals[(lo * 7 + hi * 3) % vals.len()]
+        });
+        let (w, v) = sym_eig(&a).expect("symmetric eig");
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let sum_w: f64 = w.iter().sum();
+        prop_assert!((trace - sum_w).abs() < 1e-8 * trace.abs().max(1.0));
+        // Reconstruct.
+        let mut rec = DMat::zeros(n, n);
+        for k in 0..n {
+            let col = v.col(k);
+            for i in 0..n {
+                for j in 0..n {
+                    rec[(i, j)] += w[k] * col[i] * col[j];
+                }
+            }
+        }
+        prop_assert!(rec.max_abs_diff(&a) < 1e-8 * a.norm_inf().max(1.0));
+    }
+
+    #[test]
+    fn general_eig_trace_and_det_invariants(
+        n in 1usize..7,
+        vals in prop::collection::vec(-2.0..2.0_f64, 10),
+    ) {
+        let a = dd(n, &vals);
+        let eigs = eig_vals(&a).expect("converges");
+        prop_assert_eq!(eigs.len(), n);
+        // Sum of eigenvalues == trace (imaginary parts cancel).
+        let re_sum: f64 = eigs.iter().map(|e| e.0).sum();
+        let im_sum: f64 = eigs.iter().map(|e| e.1).sum();
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        prop_assert!((re_sum - trace).abs() < 1e-6 * trace.abs().max(1.0));
+        prop_assert!(im_sum.abs() < 1e-6);
+        // Product == det.
+        let (mut re, mut im) = (1.0_f64, 0.0_f64);
+        for (er, ei) in &eigs {
+            let (nr, ni) = (re * er - im * ei, re * ei + im * er);
+            re = nr;
+            im = ni;
+        }
+        let det = DenseLu::factor(&a).expect("factors").det();
+        prop_assert!((re - det).abs() < 1e-5 * det.abs().max(1.0));
+        prop_assert!(im.abs() < 1e-5 * det.abs().max(1.0));
+    }
+}

@@ -1,0 +1,293 @@
+//! Incremental Arnoldi process (paper Alg. 1, "MATEX Arnoldi").
+
+use crate::{KrylovError, KrylovOp};
+use matex_dense::{dot, norm2, DMat};
+
+/// An incrementally extensible Arnoldi factorization
+/// `Op·V_m = V_m·Ĥ_m + ĥ_{m+1,m}·v_{m+1}·e_mᵀ`.
+///
+/// Uses modified Gram–Schmidt with one optional re-orthogonalization pass
+/// (on by default — stiff PDN systems quickly lose orthogonality without
+/// it). The basis can be *extended* after a convergence check fails, which
+/// is how the solver grows `m` without restarting (Alg. 1 lines 10–12).
+pub struct Arnoldi<'a> {
+    op: &'a dyn KrylovOp,
+    beta: f64,
+    /// Basis vectors `v_1 .. v_{j+1}` (one more than completed columns,
+    /// except after breakdown).
+    vs: Vec<Vec<f64>>,
+    /// Hessenberg columns; `hcols[j]` holds `ĥ_{1..j+2, j+1}`.
+    hcols: Vec<Vec<f64>>,
+    /// Set when an invariant subspace was hit at dimension `m`.
+    breakdown: Option<usize>,
+    reorth: bool,
+}
+
+impl<'a> Arnoldi<'a> {
+    /// Starts the process from vector `v` (not necessarily normalized).
+    ///
+    /// # Errors
+    ///
+    /// * [`KrylovError::ZeroStartVector`] when `‖v‖ = 0`.
+    /// * [`KrylovError::NotFinite`] when `v` contains NaN/inf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != op.dim()`.
+    pub fn new(op: &'a dyn KrylovOp, v: &[f64], reorth: bool) -> Result<Self, KrylovError> {
+        assert_eq!(v.len(), op.dim(), "arnoldi: vector length mismatch");
+        if v.iter().any(|x| !x.is_finite()) {
+            return Err(KrylovError::NotFinite { step: 0 });
+        }
+        let beta = norm2(v);
+        if beta == 0.0 {
+            return Err(KrylovError::ZeroStartVector);
+        }
+        let v1: Vec<f64> = v.iter().map(|x| x / beta).collect();
+        Ok(Arnoldi {
+            op,
+            beta,
+            vs: vec![v1],
+            hcols: Vec::new(),
+            breakdown: None,
+            reorth,
+        })
+    }
+
+    /// `‖v‖` of the starting vector.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Number of completed Arnoldi columns (current subspace dimension).
+    pub fn m(&self) -> usize {
+        self.hcols.len()
+    }
+
+    /// `true` once an invariant subspace has been found; further
+    /// [`Arnoldi::step`]s are no-ops.
+    pub fn broke_down(&self) -> bool {
+        self.breakdown.is_some()
+    }
+
+    /// Performs one Arnoldi step, extending the subspace dimension by one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KrylovError::NotFinite`] if the operator output blows up.
+    pub fn step(&mut self) -> Result<(), KrylovError> {
+        if self.breakdown.is_some() {
+            return Ok(());
+        }
+        let j = self.hcols.len();
+        let vj = &self.vs[j];
+        let mut w = vec![0.0; self.op.dim()];
+        self.op.apply(vj, &mut w);
+        if w.iter().any(|x| !x.is_finite()) {
+            return Err(KrylovError::NotFinite { step: j + 1 });
+        }
+        let w_scale = norm2(&w);
+        let mut hcol = vec![0.0; j + 2];
+        // Modified Gram–Schmidt.
+        for (i, vi) in self.vs.iter().enumerate() {
+            let hij = dot(&w, vi);
+            hcol[i] = hij;
+            for (wk, vk) in w.iter_mut().zip(vi) {
+                *wk -= hij * vk;
+            }
+        }
+        if self.reorth {
+            // Second MGS pass: corrections fold into the same coefficients.
+            for (i, vi) in self.vs.iter().enumerate() {
+                let corr = dot(&w, vi);
+                hcol[i] += corr;
+                for (wk, vk) in w.iter_mut().zip(vi) {
+                    *wk -= corr * vk;
+                }
+            }
+        }
+        let hnext = norm2(&w);
+        hcol[j + 1] = hnext;
+        self.hcols.push(hcol);
+        // Happy breakdown: the subspace is invariant; the projection is
+        // exact from here on.
+        if hnext <= f64::EPSILON * w_scale.max(1e-300) * 100.0 {
+            self.breakdown = Some(j + 1);
+            return Ok(());
+        }
+        for x in w.iter_mut() {
+            *x /= hnext;
+        }
+        self.vs.push(w);
+        Ok(())
+    }
+
+    /// The `m × m` leading Hessenberg block `Ĥ_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` exceeds the completed dimension.
+    pub fn h_hat(&self, m: usize) -> DMat {
+        assert!(m <= self.hcols.len(), "h_hat: m exceeds current dimension");
+        DMat::from_fn(m, m, |i, j| {
+            if i < self.hcols[j].len() {
+                self.hcols[j][i]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// The subdiagonal entry `ĥ_{m+1,m}` (0 after breakdown at `m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is 0 or exceeds the completed dimension.
+    pub fn subdiag(&self, m: usize) -> f64 {
+        assert!(m >= 1 && m <= self.hcols.len(), "subdiag: bad m");
+        self.hcols[m - 1][m]
+    }
+
+    /// The first `m` basis vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` exceeds the stored basis size.
+    pub fn basis(&self, m: usize) -> &[Vec<f64>] {
+        assert!(m <= self.vs.len(), "basis: m exceeds stored vectors");
+        &self.vs[..m]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KrylovKind, StandardOp};
+    use matex_sparse::{CsrMatrix, LuOptions, SparseLu};
+
+    /// Dense operator for testing: applies an explicit matrix.
+    struct DenseOp {
+        a: DMat,
+    }
+
+    impl KrylovOp for DenseOp {
+        fn dim(&self) -> usize {
+            self.a.nrows()
+        }
+        fn apply(&self, v: &[f64], out: &mut [f64]) {
+            out.copy_from_slice(&self.a.matvec(v));
+        }
+        fn kind(&self) -> KrylovKind {
+            KrylovKind::Standard
+        }
+    }
+
+    fn test_matrix(n: usize) -> DMat {
+        DMat::from_fn(n, n, |i, j| {
+            if i == j {
+                -((i + 1) as f64)
+            } else if i.abs_diff(j) == 1 {
+                0.3
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn basis_is_orthonormal() {
+        let op = DenseOp { a: test_matrix(12) };
+        let v: Vec<f64> = (0..12).map(|i| (i as f64 + 1.0).sin()).collect();
+        let mut ar = Arnoldi::new(&op, &v, true).unwrap();
+        for _ in 0..6 {
+            ar.step().unwrap();
+        }
+        let basis = ar.basis(7);
+        for i in 0..7 {
+            for j in 0..7 {
+                let d = dot(&basis[i], &basis[j]);
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-12, "V^T V [{i},{j}] = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn hessenberg_recurrence_holds() {
+        // Op·V_m = V_m·Ĥ_m + ĥ_{m+1,m} v_{m+1} e_mᵀ
+        let op = DenseOp { a: test_matrix(10) };
+        let v: Vec<f64> = (0..10).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let mut ar = Arnoldi::new(&op, &v, true).unwrap();
+        let m = 5;
+        for _ in 0..m {
+            ar.step().unwrap();
+        }
+        let h = ar.h_hat(m);
+        let basis = ar.basis(m + 1);
+        for j in 0..m {
+            let mut avj = vec![0.0; 10];
+            op.apply(&basis[j], &mut avj);
+            // Σ_i V[:,i] H[i,j] (+ subdiag term when j = m-1)
+            let mut rhs = vec![0.0; 10];
+            for i in 0..m {
+                for k in 0..10 {
+                    rhs[k] += basis[i][k] * h[(i, j)];
+                }
+            }
+            if j == m - 1 {
+                let sub = ar.subdiag(m);
+                for k in 0..10 {
+                    rhs[k] += sub * basis[m][k];
+                }
+            }
+            for k in 0..10 {
+                assert!((avj[k] - rhs[k]).abs() < 1e-10, "col {j} row {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_vector_rejected() {
+        let op = DenseOp { a: test_matrix(3) };
+        assert!(matches!(
+            Arnoldi::new(&op, &[0.0; 3], true),
+            Err(KrylovError::ZeroStartVector)
+        ));
+    }
+
+    #[test]
+    fn eigenvector_causes_happy_breakdown() {
+        // Diagonal operator, axis start vector: invariant after 1 step.
+        let op = DenseOp {
+            a: DMat::from_diag(&[-1.0, -2.0, -3.0]),
+        };
+        let mut ar = Arnoldi::new(&op, &[0.0, 1.0, 0.0], true).unwrap();
+        ar.step().unwrap();
+        assert!(ar.broke_down());
+        assert_eq!(ar.m(), 1);
+        assert_eq!(ar.subdiag(1), 0.0);
+        assert!((ar.h_hat(1)[(0, 0)] + 2.0).abs() < 1e-14);
+        // Further steps are no-ops.
+        ar.step().unwrap();
+        assert_eq!(ar.m(), 1);
+    }
+
+    #[test]
+    fn works_with_sparse_standard_op() {
+        let c = CsrMatrix::identity(4);
+        let g = CsrMatrix::from_triplets(
+            4,
+            4,
+            &[(0, 0, 2.0), (1, 1, 2.0), (2, 2, 2.0), (3, 3, 2.0), (0, 1, -1.0), (1, 0, -1.0)],
+        );
+        let lu = SparseLu::factor(&c, &LuOptions::default()).unwrap();
+        let op = StandardOp::new(&lu, &g);
+        let mut ar = Arnoldi::new(&op, &[1.0, 2.0, 3.0, 4.0], true).unwrap();
+        for _ in 0..3 {
+            ar.step().unwrap();
+        }
+        assert_eq!(ar.m(), 3);
+        assert!((norm2(&ar.basis(1)[0]) - 1.0).abs() < 1e-14);
+        assert!((ar.beta() - (30.0_f64).sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+use std::fmt;
+
+/// Errors from Krylov-subspace matrix-exponential computation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum KrylovError {
+    /// The posterior error estimate stayed above the tolerance at the
+    /// maximum allowed subspace dimension.
+    NoConvergence {
+        /// Dimension reached.
+        m: usize,
+        /// Error estimate at that dimension.
+        estimate: f64,
+        /// Requested tolerance.
+        tolerance: f64,
+    },
+    /// The starting vector was zero (nothing to approximate).
+    ZeroStartVector,
+    /// A projected dense computation failed (Hessenberg inversion /
+    /// exponential).
+    Dense(matex_dense::DenseError),
+    /// The operator produced a non-finite vector (badly scaled system).
+    NotFinite {
+        /// Arnoldi step at which it occurred.
+        step: usize,
+    },
+}
+
+impl fmt::Display for KrylovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KrylovError::NoConvergence {
+                m,
+                estimate,
+                tolerance,
+            } => write!(
+                f,
+                "krylov expm did not converge: estimate {estimate:.3e} > tol {tolerance:.3e} at m = {m}"
+            ),
+            KrylovError::ZeroStartVector => write!(f, "krylov starting vector is zero"),
+            KrylovError::Dense(e) => write!(f, "projected dense computation failed: {e}"),
+            KrylovError::NotFinite { step } => {
+                write!(f, "operator produced non-finite values at arnoldi step {step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KrylovError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KrylovError::Dense(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<matex_dense::DenseError> for KrylovError {
+    fn from(e: matex_dense::DenseError) -> Self {
+        KrylovError::Dense(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_numbers() {
+        let e = KrylovError::NoConvergence {
+            m: 30,
+            estimate: 1e-3,
+            tolerance: 1e-6,
+        };
+        let s = e.to_string();
+        assert!(s.contains("m = 30"));
+        assert!(s.contains("1.000e-3"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Krylov-subspace matrix-exponential kernels for MATEX.
+//!
+//! Implements the paper's Alg. 1 ("MATEX Arnoldi") and its three operator
+//! variants, plus the reusable-basis evaluation that powers Alg. 2:
+//!
+//! * [`Arnoldi`] — incremental Arnoldi factorization with MGS +
+//!   re-orthogonalization,
+//! * [`StandardOp`] / [`InvertedOp`] / [`RationalOp`] — MEXP, I-MATEX and
+//!   R-MATEX iteration operators (each one forward/backward substitution
+//!   pair per step),
+//! * [`KrylovKind::map_hessenberg`] — `Ĥ → Hm` mappings
+//!   (`Ĥ`, `Ĥ⁻¹`, `(I−Ĥ⁻¹)/γ`),
+//! * [`build_basis`] — tolerance-driven subspace construction with the
+//!   paper's posterior error estimates,
+//! * [`KrylovBasis`] — `(β, V_m, H_m)` with `eval(h)` for snapshot reuse.
+//!
+//! # Example
+//!
+//! ```
+//! use matex_krylov::{build_basis, ExpmParams, RationalOp};
+//! use matex_sparse::{CsrMatrix, LuOptions, SparseLu};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 2-node RC system: C x' = -G x.
+//! let c = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+//! let g = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 2.0)]);
+//! let gamma = 0.1;
+//! let shifted = CsrMatrix::linear_combination(1.0, &c, gamma, &g)?;
+//! let lu = SparseLu::factor(&shifted, &LuOptions::default())?;
+//! let op = RationalOp::new(&lu, &c, gamma);
+//!
+//! let v = vec![1.0, 0.0];
+//! let out = build_basis(&op, &v, 0.5, &ExpmParams::with_tol(1e-10))?;
+//! let x = out.basis.eval(0.5)?; // ≈ e^{0.5 A} v
+//! assert!(x[0] < 1.0 && x[1] > 0.0); // charge spreads to node 2
+//! # Ok(())
+//! # }
+//! ```
+
+mod arnoldi;
+mod error;
+mod expmv;
+mod operator;
+mod variant;
+
+pub use arnoldi::Arnoldi;
+pub use error::KrylovError;
+pub use expmv::{build_basis, build_basis_multi, BuildOutcome, ExpmParams, KrylovBasis};
+pub use operator::{InvertedOp, KrylovOp, RationalOp, StandardOp};
+pub use variant::KrylovKind;

@@ -1,0 +1,238 @@
+//! Krylov iteration operators for the three MATEX variants.
+//!
+//! Each variant of the paper's Alg. 1 is "the same Arnoldi skeleton with
+//! different input matrices `X1` (factored) and `X2` (multiplied)":
+//!
+//! | variant  | operator applied per step            | `X1` (LU)   | `X2` |
+//! |----------|--------------------------------------|-------------|------|
+//! | standard | `A v   = −C⁻¹ (G v)`                 | `C`         | `G`  |
+//! | inverted | `A⁻¹ v = −G⁻¹ (C v)`                 | `G`         | `C`  |
+//! | rational | `(I−γA)⁻¹ v = (C+γG)⁻¹ (C v)`        | `C + γG`    | `C`  |
+
+use crate::KrylovKind;
+use matex_sparse::{CsrMatrix, SparseLu};
+
+/// One application of the Arnoldi iteration matrix.
+///
+/// Implementations wrap a pre-computed sparse LU of `X1` and a sparse
+/// `X2`; `apply` costs one mat-vec plus one forward/backward substitution
+/// pair (`T_bs`).
+pub trait KrylovOp {
+    /// Dimension of the state space.
+    fn dim(&self) -> usize;
+
+    /// Computes `out = Op(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from [`KrylovOp::dim`].
+    fn apply(&self, v: &[f64], out: &mut [f64]);
+
+    /// Which variant this operator implements.
+    fn kind(&self) -> KrylovKind;
+
+    /// The shift parameter γ (rational variant only).
+    fn gamma(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Standard-Krylov operator `v ↦ A v = −C⁻¹(G v)` (the MEXP baseline).
+///
+/// Requires a *nonsingular* `C` — regularize first when the circuit has
+/// cap-less nodes (see `matex_circuit::regularize_c`).
+#[derive(Debug)]
+pub struct StandardOp<'a> {
+    lu_c: &'a SparseLu,
+    g: &'a CsrMatrix,
+}
+
+impl<'a> StandardOp<'a> {
+    /// Wraps `LU(C)` and `G`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn new(lu_c: &'a SparseLu, g: &'a CsrMatrix) -> Self {
+        assert_eq!(lu_c.dim(), g.nrows(), "dimension mismatch");
+        StandardOp { lu_c, g }
+    }
+}
+
+impl KrylovOp for StandardOp<'_> {
+    fn dim(&self) -> usize {
+        self.g.nrows()
+    }
+
+    fn apply(&self, v: &[f64], out: &mut [f64]) {
+        let gv = self.g.matvec(v);
+        let mut work = vec![0.0; self.dim()];
+        self.lu_c.solve_into(&gv, out, &mut work);
+        for x in out.iter_mut() {
+            *x = -*x;
+        }
+    }
+
+    fn kind(&self) -> KrylovKind {
+        KrylovKind::Standard
+    }
+}
+
+/// Inverted-Krylov operator `v ↦ A⁻¹ v = −G⁻¹(C v)` (I-MATEX).
+///
+/// Works with singular `C`: only `G` is factored (Sec. 3.3.3).
+#[derive(Debug)]
+pub struct InvertedOp<'a> {
+    lu_g: &'a SparseLu,
+    c: &'a CsrMatrix,
+}
+
+impl<'a> InvertedOp<'a> {
+    /// Wraps `LU(G)` and `C`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn new(lu_g: &'a SparseLu, c: &'a CsrMatrix) -> Self {
+        assert_eq!(lu_g.dim(), c.nrows(), "dimension mismatch");
+        InvertedOp { lu_g, c }
+    }
+}
+
+impl KrylovOp for InvertedOp<'_> {
+    fn dim(&self) -> usize {
+        self.c.nrows()
+    }
+
+    fn apply(&self, v: &[f64], out: &mut [f64]) {
+        let cv = self.c.matvec(v);
+        let mut work = vec![0.0; self.dim()];
+        self.lu_g.solve_into(&cv, out, &mut work);
+        for x in out.iter_mut() {
+            *x = -*x;
+        }
+    }
+
+    fn kind(&self) -> KrylovKind {
+        KrylovKind::Inverted
+    }
+}
+
+/// Rational (shift-and-invert) Krylov operator
+/// `v ↦ (I − γA)⁻¹ v = (C + γG)⁻¹ (C v)` (R-MATEX).
+///
+/// Works with singular `C`: only `C + γG` is factored.
+#[derive(Debug)]
+pub struct RationalOp<'a> {
+    lu_shift: &'a SparseLu,
+    c: &'a CsrMatrix,
+    gamma: f64,
+}
+
+impl<'a> RationalOp<'a> {
+    /// Wraps `LU(C + γG)` and `C`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree or `gamma` is not a positive finite
+    /// number.
+    pub fn new(lu_shift: &'a SparseLu, c: &'a CsrMatrix, gamma: f64) -> Self {
+        assert_eq!(lu_shift.dim(), c.nrows(), "dimension mismatch");
+        assert!(
+            gamma.is_finite() && gamma > 0.0,
+            "gamma must be positive and finite"
+        );
+        RationalOp { lu_shift, c, gamma }
+    }
+}
+
+impl KrylovOp for RationalOp<'_> {
+    fn dim(&self) -> usize {
+        self.c.nrows()
+    }
+
+    fn apply(&self, v: &[f64], out: &mut [f64]) {
+        let cv = self.c.matvec(v);
+        let mut work = vec![0.0; self.dim()];
+        self.lu_shift.solve_into(&cv, out, &mut work);
+    }
+
+    fn kind(&self) -> KrylovKind {
+        KrylovKind::Rational
+    }
+
+    fn gamma(&self) -> Option<f64> {
+        Some(self.gamma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matex_sparse::LuOptions;
+
+    fn small_system() -> (CsrMatrix, CsrMatrix) {
+        // C = diag(1, 2), G = [[3, -1], [-1, 2]]
+        let c = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]);
+        let g = CsrMatrix::from_triplets(2, 2, &[(0, 0, 3.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 2.0)]);
+        (c, g)
+    }
+
+    #[test]
+    fn standard_applies_minus_cinv_g() {
+        let (c, g) = small_system();
+        let lu = SparseLu::factor(&c, &LuOptions::default()).unwrap();
+        let op = StandardOp::new(&lu, &g);
+        let mut out = vec![0.0; 2];
+        op.apply(&[1.0, 0.0], &mut out);
+        // A e1 = -C^{-1} G e1 = -[3, -1/2]
+        assert!((out[0] + 3.0).abs() < 1e-12);
+        assert!((out[1] - 0.5).abs() < 1e-12);
+        assert_eq!(op.kind(), KrylovKind::Standard);
+        assert_eq!(op.gamma(), None);
+    }
+
+    #[test]
+    fn inverted_is_inverse_of_standard() {
+        let (c, g) = small_system();
+        let lu_c = SparseLu::factor(&c, &LuOptions::default()).unwrap();
+        let lu_g = SparseLu::factor(&g, &LuOptions::default()).unwrap();
+        let std_op = StandardOp::new(&lu_c, &g);
+        let inv_op = InvertedOp::new(&lu_g, &c);
+        let v = vec![0.7, -0.3];
+        let mut av = vec![0.0; 2];
+        std_op.apply(&v, &mut av);
+        let mut back = vec![0.0; 2];
+        inv_op.apply(&av, &mut back);
+        for (a, b) in back.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rational_matches_shifted_inverse() {
+        let (c, g) = small_system();
+        let gamma = 0.1;
+        let shift = CsrMatrix::linear_combination(1.0, &c, gamma, &g).unwrap();
+        let lu_s = SparseLu::factor(&shift, &LuOptions::default()).unwrap();
+        let op = RationalOp::new(&lu_s, &c, gamma);
+        // (I - γA) out = v  with A = -C^{-1}G  ⇔  (C + γG) out = C v.
+        let v = vec![1.0, 1.0];
+        let mut out = vec![0.0; 2];
+        op.apply(&v, &mut out);
+        let lhs = shift.matvec(&out);
+        let rhs = c.matvec(&v);
+        for (a, b) in lhs.iter().zip(&rhs) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert_eq!(op.gamma(), Some(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn rational_rejects_bad_gamma() {
+        let (c, _) = small_system();
+        let lu = SparseLu::factor(&c, &LuOptions::default()).unwrap();
+        let _ = RationalOp::new(&lu, &c, -1.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Variant selection and the Ĥ → Hm mapping.
+
+use crate::KrylovError;
+use matex_dense::{DenseLu, DMat};
+
+/// Which Krylov subspace the matrix exponential is projected onto.
+///
+/// * `Standard` — `K_m(A, v)`: the MEXP baseline [Weng et al. TCAD'12].
+///   Cheap per step but needs large `m` on stiff circuits and a
+///   nonsingular `C`.
+/// * `Inverted` — `K_m(A⁻¹, v)` (I-MATEX): captures the small-magnitude
+///   eigenvalues that dominate the transient.
+/// * `Rational` — `K_m((I−γA)⁻¹, v)` (R-MATEX): shift-and-invert basis,
+///   the paper's best performer; insensitive to γ near the step-size
+///   scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KrylovKind {
+    /// Standard Krylov subspace on `A` (MEXP).
+    Standard,
+    /// Inverted Krylov subspace on `A⁻¹` (I-MATEX).
+    Inverted,
+    /// Rational (shift-and-invert) Krylov subspace (R-MATEX).
+    #[default]
+    Rational,
+}
+
+impl KrylovKind {
+    /// Human-readable name used in reports (matches the paper's naming).
+    pub fn label(self) -> &'static str {
+        match self {
+            KrylovKind::Standard => "MEXP",
+            KrylovKind::Inverted => "I-MATEX",
+            KrylovKind::Rational => "R-MATEX",
+        }
+    }
+
+    /// Maps the Arnoldi Hessenberg matrix `Ĥm` of this variant's operator
+    /// to the matrix `Hm` whose exponential approximates `e^{hA}`:
+    ///
+    /// * standard:  `Hm = Ĥm`
+    /// * inverted:  `Hm = Ĥm⁻¹`
+    /// * rational:  `Hm = (I − Ĥm⁻¹) / γ`
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KrylovError::Dense`] if `Ĥm` is numerically singular
+    /// (inverted/rational only).
+    pub fn map_hessenberg(self, h_hat: &DMat, gamma: f64) -> Result<DMat, KrylovError> {
+        Ok(self.map_hessenberg_with_inverse(h_hat, gamma)?.0)
+    }
+
+    /// Like [`KrylovKind::map_hessenberg`] but also returns `Ĥm⁻¹` when
+    /// the variant computes it (inverted/rational) — the posterior error
+    /// estimates of Eqs. (8)/(10) need its last row.
+    ///
+    /// # Errors
+    ///
+    /// As [`KrylovKind::map_hessenberg`].
+    pub fn map_hessenberg_with_inverse(
+        self,
+        h_hat: &DMat,
+        gamma: f64,
+    ) -> Result<(DMat, Option<DMat>), KrylovError> {
+        match self {
+            KrylovKind::Standard => Ok((h_hat.clone(), None)),
+            KrylovKind::Inverted => {
+                let inv = DenseLu::factor(h_hat)?.inverse()?;
+                Ok((inv.clone(), Some(inv)))
+            }
+            KrylovKind::Rational => {
+                let inv = DenseLu::factor(h_hat)?.inverse()?;
+                let m = h_hat.nrows();
+                let mut out = DMat::zeros(m, m);
+                for i in 0..m {
+                    for j in 0..m {
+                        let id = if i == j { 1.0 } else { 0.0 };
+                        out[(i, j)] = (id - inv[(i, j)]) / gamma;
+                    }
+                }
+                Ok((out, Some(inv)))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for KrylovKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_mapping_is_identity() {
+        let h = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let m = KrylovKind::Standard.map_hessenberg(&h, 0.0).unwrap();
+        assert_eq!(m, h);
+    }
+
+    #[test]
+    fn inverted_mapping_inverts() {
+        let h = DMat::from_diag(&[2.0, 4.0]);
+        let m = KrylovKind::Inverted.map_hessenberg(&h, 0.0).unwrap();
+        assert!((m[(0, 0)] - 0.5).abs() < 1e-15);
+        assert!((m[(1, 1)] - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rational_mapping_formula() {
+        // Ĥ = (I - γA)^{-1} projected; for scalar a: ĥ = 1/(1-γa)
+        // → (1 - 1/ĥ)/γ = a.
+        let a = -3.0;
+        let gamma = 0.05;
+        let h_hat = DMat::from_diag(&[1.0 / (1.0 - gamma * a)]);
+        let m = KrylovKind::Rational.map_hessenberg(&h_hat, gamma).unwrap();
+        assert!((m[(0, 0)] - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_hessenberg_reports() {
+        let h = DMat::zeros(2, 2);
+        assert!(KrylovKind::Inverted.map_hessenberg(&h, 0.0).is_err());
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(KrylovKind::Standard.label(), "MEXP");
+        assert_eq!(KrylovKind::Inverted.label(), "I-MATEX");
+        assert_eq!(KrylovKind::Rational.to_string(), "R-MATEX");
+        assert_eq!(KrylovKind::default(), KrylovKind::Rational);
+    }
+}

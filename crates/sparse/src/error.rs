@@ -1,0 +1,69 @@
+use std::fmt;
+
+/// Errors produced by sparse linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// The matrix was structurally or numerically singular during LU.
+    Singular {
+        /// Column (in pivot order) at which no acceptable pivot was found.
+        column: usize,
+    },
+    /// A matrix had an invalid internal structure (unsorted indices,
+    /// out-of-range index, ragged pointers, ...).
+    InvalidStructure(String),
+    /// An operation required a square matrix.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// Input contained NaN or infinity.
+    NotFinite,
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::ShapeMismatch { left, right } => write!(
+                f,
+                "shape mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            SparseError::Singular { column } => {
+                write!(f, "matrix is singular at pivot column {column}")
+            }
+            SparseError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            SparseError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square: {rows}x{cols}")
+            }
+            SparseError::NotFinite => write!(f, "input contains a NaN or infinite value"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_column() {
+        assert!(SparseError::Singular { column: 3 }.to_string().contains("column 3"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SparseError>();
+    }
+}

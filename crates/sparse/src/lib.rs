@@ -1,0 +1,57 @@
+//! Sparse linear-algebra substrate for the MATEX power-grid simulator.
+//!
+//! The MATEX paper builds on a direct sparse solver (UMFPACK under MATLAB):
+//! every simulation engine factors one matrix up front — `C/h + G/2` for
+//! trapezoidal, `G` for the inverted Krylov variant, `C + γG` for the
+//! rational variant — and then performs thousands of forward/backward
+//! substitution pairs. This crate provides that solver stack from scratch:
+//!
+//! * [`CooMatrix`] — triplet assembly (duplicates summed, as MNA stamps
+//!   require),
+//! * [`CsrMatrix`] / [`CscMatrix`] — compressed storage with mat-vecs and
+//!   pattern-merged linear combinations,
+//! * [`OrderingKind`] — AMD / RCM / natural fill-reducing orderings,
+//! * [`equilibrate`] — power-of-two row/column scaling,
+//! * [`SparseLu`] — left-looking Gilbert–Peierls LU with threshold partial
+//!   pivoting.
+//!
+//! # Example
+//!
+//! ```
+//! use matex_sparse::{CsrMatrix, SparseLu, LuOptions};
+//!
+//! # fn main() -> Result<(), matex_sparse::SparseError> {
+//! // A tiny resistive network: solve G v = i.
+//! let g = CsrMatrix::from_triplets(
+//!     2,
+//!     2,
+//!     &[(0, 0, 3.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 2.0)],
+//! );
+//! let lu = SparseLu::factor(&g, &LuOptions::default())?;
+//! let v = lu.solve(&[1.0, 0.0]);
+//! assert!((v[0] - 0.4).abs() < 1e-12);
+//! assert!((v[1] - 0.2).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod coo;
+mod csc;
+mod csr;
+mod error;
+mod lu;
+mod options;
+mod perm;
+mod scaling;
+
+pub mod ordering;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use error::SparseError;
+pub use lu::SparseLu;
+pub use options::LuOptions;
+pub use ordering::OrderingKind;
+pub use perm::Permutation;
+pub use scaling::equilibrate;

@@ -1,0 +1,59 @@
+//! Factorization options.
+
+use crate::OrderingKind;
+
+/// Options controlling [`SparseLu::factor`](crate::SparseLu::factor).
+///
+/// The defaults mirror the paper's UMFPACK configuration: fill-reducing
+/// ordering, equilibration, and relaxed partial pivoting that prefers the
+/// diagonal (keeping the ordering's fill prediction valid).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LuOptions {
+    /// Fill-reducing column ordering (default: AMD).
+    pub ordering: OrderingKind,
+    /// Threshold `τ ∈ (0, 1]` for diagonal-preference pivoting: the
+    /// diagonal entry is used whenever `|a_dd| ≥ τ·max_i |a_id|`. `1.0`
+    /// degenerates to strict partial pivoting.
+    pub pivot_threshold: f64,
+    /// Scale rows and columns to unit max-magnitude before factoring.
+    pub equilibrate: bool,
+}
+
+impl Default for LuOptions {
+    fn default() -> Self {
+        LuOptions {
+            ordering: OrderingKind::Amd,
+            pivot_threshold: 0.1,
+            equilibrate: true,
+        }
+    }
+}
+
+impl LuOptions {
+    /// Options with strict partial pivoting (maximum robustness, more
+    /// fill).
+    pub fn strict_pivoting() -> Self {
+        LuOptions {
+            pivot_threshold: 1.0,
+            ..LuOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let o = LuOptions::default();
+        assert_eq!(o.ordering, OrderingKind::Amd);
+        assert!(o.equilibrate);
+        assert!(o.pivot_threshold > 0.0 && o.pivot_threshold < 1.0);
+    }
+
+    #[test]
+    fn strict_pivoting_threshold_is_one() {
+        assert_eq!(LuOptions::strict_pivoting().pivot_threshold, 1.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Approximate minimum degree ordering.
+
+use crate::{CsrMatrix, Permutation};
+
+/// Computes an approximate minimum-degree ordering of the pattern of
+/// `A + Aᵀ`.
+///
+/// This is a quotient-graph minimum-degree with element absorption and the
+/// additive degree bound of Amestoy–Davis–Duff (`d(u) ≤ |A_u| + Σ_e |L_e \
+/// u|`): at each step the variable with the smallest approximate degree is
+/// eliminated, its adjacent elements are absorbed into a new element, and
+/// the degrees of the element's boundary variables are updated.
+///
+/// Compared to production AMD this version skips supervariable detection
+/// (indistinguishable-node merging) and aggressive absorption by hashing —
+/// acceptable at power-grid scales and structurally much simpler. The
+/// resulting fill on mesh-like matrices is within a small factor of real
+/// AMD and far below natural/RCM ordering (see the `ablation_orderings`
+/// bench).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn amd_order(a: &CsrMatrix) -> Permutation {
+    assert!(a.is_square(), "amd_order requires a square matrix");
+    let n = a.nrows();
+    if n == 0 {
+        return Permutation::identity(0);
+    }
+    let adj = a.symmetric_adjacency();
+
+    // Quotient-graph state.
+    let mut adj_var: Vec<Vec<u32>> = adj
+        .iter()
+        .map(|l| l.iter().map(|&u| u as u32).collect())
+        .collect();
+    let mut adj_el: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut elem: Vec<Option<Vec<u32>>> = vec![None; n];
+    let mut degree: Vec<usize> = adj_var.iter().map(|l| l.len()).collect();
+    let mut eliminated = vec![false; n];
+
+    // Bucket priority queue over degrees with lazy invalidation.
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); (max_deg + 2).max(n + 1)];
+    for v in 0..n {
+        buckets[degree[v]].push(v as u32);
+    }
+    let mut cur_min = 0usize;
+
+    // Stamp array for set unions.
+    let mut stamp: Vec<u64> = vec![0; n];
+    let mut stamp_gen: u64 = 0;
+
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    while order.len() < n {
+        // Pop the minimum-degree live variable.
+        let v = loop {
+            while cur_min < buckets.len() && buckets[cur_min].is_empty() {
+                cur_min += 1;
+            }
+            assert!(cur_min < buckets.len(), "amd: bucket queue exhausted early");
+            let cand = buckets[cur_min].pop().expect("nonempty bucket") as usize;
+            if !eliminated[cand] && degree[cand] == cur_min {
+                break cand;
+            }
+            // Stale entry: skip.
+        };
+
+        // Build the new element L_v = (A_v ∪ ⋃ L_e) \ {v, eliminated}.
+        stamp_gen += 1;
+        stamp[v] = stamp_gen; // exclude v itself
+        let mut lv: Vec<u32> = Vec::new();
+        for &u in &adj_var[v] {
+            let u_us = u as usize;
+            if !eliminated[u_us] && stamp[u_us] != stamp_gen {
+                stamp[u_us] = stamp_gen;
+                lv.push(u);
+            }
+        }
+        for &e in &adj_el[v] {
+            if let Some(boundary) = elem[e as usize].take() {
+                // Element absorbed into the new one.
+                for &u in &boundary {
+                    let u_us = u as usize;
+                    if !eliminated[u_us] && stamp[u_us] != stamp_gen {
+                        stamp[u_us] = stamp_gen;
+                        lv.push(u);
+                    }
+                }
+            }
+        }
+        adj_var[v].clear();
+        adj_var[v].shrink_to_fit();
+        adj_el[v].clear();
+        eliminated[v] = true;
+        order.push(v);
+        // Register the new element before degree updates reference it.
+        let boundary = lv.clone();
+        elem[v] = Some(lv);
+
+        // Update boundary variables.
+        for &u in &boundary {
+            let u_us = u as usize;
+            // Direct edges now covered by the element (or dead) are dropped.
+            adj_var[u_us]
+                .retain(|&w| !eliminated[w as usize] && stamp[w as usize] != stamp_gen);
+            // Dead elements are dropped; the new element v joins.
+            adj_el[u_us].retain(|&e| elem[e as usize].is_some());
+            adj_el[u_us].push(v as u32);
+            // Approximate degree: direct neighbours plus element boundary
+            // sizes (minus self per element).
+            let mut d = adj_var[u_us].len();
+            for &e in &adj_el[u_us] {
+                let le = elem[e as usize].as_ref().expect("live element").len();
+                d += le.saturating_sub(1);
+            }
+            let d = d.min(n - 1);
+            degree[u_us] = d;
+            if d >= buckets.len() {
+                buckets.resize(d + 1, Vec::new());
+            }
+            buckets[d].push(u);
+            if d < cur_min {
+                cur_min = d;
+            }
+        }
+    }
+    Permutation::from_vec(order).expect("each variable eliminated exactly once")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(nx: usize, ny: usize) -> CsrMatrix {
+        let idx = |x: usize, y: usize| y * nx + x;
+        let n = nx * ny;
+        let mut t = Vec::new();
+        for y in 0..ny {
+            for x in 0..nx {
+                t.push((idx(x, y), idx(x, y), 4.0));
+                if x + 1 < nx {
+                    t.push((idx(x, y), idx(x + 1, y), -1.0));
+                    t.push((idx(x + 1, y), idx(x, y), -1.0));
+                }
+                if y + 1 < ny {
+                    t.push((idx(x, y), idx(x, y + 1), -1.0));
+                    t.push((idx(x, y + 1), idx(x, y), -1.0));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    /// Symbolic fill count of Cholesky on the permuted pattern (exact
+    /// elimination, used as ordering-quality ground truth in tests).
+    fn symbolic_fill(a: &CsrMatrix, p: &Permutation) -> usize {
+        let n = a.nrows();
+        let inv = p.inverse();
+        // adjacency in permuted labels
+        let mut adj: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); n];
+        for r in 0..n {
+            for &c in a.row_indices(r) {
+                if r != c {
+                    let (pr, pc) = (inv.old_of(r), inv.old_of(c));
+                    adj[pr].insert(pc);
+                    adj[pc].insert(pr);
+                }
+            }
+        }
+        let mut fill = 0usize;
+        for k in 0..n {
+            let nbrs: Vec<usize> = adj[k].iter().copied().filter(|&u| u > k).collect();
+            fill += nbrs.len();
+            for i in 0..nbrs.len() {
+                for j in (i + 1)..nbrs.len() {
+                    if adj[nbrs[i]].insert(nbrs[j]) {
+                        adj[nbrs[j]].insert(nbrs[i]);
+                    }
+                }
+            }
+        }
+        fill
+    }
+
+    #[test]
+    fn amd_is_valid_permutation() {
+        let a = grid(9, 7);
+        let p = amd_order(&a);
+        assert_eq!(p.len(), 63);
+        assert!(Permutation::from_vec(p.as_slice().to_vec()).is_ok());
+    }
+
+    #[test]
+    fn amd_beats_natural_ordering_on_grid() {
+        let a = grid(14, 14);
+        let nat = symbolic_fill(&a, &Permutation::identity(a.nrows()));
+        let amd = symbolic_fill(&a, &amd_order(&a));
+        assert!(
+            (amd as f64) < 0.8 * nat as f64,
+            "amd fill {amd} not clearly below natural fill {nat}"
+        );
+    }
+
+    #[test]
+    fn amd_on_chain_is_near_perfect() {
+        // A path graph eliminates with zero fill under minimum degree.
+        let n = 40;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, &t);
+        let fill = symbolic_fill(&a, &amd_order(&a));
+        // n-1 off-diagonal entries, no extra fill.
+        assert_eq!(fill, n - 1);
+    }
+
+    #[test]
+    fn amd_handles_dense_row() {
+        // A star graph: hub must be eliminated last.
+        let n = 12;
+        let mut t = vec![(0usize, 0usize, 1.0)];
+        for i in 1..n {
+            t.push((i, i, 1.0));
+            t.push((0, i, 1.0));
+            t.push((i, 0, 1.0));
+        }
+        let a = CsrMatrix::from_triplets(n, n, &t);
+        let p = amd_order(&a);
+        // The hub ties with the final leaf at degree 1 in the endgame, so
+        // it must land in one of the last two positions.
+        let pos = p.as_slice().iter().position(|&v| v == 0).unwrap();
+        assert!(pos >= n - 2, "hub eliminated too early (position {pos})");
+    }
+
+    #[test]
+    fn amd_empty_and_diagonal() {
+        let a = CsrMatrix::identity(6);
+        let p = amd_order(&a);
+        assert_eq!(p.len(), 6);
+        let e = CsrMatrix::zeros(0, 0);
+        assert_eq!(amd_order(&e).len(), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Permutation vectors.
+
+use crate::SparseError;
+
+/// A permutation of `0..n`, stored as `perm[new_position] = old_index`.
+///
+/// Orderings return a `Permutation` whose `k`-th entry names the original
+/// row/column that should come `k`-th in the reordered matrix.
+///
+/// # Example
+///
+/// ```
+/// use matex_sparse::Permutation;
+///
+/// # fn main() -> Result<(), matex_sparse::SparseError> {
+/// let p = Permutation::from_vec(vec![2, 0, 1])?;
+/// assert_eq!(p.apply(&[10.0, 20.0, 30.0]), vec![30.0, 10.0, 20.0]);
+/// let inv = p.inverse();
+/// assert_eq!(inv.apply(&p.apply(&[1.0, 2.0, 3.0])), vec![1.0, 2.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    perm: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            perm: (0..n).collect(),
+        }
+    }
+
+    /// Validates and wraps a permutation vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidStructure`] when `perm` is not a
+    /// bijection of `0..perm.len()`.
+    pub fn from_vec(perm: Vec<usize>) -> Result<Self, SparseError> {
+        let n = perm.len();
+        let mut seen = vec![false; n];
+        for &p in &perm {
+            if p >= n || seen[p] {
+                return Err(SparseError::InvalidStructure(format!(
+                    "not a permutation: entry {p} repeated or out of range"
+                )));
+            }
+            seen[p] = true;
+        }
+        Ok(Permutation { perm })
+    }
+
+    /// Length of the permutation.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// `true` for the empty permutation.
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// The underlying vector (`perm[new] = old`).
+    pub fn as_slice(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Old index at new position `new`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new >= len`.
+    pub fn old_of(&self, new: usize) -> usize {
+        self.perm[new]
+    }
+
+    /// The inverse permutation (`inv[old] = new`).
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0usize; self.perm.len()];
+        for (new, &old) in self.perm.iter().enumerate() {
+            inv[old] = new;
+        }
+        Permutation { perm: inv }
+    }
+
+    /// Gathers `x` into a new vector: `out[new] = x[perm[new]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != len`.
+    pub fn apply<T: Copy>(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.perm.len(), "apply: length mismatch");
+        self.perm.iter().map(|&old| x[old]).collect()
+    }
+
+    /// Composition `self ∘ other`: applying the result equals applying
+    /// `other` first, then `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "compose: length mismatch");
+        Permutation {
+            perm: self.perm.iter().map(|&i| other.perm[i]).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_applies_unchanged() {
+        let p = Permutation::identity(3);
+        assert_eq!(p.apply(&[5, 6, 7]), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let p = Permutation::from_vec(vec![3, 1, 0, 2]).unwrap();
+        let inv = p.inverse();
+        let x = [9.0, 8.0, 7.0, 6.0];
+        assert_eq!(inv.apply(&p.apply(&x)), x.to_vec());
+        assert_eq!(p.apply(&inv.apply(&x)), x.to_vec());
+    }
+
+    #[test]
+    fn rejects_non_permutation() {
+        assert!(Permutation::from_vec(vec![0, 0]).is_err());
+        assert!(Permutation::from_vec(vec![0, 5]).is_err());
+    }
+
+    #[test]
+    fn compose_applies_right_then_left() {
+        // other: reverse; self: rotate.
+        let rev = Permutation::from_vec(vec![2, 1, 0]).unwrap();
+        let rot = Permutation::from_vec(vec![1, 2, 0]).unwrap();
+        let c = rot.compose(&rev);
+        let x = [1, 2, 3];
+        assert_eq!(c.apply(&x), rot.apply(&rev.apply(&x)));
+    }
+
+    #[test]
+    fn old_of_indexing() {
+        let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        assert_eq!(p.old_of(0), 2);
+        assert_eq!(p.inverse().old_of(2), 0);
+    }
+}

@@ -1,0 +1,31 @@
+use std::fmt;
+
+/// Errors from waveform construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WaveformError {
+    /// Timing parameters were inconsistent (negative durations,
+    /// non-monotone PWL times, discontinuous pulse, ...).
+    InvalidTiming(String),
+}
+
+impl fmt::Display for WaveformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaveformError::InvalidTiming(msg) => write!(f, "invalid waveform timing: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WaveformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_reason() {
+        let e = WaveformError::InvalidTiming("negative rise".into());
+        assert!(e.to_string().contains("negative rise"));
+    }
+}

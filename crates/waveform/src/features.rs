@@ -1,0 +1,108 @@
+//! Bump-feature extraction for subtask grouping.
+//!
+//! The paper decomposes the simulation "more aggressively" than one task
+//! per source: pulse sources that share the same
+//! `(t_delay, t_rise, t_fall, t_width, t_period)` tuple produce *identical
+//! transition spots*, so simulating them together costs no extra Krylov
+//! subspace generations (Fig. 3). [`FeatureKey`] is the grouping key.
+
+use crate::Waveform;
+
+/// A hashable identity of a waveform's *timing shape* (not its amplitude).
+///
+/// Two sources with equal `FeatureKey`s have exactly the same transition
+/// spots and can share a MATEX subtask for free.
+///
+/// Keys compare by exact bit pattern of the timing parameters: workload
+/// generators that stamp many loads from one template produce identical
+/// bits, which is precisely the structure the paper's grouping exploits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FeatureKey {
+    /// Constant waveform — never produces transition spots.
+    Constant,
+    /// Pulse timing tuple `(delay, rise, width, fall, period)` as raw bits.
+    Bump([u64; 5]),
+    /// PWL breakpoint times as raw bits.
+    PwlTimes(Vec<u64>),
+}
+
+impl FeatureKey {
+    /// Extracts the feature key of a waveform.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use matex_waveform::{FeatureKey, Pulse, Waveform};
+    ///
+    /// # fn main() -> Result<(), matex_waveform::WaveformError> {
+    /// let a = Waveform::Pulse(Pulse::new(0.0, 1.0, 1e-10, 2e-11, 5e-11, 2e-11)?);
+    /// let b = Waveform::Pulse(Pulse::new(0.0, 3.0, 1e-10, 2e-11, 5e-11, 2e-11)?);
+    /// // Same timing, different amplitude: same key.
+    /// assert_eq!(FeatureKey::of(&a), FeatureKey::of(&b));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn of(w: &Waveform) -> FeatureKey {
+        if w.is_constant() {
+            return FeatureKey::Constant;
+        }
+        match w {
+            Waveform::Dc(_) => FeatureKey::Constant,
+            Waveform::Pulse(p) => FeatureKey::Bump([
+                p.t_delay.to_bits(),
+                p.t_rise.to_bits(),
+                p.t_width.to_bits(),
+                p.t_fall.to_bits(),
+                p.t_period.unwrap_or(0.0).to_bits(),
+            ]),
+            Waveform::Pwl(w) => {
+                FeatureKey::PwlTimes(w.points().iter().map(|&(t, _)| t.to_bits()).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pulse, Pwl};
+
+    #[test]
+    fn amplitude_does_not_affect_key() {
+        let a = Waveform::Pulse(Pulse::new(0.0, 1.0, 1.0, 1.0, 1.0, 1.0).unwrap());
+        let b = Waveform::Pulse(Pulse::new(-2.0, 5.0, 1.0, 1.0, 1.0, 1.0).unwrap());
+        assert_eq!(FeatureKey::of(&a), FeatureKey::of(&b));
+    }
+
+    #[test]
+    fn timing_affects_key() {
+        let a = Waveform::Pulse(Pulse::new(0.0, 1.0, 1.0, 1.0, 1.0, 1.0).unwrap());
+        let b = Waveform::Pulse(Pulse::new(0.0, 1.0, 2.0, 1.0, 1.0, 1.0).unwrap());
+        assert_ne!(FeatureKey::of(&a), FeatureKey::of(&b));
+    }
+
+    #[test]
+    fn constants_collapse() {
+        assert_eq!(FeatureKey::of(&Waveform::Dc(1.0)), FeatureKey::Constant);
+        assert_eq!(FeatureKey::of(&Waveform::Dc(-3.0)), FeatureKey::Constant);
+        let flat = Waveform::Pulse(Pulse::new(2.0, 2.0, 1.0, 0.0, 1.0, 0.0).unwrap());
+        assert_eq!(FeatureKey::of(&flat), FeatureKey::Constant);
+    }
+
+    #[test]
+    fn pwl_keys_by_times() {
+        let a = Waveform::Pwl(Pwl::new(vec![(0.0, 1.0), (1.0, 2.0)]).unwrap());
+        let b = Waveform::Pwl(Pwl::new(vec![(0.0, -1.0), (1.0, 7.0)]).unwrap());
+        let c = Waveform::Pwl(Pwl::new(vec![(0.0, 1.0), (2.0, 2.0)]).unwrap());
+        assert_eq!(FeatureKey::of(&a), FeatureKey::of(&b));
+        assert_ne!(FeatureKey::of(&a), FeatureKey::of(&c));
+    }
+
+    #[test]
+    fn periodic_vs_oneshot_differ() {
+        let a = Waveform::Pulse(Pulse::new(0.0, 1.0, 1.0, 1.0, 1.0, 1.0).unwrap());
+        let b = Waveform::Pulse(Pulse::periodic(0.0, 1.0, 1.0, 1.0, 1.0, 1.0, 10.0).unwrap());
+        assert_ne!(FeatureKey::of(&a), FeatureKey::of(&b));
+    }
+}

@@ -1,0 +1,292 @@
+//! Source grouping: partitioning inputs into MATEX subtasks.
+
+use crate::{FeatureKey, SpotSet, Waveform};
+use std::collections::HashMap;
+
+/// How to partition input sources into subtasks (paper Sec. 3.1–3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum GroupingStrategy {
+    /// Group sources sharing a bump feature (the paper's default): every
+    /// group's members have identical transition spots.
+    #[default]
+    ByBumpFeature,
+    /// One group per (non-constant) source — the paper's first, less
+    /// aggressive decomposition.
+    BySource,
+    /// No decomposition: all sources in a single group (single-node MATEX).
+    Single,
+    /// Feature grouping, then balanced merging down to at most this many
+    /// groups (models a bounded cluster).
+    MaxGroups(usize),
+}
+
+/// One subtask's share of the input sources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceGroup {
+    /// Group index (0-based; group 0 carries all constant sources).
+    pub id: usize,
+    /// Indices into the original source list.
+    pub members: Vec<usize>,
+    /// Union of the members' transition spots — this subtask's LTS.
+    pub lts: SpotSet,
+}
+
+impl SourceGroup {
+    /// Number of member sources.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Result of grouping: the groups plus the global transition spots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grouping {
+    /// The subtask groups. Group 0 always exists and holds every source
+    /// with no transitions (DC supplies, constant loads); it may be empty.
+    pub groups: Vec<SourceGroup>,
+    /// Global transition spots: union of all LTS.
+    pub gts: SpotSet,
+}
+
+impl Grouping {
+    /// Number of groups (including the constant group 0).
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Snapshot set of group `k`: `GTS \ LTS_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn snapshots(&self, k: usize) -> SpotSet {
+        self.gts.difference(&self.groups[k].lts)
+    }
+}
+
+/// Partitions sources into groups under the given strategy.
+///
+/// `waveforms[i]` is the waveform of source `i`; spots are collected over
+/// the window `[0, t_end]`.
+///
+/// # Example
+///
+/// ```
+/// use matex_waveform::{group_sources, GroupingStrategy, Pulse, Waveform};
+///
+/// # fn main() -> Result<(), matex_waveform::WaveformError> {
+/// let shape_a = Pulse::new(0.0, 1.0, 1e-10, 1e-11, 1e-11, 1e-11)?;
+/// let shape_b = Pulse::new(0.0, 2.0, 3e-10, 1e-11, 1e-11, 1e-11)?;
+/// let sources = vec![
+///     Waveform::Dc(1.0),          // supply -> group 0
+///     Waveform::Pulse(shape_a),   // group 1
+///     Waveform::Pulse(shape_a),   // group 1 (same feature)
+///     Waveform::Pulse(shape_b),   // group 2
+/// ];
+/// let g = group_sources(&sources, 1e-9, GroupingStrategy::ByBumpFeature);
+/// assert_eq!(g.num_groups(), 3);
+/// assert_eq!(g.groups[1].members, vec![1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn group_sources(
+    waveforms: &[Waveform],
+    t_end: f64,
+    strategy: GroupingStrategy,
+) -> Grouping {
+    let lts_of = |idx: &[usize]| -> SpotSet {
+        SpotSet::union(
+            &idx.iter()
+                .map(|&i| SpotSet::from_times(waveforms[i].transition_spots(t_end)))
+                .collect::<Vec<_>>(),
+        )
+    };
+
+    // Split constant sources (no transitions in window) from active ones.
+    let mut constant: Vec<usize> = Vec::new();
+    let mut active: Vec<usize> = Vec::new();
+    for (i, w) in waveforms.iter().enumerate() {
+        if w.transition_spots(t_end).is_empty() {
+            constant.push(i);
+        } else {
+            active.push(i);
+        }
+    }
+
+    let mut member_sets: Vec<Vec<usize>> = match strategy {
+        GroupingStrategy::Single => {
+            if active.is_empty() {
+                Vec::new()
+            } else {
+                vec![active]
+            }
+        }
+        GroupingStrategy::BySource => active.into_iter().map(|i| vec![i]).collect(),
+        GroupingStrategy::ByBumpFeature => by_feature(waveforms, &active),
+        GroupingStrategy::MaxGroups(k) => {
+            let by_feat = by_feature(waveforms, &active);
+            merge_balanced(by_feat, k.max(1), waveforms, t_end)
+        }
+    };
+
+    // Deterministic order: by smallest member index.
+    member_sets.sort_by_key(|m| m.first().copied().unwrap_or(usize::MAX));
+
+    let mut groups = Vec::with_capacity(member_sets.len() + 1);
+    groups.push(SourceGroup {
+        id: 0,
+        members: constant,
+        lts: SpotSet::new(),
+    });
+    for members in member_sets {
+        let lts = lts_of(&members);
+        groups.push(SourceGroup {
+            id: groups.len(),
+            members,
+            lts,
+        });
+    }
+    let gts = SpotSet::union(&groups.iter().map(|g| g.lts.clone()).collect::<Vec<_>>());
+    Grouping { groups, gts }
+}
+
+/// Groups active sources by their feature key.
+fn by_feature(waveforms: &[Waveform], active: &[usize]) -> Vec<Vec<usize>> {
+    let mut map: HashMap<FeatureKey, Vec<usize>> = HashMap::new();
+    for &i in active {
+        map.entry(FeatureKey::of(&waveforms[i])).or_default().push(i);
+    }
+    let mut sets: Vec<Vec<usize>> = map.into_values().collect();
+    sets.sort_by_key(|m| m.first().copied().unwrap_or(usize::MAX));
+    sets
+}
+
+/// Greedy balanced merge of feature groups into at most `k` bins,
+/// minimizing the largest per-bin LTS count (the quantity that drives each
+/// node's Krylov-subspace generations).
+fn merge_balanced(
+    sets: Vec<Vec<usize>>,
+    k: usize,
+    waveforms: &[Waveform],
+    t_end: f64,
+) -> Vec<Vec<usize>> {
+    if sets.len() <= k {
+        return sets;
+    }
+    // Weigh each feature group by its LTS count.
+    let mut weighted: Vec<(usize, Vec<usize>)> = sets
+        .into_iter()
+        .map(|m| {
+            let w = SpotSet::union(
+                &m.iter()
+                    .map(|&i| SpotSet::from_times(waveforms[i].transition_spots(t_end)))
+                    .collect::<Vec<_>>(),
+            )
+            .len();
+            (w, m)
+        })
+        .collect();
+    // Largest first into the currently lightest bin.
+    weighted.sort_by(|a, b| b.0.cmp(&a.0));
+    let mut bins: Vec<(usize, Vec<usize>)> = vec![(0, Vec::new()); k];
+    for (w, mut m) in weighted {
+        let lightest = bins
+            .iter_mut()
+            .min_by_key(|(bw, _)| *bw)
+            .expect("k >= 1 bins");
+        lightest.0 += w;
+        lightest.1.append(&mut m);
+    }
+    bins.into_iter()
+        .map(|(_, mut m)| {
+            m.sort_unstable();
+            m
+        })
+        .filter(|m| !m.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pulse;
+
+    fn pulse(delay: f64) -> Waveform {
+        Waveform::Pulse(Pulse::new(0.0, 1.0, delay, 1.0, 1.0, 1.0).unwrap())
+    }
+
+    #[test]
+    fn feature_grouping_merges_identical_shapes() {
+        let src = vec![pulse(1.0), pulse(2.0), pulse(1.0), Waveform::Dc(5.0)];
+        let g = group_sources(&src, 100.0, GroupingStrategy::ByBumpFeature);
+        // group 0 = constants, then {0, 2}, {1}
+        assert_eq!(g.num_groups(), 3);
+        assert_eq!(g.groups[0].members, vec![3]);
+        assert_eq!(g.groups[1].members, vec![0, 2]);
+        assert_eq!(g.groups[2].members, vec![1]);
+        // Group 1 LTS = spots of the shared shape.
+        assert_eq!(g.groups[1].lts.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        // GTS = union: {1,2,3,4} ∪ {2,3,4,5} = {1,2,3,4,5}.
+        assert_eq!(g.gts.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn snapshots_are_gts_minus_lts() {
+        let src = vec![pulse(1.0), pulse(10.0)];
+        let g = group_sources(&src, 100.0, GroupingStrategy::ByBumpFeature);
+        let snap = g.snapshots(1);
+        assert_eq!(snap.as_slice(), &[10.0, 11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn by_source_isolates_each() {
+        let src = vec![pulse(1.0), pulse(1.0)];
+        let g = group_sources(&src, 100.0, GroupingStrategy::BySource);
+        assert_eq!(g.num_groups(), 3);
+        assert_eq!(g.groups[1].members, vec![0]);
+        assert_eq!(g.groups[2].members, vec![1]);
+    }
+
+    #[test]
+    fn single_strategy_one_active_group() {
+        let src = vec![pulse(1.0), pulse(5.0), Waveform::Dc(2.0)];
+        let g = group_sources(&src, 100.0, GroupingStrategy::Single);
+        assert_eq!(g.num_groups(), 2);
+        assert_eq!(g.groups[1].members, vec![0, 1]);
+        assert_eq!(g.groups[1].lts.len(), 8);
+    }
+
+    #[test]
+    fn max_groups_caps_count() {
+        let src: Vec<Waveform> = (0..10).map(|i| pulse(i as f64)).collect();
+        let g = group_sources(&src, 100.0, GroupingStrategy::MaxGroups(3));
+        assert!(g.num_groups() <= 4); // 3 active + constants
+        // All sources still covered exactly once.
+        let mut seen: Vec<usize> = g.groups.iter().flat_map(|g| g.members.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_constant_group_only() {
+        let g = group_sources(&[], 1.0, GroupingStrategy::ByBumpFeature);
+        assert_eq!(g.num_groups(), 1);
+        assert!(g.groups[0].is_empty());
+        assert!(g.gts.is_empty());
+    }
+
+    #[test]
+    fn spots_outside_window_ignored() {
+        let src = vec![pulse(50.0)];
+        let g = group_sources(&src, 10.0, GroupingStrategy::ByBumpFeature);
+        // Pulse entirely after the window: treated as constant.
+        assert_eq!(g.num_groups(), 1);
+        assert_eq!(g.groups[0].members, vec![0]);
+    }
+}

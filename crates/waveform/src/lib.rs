@@ -1,0 +1,49 @@
+//! Source waveforms and input-transition analysis for MATEX.
+//!
+//! A power distribution network is driven by thousands of current sources
+//! with pulse-like ("bump") waveforms plus a handful of DC supplies. MATEX's
+//! distributed decomposition (paper Sec. 3) is entirely a statement about
+//! these inputs:
+//!
+//! * each waveform contributes *local transition spots* ([`Waveform::transition_spots`]),
+//! * their union is the *global transition spots* set,
+//! * sources sharing a timing shape ([`FeatureKey`]) are grouped into one
+//!   subtask ([`group_sources`]), whose snapshot points
+//!   ([`Grouping::snapshots`]) can reuse Krylov subspaces.
+//!
+//! # Example
+//!
+//! ```
+//! use matex_waveform::{group_sources, GroupingStrategy, Pulse, Waveform};
+//!
+//! # fn main() -> Result<(), matex_waveform::WaveformError> {
+//! // Three loads, two distinct bump shapes (paper Fig. 3 in miniature).
+//! let early = Pulse::new(0.0, 1e-3, 1e-10, 2e-11, 4e-11, 2e-11)?;
+//! let late = Pulse::new(0.0, 2e-3, 5e-10, 2e-11, 4e-11, 2e-11)?;
+//! let sources = vec![
+//!     Waveform::Pulse(early),
+//!     Waveform::Pulse(late),
+//!     Waveform::Pulse(early), // same shape as #0
+//! ];
+//! let grouping = group_sources(&sources, 1e-9, GroupingStrategy::ByBumpFeature);
+//! assert_eq!(grouping.num_groups(), 3); // constants + 2 shapes
+//! assert_eq!(grouping.gts.len(), 8);    // 4 spots per distinct shape
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod features;
+mod grouping;
+mod pulse;
+mod pwl;
+mod spots;
+mod waveform;
+
+pub use error::WaveformError;
+pub use features::FeatureKey;
+pub use grouping::{group_sources, Grouping, GroupingStrategy, SourceGroup};
+pub use pulse::Pulse;
+pub use pwl::Pwl;
+pub use spots::SpotSet;
+pub use waveform::Waveform;

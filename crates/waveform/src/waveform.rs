@@ -1,0 +1,150 @@
+//! The unified waveform type.
+
+use crate::{Pulse, Pwl};
+
+/// A source waveform: constant, pulse, or piecewise linear.
+///
+/// All MATEX solvers assume inputs are piecewise linear in time (the
+/// paper's Eq. (5) integrates the convolution term analytically under this
+/// assumption); every variant of this enum satisfies that.
+///
+/// # Example
+///
+/// ```
+/// use matex_waveform::{Waveform, Pulse};
+///
+/// # fn main() -> Result<(), matex_waveform::WaveformError> {
+/// let w = Waveform::Pulse(Pulse::new(0.0, 1.0, 1.0, 1.0, 1.0, 1.0)?);
+/// assert_eq!(w.value(1.5), 0.5);
+/// assert_eq!(w.transition_spots(10.0), vec![1.0, 2.0, 3.0, 4.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Waveform {
+    /// Constant value for all time.
+    Dc(f64),
+    /// SPICE-style pulse (the PDN "bump" shape).
+    Pulse(Pulse),
+    /// Piecewise-linear breakpoints.
+    Pwl(Pwl),
+}
+
+impl Waveform {
+    /// Constant-zero waveform (used to mask sources out of a subtask).
+    pub fn zero() -> Self {
+        Waveform::Dc(0.0)
+    }
+
+    /// Value at time `t`.
+    pub fn value(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse(p) => p.value(t),
+            Waveform::Pwl(w) => w.value(t),
+        }
+    }
+
+    /// Time points in `[0, t_end]` at which the slope changes, sorted.
+    ///
+    /// These are the waveform's *local transition spots* (LTS). A DC
+    /// waveform has none.
+    pub fn transition_spots(&self, t_end: f64) -> Vec<f64> {
+        match self {
+            Waveform::Dc(_) => Vec::new(),
+            Waveform::Pulse(p) => p.transition_spots(t_end),
+            Waveform::Pwl(w) => w.transition_spots(t_end),
+        }
+    }
+
+    /// `true` if the waveform is identically zero.
+    pub fn is_zero(&self) -> bool {
+        match self {
+            Waveform::Dc(v) => *v == 0.0,
+            Waveform::Pulse(p) => p.v1 == 0.0 && p.v2 == 0.0,
+            Waveform::Pwl(w) => w.points().iter().all(|&(_, v)| v == 0.0),
+        }
+    }
+
+    /// `true` if the waveform never changes (no transition spots ever).
+    pub fn is_constant(&self) -> bool {
+        match self {
+            Waveform::Dc(_) => true,
+            Waveform::Pulse(p) => p.v1 == p.v2,
+            Waveform::Pwl(w) => w.points().len() <= 1,
+        }
+    }
+
+    /// The value the waveform holds at `t = 0⁻` (used for DC analysis).
+    pub fn initial_value(&self) -> f64 {
+        self.value(0.0)
+    }
+}
+
+impl Default for Waveform {
+    fn default() -> Self {
+        Waveform::zero()
+    }
+}
+
+impl From<Pulse> for Waveform {
+    fn from(p: Pulse) -> Self {
+        Waveform::Pulse(p)
+    }
+}
+
+impl From<Pwl> for Waveform {
+    fn from(w: Pwl) -> Self {
+        Waveform::Pwl(w)
+    }
+}
+
+impl From<f64> for Waveform {
+    fn from(v: f64) -> Self {
+        Waveform::Dc(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_has_no_spots() {
+        let w = Waveform::Dc(1.8);
+        assert_eq!(w.value(0.0), 1.8);
+        assert_eq!(w.value(1e9), 1.8);
+        assert!(w.transition_spots(1.0).is_empty());
+        assert!(w.is_constant());
+        assert!(!w.is_zero());
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Waveform::zero().is_zero());
+        assert!(Waveform::Pulse(Pulse::new(0.0, 0.0, 0.0, 0.0, 1.0, 0.0).unwrap()).is_zero());
+        assert!(!Waveform::Dc(0.1).is_zero());
+    }
+
+    #[test]
+    fn conversions() {
+        let w: Waveform = 2.5.into();
+        assert_eq!(w.value(0.0), 2.5);
+        let p: Waveform = Pulse::new(0.0, 1.0, 0.0, 1.0, 1.0, 1.0).unwrap().into();
+        assert!(matches!(p, Waveform::Pulse(_)));
+        let l: Waveform = Pwl::new(vec![(0.0, 1.0)]).unwrap().into();
+        assert!(matches!(l, Waveform::Pwl(_)));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert!(Waveform::default().is_zero());
+    }
+
+    #[test]
+    fn constant_pulse_detected() {
+        let p = Pulse::new(1.0, 1.0, 0.0, 0.0, 1.0, 0.0).unwrap();
+        assert!(Waveform::Pulse(p).is_constant());
+    }
+}

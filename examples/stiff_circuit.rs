@@ -1,0 +1,42 @@
+//! Stiffness study: why rational Krylov wins (paper Table 1 in miniature).
+//!
+//! Builds RC meshes of increasing stiffness and compares the Krylov
+//! dimensions the three variants need for the same accuracy target.
+//!
+//! Run with: `cargo run --release --example stiff_circuit`
+
+use matex::circuit::RcMeshBuilder;
+use matex::core::{
+    measure_stiffness, KrylovKind, MatexOptions, MatexSolver, ReferenceMethod, TransientEngine,
+    TransientSpec, reference_solution,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{:>10}  {:>9}  {:>8}  {:>6}  {:>6}  {:>10}", "stiffness", "variant", "err", "m_avg", "m_peak", "subst.pairs");
+    for &ratio in &[1.0, 1e4, 1e8] {
+        let sys = RcMeshBuilder::new(6, 6)
+            .stiffness_ratio(ratio)
+            .build()?;
+        let stiffness = measure_stiffness(&sys, 100)?;
+        // Short window, 5 ps steps as in the paper's Table 1 setup.
+        let spec = TransientSpec::new(0.0, 3e-10, 5e-12)?;
+        let reference = reference_solution(&sys, &spec, ReferenceMethod::Trapezoidal, 50)?;
+        for kind in [KrylovKind::Standard, KrylovKind::Inverted, KrylovKind::Rational] {
+            let result = MatexSolver::new(MatexOptions::new(kind).tol(1e-7)).run(&sys, &spec)?;
+            let (err, _) = result.error_vs(&reference)?;
+            println!(
+                "{:>10.2e}  {:>9}  {:>8.1e}  {:>6.1}  {:>6}  {:>10}",
+                stiffness,
+                kind.label(),
+                err,
+                result.stats.krylov_dim_avg(),
+                result.stats.krylov_dim_peak,
+                result.stats.substitution_pairs,
+            );
+        }
+    }
+    println!("\nThe standard subspace (MEXP) needs ever larger bases as stiffness");
+    println!("grows, while the inverted/rational variants stay small — the");
+    println!("paper's Sec. 3.3 observation that motivates R-MATEX.");
+    Ok(())
+}

@@ -1,0 +1,120 @@
+//! All five engines agree on realistic PDN workloads, and their cost
+//! signatures differ exactly the way the paper says they do.
+
+use matex::circuit::PdnBuilder;
+use matex::core::{
+    BackwardEuler, KrylovKind, MatexOptions, MatexSolver, TransientEngine, TransientSpec,
+    Trapezoidal, TrapezoidalAdaptive,
+};
+
+fn grid() -> matex::circuit::MnaSystem {
+    PdnBuilder::new(10, 10)
+        .num_loads(20)
+        .num_features(4)
+        .window(2e-9)
+        .cap_spread(10.0)
+        .seed(3)
+        .build()
+        .expect("grid builds")
+}
+
+#[test]
+fn five_engines_same_waveforms() {
+    let sys = grid();
+    let spec = TransientSpec::new(0.0, 2e-9, 2e-11).expect("valid spec");
+    let reference = Trapezoidal::new(1e-12).run(&sys, &spec).expect("fine TR");
+
+    let engines: Vec<(Box<dyn TransientEngine>, f64)> = vec![
+        (Box::new(BackwardEuler::new(1e-12)), 3e-3),
+        (Box::new(Trapezoidal::new(1e-11)), 1e-3),
+        (Box::new(TrapezoidalAdaptive::new(1e-6, 1e-12)), 3e-3),
+        (
+            Box::new(MatexSolver::new(MatexOptions::new(KrylovKind::Inverted).tol(1e-9))),
+            1e-4,
+        ),
+        (
+            Box::new(MatexSolver::new(MatexOptions::new(KrylovKind::Rational).tol(1e-9))),
+            1e-4,
+        ),
+    ];
+    for (engine, tol) in engines {
+        let result = engine.run(&sys, &spec).expect("engine runs");
+        let (max_err, _) = result.error_vs(&reference).expect("comparable");
+        assert!(
+            max_err < tol,
+            "{}: max error {max_err:.3e} exceeds {tol:.0e}",
+            result.engine
+        );
+    }
+}
+
+#[test]
+fn cost_signatures_match_paper_claims() {
+    let sys = grid();
+    let spec = TransientSpec::new(0.0, 2e-9, 2e-11).expect("valid spec");
+
+    let tr = Trapezoidal::new(1e-11).run(&sys, &spec).expect("TR");
+    let adpt = TrapezoidalAdaptive::new(1e-6, 1e-12)
+        .run(&sys, &spec)
+        .expect("TR-adpt");
+    let matex = MatexSolver::new(MatexOptions::default())
+        .run(&sys, &spec)
+        .expect("R-MATEX");
+
+    // Fixed TR: exactly 2 factorizations (G for DC + the stepping matrix).
+    assert_eq!(tr.stats.factorizations, 2);
+    // Adaptive TR: refactorizes many times — its defining cost.
+    assert!(
+        adpt.stats.factorizations > 10,
+        "adaptive TR only factored {} times",
+        adpt.stats.factorizations
+    );
+    // MATEX: 2 factorizations total, far fewer substitution pairs than TR.
+    assert_eq!(matex.stats.factorizations, 2);
+    assert!(
+        matex.stats.substitution_pairs < tr.stats.substitution_pairs / 2,
+        "MATEX pairs {} vs TR pairs {}",
+        matex.stats.substitution_pairs,
+        tr.stats.substitution_pairs
+    );
+    // And it pays instead in small exponential evaluations.
+    assert!(matex.stats.expm_evals > 0);
+}
+
+#[test]
+fn observation_subset_consistent_with_full() {
+    let sys = grid();
+    let full_spec = TransientSpec::new(0.0, 1e-9, 2e-11).expect("valid spec");
+    let sub_spec = TransientSpec::new(0.0, 1e-9, 2e-11)
+        .expect("valid spec")
+        .observing(vec![0, 5, 17]);
+    let solver = MatexSolver::new(MatexOptions::default().tol(1e-9));
+    let full = solver.run(&sys, &full_spec).expect("full observation");
+    let sub = solver.run(&sys, &sub_spec).expect("subset observation");
+    for &row in sub.rows() {
+        let a = sub.waveform(row).expect("recorded");
+        let b = full.waveform(row).expect("recorded");
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-12, "row {row} differs");
+        }
+    }
+}
+
+#[test]
+fn longer_window_leaves_matex_lts_bound() {
+    // Paper Sec. 3.4: elongating the span grows TR's N but not MATEX's
+    // per-window work (k is span-independent for one-shot pulses).
+    let sys = grid();
+    let short = TransientSpec::new(0.0, 2e-9, 2e-11).expect("valid spec");
+    let long = TransientSpec::new(0.0, 8e-9, 8e-11).expect("valid spec");
+    let solver = MatexSolver::new(MatexOptions::default());
+    let a = solver.run(&sys, &short).expect("short run");
+    let b = solver.run(&sys, &long).expect("long run");
+    // Krylov bases are driven by the (fixed) LTS count, not the window.
+    assert!(
+        b.stats.krylov_bases <= a.stats.krylov_bases + 2,
+        "bases grew with span: {} -> {}",
+        a.stats.krylov_bases,
+        b.stats.krylov_bases
+    );
+}

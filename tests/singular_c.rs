@@ -1,0 +1,141 @@
+//! Regularization-free handling of singular `C` (paper Sec. 3.3.3).
+//!
+//! RLC circuits with inductors and voltage sources have structurally
+//! singular `C` matrices. The paper's claim: I-MATEX and R-MATEX never
+//! need the MEXP-style regularization, because their Arnoldi only factors
+//! `G` or `C + γG` and the input terms only need `G⁻¹`.
+
+use matex::circuit::{MnaSystem, Netlist, PdnBuilder};
+use matex::core::{
+    KrylovKind, MatexOptions, MatexSolver, TransientEngine, TransientSpec, Trapezoidal,
+};
+use matex::waveform::{Pulse, Waveform};
+
+/// RLC ladder: VDD — L — R — node chain with caps, one pulse load, and a
+/// cap-less intermediate node. `C` is singular three ways: inductor
+/// branch, vsource branch, cap-less node.
+fn rlc_ladder() -> MnaSystem {
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    let mid = nl.node("mid");
+    let a = nl.node("a");
+    let b = nl.node("b"); // cap-less
+    let c = nl.node("c");
+    nl.add_vsource("vs", vdd, Netlist::ground(), Waveform::Dc(1.0))
+        .unwrap();
+    nl.add_inductor("lpkg", vdd, mid, 1e-10).unwrap();
+    nl.add_resistor("r0", mid, a, 0.5).unwrap();
+    nl.add_resistor("r1", a, b, 0.5).unwrap();
+    nl.add_resistor("r2", b, c, 0.5).unwrap();
+    nl.add_capacitor("ca", a, Netlist::ground(), 2e-13).unwrap();
+    nl.add_capacitor("cc", c, Netlist::ground(), 4e-13).unwrap();
+    let p = Pulse::new(0.0, 2e-3, 2e-10, 3e-11, 1e-10, 3e-11).unwrap();
+    nl.add_isource("iload", c, Netlist::ground(), Waveform::Pulse(p))
+        .unwrap();
+    MnaSystem::assemble(&nl).unwrap()
+}
+
+#[test]
+fn c_is_structurally_singular() {
+    let sys = rlc_ladder();
+    // vsource row, cap-less node row and... the inductor row has L on
+    // its diagonal, so exactly two zero rows here.
+    assert!(!sys.zero_c_rows().is_empty());
+    assert!(
+        matex::sparse::SparseLu::factor(sys.c(), &matex::sparse::LuOptions::default()).is_err(),
+        "C must be singular for this test to be meaningful"
+    );
+}
+
+#[test]
+fn inverted_and_rational_run_without_regularization() {
+    let sys = rlc_ladder();
+    let spec = TransientSpec::new(0.0, 2e-9, 2e-11).unwrap();
+    let reference = Trapezoidal::new(1e-12).run(&sys, &spec).unwrap();
+    for kind in [KrylovKind::Inverted, KrylovKind::Rational] {
+        let result = MatexSolver::new(MatexOptions::new(kind).tol(1e-9))
+            .run(&sys, &spec)
+            .unwrap();
+        let (max_err, _) = result.error_vs(&reference).unwrap();
+        // LC oscillation makes both sides carry ~1e-4-scale error (the
+        // paper's own Table-3 error level).
+        assert!(
+            max_err < 1e-3,
+            "{} on singular-C RLC: err {max_err:.3e}",
+            kind.label()
+        );
+        // Crucially: no extra factorization of a regularized C happened.
+        let expected_factor = match kind {
+            KrylovKind::Inverted => 1, // G only
+            _ => 2,                    // G + (C + γG)
+        };
+        assert_eq!(result.stats.factorizations, expected_factor);
+    }
+}
+
+#[test]
+fn standard_needs_and_gets_regularization() {
+    let sys = rlc_ladder();
+    let spec = TransientSpec::new(0.0, 2e-9, 2e-11).unwrap();
+    let reference = Trapezoidal::new(1e-12).run(&sys, &spec).unwrap();
+    let result = MatexSolver::new(MatexOptions::new(KrylovKind::Standard).tol(1e-9))
+        .run(&sys, &spec)
+        .unwrap();
+    let (max_err, _) = result.error_vs(&reference).unwrap();
+    // The ε-regularized MEXP is usable but visibly less accurate — the
+    // paper's argument for going regularization-free.
+    assert!(
+        max_err < 0.5,
+        "regularized MEXP unusable: err {max_err:.3e}"
+    );
+}
+
+#[test]
+fn rlc_grid_with_package_inductance_runs_distributed() {
+    use matex::dist::{run_distributed, DistributedOptions};
+    let sys = PdnBuilder::new(10, 10)
+        .num_loads(16)
+        .num_features(4)
+        .window(2e-9)
+        .pad_inductance(1e-11)
+        .build()
+        .unwrap();
+    assert!(!sys.zero_c_rows().is_empty(), "pads add inductor branches");
+    let spec = TransientSpec::new(0.0, 2e-9, 4e-11).unwrap();
+    let run = run_distributed(&sys, &spec, &DistributedOptions::default()).unwrap();
+    let tr = Trapezoidal::new(2e-12).run(&sys, &spec).unwrap();
+    let (max_err, _) = run.result.error_vs(&tr).unwrap();
+    assert!(max_err < 2e-3, "distributed RLC vs TR: {max_err:.3e}");
+}
+
+#[test]
+fn inductor_current_continuity() {
+    // The inductor current is a state: after the pulse it must relax
+    // smoothly back to the DC value (no jumps from the exponential
+    // stepping).
+    let sys = rlc_ladder();
+    let spec = TransientSpec::new(0.0, 4e-9, 2e-11).unwrap();
+    let result = MatexSolver::new(MatexOptions::default().tol(1e-9))
+        .run(&sys, &spec)
+        .unwrap();
+    // Find the inductor branch row.
+    let il_row = (0..sys.dim())
+        .find(|&r| sys.row_name(r) == "i(lpkg)")
+        .expect("inductor row exists");
+    let wave = result.waveform(il_row).expect("recorded");
+    // Steady-state current is 0 (load off at both ends of the window).
+    let first = wave[0];
+    let last = *wave.last().unwrap();
+    assert!(first.abs() < 1e-9, "initial inductor current {first}");
+    assert!(last.abs() < 1e-4, "final inductor current {last}");
+    // No single-sample jumps larger than the full pulse scale.
+    // Sample-to-sample changes stay at the physical (mA) scale — this
+    // catches solver garbage (NaN/overflow spikes), not smoothness.
+    for w in wave.windows(2) {
+        assert!(
+            (w[1] - w[0]).abs() < 2e-2,
+            "inductor current jumped by {}",
+            (w[1] - w[0]).abs()
+        );
+    }
+}

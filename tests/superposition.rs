@@ -1,0 +1,144 @@
+//! Cross-crate integration: the superposition property that the entire
+//! distributed framework rests on, property-tested over randomized
+//! circuits and source partitions.
+
+use matex::circuit::{MnaSystem, Netlist};
+use matex::core::{
+    MatexOptions, MatexSolver, TransientEngine, TransientSpec, Trapezoidal,
+};
+use matex::dist::{run_distributed, DistributedOptions};
+use matex::waveform::{GroupingStrategy, Pulse, Waveform};
+use proptest::prelude::*;
+
+/// Builds a random-but-valid RC network with `n_nodes` nodes in a ring +
+/// chords topology and `n_loads` pulse loads with randomized parameters.
+fn random_circuit(
+    n_nodes: usize,
+    n_loads: usize,
+    caps: &[f64],
+    resistances: &[f64],
+    delays: &[f64],
+    peaks: &[f64],
+) -> MnaSystem {
+    let mut nl = Netlist::new();
+    let nodes: Vec<_> = (0..n_nodes).map(|i| nl.node(&format!("n{i}"))).collect();
+    // Ring of resistors + one grounding resistor, caps everywhere.
+    for i in 0..n_nodes {
+        let r = resistances[i % resistances.len()].abs().max(0.1);
+        nl.add_resistor(&format!("r{i}"), nodes[i], nodes[(i + 1) % n_nodes], r)
+            .expect("valid R");
+        let c = caps[i % caps.len()].abs().max(1e-16);
+        nl.add_capacitor(&format!("c{i}"), nodes[i], Netlist::ground(), c)
+            .expect("valid C");
+    }
+    nl.add_resistor("rg", nodes[0], Netlist::ground(), 0.5)
+        .expect("valid R");
+    // VDD supply at node 0 through a small resistor.
+    let vdd = nl.node("vddp");
+    nl.add_vsource("vs", vdd, Netlist::ground(), Waveform::Dc(1.0))
+        .expect("valid V");
+    nl.add_resistor("rv", vdd, nodes[0], 0.05).expect("valid R");
+    for k in 0..n_loads {
+        let delay = delays[k % delays.len()].abs() % 4e-10;
+        let peak = 1e-4 + (peaks[k % peaks.len()].abs() % 1e-3);
+        let p = Pulse::new(0.0, peak, delay, 2e-11, 5e-11, 2e-11).expect("valid pulse");
+        nl.add_isource(
+            &format!("i{k}"),
+            nodes[(k * 3 + 1) % n_nodes],
+            Netlist::ground(),
+            Waveform::Pulse(p),
+        )
+        .expect("valid I");
+    }
+    MnaSystem::assemble(&nl).expect("assembles")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Sum of per-source masked MATEX runs == full MATEX run.
+    #[test]
+    fn matex_superposition_randomized(
+        n_nodes in 4usize..10,
+        n_loads in 1usize..4,
+        caps in prop::collection::vec(1e-15..5e-13_f64, 3),
+        resistances in prop::collection::vec(0.5..20.0_f64, 3),
+        delays in prop::collection::vec(0.0..4e-10_f64, 3),
+        peaks in prop::collection::vec(1e-4..1e-3_f64, 3),
+    ) {
+        let sys = random_circuit(n_nodes, n_loads, &caps, &resistances, &delays, &peaks);
+        let spec = TransientSpec::new(0.0, 8e-10, 2e-11).expect("valid spec");
+        let opts = || MatexOptions::default().tol(1e-10);
+        let full = MatexSolver::new(opts()).run(&sys, &spec).expect("full run");
+        let mut sum = None;
+        for col in 0..sys.num_sources() {
+            let part = MatexSolver::new(opts())
+                .with_source_mask(vec![col])
+                .run(&sys, &spec)
+                .expect("masked run");
+            match &mut sum {
+                None => sum = Some(part),
+                Some(acc) => acc.add_scaled(&part, 1.0).expect("same grid"),
+            }
+        }
+        let (max_err, _) = sum.expect("at least one source").error_vs(&full).expect("comparable");
+        // Scale-aware bound: the state is O(1) volts.
+        prop_assert!(max_err < 1e-6, "superposition violated: {max_err:.3e}");
+    }
+
+    /// The same property must hold for the trapezoidal engine: it is a
+    /// statement about MNA linearity, not about MATEX.
+    #[test]
+    fn tr_superposition_randomized(
+        n_nodes in 4usize..8,
+        caps in prop::collection::vec(1e-15..5e-13_f64, 3),
+        resistances in prop::collection::vec(0.5..20.0_f64, 3),
+    ) {
+        let sys = random_circuit(n_nodes, 2, &caps, &resistances, &[1e-10, 3e-10], &[5e-4]);
+        let spec = TransientSpec::new(0.0, 5e-10, 2.5e-11).expect("valid spec");
+        let full = Trapezoidal::new(5e-12).run(&sys, &spec).expect("full run");
+        let mut sum = None;
+        for col in 0..sys.num_sources() {
+            let part = Trapezoidal::new(5e-12)
+                .with_source_mask(vec![col])
+                .run(&sys, &spec)
+                .expect("masked run");
+            match &mut sum {
+                None => sum = Some(part),
+                Some(acc) => acc.add_scaled(&part, 1.0).expect("same grid"),
+            }
+        }
+        let (max_err, _) = sum.expect("sources exist").error_vs(&full).expect("comparable");
+        prop_assert!(max_err < 1e-9, "TR superposition violated: {max_err:.3e}");
+    }
+}
+
+#[test]
+fn distributed_framework_matches_monolithic_and_tr() {
+    // One deterministic end-to-end check at a useful size.
+    let sys = matex::circuit::PdnBuilder::new(12, 12)
+        .num_loads(30)
+        .num_features(5)
+        .window(2e-9)
+        .cap_spread(10.0)
+        .build()
+        .expect("grid builds");
+    let spec = TransientSpec::new(0.0, 2e-9, 2e-11).expect("valid spec");
+    let dist = run_distributed(
+        &sys,
+        &spec,
+        &DistributedOptions {
+            matex: MatexOptions::default().tol(1e-9),
+            strategy: GroupingStrategy::ByBumpFeature,
+            workers: Some(4),
+        },
+    )
+    .expect("distributed run");
+    let tr = Trapezoidal::new(2e-12).run(&sys, &spec).expect("TR run");
+    let (max_err, avg_err) = dist.result.error_vs(&tr).expect("comparable");
+    assert!(
+        max_err < 5e-5,
+        "distributed vs TR: max {max_err:.3e} avg {avg_err:.3e}"
+    );
+    assert!(dist.num_groups() >= 6); // 5 features + supplies
+}
