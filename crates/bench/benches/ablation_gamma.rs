@@ -8,8 +8,7 @@
 
 use matex_bench::{pg_suite, secs, timed, Scale, Table};
 use matex_core::{
-    reference_solution, MatexOptions, MatexSolver, ReferenceMethod, TransientEngine,
-    TransientSpec,
+    reference_solution, MatexOptions, MatexSolver, ReferenceMethod, TransientEngine, TransientSpec,
 };
 
 fn main() {
@@ -42,8 +41,6 @@ fn main() {
     table.print();
     let spread = dims.iter().cloned().fold(0.0_f64, f64::max)
         / dims.iter().cloned().fold(f64::INFINITY, f64::min).max(1.0);
-    println!(
-        "\nshape check: m_avg varies only {spread:.1}x across six decades of γ"
-    );
+    println!("\nshape check: m_avg varies only {spread:.1}x across six decades of γ");
     println!("(paper: R-MATEX is 'not very sensitive' near the step-size scale).");
 }

@@ -16,11 +16,16 @@ fn main() {
     let case = pg_suite(scale).into_iter().nth(3).expect("suite case");
     let sys = case.builder.build().expect("grid builds");
     let gamma = 1e-10;
-    let shifted =
-        CsrMatrix::linear_combination(1.0, sys.c(), gamma, sys.g()).expect("same shape");
+    let shifted = CsrMatrix::linear_combination(1.0, sys.c(), gamma, sys.g()).expect("same shape");
 
     let mut table = Table::new(&[
-        "Matrix", "Ordering", "nnz(A)", "nnz(L+U)", "fill", "factor(ms)", "solve(µs)",
+        "Matrix",
+        "Ordering",
+        "nnz(A)",
+        "nnz(L+U)",
+        "fill",
+        "factor(ms)",
+        "solve(µs)",
     ]);
     for (label, mat) in [("G", sys.g().clone()), ("C+γG", shifted)] {
         for ordering in [OrderingKind::Amd, OrderingKind::Rcm, OrderingKind::Natural] {

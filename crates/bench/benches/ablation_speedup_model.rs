@@ -15,7 +15,10 @@ use matex_waveform::GroupingStrategy;
 fn main() {
     let scale = Scale::from_env();
     println!("\n=== Sec 3.4: speedup model vs measurement ===\n");
-    let case = pg_suite(scale).into_iter().nth(2).expect("suite has 6 cases");
+    let case = pg_suite(scale)
+        .into_iter()
+        .nth(2)
+        .expect("suite has 6 cases");
     let sys = case.builder.build().expect("grid builds");
     let rows: Vec<usize> = (0..sys.num_nodes()).step_by(13).collect();
     let spec = TransientSpec::new(0.0, case.window, case.window / 100.0)
@@ -56,11 +59,8 @@ fn main() {
         .max_by_key(|n| n.result.stats.transient_time)
         .expect("nodes exist");
     let st = &busy.result.stats;
-    let t_bs = tr.stats.transient_time.as_secs_f64()
-        / tr.stats.substitution_pairs.max(1) as f64;
-    let t_he = (st.transient_time.as_secs_f64()
-        - st.substitution_pairs as f64 * t_bs)
-        .max(0.0)
+    let t_bs = tr.stats.transient_time.as_secs_f64() / tr.stats.substitution_pairs.max(1) as f64;
+    let t_he = (st.transient_time.as_secs_f64() - st.substitution_pairs as f64 * t_bs).max(0.0)
         / st.expm_evals.max(1) as f64;
     let model = SpeedupModel {
         gts_points: dist.gts.len(),
@@ -73,10 +73,10 @@ fn main() {
         t_serial: 0.0, // transient-only comparison, as in Eq. (12)
     };
 
-    let meas_over_single = single.emulated_transient.as_secs_f64()
-        / dist.emulated_transient.as_secs_f64().max(1e-12);
-    let meas_over_tr = tr.stats.transient_time.as_secs_f64()
-        / dist.emulated_transient.as_secs_f64().max(1e-12);
+    let meas_over_single =
+        single.emulated_transient.as_secs_f64() / dist.emulated_transient.as_secs_f64().max(1e-12);
+    let meas_over_tr =
+        tr.stats.transient_time.as_secs_f64() / dist.emulated_transient.as_secs_f64().max(1e-12);
     let mut table = Table::new(&["Quantity", "Model", "Measured"]);
     table.row(vec![
         "Speedup vs single-node MATEX (Eq. 11)".into(),

@@ -17,11 +17,11 @@ fn main() {
     let shape = |delay: f64| Pulse::new(0.0, 1e-3, delay, 1e-10, 2e-10, 1e-10).expect("valid");
     let late_shared = shape(3.0e-9);
     let sources = vec![
-        Waveform::Pulse(shape(0.5e-9)),  // #1.1 -> group 1
-        Waveform::Pulse(shape(1.4e-9)),  // #2.1 -> group 2
-        Waveform::Pulse(shape(2.2e-9)),  // #2.2 -> group 3
-        Waveform::Pulse(late_shared),    // #1.2 -> group 4
-        Waveform::Pulse(late_shared),    // #3   -> group 4 (shared shape)
+        Waveform::Pulse(shape(0.5e-9)), // #1.1 -> group 1
+        Waveform::Pulse(shape(1.4e-9)), // #2.1 -> group 2
+        Waveform::Pulse(shape(2.2e-9)), // #2.2 -> group 3
+        Waveform::Pulse(late_shared),   // #1.2 -> group 4
+        Waveform::Pulse(late_shared),   // #3   -> group 4 (shared shape)
     ];
     let t_end = 5e-9;
     let grouping = group_sources(&sources, t_end, GroupingStrategy::ByBumpFeature);
@@ -51,8 +51,15 @@ fn main() {
     }
     table.print();
 
-    let active_groups = grouping.groups.iter().filter(|g| !g.members.is_empty()).count();
-    println!("\nshape check: {} groups from 5 bump instances (paper Fig. 3: 4 groups", active_groups);
+    let active_groups = grouping
+        .groups
+        .iter()
+        .filter(|g| !g.members.is_empty())
+        .count();
+    println!(
+        "\nshape check: {} groups from 5 bump instances (paper Fig. 3: 4 groups",
+        active_groups
+    );
     println!("from 5 bumps, because two bumps share a feature); every group's");
     println!("snapshot count = GTS - LTS, i.e. the evaluations that reuse a subspace.");
     assert_eq!(active_groups, 4, "expected exactly the paper's 4 groups");

@@ -44,7 +44,9 @@ fn main() {
         arnoldi.step().expect("arnoldi step");
     }
 
-    let hs: Vec<f64> = (0..=10).map(|k| 1e-13 * 10f64.powf(k as f64 * 0.5)).collect();
+    let hs: Vec<f64> = (0..=10)
+        .map(|k| 1e-13 * 10f64.powf(k as f64 * 0.5))
+        .collect();
     let mut header: Vec<String> = vec!["m\\h".to_string()];
     header.extend(hs.iter().map(|h| format!("{h:.0e}")));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
@@ -101,8 +103,6 @@ fn main() {
         table.row(row);
     }
     table.print();
-    println!(
-        "\nshape check: error is non-increasing in h for {shrinks}/{total} adjacent steps"
-    );
+    println!("\nshape check: error is non-increasing in h for {shrinks}/{total} adjacent steps");
     println!("(paper Fig. 5: error reduces when h increases, for every m).");
 }

@@ -54,8 +54,7 @@ fn bench_arnoldi_step(c: &mut Criterion) {
     let case = pg_suite(Scale::Ci).into_iter().next().expect("case");
     let sys = case.builder.build().expect("grid builds");
     let gamma = 1e-10;
-    let shifted =
-        CsrMatrix::linear_combination(1.0, sys.c(), gamma, sys.g()).expect("same shape");
+    let shifted = CsrMatrix::linear_combination(1.0, sys.c(), gamma, sys.g()).expect("same shape");
     let lu = SparseLu::factor(&shifted, &LuOptions::default()).expect("factorable");
     let op = RationalOp::new(&lu, sys.c(), gamma);
     let v: Vec<f64> = (0..sys.dim()).map(|i| 1.0 + (i as f64).sin()).collect();
@@ -70,5 +69,10 @@ fn bench_arnoldi_step(c: &mut Criterion) {
     });
 }
 
-criterion_group!(kernels, bench_sparse_lu, bench_dense_expm, bench_arnoldi_step);
+criterion_group!(
+    kernels,
+    bench_sparse_lu,
+    bench_dense_expm,
+    bench_arnoldi_step
+);
 criterion_main!(kernels);

@@ -10,8 +10,8 @@
 
 use matex_bench::{stiff_rc_case, timed, Scale, Table};
 use matex_core::{
-    measure_stiffness, reference_solution, KrylovKind, MatexOptions, MatexSolver,
-    ReferenceMethod, TransientEngine, TransientSpec,
+    measure_stiffness, reference_solution, KrylovKind, MatexOptions, MatexSolver, ReferenceMethod,
+    TransientEngine, TransientSpec,
 };
 
 fn main() {
@@ -44,7 +44,11 @@ fn main() {
             .max(1e-30);
 
         let mut mexp_time = None;
-        for kind in [KrylovKind::Standard, KrylovKind::Inverted, KrylovKind::Rational] {
+        for kind in [
+            KrylovKind::Standard,
+            KrylovKind::Inverted,
+            KrylovKind::Rational,
+        ] {
             let solver = MatexSolver::new(MatexOptions::new(kind).tol(1e-7));
             let (result, wall) = timed(|| solver.run(&sys, &spec).expect("solver run"));
             let (max_err, _) = result.error_vs(&reference).expect("comparable");
@@ -56,8 +60,7 @@ fn main() {
                 }
                 _ => format!(
                     "{:.0}X",
-                    mexp_time.expect("MEXP ran first").as_secs_f64()
-                        / wall.as_secs_f64().max(1e-9)
+                    mexp_time.expect("MEXP ran first").as_secs_f64() / wall.as_secs_f64().max(1e-9)
                 ),
             };
             table.row(vec![

@@ -18,7 +18,14 @@ fn main() {
     let scale = Scale::from_env();
     println!("\n=== Table 2: TR(adpt) vs I-MATEX vs R-MATEX (IBM-like suite) ===\n");
     let mut table = Table::new(&[
-        "Design", "Nodes", "DC(s)", "TRadpt(s)", "IMATEX(s)", "RMATEX(s)", "Spdp1", "Spdp2",
+        "Design",
+        "Nodes",
+        "DC(s)",
+        "TRadpt(s)",
+        "IMATEX(s)",
+        "RMATEX(s)",
+        "Spdp1",
+        "Spdp2",
         "Spdp3",
     ]);
     for case in pg_suite(scale) {
@@ -58,9 +65,18 @@ fn main() {
             secs(tr_wall),
             secs(i_wall),
             secs(r_wall),
-            format!("{:.1}X", tr_wall.as_secs_f64() / i_wall.as_secs_f64().max(1e-9)),
-            format!("{:.1}X", tr_wall.as_secs_f64() / r_wall.as_secs_f64().max(1e-9)),
-            format!("{:.1}X", i_wall.as_secs_f64() / r_wall.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}X",
+                tr_wall.as_secs_f64() / i_wall.as_secs_f64().max(1e-9)
+            ),
+            format!(
+                "{:.1}X",
+                tr_wall.as_secs_f64() / r_wall.as_secs_f64().max(1e-9)
+            ),
+            format!(
+                "{:.1}X",
+                i_wall.as_secs_f64() / r_wall.as_secs_f64().max(1e-9)
+            ),
         ]);
         eprintln!(
             "  [{}] TR-adpt: {} steps / {} refactorizations; I-MATEX m_a {:.1}; R-MATEX m_a {:.1}",

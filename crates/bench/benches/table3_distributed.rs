@@ -11,18 +11,78 @@
 
 use matex_bench::{pg_suite, secs, timed, Scale, Table};
 use matex_core::{
-    reference_solution, MatexOptions, ReferenceMethod, TransientEngine, TransientSpec,
-    Trapezoidal,
+    reference_solution, MatexOptions, ReferenceMethod, TransientEngine, TransientSpec, Trapezoidal,
 };
 use matex_dist::{run_distributed, DistributedOptions};
 use matex_waveform::GroupingStrategy;
 
+/// One emitted row of `BENCH_table3.json`.
+struct JsonRow {
+    design: String,
+    t1000_s: f64,
+    tt_total_s: f64,
+    groups: usize,
+    trmatex_s: f64,
+    tr_total_s: f64,
+    max_err: f64,
+    avg_err: f64,
+    spdp4: f64,
+    spdp5: f64,
+}
+
+/// Writes the perf-trajectory artifact (hand-rolled JSON: the workspace
+/// builds offline, without serde).
+fn write_json(scale: Scale, rows: &[JsonRow]) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"table3_distributed\",\n  \"scale\": \"{}\",\n  \"rows\": [\n",
+        match scale {
+            Scale::Ci => "ci",
+            Scale::Paper => "paper",
+        }
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"design\": \"{}\", \"t1000_s\": {:.6}, \"tt_total_s\": {:.6}, \
+             \"groups\": {}, \"trmatex_s\": {:.6}, \"tr_total_s\": {:.6}, \
+             \"max_err\": {:.3e}, \"avg_err\": {:.3e}, \"spdp4\": {:.2}, \"spdp5\": {:.2}}}{}\n",
+            r.design,
+            r.t1000_s,
+            r.tt_total_s,
+            r.groups,
+            r.trmatex_s,
+            r.tr_total_s,
+            r.max_err,
+            r.avg_err,
+            r.spdp4,
+            r.spdp5,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    // Anchor at the workspace root regardless of cargo's bench CWD.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_table3.json");
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("\nwrote BENCH_table3.json ({} designs)", rows.len()),
+        Err(e) => eprintln!("\ncould not write BENCH_table3.json: {e}"),
+    }
+}
+
 fn main() {
     let scale = Scale::from_env();
     println!("\n=== Table 3: distributed MATEX vs TR (h = 10ps) ===\n");
+    let mut json_rows: Vec<JsonRow> = Vec::new();
     let mut table = Table::new(&[
-        "Design", "t1000(s)", "tt_total(s)", "Group#", "trmatex(s)", "tr_total(s)", "Max.Err",
-        "Avg.Err", "Spdp4", "Spdp5",
+        "Design",
+        "t1000(s)",
+        "tt_total(s)",
+        "Group#",
+        "trmatex(s)",
+        "tr_total(s)",
+        "Max.Err",
+        "Avg.Err",
+        "Spdp4",
+        "Spdp5",
     ]);
     for case in pg_suite(scale) {
         let sys = case.builder.build().expect("grid builds");
@@ -51,6 +111,8 @@ fn main() {
             .expect("reference run");
         let (max_err, avg_err) = run.result.error_vs(&reference).expect("comparable");
 
+        let spdp4 = t1000.as_secs_f64() / run.emulated_transient.as_secs_f64().max(1e-9);
+        let spdp5 = tt_total.as_secs_f64() / run.emulated_total.as_secs_f64().max(1e-9);
         table.row(vec![
             case.name.clone(),
             secs(t1000),
@@ -60,15 +122,21 @@ fn main() {
             secs(run.emulated_total),
             format!("{max_err:.1e}"),
             format!("{avg_err:.1e}"),
-            format!(
-                "{:.1}X",
-                t1000.as_secs_f64() / run.emulated_transient.as_secs_f64().max(1e-9)
-            ),
-            format!(
-                "{:.1}X",
-                tt_total.as_secs_f64() / run.emulated_total.as_secs_f64().max(1e-9)
-            ),
+            format!("{spdp4:.1}X"),
+            format!("{spdp5:.1}X"),
         ]);
+        json_rows.push(JsonRow {
+            design: case.name.clone(),
+            t1000_s: t1000.as_secs_f64(),
+            tt_total_s: tt_total.as_secs_f64(),
+            groups: run.num_groups(),
+            trmatex_s: run.emulated_transient.as_secs_f64(),
+            tr_total_s: run.emulated_total.as_secs_f64(),
+            max_err,
+            avg_err,
+            spdp4,
+            spdp5,
+        });
         eprintln!(
             "  [{}] GTS {} points; substitution pairs: TR {} vs max-node {}",
             case.name,
@@ -82,6 +150,7 @@ fn main() {
         );
     }
     table.print();
+    write_json(scale, &json_rows);
     println!("\nshape check: Spdp4 ≈ 10X+ (paper 11.5–14.7X), Spdp5 > 1 and growing");
     println!("with design size (paper 5.6–7.9X); errors at the 1e-4 level or below.");
 }

@@ -89,7 +89,11 @@ impl Solution {
     /// # Errors
     ///
     /// Returns [`CircuitError::InvalidNetlist`] when shapes disagree.
-    pub fn new(times: Vec<f64>, names: Vec<String>, data: Vec<Vec<f64>>) -> Result<Self, CircuitError> {
+    pub fn new(
+        times: Vec<f64>,
+        names: Vec<String>,
+        data: Vec<Vec<f64>>,
+    ) -> Result<Self, CircuitError> {
         if names.len() != data.len() {
             return Err(CircuitError::InvalidNetlist(
                 "solution: names/data length mismatch".into(),
@@ -161,13 +165,14 @@ impl Solution {
                 })?;
             times.push(t);
             for (k, series) in data.iter_mut().enumerate() {
-                let v: f64 = fields
-                    .next()
-                    .and_then(|f| f.parse().ok())
-                    .ok_or(CircuitError::Parse {
-                        line: idx + 1,
-                        message: format!("missing value for column {}", k + 1),
-                    })?;
+                let v: f64 =
+                    fields
+                        .next()
+                        .and_then(|f| f.parse().ok())
+                        .ok_or(CircuitError::Parse {
+                            line: idx + 1,
+                            message: format!("missing value for column {}", k + 1),
+                        })?;
                 series.push(v);
             }
         }
@@ -265,18 +270,8 @@ mod tests {
 
     #[test]
     fn error_metrics() {
-        let a = Solution::new(
-            vec![0.0, 1.0],
-            vec!["x".into()],
-            vec![vec![1.0, 2.0]],
-        )
-        .unwrap();
-        let b = Solution::new(
-            vec![0.0, 1.0],
-            vec!["x".into()],
-            vec![vec![1.1, 2.05]],
-        )
-        .unwrap();
+        let a = Solution::new(vec![0.0, 1.0], vec!["x".into()], vec![vec![1.0, 2.0]]).unwrap();
+        let b = Solution::new(vec![0.0, 1.0], vec!["x".into()], vec![vec![1.1, 2.05]]).unwrap();
         let (max, avg) = a.error_vs(&b).unwrap();
         assert!((max - 0.1).abs() < 1e-12);
         assert!((avg - 0.075).abs() < 1e-12);

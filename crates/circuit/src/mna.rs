@@ -98,11 +98,16 @@ impl MnaSystem {
                     let gval = 1.0 / ohms;
                     stamp_conductance(&mut g, a.mna_index(), nb.mna_index(), gval);
                 }
-                Element::Capacitor { a, b: nb, farads, .. } => {
+                Element::Capacitor {
+                    a, b: nb, farads, ..
+                } => {
                     stamp_conductance(&mut c, a.mna_index(), nb.mna_index(), *farads);
                 }
                 Element::Inductor {
-                    a, b: nb, henries, name,
+                    a,
+                    b: nb,
+                    henries,
+                    name,
                 } => {
                     let row = l_row;
                     l_row += 1;
@@ -125,7 +130,10 @@ impl MnaSystem {
                     }
                 }
                 Element::VSource {
-                    pos, neg, waveform, name,
+                    pos,
+                    neg,
+                    waveform,
+                    name,
                 } => {
                     let row = v_row;
                     v_row += 1;
@@ -154,7 +162,10 @@ impl MnaSystem {
                     src_col += 1;
                 }
                 Element::ISource {
-                    from, to, waveform, name,
+                    from,
+                    to,
+                    waveform,
+                    name,
                 } => {
                     // Injection: -u at `from`, +u at `to`.
                     if let Some(i) = from.mna_index() {
@@ -244,10 +255,37 @@ impl MnaSystem {
     /// distributed MATEX subtasks.
     pub fn input_masked_at(&self, t: f64, members: &[usize]) -> Vec<f64> {
         let mut u = vec![0.0; self.sources.len()];
+        self.input_masked_into(t, members, &mut u);
+        u
+    }
+
+    /// Allocation-free variant of [`MnaSystem::input_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.len() != num_sources()`.
+    pub fn input_into(&self, t: f64, u: &mut [f64]) {
+        assert_eq!(u.len(), self.sources.len(), "input_into: u length mismatch");
+        for (slot, s) in u.iter_mut().zip(&self.sources) {
+            *slot = s.waveform.value(t);
+        }
+    }
+
+    /// Allocation-free variant of [`MnaSystem::input_masked_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.len() != num_sources()`.
+    pub fn input_masked_into(&self, t: f64, members: &[usize], u: &mut [f64]) {
+        assert_eq!(
+            u.len(),
+            self.sources.len(),
+            "input_masked_into: u length mismatch"
+        );
+        u.fill(0.0);
         for &m in members {
             u[m] = self.sources[m].waveform.value(t);
         }
-        u
     }
 
     /// Computes `B u(t)` into a dense right-hand-side vector.
@@ -285,12 +323,7 @@ impl MnaSystem {
 }
 
 /// Symmetric two-terminal stamp into a COO matrix.
-fn stamp_conductance(
-    m: &mut CooMatrix,
-    a: Option<usize>,
-    b: Option<usize>,
-    val: f64,
-) {
+fn stamp_conductance(m: &mut CooMatrix, a: Option<usize>, b: Option<usize>, val: f64) {
     if let Some(i) = a {
         m.push(i, i, val);
     }
@@ -317,7 +350,8 @@ mod tests {
         nl.add_vsource("vs", vdd, Netlist::ground(), Waveform::Dc(1.8))
             .unwrap();
         nl.add_resistor("r1", vdd, out, 100.0).unwrap();
-        nl.add_resistor("r2", out, Netlist::ground(), 100.0).unwrap();
+        nl.add_resistor("r2", out, Netlist::ground(), 100.0)
+            .unwrap();
         let sys = MnaSystem::assemble(&nl).unwrap();
         assert_eq!(sys.dim(), 3);
         // Solve G x = B u(0).

@@ -140,7 +140,10 @@ pub fn parse_netlist(text: &str) -> Result<ParsedCircuit, CircuitError> {
         // argument groups intact.
         let toks = tokenize_element_line(&lower);
         if toks.len() < 4 {
-            return Err(perr(format!("element line needs 4+ fields, got {}", toks.len())));
+            return Err(perr(format!(
+                "element line needs 4+ fields, got {}",
+                toks.len()
+            )));
         }
         let kind = lower.chars().next().expect("nonempty");
         let name = toks[0].clone();
@@ -150,25 +153,35 @@ pub fn parse_netlist(text: &str) -> Result<ParsedCircuit, CircuitError> {
         match kind {
             'r' => {
                 let v = parse_value(&rest[0]).map_err(&perr)?;
-                netlist.add_resistor(&name, n1, n2, v).map_err(|e| perr(e.to_string()))?;
+                netlist
+                    .add_resistor(&name, n1, n2, v)
+                    .map_err(|e| perr(e.to_string()))?;
             }
             'c' => {
                 let v = parse_value(&rest[0]).map_err(&perr)?;
-                netlist.add_capacitor(&name, n1, n2, v).map_err(|e| perr(e.to_string()))?;
+                netlist
+                    .add_capacitor(&name, n1, n2, v)
+                    .map_err(|e| perr(e.to_string()))?;
             }
             'l' => {
                 let v = parse_value(&rest[0]).map_err(&perr)?;
-                netlist.add_inductor(&name, n1, n2, v).map_err(|e| perr(e.to_string()))?;
+                netlist
+                    .add_inductor(&name, n1, n2, v)
+                    .map_err(|e| perr(e.to_string()))?;
             }
             'v' => {
                 let w = parse_waveform(rest).map_err(&perr)?;
-                netlist.add_vsource(&name, n1, n2, w).map_err(|e| perr(e.to_string()))?;
+                netlist
+                    .add_vsource(&name, n1, n2, w)
+                    .map_err(|e| perr(e.to_string()))?;
             }
             'i' => {
                 let w = parse_waveform(rest).map_err(&perr)?;
                 // SPICE convention: positive current flows from n+ through
                 // the source to n-.
-                netlist.add_isource(&name, n1, n2, w).map_err(|e| perr(e.to_string()))?;
+                netlist
+                    .add_isource(&name, n1, n2, w)
+                    .map_err(|e| perr(e.to_string()))?;
             }
             other => {
                 return Err(perr(format!("unsupported element type '{other}'")));

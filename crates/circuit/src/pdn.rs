@@ -399,7 +399,10 @@ impl PdnBuilder {
             (sxs[0], sys_[0]),
             (*sxs.last().expect("nonempty"), sys_[0]),
             (sxs[0], *sys_.last().expect("nonempty")),
-            (*sxs.last().expect("nonempty"), *sys_.last().expect("nonempty")),
+            (
+                *sxs.last().expect("nonempty"),
+                *sys_.last().expect("nonempty"),
+            ),
         ];
         let mut seen: Vec<(usize, usize)> = Vec::new();
         for (i, &(x, y)) in corners.iter().enumerate() {
@@ -434,12 +437,14 @@ impl PdnBuilder {
             let y = rng.gen_range(0..self.ny);
             let f = &features[i % features.len()];
             let peak = rng.gen_range(self.peak_range.0..self.peak_range.1);
-            let pulse = Pulse {
-                v2: peak,
-                ..*f
-            };
+            let pulse = Pulse { v2: peak, ..*f };
             let n = nl.node(&n1(x, y));
-            nl.add_isource(&format!("iload_{i}"), n, Netlist::ground(), Waveform::Pulse(pulse))?;
+            nl.add_isource(
+                &format!("iload_{i}"),
+                n,
+                Netlist::ground(),
+                Waveform::Pulse(pulse),
+            )?;
         }
         Ok(nl)
     }
@@ -512,12 +517,11 @@ mod tests {
         assert_eq!(sys.num_sources(), sys.num_vsources() + 10);
         // DC must be solvable and sit near VDD everywhere.
         let x = crate::dc_operating_point(&sys).unwrap();
-        for r in 0..sys.num_nodes() {
+        for (r, &v) in x[..sys.num_nodes()].iter().enumerate() {
             assert!(
-                x[r] > 1.0 && x[r] < 1.9,
-                "node {} = {} V out of range",
+                v > 1.0 && v < 1.9,
+                "node {} = {v} V out of range",
                 sys.row_name(r),
-                x[r]
             );
         }
     }

@@ -57,6 +57,28 @@ impl<'a> InputEval<'a> {
         self.sys.b().matvec(&self.u_at(t))
     }
 
+    /// Allocation-free variant of [`InputEval::bu_at`]: fills `out` with
+    /// `B u(t)` using `u` (length [`InputEval::num_sources`]) as the input
+    /// scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.len() != num_sources()` or `out` does not match the
+    /// system dimension.
+    pub fn bu_into(&self, t: f64, out: &mut [f64], u: &mut [f64]) {
+        match self.mask {
+            None => self.sys.input_into(t, u),
+            Some(members) => self.sys.input_masked_into(t, members, u),
+        }
+        self.sys.b().matvec_into(u, out);
+    }
+
+    /// Number of source columns of the underlying system (masked or not —
+    /// the mask zeroes entries, it does not shrink the vector).
+    pub fn num_sources(&self) -> usize {
+        self.sys.num_sources()
+    }
+
     /// Active source column indices.
     pub fn active_columns(&self) -> Vec<usize> {
         match self.mask {

@@ -19,13 +19,24 @@
 //!
 //! so one interval costs three forward/backward substitution pairs with
 //! the *already factored* `G` (two when the input slope is zero).
+//!
+//! This is the substitution **hot path** of the whole solver: one
+//! [`IntervalTerms::recompute`] per input-linearity window, thousands of
+//! windows per long run. The struct therefore owns all of its buffers —
+//! term vectors *and* scratch — and recomputation performs **zero heap
+//! allocations**: substitutions go through
+//! [`SparseLu::solve_into`](matex_sparse::SparseLu::solve_into), the
+//! input through [`InputEval::bu_into`], and the `C·qd` product through
+//! `matvec_into` on a reused buffer (verified by the counting-allocator
+//! test in `tests/alloc_free.rs`).
 
 use crate::engine::InputEval;
 use crate::SolveStats;
 use matex_circuit::MnaSystem;
 use matex_sparse::SparseLu;
 
-/// Precomputed input terms for one linear interval `[t0, t1]`.
+/// Precomputed input terms for one linear interval `[t0, t1]`, plus the
+/// persistent scratch that makes recomputation allocation-free.
 #[derive(Debug, Clone)]
 pub struct IntervalTerms {
     /// `q0 = G⁻¹ B u(t0)`.
@@ -36,12 +47,35 @@ pub struct IntervalTerms {
     r: Vec<f64>,
     /// Interval start.
     t0: f64,
+    /// Right-hand-side scratch (`B u`, then the slope, then `C qd`).
+    rhs: Vec<f64>,
+    /// Input-vector scratch (`u(t)`, one entry per source column).
+    u: Vec<f64>,
+    /// Substitution scratch for [`SparseLu::solve_into`].
+    work: Vec<f64>,
 }
 
 impl IntervalTerms {
+    /// Creates zeroed terms with all buffers sized for a system of
+    /// dimension `dim` with `num_sources` input columns. The buffers are
+    /// reused by every subsequent [`IntervalTerms::recompute`].
+    pub fn new(dim: usize, num_sources: usize) -> IntervalTerms {
+        IntervalTerms {
+            q0: vec![0.0; dim],
+            qd: vec![0.0; dim],
+            r: vec![0.0; dim],
+            t0: 0.0,
+            rhs: vec![0.0; dim],
+            u: vec![0.0; num_sources],
+            work: vec![0.0; dim],
+        }
+    }
+
     /// Computes the terms for the interval `[t0, t1]`, on which the
     /// (masked) input must be linear. Updates substitution counters in
-    /// `stats`.
+    /// `stats`. Allocates the buffers once; prefer
+    /// [`IntervalTerms::new`] + [`IntervalTerms::recompute`] on hot
+    /// paths.
     ///
     /// # Panics
     ///
@@ -54,34 +88,69 @@ impl IntervalTerms {
         t1: f64,
         stats: &mut SolveStats,
     ) -> IntervalTerms {
+        let mut terms = IntervalTerms::new(sys.dim(), input.num_sources());
+        terms.recompute(sys, lu_g, input, t0, t1, stats);
+        terms
+    }
+
+    /// Recomputes the terms for `[t0, t1]` in place, reusing every
+    /// buffer: zero heap allocations per invocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t1 <= t0` or the system/input dimensions changed since
+    /// construction.
+    pub fn recompute(
+        &mut self,
+        sys: &MnaSystem,
+        lu_g: &SparseLu,
+        input: &InputEval<'_>,
+        t0: f64,
+        t1: f64,
+        stats: &mut SolveStats,
+    ) {
         assert!(t1 > t0, "interval must have positive length");
-        let n = sys.dim();
-        let bu0 = input.bu_at(t0);
-        let bu1 = input.bu_at(t1);
-        let mut du: Vec<f64> = bu1.iter().zip(&bu0).map(|(a, b)| (a - b) / (t1 - t0)).collect();
-        let q0 = lu_g.solve(&bu0);
+        self.t0 = t0;
+        // q0 = G⁻¹ B u(t0); keep B u(t0) in `qd` for the slope below.
+        input.bu_into(t0, &mut self.qd, &mut self.u);
+        lu_g.solve_into(&self.qd, &mut self.q0, &mut self.work);
         stats.substitution_pairs += 1;
-        let slope_zero = du.iter().all(|&v| v == 0.0);
-        let (qd, r) = if slope_zero {
-            (vec![0.0; n], vec![0.0; n])
+        // rhs = (B u(t1) − B u(t0)) / (t1 − t0)
+        input.bu_into(t1, &mut self.rhs, &mut self.u);
+        let h = t1 - t0;
+        for (d, &b0) in self.rhs.iter_mut().zip(&self.qd) {
+            *d = (*d - b0) / h;
+        }
+        if self.rhs.iter().all(|&v| v == 0.0) {
+            self.qd.fill(0.0);
+            self.r.fill(0.0);
         } else {
-            let qd = lu_g.solve(&du);
+            // qd = G⁻¹ u̇-term, r = G⁻¹ C qd.
+            lu_g.solve_into(&self.rhs, &mut self.qd, &mut self.work);
             stats.substitution_pairs += 1;
-            sys.c().matvec_into(&qd, &mut du);
-            let r = lu_g.solve(&du);
+            sys.c().matvec_into(&self.qd, &mut self.rhs);
+            lu_g.solve_into(&self.rhs, &mut self.r, &mut self.work);
             stats.substitution_pairs += 1;
-            (qd, r)
-        };
-        IntervalTerms { q0, qd, r, t0 }
+        }
     }
 
     /// `F(t0) = −q0 + r`: added to the state before projection.
     pub fn f(&self) -> Vec<f64> {
-        self.q0
-            .iter()
-            .zip(&self.r)
-            .map(|(q, r)| -q + r)
-            .collect()
+        let mut out = vec![0.0; self.q0.len()];
+        self.f_into(&mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`IntervalTerms::f`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has the wrong length.
+    pub fn f_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.q0.len(), "f_into: length mismatch");
+        for ((o, q), r) in out.iter_mut().zip(&self.q0).zip(&self.r) {
+            *o = -q + r;
+        }
     }
 
     /// `P(t0, h) = −(q0 + h·qd) + r`: subtracted after projection.
@@ -90,12 +159,22 @@ impl IntervalTerms {
     ///
     /// Panics if `h < 0`.
     pub fn p(&self, h: f64) -> Vec<f64> {
-        assert!(h >= 0.0, "P requires a non-negative step");
-        let mut out = Vec::with_capacity(self.q0.len());
-        for i in 0..self.q0.len() {
-            out.push(-(self.q0[i] + h * self.qd[i]) + self.r[i]);
-        }
+        let mut out = vec![0.0; self.q0.len()];
+        self.p_into(h, &mut out);
         out
+    }
+
+    /// Allocation-free variant of [`IntervalTerms::p`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h < 0` or `out` has the wrong length.
+    pub fn p_into(&self, h: f64, out: &mut [f64]) {
+        assert!(h >= 0.0, "P requires a non-negative step");
+        assert_eq!(out.len(), self.q0.len(), "p_into: length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = -(self.q0[i] + h * self.qd[i]) + self.r[i];
+        }
     }
 
     /// Interval start time.
@@ -177,6 +256,38 @@ mod tests {
         for i in 0..sys.dim() {
             assert!((p[i] - (-(q0[i] + h * qd[i]) + r[i])).abs() < 1e-18);
         }
+    }
+
+    #[test]
+    fn recompute_matches_fresh_compute() {
+        // One struct recomputed across intervals (incl. a zero-slope one)
+        // gives exactly the same terms as freshly computed ones.
+        let sys = rc();
+        let lu_g = SparseLu::factor(sys.g(), &LuOptions::default()).unwrap();
+        let input = InputEval::new(&sys);
+        let mut stats = SolveStats::default();
+        let mut reused = IntervalTerms::new(sys.dim(), input.num_sources());
+        for (t0, t1) in [(0.0, 4e-10), (4e-10, 1e-9), (2.5e-9, 3e-9)] {
+            reused.recompute(&sys, &lu_g, &input, t0, t1, &mut stats);
+            let fresh = IntervalTerms::compute(&sys, &lu_g, &input, t0, t1, &mut stats);
+            assert_eq!(reused.f(), fresh.f());
+            assert_eq!(reused.p(7e-11), fresh.p(7e-11));
+            assert_eq!(reused.t0(), fresh.t0());
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let sys = rc();
+        let lu_g = SparseLu::factor(sys.g(), &LuOptions::default()).unwrap();
+        let input = InputEval::new(&sys);
+        let mut stats = SolveStats::default();
+        let terms = IntervalTerms::compute(&sys, &lu_g, &input, 1e-10, 6e-10, &mut stats);
+        let mut buf = vec![0.0; sys.dim()];
+        terms.f_into(&mut buf);
+        assert_eq!(buf, terms.f());
+        terms.p_into(3e-11, &mut buf);
+        assert_eq!(buf, terms.p(3e-11));
     }
 
     #[test]

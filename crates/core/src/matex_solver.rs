@@ -31,8 +31,6 @@ use matex_sparse::{CsrMatrix, LuOptions, SparseLu};
 use matex_waveform::SpotSet;
 use std::time::Instant;
 
-
-
 /// Options for the MATEX solver.
 #[derive(Debug, Clone)]
 pub struct MatexOptions {
@@ -262,7 +260,13 @@ impl TransientEngine for MatexSolver {
         let mut anchor_t = t_start;
         let mut anchor_x = x0;
         let mut win_end = next_window_end(&lts, anchor_t, t_stop);
-        let mut terms: Option<IntervalTerms> = None;
+        // Persistent input terms + scratch: the substitution hot path is
+        // allocation-free after this point (see fp_terms.rs).
+        let mut terms = IntervalTerms::new(sys.dim(), input.num_sources());
+        let mut terms_valid = false;
+        let mut fbuf = vec![0.0; sys.dim()];
+        let mut pbuf = vec![0.0; sys.dim()];
+        let mut v = vec![0.0; sys.dim()];
         let mut basis: Option<KrylovBasis> = None;
         let mut x_final = anchor_x.clone();
 
@@ -278,20 +282,19 @@ impl TransientEngine for MatexSolver {
                 if h <= 0.0 {
                     break anchor_x.clone();
                 }
-                let trm = match terms.take() {
-                    Some(t) => t,
-                    None => {
-                        IntervalTerms::compute(sys, &lu_g, &input, anchor_t, win_end, &mut stats)
-                    }
-                };
+                if !terms_valid {
+                    terms.recompute(sys, &lu_g, &input, anchor_t, win_end, &mut stats);
+                    terms_valid = true;
+                }
                 // v = x(anchor) + F(anchor)
-                let f = trm.f();
-                let v: Vec<f64> = anchor_x.iter().zip(&f).map(|(x, f)| x + f).collect();
+                terms.f_into(&mut fbuf);
+                for ((vi, x), f) in v.iter_mut().zip(&anchor_x).zip(&fbuf) {
+                    *vi = x + f;
+                }
                 if norm2(&v) == 0.0 {
                     // Pure steady state: x(t+h) = −P(h).
-                    let p = trm.p(h);
-                    terms = Some(trm);
-                    break p.iter().map(|q| -q).collect();
+                    terms.p_into(h, &mut pbuf);
+                    break pbuf.iter().map(|q| -q).collect();
                 }
                 if basis.is_none() {
                     // Build for the current target and the window end, so
@@ -304,9 +307,8 @@ impl TransientEngine for MatexSolver {
                     let outcome = match build_basis_multi(op, &v, &checks, &self.opts.expm) {
                         Ok(o) => o,
                         Err(KrylovError::ZeroStartVector) => {
-                            let p = trm.p(h);
-                            terms = Some(trm);
-                            break p.iter().map(|q| -q).collect();
+                            terms.p_into(h, &mut pbuf);
+                            break pbuf.iter().map(|q| -q).collect();
                         }
                         Err(e) => return Err(e.into()),
                     };
@@ -329,11 +331,9 @@ impl TransientEngine for MatexSolver {
                 };
                 stats.expm_evals += 1;
                 let tol_abs = self.opts.expm.tol * b.beta();
-                if est <= tol_abs || (local_substeps >= self.opts.max_substeps && !xh.is_empty())
-                {
-                    let p = trm.p(h);
-                    terms = Some(trm);
-                    break xh.iter().zip(&p).map(|(x, p)| x - p).collect();
+                if est <= tol_abs || (local_substeps >= self.opts.max_substeps && !xh.is_empty()) {
+                    terms.p_into(h, &mut pbuf);
+                    break xh.iter().zip(&pbuf).map(|(x, p)| x - p).collect();
                 }
                 if local_substeps >= self.opts.max_substeps {
                     // Exhausted and still non-finite: hard failure.
@@ -357,11 +357,12 @@ impl TransientEngine for MatexSolver {
                     stats.substeps += 1;
                     local_substeps += 1;
                     if em <= tol_abs && !xm.is_empty() {
-                        let p = trm.p(hs);
-                        let xa: Vec<f64> = xm.iter().zip(&p).map(|(x, p)| x - p).collect();
+                        terms.p_into(hs, &mut pbuf);
+                        let xa: Vec<f64> = xm.iter().zip(&pbuf).map(|(x, p)| x - p).collect();
                         anchor_t += hs;
                         anchor_x = xa;
                         basis = None;
+                        terms_valid = false;
                         moved = true;
                         break;
                     }
@@ -379,9 +380,8 @@ impl TransientEngine for MatexSolver {
                     }
                     // Could not find any acceptable sub-step: accept the
                     // best-effort full-step value.
-                    let p = trm.p(h);
-                    terms = Some(trm);
-                    break xh.iter().zip(&p).map(|(x, p)| x - p).collect();
+                    terms.p_into(h, &mut pbuf);
+                    break xh.iter().zip(&pbuf).map(|(x, p)| x - p).collect();
                 }
                 // Re-anchored: recompute terms for [anchor_t, win_end] on
                 // the next pass (the window itself is unchanged).
@@ -401,7 +401,7 @@ impl TransientEngine for MatexSolver {
             if lts.contains(te) || te >= win_end * (1.0 - 1e-12) {
                 anchor_t = te;
                 anchor_x = x_te;
-                terms = None;
+                terms_valid = false;
                 basis = None;
                 win_end = next_window_end(&lts, te, t_stop);
             }

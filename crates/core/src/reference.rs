@@ -6,7 +6,7 @@
 //! fine-step run of an independent engine (see DESIGN.md §2).
 
 use crate::engine::TransientEngine;
-use crate::{BackwardEuler, CoreError, Trapezoidal, TransientResult, TransientSpec};
+use crate::{BackwardEuler, CoreError, TransientResult, TransientSpec, Trapezoidal};
 use matex_circuit::MnaSystem;
 
 /// Which discretization generates the reference.

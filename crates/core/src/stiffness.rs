@@ -70,7 +70,10 @@ mod tests {
     fn stiffness_ratio_scales_measured_stiffness() {
         let mild = measure_stiffness(&RcMeshBuilder::new(4, 4).build().unwrap(), 100).unwrap();
         let stiff = measure_stiffness(
-            &RcMeshBuilder::new(4, 4).stiffness_ratio(1e8).build().unwrap(),
+            &RcMeshBuilder::new(4, 4)
+                .stiffness_ratio(1e8)
+                .build()
+                .unwrap(),
             100,
         )
         .unwrap();

@@ -43,7 +43,10 @@ impl TrapezoidalAdaptive {
     /// Panics when the step bounds are inconsistent or non-positive.
     pub fn new(atol: f64, h_init: f64) -> Self {
         assert!(atol > 0.0 && atol.is_finite(), "atol must be positive");
-        assert!(h_init > 0.0 && h_init.is_finite(), "h_init must be positive");
+        assert!(
+            h_init > 0.0 && h_init.is_finite(),
+            "h_init must be positive"
+        );
         TrapezoidalAdaptive {
             atol,
             rtol: 1e-3,
@@ -82,11 +85,7 @@ impl TransientEngine for TrapezoidalAdaptive {
             .active_columns()
             .iter()
             .map(|&c| {
-                SpotSet::from_times(
-                    sys.sources()[c]
-                        .waveform
-                        .transition_spots(spec.t_stop()),
-                )
+                SpotSet::from_times(sys.sources()[c].waveform.transition_spots(spec.t_stop()))
             })
             .collect();
         let breakpoints = SpotSet::union(&spots).clip(spec.t_start(), spec.t_stop());

@@ -15,8 +15,8 @@
 
 use matex_circuit::{MnaSystem, Netlist};
 use matex_core::{
-    BackwardEuler, KrylovKind, MatexOptions, MatexSolver, TransientEngine, Trapezoidal,
-    TrapezoidalAdaptive, TransientSpec,
+    BackwardEuler, KrylovKind, MatexOptions, MatexSolver, TransientEngine, TransientSpec,
+    Trapezoidal, TrapezoidalAdaptive,
 };
 use matex_waveform::{Pulse, Waveform};
 
@@ -97,7 +97,10 @@ fn backward_euler_first_order() {
     // First order: halving h halves the error (within slack). The
     // absolute level is large because τ = 100 ps makes this a demanding
     // waveform for a first-order method.
-    assert!(e2 < 0.7 * e1, "BE not converging: e(h)={e1:.3e}, e(h/2)={e2:.3e}");
+    assert!(
+        e2 < 0.7 * e1,
+        "BE not converging: e(h)={e1:.3e}, e(h/2)={e2:.3e}"
+    );
     assert!(e1 < 2e-2, "BE error too large: {e1:.3e}");
 }
 
@@ -116,7 +119,9 @@ fn trapezoidal_second_order() {
 #[test]
 fn adaptive_tr_meets_tolerance() {
     let sys = circuit();
-    let r = TrapezoidalAdaptive::new(1e-5, 1e-12).run(&sys, &spec()).unwrap();
+    let r = TrapezoidalAdaptive::new(1e-5, 1e-12)
+        .run(&sys, &spec())
+        .unwrap();
     let e = max_err_vs_analytic(&r);
     // Sample-grid values are linearly interpolated between the (long)
     // accepted steps, so the recorded error is interpolation-dominated;
@@ -135,7 +140,11 @@ fn adaptive_tr_meets_tolerance() {
 #[test]
 fn matex_variants_hit_krylov_tolerance() {
     let sys = circuit();
-    for kind in [KrylovKind::Standard, KrylovKind::Inverted, KrylovKind::Rational] {
+    for kind in [
+        KrylovKind::Standard,
+        KrylovKind::Inverted,
+        KrylovKind::Rational,
+    ] {
         let r = MatexSolver::new(MatexOptions::new(kind).tol(1e-9))
             .run(&sys, &spec())
             .unwrap();

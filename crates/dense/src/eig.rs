@@ -11,8 +11,8 @@
 //!   matrices (values only, possibly complex),
 //! * power / inverse iteration for dominant and targeted eigenpairs.
 
-use crate::{DMat, DenseError, DenseLu, Result};
 use crate::vector::{norm2, normalize};
+use crate::{DMat, DenseError, DenseLu, Result};
 
 /// A real or complex eigenvalue, stored as `(re, im)`.
 pub type Complex = (f64, f64);
@@ -288,7 +288,11 @@ fn eig2(a: f64, b: f64, c: f64, d: f64) -> (Complex, Complex) {
         let sq = disc.sqrt();
         // Stable form: compute the larger-magnitude root first, then the
         // other via the product of roots (avoids cancellation).
-        let big = if tr >= 0.0 { tr / 2.0 + sq } else { tr / 2.0 - sq };
+        let big = if tr >= 0.0 {
+            tr / 2.0 + sq
+        } else {
+            tr / 2.0 - sq
+        };
         let (l1, l2) = if big != 0.0 {
             (big, det / big)
         } else {
@@ -318,7 +322,7 @@ fn francis_step_with(h: &mut DMat, lo: usize, hi: usize, s: f64, t: f64) {
         let (v, beta) = house3(x, y, z);
         if beta != 0.0 {
             let q = k.saturating_sub(1); // first affected column
-            // Left multiply rows k..k+3.
+                                         // Left multiply rows k..k+3.
             for j in q..n {
                 let h0 = h[(k, j)];
                 let h1 = h[(k + 1, j)];

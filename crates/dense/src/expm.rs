@@ -5,7 +5,7 @@
 //! Hessenberg matrices. The cost is `O(m³)` — the `T_H` term of the paper's
 //! complexity model (Sec. 3.4).
 
-use crate::{DMat, DenseLu, DenseError, Result};
+use crate::{DMat, DenseError, DenseLu, Result};
 
 /// Padé coefficient tables, degree → coefficients `b₀..b_m` (Higham 2005,
 /// Table 2.3 generators).

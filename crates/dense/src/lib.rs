@@ -15,6 +15,10 @@
 //! dependencies. It is deliberately tuned for the "small but numerically
 //! nasty" regime (stiffness ratios up to `1e16`), not for large-matrix BLAS
 //! throughput.
+
+// Index loops mirror the reference LAPACK-style formulations these
+// kernels are transcribed from; iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
 //!
 //! # Example
 //!

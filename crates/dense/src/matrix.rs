@@ -140,7 +140,9 @@ impl DMat {
     /// Panics if `j` is out of bounds.
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert!(j < self.ncols, "column index out of bounds");
-        (0..self.nrows).map(|i| self.data[i * self.ncols + j]).collect()
+        (0..self.nrows)
+            .map(|i| self.data[i * self.ncols + j])
+            .collect()
     }
 
     /// Overwrites column `j` with `v`.
@@ -349,7 +351,12 @@ impl Add for &DMat {
         DMat {
             nrows: self.nrows,
             ncols: self.ncols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -366,7 +373,12 @@ impl Sub for &DMat {
         DMat {
             nrows: self.nrows,
             ncols: self.ncols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }

@@ -2,7 +2,7 @@
 //! group laws, and eigenvalue invariants on random matrices.
 
 use matex_dense::eig::{eig_vals, sym_eig};
-use matex_dense::{expm, DenseLu, DenseQr, DMat};
+use matex_dense::{expm, DMat, DenseLu, DenseQr};
 use proptest::prelude::*;
 
 /// Random well-conditioned matrix: diagonally dominant with bounded
@@ -107,11 +107,11 @@ proptest! {
         prop_assert!((trace - sum_w).abs() < 1e-8 * trace.abs().max(1.0));
         // Reconstruct.
         let mut rec = DMat::zeros(n, n);
-        for k in 0..n {
+        for (k, &wk) in w.iter().enumerate() {
             let col = v.col(k);
             for i in 0..n {
                 for j in 0..n {
-                    rec[(i, j)] += w[k] * col[i] * col[j];
+                    rec[(i, j)] += wk * col[i] * col[j];
                 }
             }
         }

@@ -1,0 +1,53 @@
+use matex_core::CoreError;
+use std::fmt;
+
+/// Errors from the distributed scheduler.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DistError {
+    /// A node's solver failed; carries the first failure in group order.
+    Node {
+        /// Group id of the failing subtask.
+        group: usize,
+        /// The underlying engine error.
+        source: CoreError,
+    },
+    /// The superposition step failed (mismatched grids — an internal
+    /// invariant violation, since every node shares one spec).
+    Superposition(CoreError),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Node { group, source } => {
+                write!(f, "distributed node for group {group} failed: {source}")
+            }
+            DistError::Superposition(e) => write!(f, "superposition failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistError::Node { source, .. } => Some(source),
+            DistError::Superposition(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_group() {
+        let e = DistError::Node {
+            group: 3,
+            source: CoreError::InvalidSpec("x".into()),
+        };
+        assert!(e.to_string().contains("group 3"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

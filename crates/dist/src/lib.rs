@@ -1,0 +1,49 @@
+//! The distributed MATEX framework (paper Sec. 3 / Fig. 4).
+//!
+//! The paper's headline speedups (Table 3) come from *decomposition*:
+//! input sources are partitioned into groups — by bump feature, so every
+//! group's members share their transition timing — and each group is
+//! simulated independently by one "slave node" running a masked
+//! [`MatexSolver`](matex_core::MatexSolver) with its own local transition
+//! spots. Because the MNA system is linear, the node results superpose
+//! into the full solution.
+//!
+//! This crate is the master of Fig. 4:
+//!
+//! * [`run_distributed`] — group, schedule onto a worker pool
+//!   (longest-processing-time order over a [`std::thread::scope`]), run
+//!   one masked solver per group against the shared immutable system, and
+//!   superpose in group-index order so the numerics are **bitwise
+//!   independent of the worker count**,
+//! * [`DistributedRun`] — the combined result plus per-node accounting
+//!   ([`NodeRun`]) and the paper's one-instance-per-node makespan
+//!   emulation (`emulated_transient` / `emulated_total` are maxima over
+//!   nodes, matching Table 3's `trmatex` / `tr_total` columns),
+//! * [`SpeedupModel`] — the Sec. 3.4 analytic model (Eqs. (11)–(12)).
+//!
+//! # Example
+//!
+//! ```
+//! use matex_circuit::PdnBuilder;
+//! use matex_core::TransientSpec;
+//! use matex_dist::{run_distributed, DistributedOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let grid = PdnBuilder::new(8, 8).num_loads(10).num_features(3).window(2e-9).build()?;
+//! let spec = TransientSpec::new(0.0, 2e-9, 4e-11)?;
+//! let run = run_distributed(&grid, &spec, &DistributedOptions::default())?;
+//! assert_eq!(run.num_groups(), 4); // 3 bump shapes + the supply group
+//! assert_eq!(run.result.times().len(), 51);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod options;
+mod run;
+mod speedup;
+
+pub use error::DistError;
+pub use options::DistributedOptions;
+pub use run::{run_distributed, DistributedRun, NodeRun};
+pub use speedup::SpeedupModel;

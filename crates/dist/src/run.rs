@@ -1,0 +1,328 @@
+//! The master node: grouping, scheduling, execution, superposition.
+
+use crate::{DistError, DistributedOptions};
+use matex_circuit::MnaSystem;
+use matex_core::{
+    CoreError, MatexSolver, SolveStats, TransientEngine, TransientResult, TransientSpec,
+};
+use matex_waveform::{group_sources, SpotSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// One slave node's completed subtask.
+#[derive(Debug, Clone)]
+pub struct NodeRun {
+    /// Group id this node simulated (0 is the constant/supply group).
+    pub group: usize,
+    /// Number of member sources in the group.
+    pub num_sources: usize,
+    /// Local transition spots inside the simulation window — the number
+    /// of fresh Krylov subspaces the node must generate, and therefore
+    /// the scheduler's cost estimate for the group.
+    pub num_lts: usize,
+    /// Wall time of this node's solver run as measured on the worker
+    /// thread (uncontended when `workers == Some(1)`).
+    pub wall: Duration,
+    /// The node's (masked) transient result on the shared sample grid.
+    pub result: TransientResult,
+}
+
+/// A completed distributed run.
+#[derive(Debug, Clone)]
+pub struct DistributedRun {
+    /// The superposed full solution.
+    pub result: TransientResult,
+    /// Per-node accounting, in ascending group order.
+    pub nodes: Vec<NodeRun>,
+    /// Global transition spots (union of all LTS).
+    pub gts: SpotSet,
+    /// Makespan of the pure transient phase: the *maximum* node transient
+    /// time, per the paper's one-instance-per-node accounting (Table 3's
+    /// `trmatex`).
+    pub emulated_transient: Duration,
+    /// Makespan including DC and factorization per node (Table 3's
+    /// `tr_total`).
+    pub emulated_total: Duration,
+    /// Wall time of the sequential superposition step on the master.
+    pub superposition_time: Duration,
+    /// Actual wall time of the whole distributed run on this machine
+    /// (contended when several workers share cores).
+    pub wall_time: Duration,
+}
+
+impl DistributedRun {
+    /// Number of simulated groups (slave nodes).
+    pub fn num_groups(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// One schedulable subtask.
+struct Job {
+    group: usize,
+    members: Vec<usize>,
+    lts: SpotSet,
+}
+
+/// Runs the distributed MATEX framework of paper Fig. 4.
+///
+/// Sources are partitioned under `opts.strategy`; each group becomes one
+/// subtask running a masked [`MatexSolver`] with the group's LTS against
+/// the shared immutable `sys`. Subtasks are scheduled onto a scoped
+/// worker pool in longest-processing-time order (cost estimate: LTS
+/// count). The results superpose in ascending group order, so the
+/// combined numerics are bitwise independent of `opts.workers`.
+///
+/// # Errors
+///
+/// Returns [`DistError::Node`] carrying the first node failure in group
+/// order, or [`DistError::Superposition`] if result grids mismatch
+/// (internal invariant violation).
+pub fn run_distributed(
+    sys: &MnaSystem,
+    spec: &TransientSpec,
+    opts: &DistributedOptions,
+) -> Result<DistributedRun, DistError> {
+    let wall0 = Instant::now();
+    let (t_start, t_stop) = (spec.t_start(), spec.t_stop());
+
+    let grouping = group_sources(&sys.source_waveforms(), t_stop, opts.strategy);
+    let mut jobs: Vec<Job> = grouping
+        .groups
+        .iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| Job {
+            group: g.id,
+            members: g.members.clone(),
+            lts: g.lts.clip(t_start, t_stop),
+        })
+        .collect();
+    if jobs.is_empty() {
+        // Sourceless system: one node computes the (zero) homogeneous
+        // response so the run still has a well-formed result grid.
+        jobs.push(Job {
+            group: 0,
+            members: Vec::new(),
+            lts: SpotSet::new(),
+        });
+    }
+
+    // Longest-processing-time order: a group's cost is dominated by its
+    // Krylov generations, one per LTS. Ties break on group id so the
+    // schedule itself is deterministic.
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(jobs[i].lts.len()), jobs[i].group));
+
+    let workers = opts
+        .workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+        .min(jobs.len());
+
+    // Worker pool: a shared cursor over the LPT order; every completed
+    // subtask lands in its job's slot, so collection order below is group
+    // order regardless of which worker ran what. A failed node trips the
+    // abort flag so idle workers stop draining the queue instead of
+    // simulating groups whose results will be discarded.
+    let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let slots: Vec<OnceLock<Result<NodeRun, CoreError>>> =
+        (0..jobs.len()).map(|_| OnceLock::new()).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&j) = order.get(k) else { break };
+                let job = &jobs[j];
+                let outcome = run_node(sys, spec, opts, job);
+                if outcome.is_err() {
+                    abort.store(true, Ordering::Relaxed);
+                }
+                slots[j].set(outcome).expect("each job runs exactly once");
+            });
+        }
+    });
+
+    // Slots are in group order; after an abort some may be unset (their
+    // jobs were skipped), so report the first *completed* failure.
+    let mut nodes = Vec::with_capacity(jobs.len());
+    for (slot, job) in slots.into_iter().zip(&jobs) {
+        match slot.into_inner() {
+            Some(Ok(node)) => nodes.push(node),
+            Some(Err(source)) => {
+                return Err(DistError::Node {
+                    group: job.group,
+                    source,
+                })
+            }
+            None => {
+                assert!(
+                    abort.load(Ordering::Relaxed),
+                    "worker pool left a job unran without aborting"
+                );
+            }
+        }
+    }
+
+    // Superpose in ascending group order — fixed summation order keeps
+    // the result bitwise independent of the worker count.
+    let sup0 = Instant::now();
+    let mut result = nodes[0].result.zeros_like();
+    let mut stats = SolveStats::default();
+    for node in &nodes {
+        result
+            .add_scaled(&node.result, 1.0)
+            .map_err(DistError::Superposition)?;
+        stats.absorb(&node.result.stats);
+    }
+    result.stats = stats;
+    result.engine = format!("MATEX-dist[{} x {}]", nodes.len(), nodes[0].result.engine);
+    let superposition_time = sup0.elapsed();
+
+    let emulated_transient = nodes
+        .iter()
+        .map(|n| n.result.stats.transient_time)
+        .max()
+        .unwrap_or_default();
+    let emulated_total = nodes
+        .iter()
+        .map(|n| n.result.stats.total_time())
+        .max()
+        .unwrap_or_default();
+
+    Ok(DistributedRun {
+        result,
+        nodes,
+        gts: grouping.gts.clip(t_start, t_stop),
+        emulated_transient,
+        emulated_total,
+        superposition_time,
+        wall_time: wall0.elapsed(),
+    })
+}
+
+/// Runs one group's masked solver (one slave node of Fig. 4).
+fn run_node(
+    sys: &MnaSystem,
+    spec: &TransientSpec,
+    opts: &DistributedOptions,
+    job: &Job,
+) -> Result<NodeRun, CoreError> {
+    let t0 = Instant::now();
+    let solver = MatexSolver::new(opts.matex.clone())
+        .with_source_mask(job.members.clone())
+        .with_lts(job.lts.clone());
+    let result = solver.run(sys, spec)?;
+    Ok(NodeRun {
+        group: job.group,
+        num_sources: job.members.len(),
+        num_lts: job.lts.len(),
+        wall: t0.elapsed(),
+        result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matex_circuit::{Netlist, PdnBuilder};
+    use matex_core::MatexOptions;
+    use matex_waveform::{GroupingStrategy, Pulse, Waveform};
+
+    fn small_grid() -> MnaSystem {
+        PdnBuilder::new(6, 6)
+            .num_loads(8)
+            .num_features(3)
+            .window(1e-9)
+            .build()
+            .expect("grid builds")
+    }
+
+    #[test]
+    fn groups_cover_every_source_once() {
+        let sys = small_grid();
+        let spec = TransientSpec::new(0.0, 1e-9, 2e-11).unwrap();
+        let run = run_distributed(&sys, &spec, &DistributedOptions::default()).unwrap();
+        let covered: usize = run.nodes.iter().map(|n| n.num_sources).sum();
+        assert_eq!(covered, sys.num_sources());
+        // Ascending group order, starting with the supply group.
+        for w in run.nodes.windows(2) {
+            assert!(w[0].group < w[1].group);
+        }
+        assert_eq!(run.nodes[0].group, 0);
+    }
+
+    #[test]
+    fn matches_monolithic_solver() {
+        let sys = small_grid();
+        let spec = TransientSpec::new(0.0, 1e-9, 2e-11).unwrap();
+        let opts = DistributedOptions {
+            matex: MatexOptions::default().tol(1e-10),
+            ..DistributedOptions::default()
+        };
+        let run = run_distributed(&sys, &spec, &opts).unwrap();
+        let mono = MatexSolver::new(MatexOptions::default().tol(1e-10))
+            .run(&sys, &spec)
+            .unwrap();
+        let (max_err, _) = run.result.error_vs(&mono).unwrap();
+        assert!(max_err < 1e-6, "superposition deviates: {max_err:.3e}");
+    }
+
+    #[test]
+    fn sourceless_system_yields_zero_result() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.add_resistor("r", a, Netlist::ground(), 1.0).unwrap();
+        nl.add_capacitor("c", a, Netlist::ground(), 1e-12).unwrap();
+        let sys = MnaSystem::assemble(&nl).unwrap();
+        let spec = TransientSpec::new(0.0, 1e-9, 1e-10).unwrap();
+        let run = run_distributed(&sys, &spec, &DistributedOptions::default()).unwrap();
+        assert_eq!(run.num_groups(), 1);
+        assert!(run.result.series()[0].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn single_strategy_puts_loads_on_one_node() {
+        let sys = small_grid();
+        let spec = TransientSpec::new(0.0, 1e-9, 2e-11).unwrap();
+        let opts = DistributedOptions {
+            strategy: GroupingStrategy::Single,
+            ..DistributedOptions::default()
+        };
+        let run = run_distributed(&sys, &spec, &opts).unwrap();
+        assert_eq!(run.num_groups(), 2); // supplies + one load group
+    }
+
+    #[test]
+    fn lpt_order_is_deterministic() {
+        // Groups with distinct LTS counts: heavier groups first, ties on id.
+        let p = |d: f64| Waveform::Pulse(Pulse::new(0.0, 1e-3, d, 1e-11, 1e-10, 1e-11).unwrap());
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.add_resistor("r", a, Netlist::ground(), 10.0).unwrap();
+        nl.add_capacitor("c", a, Netlist::ground(), 1e-13).unwrap();
+        nl.add_isource("i0", Netlist::ground(), a, p(1e-10))
+            .unwrap();
+        nl.add_isource("i1", Netlist::ground(), a, p(3e-10))
+            .unwrap();
+        let sys = MnaSystem::assemble(&nl).unwrap();
+        let spec = TransientSpec::new(0.0, 1e-9, 1e-11).unwrap();
+        let opts = DistributedOptions {
+            strategy: GroupingStrategy::BySource,
+            workers: Some(2),
+            ..DistributedOptions::default()
+        };
+        let a_run = run_distributed(&sys, &spec, &opts).unwrap();
+        let b_run = run_distributed(&sys, &spec, &opts).unwrap();
+        assert_eq!(a_run.result.series(), b_run.result.series());
+        assert_eq!(a_run.num_groups(), 2);
+    }
+}

@@ -228,7 +228,7 @@ mod tests {
             let mut avj = vec![0.0; 10];
             op.apply(&basis[j], &mut avj);
             // Σ_i V[:,i] H[i,j] (+ subdiag term when j = m-1)
-            let mut rhs = vec![0.0; 10];
+            let mut rhs = [0.0; 10];
             for i in 0..m {
                 for k in 0..10 {
                     rhs[k] += basis[i][k] * h[(i, j)];
@@ -278,7 +278,14 @@ mod tests {
         let g = CsrMatrix::from_triplets(
             4,
             4,
-            &[(0, 0, 2.0), (1, 1, 2.0), (2, 2, 2.0), (3, 3, 2.0), (0, 1, -1.0), (1, 0, -1.0)],
+            &[
+                (0, 0, 2.0),
+                (1, 1, 2.0),
+                (2, 2, 2.0),
+                (3, 3, 2.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+            ],
         );
         let lu = SparseLu::factor(&c, &LuOptions::default()).unwrap();
         let op = StandardOp::new(&lu, &g);

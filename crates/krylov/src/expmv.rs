@@ -265,8 +265,8 @@ pub fn build_basis_multi(
         // Convergence checks are O(m³); check every step while small,
         // then stride to amortize (large m only happens for MEXP on
         // stiff circuits, where per-step checks would dominate).
-        let check = m >= params.m_min
-            && (m <= 32 || m % 4 == 0 || m == m_cap || arnoldi.broke_down());
+        let check =
+            m >= params.m_min && (m <= 32 || m % 4 == 0 || m == m_cap || arnoldi.broke_down());
         if !check {
             continue;
         }
@@ -413,7 +413,10 @@ mod tests {
     fn dense_reference(c: &CsrMatrix, g: &CsrMatrix, v: &[f64], h: f64) -> Vec<f64> {
         let cd = c.to_dense();
         let gd = g.to_dense();
-        let cinv = matex_dense::DenseLu::factor(&cd).unwrap().inverse().unwrap();
+        let cinv = matex_dense::DenseLu::factor(&cd)
+            .unwrap()
+            .inverse()
+            .unwrap();
         let a = cinv.matmul(&gd).unwrap().scaled(-1.0);
         expm(&a.scaled(h)).unwrap().matvec(v)
     }
@@ -434,7 +437,12 @@ mod tests {
             .iter()
             .zip(&x_ref)
             .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()));
-        assert!(err < tol, "{:?}: err {err} (m = {})", op.kind(), out.basis.m());
+        assert!(
+            err < tol,
+            "{:?}: err {err} (m = {})",
+            op.kind(),
+            out.basis.m()
+        );
     }
 
     #[test]

@@ -174,7 +174,11 @@ mod tests {
     fn small_system() -> (CsrMatrix, CsrMatrix) {
         // C = diag(1, 2), G = [[3, -1], [-1, 2]]
         let c = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]);
-        let g = CsrMatrix::from_triplets(2, 2, &[(0, 0, 3.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 2.0)]);
+        let g = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 3.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 2.0)],
+        );
         (c, g)
     }
 

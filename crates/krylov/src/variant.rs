@@ -1,7 +1,7 @@
 //! Variant selection and the Ĥ → Hm mapping.
 
 use crate::KrylovError;
-use matex_dense::{DenseLu, DMat};
+use matex_dense::{DMat, DenseLu};
 
 /// Which Krylov subspace the matrix exponential is projected onto.
 ///

@@ -198,7 +198,13 @@ mod tests {
         let a = CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         );
         let x = vec![1.0, -2.0, 0.5];
         assert_eq!(a.to_csc().matvec(&x), a.matvec(&x));
@@ -207,9 +213,7 @@ mod tests {
     #[test]
     fn validation_rejects_bad_input() {
         assert!(CscMatrix::from_raw_parts(2, 1, vec![0, 1], vec![5], vec![1.0]).is_err());
-        assert!(
-            CscMatrix::from_raw_parts(3, 1, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).is_err()
-        );
+        assert!(CscMatrix::from_raw_parts(3, 1, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).is_err());
         assert!(CscMatrix::from_raw_parts(1, 1, vec![1, 1], vec![], vec![]).is_err());
     }
 

@@ -438,7 +438,13 @@ mod tests {
         CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
     }
 
@@ -516,9 +522,7 @@ mod tests {
         // Out-of-range column.
         assert!(CsrMatrix::from_raw_parts(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err());
         // Non-increasing columns.
-        assert!(
-            CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err()
-        );
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
         // Bad indptr.
         assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 2], vec![0], vec![1.0]).is_err());
     }

@@ -58,7 +58,9 @@ mod tests {
 
     #[test]
     fn display_mentions_column() {
-        assert!(SparseError::Singular { column: 3 }.to_string().contains("column 3"));
+        assert!(SparseError::Singular { column: 3 }
+            .to_string()
+            .contains("column 3"));
     }
 
     #[test]

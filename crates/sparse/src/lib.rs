@@ -35,6 +35,10 @@
 //! # }
 //! ```
 
+// Index loops mirror the CSparse-style formulations these kernels are
+// transcribed from; iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
+
 mod coo;
 mod csc;
 mod csr;

@@ -86,11 +86,18 @@ impl SparseLu {
         } else {
             (vec![1.0; n], vec![1.0; n])
         };
-        // Scaled copy in CSC form.
-        let mut scaled = a.clone();
-        scaled.scale_rows(&rscale);
-        scaled.scale_cols(&cscale);
-        let acsc = scaled.to_csc();
+        // CSC working copy. Cloning and rescaling the full matrix is only
+        // worth it when some scale differs from 1.0 (equilibration off, or
+        // an already well-scaled matrix): otherwise convert directly.
+        let needs_scaling = rscale.iter().chain(cscale.iter()).any(|&s| s != 1.0);
+        let acsc = if needs_scaling {
+            let mut scaled = a.clone();
+            scaled.scale_rows(&rscale);
+            scaled.scale_cols(&cscale);
+            scaled.to_csc()
+        } else {
+            a.to_csc()
+        };
         let q = opts.ordering.order(a);
 
         let nnz_guess = (4 * a.nnz()).max(16 * n);
@@ -135,7 +142,10 @@ impl SparseLu {
                         (0, 0) // unpivoted rows have no L column yet
                     } else {
                         // Skip the unit-diagonal first entry.
-                        (l_colptr[jcol] + 1, *l_colptr.get(jcol + 1).unwrap_or(&l_rowidx.len()))
+                        (
+                            l_colptr[jcol] + 1,
+                            *l_colptr.get(jcol + 1).unwrap_or(&l_rowidx.len()),
+                        )
                     };
                     let ptr = dfs_ptr.last_mut().expect("stack nonempty");
                     let mut descended = false;
@@ -201,7 +211,9 @@ impl SparseLu {
             }
             // Diagonal preference: keep A(col, col) as pivot when it is
             // within `pivot_threshold` of the best magnitude.
-            if pinv[col] == UNPIVOTED && x[col] != 0.0 && x[col].abs() >= opts.pivot_threshold * best
+            if pinv[col] == UNPIVOTED
+                && x[col] != 0.0
+                && x[col].abs() >= opts.pivot_threshold * best
             {
                 ipiv = col;
             }
@@ -406,7 +418,8 @@ mod tests {
 
     #[test]
     fn dense_2x2() {
-        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)]);
+        let a =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)]);
         assert!(solve_roundtrip(&a, &LuOptions::default()) < 1e-12);
     }
 
@@ -416,7 +429,13 @@ mod tests {
         let a = CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 1, 2.0), (1, 0, 3.0), (1, 2, 1.0), (2, 1, 1.0), (2, 2, 4.0)],
+            &[
+                (0, 1, 2.0),
+                (1, 0, 3.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (2, 2, 4.0),
+            ],
         );
         assert!(solve_roundtrip(&a, &LuOptions::default()) < 1e-12);
     }
@@ -476,11 +495,8 @@ mod tests {
     #[test]
     fn rank_deficient_detected() {
         // Row 2 = 2 * row 0.
-        let a = CsrMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 4.0)],
-        );
+        let a =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 4.0)]);
         assert!(SparseLu::factor(&a, &LuOptions::default()).is_err());
     }
 
@@ -531,6 +547,30 @@ mod tests {
         let mut work = vec![0.0; 25];
         lu.solve_into(&b, &mut out, &mut work);
         assert_eq!(x, out);
+    }
+
+    #[test]
+    fn no_equilibration_skips_scaled_copy_and_still_solves() {
+        // The direct-CSC fast path (no scaled clone) must give exactly the
+        // same factorization as before: identical solves, pivot for pivot.
+        let a = grid_laplacian(9, 7);
+        let opts = LuOptions {
+            equilibrate: false,
+            ..LuOptions::default()
+        };
+        assert!(solve_roundtrip(&a, &opts) < 1e-9);
+        // A well-scaled matrix takes the fast path under equilibration
+        // too (all computed scales are 1.0) and must agree bitwise with
+        // the unequilibrated factorization.
+        let ones = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 1.0), (0, 1, -0.5), (1, 0, -0.25), (1, 1, 1.0)],
+        );
+        let lu_eq = SparseLu::factor(&ones, &LuOptions::default()).unwrap();
+        let lu_raw = SparseLu::factor(&ones, &opts).unwrap();
+        let b = [1.0, 2.0];
+        assert_eq!(lu_eq.solve(&b), lu_raw.solve(&b));
     }
 
     #[test]

@@ -102,8 +102,7 @@ pub fn amd_order(a: &CsrMatrix) -> Permutation {
         for &u in &boundary {
             let u_us = u as usize;
             // Direct edges now covered by the element (or dead) are dropped.
-            adj_var[u_us]
-                .retain(|&w| !eliminated[w as usize] && stamp[w as usize] != stamp_gen);
+            adj_var[u_us].retain(|&w| !eliminated[w as usize] && stamp[w as usize] != stamp_gen);
             // Dead elements are dropped; the new element v joins.
             adj_el[u_us].retain(|&e| elem[e as usize].is_some());
             adj_el[u_us].push(v as u32);

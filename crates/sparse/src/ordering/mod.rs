@@ -77,10 +77,7 @@ mod tests {
     #[test]
     fn natural_is_identity() {
         let a = chain(5);
-        assert_eq!(
-            OrderingKind::Natural.order(&a).as_slice(),
-            &[0, 1, 2, 3, 4]
-        );
+        assert_eq!(OrderingKind::Natural.order(&a).as_slice(), &[0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -170,7 +170,13 @@ mod tests {
         let a = CsrMatrix::from_triplets(
             5,
             5,
-            &[(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0), (4, 4, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (2, 3, 1.0),
+                (3, 2, 1.0),
+                (4, 4, 1.0),
+            ],
         );
         let p = rcm_order(&a);
         assert_eq!(p.len(), 5);

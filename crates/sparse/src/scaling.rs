@@ -21,7 +21,10 @@ use crate::CsrMatrix;
 pub fn equilibrate(a: &CsrMatrix) -> (Vec<f64>, Vec<f64>) {
     let mut rscale = vec![1.0_f64; a.nrows()];
     for r in 0..a.nrows() {
-        let m = a.row_values(r).iter().fold(0.0_f64, |acc, v| acc.max(v.abs()));
+        let m = a
+            .row_values(r)
+            .iter()
+            .fold(0.0_f64, |acc, v| acc.max(v.abs()));
         if m > 0.0 && m.is_finite() {
             rscale[r] = (-m.log2().round()).exp2();
         }
@@ -78,7 +81,7 @@ mod tests {
                 .enumerate()
                 .map(|(k, _)| (r[row] * a.row_values(row)[k]).abs())
                 .fold(0.0_f64, f64::max);
-            assert!(m >= 0.5 && m <= 2.0, "row max {m} not near 1");
+            assert!((0.5..=2.0).contains(&m), "row max {m} not near 1");
         }
     }
 

@@ -2,9 +2,7 @@
 //! structurally-nonsingular systems, format round-trips, ordering
 //! validity, and linear-combination algebra.
 
-use matex_sparse::{
-    CooMatrix, CsrMatrix, LuOptions, OrderingKind, Permutation, SparseLu,
-};
+use matex_sparse::{CooMatrix, CsrMatrix, LuOptions, OrderingKind, Permutation, SparseLu};
 use proptest::prelude::*;
 
 /// Strategy: a random diagonally-dominant sparse matrix (guaranteed
@@ -19,8 +17,8 @@ fn dd_matrix(n: usize, entries: Vec<(usize, usize, f64)>) -> CsrMatrix {
             row_sum[r] += v.abs();
         }
     }
-    for i in 0..n {
-        coo.push(i, i, row_sum[i] + 1.0 + i as f64 * 0.01);
+    for (i, &rs) in row_sum.iter().enumerate() {
+        coo.push(i, i, rs + 1.0 + i as f64 * 0.01);
     }
     coo.to_csr()
 }

@@ -95,11 +95,7 @@ impl Grouping {
 /// # Ok(())
 /// # }
 /// ```
-pub fn group_sources(
-    waveforms: &[Waveform],
-    t_end: f64,
-    strategy: GroupingStrategy,
-) -> Grouping {
+pub fn group_sources(waveforms: &[Waveform], t_end: f64, strategy: GroupingStrategy) -> Grouping {
     let lts_of = |idx: &[usize]| -> SpotSet {
         SpotSet::union(
             &idx.iter()
@@ -160,7 +156,9 @@ pub fn group_sources(
 fn by_feature(waveforms: &[Waveform], active: &[usize]) -> Vec<Vec<usize>> {
     let mut map: HashMap<FeatureKey, Vec<usize>> = HashMap::new();
     for &i in active {
-        map.entry(FeatureKey::of(&waveforms[i])).or_default().push(i);
+        map.entry(FeatureKey::of(&waveforms[i]))
+            .or_default()
+            .push(i);
     }
     let mut sets: Vec<Vec<usize>> = map.into_values().collect();
     sets.sort_by_key(|m| m.first().copied().unwrap_or(usize::MAX));
@@ -193,7 +191,7 @@ fn merge_balanced(
         })
         .collect();
     // Largest first into the currently lightest bin.
-    weighted.sort_by(|a, b| b.0.cmp(&a.0));
+    weighted.sort_by_key(|&(w, _)| std::cmp::Reverse(w));
     let mut bins: Vec<(usize, Vec<usize>)> = vec![(0, Vec::new()); k];
     for (w, mut m) in weighted {
         let lightest = bins
@@ -267,7 +265,7 @@ mod tests {
         let src: Vec<Waveform> = (0..10).map(|i| pulse(i as f64)).collect();
         let g = group_sources(&src, 100.0, GroupingStrategy::MaxGroups(3));
         assert!(g.num_groups() <= 4); // 3 active + constants
-        // All sources still covered exactly once.
+                                      // All sources still covered exactly once.
         let mut seen: Vec<usize> = g.groups.iter().flat_map(|g| g.members.clone()).collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..10).collect::<Vec<_>>());

@@ -243,7 +243,10 @@ mod tests {
         assert_eq!(p.value(12.5), 1.0); // next period
         assert_eq!(p.value(6.0), 0.0);
         let spots = p.transition_spots(25.0);
-        assert_eq!(spots, vec![1.0, 2.0, 3.0, 4.0, 11.0, 12.0, 13.0, 14.0, 21.0, 22.0, 23.0, 24.0]);
+        assert_eq!(
+            spots,
+            vec![1.0, 2.0, 3.0, 4.0, 11.0, 12.0, 13.0, 14.0, 21.0, 22.0, 23.0, 24.0]
+        );
     }
 
     #[test]

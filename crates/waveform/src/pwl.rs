@@ -47,7 +47,10 @@ impl Pwl {
                 )));
             }
         }
-        if points.iter().any(|&(t, v)| !t.is_finite() || !v.is_finite()) {
+        if points
+            .iter()
+            .any(|&(t, v)| !t.is_finite() || !v.is_finite())
+        {
             return Err(WaveformError::InvalidTiming(
                 "pwl coordinate is not finite".into(),
             ));

@@ -1,18 +1,16 @@
 //! Property-based tests of waveforms and the decomposition machinery.
 
-use matex_waveform::{
-    group_sources, GroupingStrategy, Pulse, Pwl, SpotSet, Waveform,
-};
+use matex_waveform::{group_sources, GroupingStrategy, Pulse, Pwl, SpotSet, Waveform};
 use proptest::prelude::*;
 
 fn arb_pulse() -> impl Strategy<Value = Pulse> {
     (
-        -1e-3..1e-3_f64,            // v1
-        -1e-3..1e-3_f64,            // v2
-        0.0..5e-9_f64,              // delay
-        1e-12..1e-10_f64,           // rise
-        0.0..1e-9_f64,              // width
-        1e-12..1e-10_f64,           // fall
+        -1e-3..1e-3_f64,  // v1
+        -1e-3..1e-3_f64,  // v2
+        0.0..5e-9_f64,    // delay
+        1e-12..1e-10_f64, // rise
+        0.0..1e-9_f64,    // width
+        1e-12..1e-10_f64, // fall
     )
         .prop_map(|(v1, v2, d, r, w, f)| Pulse::new(v1, v2, d, r, w, f).expect("valid params"))
 }

@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .num_features(10)
         .window(window)
         .build()?;
-    println!("grid: {} unknowns, {} sources", grid.dim(), grid.num_sources());
+    println!(
+        "grid: {} unknowns, {} sources",
+        grid.dim(),
+        grid.num_sources()
+    );
 
     // Observe a subset of nodes to keep memory flat. Output sampling is
     // 100 points; the TR baseline still *steps* at 10 ps internally
@@ -36,11 +40,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // faithfully: each node's reported wall time is uncontended, exactly
     // like the paper's one-MATLAB-instance-per-node setup; the reported
     // makespan is still the *maximum* over nodes.
-    let run = run_distributed(&grid, &spec, &DistributedOptions {
-        matex: MatexOptions::default().tol(1e-6),
-        workers: Some(1),
-        ..DistributedOptions::default()
-    })?;
+    let run = run_distributed(
+        &grid,
+        &spec,
+        &DistributedOptions {
+            matex: MatexOptions::default().tol(1e-6),
+            workers: Some(1),
+            ..DistributedOptions::default()
+        },
+    )?;
     println!(
         "MATEX-dist:    transient {:?} (max node), total {:?} (max node), {} groups",
         run.emulated_transient,
@@ -50,7 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (max_err, avg_err) = run.result.error_vs(&tr)?;
     println!("accuracy vs TR: max {max_err:.2e}, avg {avg_err:.2e}");
 
-    let spdp4 = tr.stats.transient_time.as_secs_f64() / run.emulated_transient.as_secs_f64().max(1e-12);
+    let spdp4 =
+        tr.stats.transient_time.as_secs_f64() / run.emulated_transient.as_secs_f64().max(1e-12);
     let spdp5 = tr.stats.total_time().as_secs_f64() / run.emulated_total.as_secs_f64().max(1e-12);
     println!("Spdp4 (transient): {spdp4:.1}x   Spdp5 (total): {spdp5:.1}x");
 
@@ -61,8 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .max_by_key(|n| n.result.stats.transient_time)
         .expect("nodes");
     let st = &max_node.result.stats;
-    let t_bs = st.transient_time.as_secs_f64()
-        / st.substitution_pairs.max(1) as f64; // rough per-pair cost incl. overheads
+    let t_bs = st.transient_time.as_secs_f64() / st.substitution_pairs.max(1) as f64; // rough per-pair cost incl. overheads
     let model = SpeedupModel {
         gts_points: run.gts.len(),
         lts_points: max_node.num_lts,

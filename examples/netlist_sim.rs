@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .copied()
         .filter(|&r| r < sys.num_nodes())
         .collect();
-    let names: Vec<String> = node_rows.iter().map(|&r| sys.row_name(r).to_string()).collect();
+    let names: Vec<String> = node_rows
+        .iter()
+        .map(|&r| sys.row_name(r).to_string())
+        .collect();
     let data: Vec<Vec<f64>> = node_rows
         .iter()
         .map(|&r| result.waveform(r).expect("recorded").to_vec())

@@ -46,9 +46,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             node.group, node.num_sources, node.num_lts, node.wall
         );
     }
-    println!("emulated transient (max node): {:?}", run.emulated_transient);
+    println!(
+        "emulated transient (max node): {:?}",
+        run.emulated_transient
+    );
     println!("emulated total     (max node): {:?}", run.emulated_total);
-    println!("superposition:                 {:?}", run.superposition_time);
+    println!(
+        "superposition:                 {:?}",
+        run.superposition_time
+    );
     println!("actual wall (threaded):        {:?}", run.wall_time);
 
     // IR drop: VDD minus the minimum voltage each node reaches.

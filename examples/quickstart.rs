@@ -12,7 +12,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .segment_resistance(0.5)
         .node_capacitance(5e-15)
         .build()?;
-    println!("circuit: {} unknowns, {} sources", sys.dim(), sys.num_sources());
+    println!(
+        "circuit: {} unknowns, {} sources",
+        sys.dim(),
+        sys.num_sources()
+    );
 
     // 2. DC operating point.
     let x0 = dc_operating_point(&sys)?;
@@ -44,8 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let s = &result.stats;
     println!("factorizations:        {}", s.factorizations);
     println!("substitution pairs:    {}", s.substitution_pairs);
-    println!("krylov bases:          {} (avg dim {:.1}, peak {})",
-        s.krylov_bases, s.krylov_dim_avg(), s.krylov_dim_peak);
+    println!(
+        "krylov bases:          {} (avg dim {:.1}, peak {})",
+        s.krylov_bases,
+        s.krylov_dim_avg(),
+        s.krylov_dim_peak
+    );
     println!("small expm evals:      {}", s.expm_evals);
     println!("transient wall time:   {:?}", s.transient_time);
     Ok(())

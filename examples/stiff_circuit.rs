@@ -7,21 +7,26 @@
 
 use matex::circuit::RcMeshBuilder;
 use matex::core::{
-    measure_stiffness, KrylovKind, MatexOptions, MatexSolver, ReferenceMethod, TransientEngine,
-    TransientSpec, reference_solution,
+    measure_stiffness, reference_solution, KrylovKind, MatexOptions, MatexSolver, ReferenceMethod,
+    TransientEngine, TransientSpec,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:>10}  {:>9}  {:>8}  {:>6}  {:>6}  {:>10}", "stiffness", "variant", "err", "m_avg", "m_peak", "subst.pairs");
+    println!(
+        "{:>10}  {:>9}  {:>8}  {:>6}  {:>6}  {:>10}",
+        "stiffness", "variant", "err", "m_avg", "m_peak", "subst.pairs"
+    );
     for &ratio in &[1.0, 1e4, 1e8] {
-        let sys = RcMeshBuilder::new(6, 6)
-            .stiffness_ratio(ratio)
-            .build()?;
+        let sys = RcMeshBuilder::new(6, 6).stiffness_ratio(ratio).build()?;
         let stiffness = measure_stiffness(&sys, 100)?;
         // Short window, 5 ps steps as in the paper's Table 1 setup.
         let spec = TransientSpec::new(0.0, 3e-10, 5e-12)?;
         let reference = reference_solution(&sys, &spec, ReferenceMethod::Trapezoidal, 50)?;
-        for kind in [KrylovKind::Standard, KrylovKind::Inverted, KrylovKind::Rational] {
+        for kind in [
+            KrylovKind::Standard,
+            KrylovKind::Inverted,
+            KrylovKind::Rational,
+        ] {
             let result = MatexSolver::new(MatexOptions::new(kind).tol(1e-7)).run(&sys, &spec)?;
             let (err, _) = result.error_vs(&reference)?;
             println!(

@@ -48,6 +48,12 @@
 //! # }
 //! ```
 
+// Compile the README's code blocks as doctests so the documented
+// quickstarts can never rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;
+
 pub use matex_circuit as circuit;
 pub use matex_core as core;
 pub use matex_dense as dense;

@@ -29,11 +29,15 @@ fn five_engines_same_waveforms() {
         (Box::new(Trapezoidal::new(1e-11)), 1e-3),
         (Box::new(TrapezoidalAdaptive::new(1e-6, 1e-12)), 3e-3),
         (
-            Box::new(MatexSolver::new(MatexOptions::new(KrylovKind::Inverted).tol(1e-9))),
+            Box::new(MatexSolver::new(
+                MatexOptions::new(KrylovKind::Inverted).tol(1e-9),
+            )),
             1e-4,
         ),
         (
-            Box::new(MatexSolver::new(MatexOptions::new(KrylovKind::Rational).tol(1e-9))),
+            Box::new(MatexSolver::new(
+                MatexOptions::new(KrylovKind::Rational).tol(1e-9),
+            )),
             1e-4,
         ),
     ];

@@ -3,9 +3,7 @@
 
 use matex::circuit::ibmpg::{PgNodeName, Solution};
 use matex::circuit::{parse_netlist, MnaSystem};
-use matex::core::{
-    MatexOptions, MatexSolver, TransientEngine, TransientSpec, Trapezoidal,
-};
+use matex::core::{MatexOptions, MatexSolver, TransientEngine, TransientSpec, Trapezoidal};
 
 const RAIL: &str = "\
 * three-segment rail with two switching loads (IBM PG dialect)
@@ -58,7 +56,10 @@ fn parse_assemble_simulate_export() {
     let tsv = sol.to_tsv();
     let back = Solution::from_tsv(&tsv).expect("round-trips");
     let (max_rt, _) = sol.error_vs(&back).expect("same axes");
-    assert!(max_rt < 1e-12, "TSV round-trip lost precision: {max_rt:.3e}");
+    assert!(
+        max_rt < 1e-12,
+        "TSV round-trip lost precision: {max_rt:.3e}"
+    );
 }
 
 #[test]

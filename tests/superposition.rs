@@ -3,9 +3,7 @@
 //! circuits and source partitions.
 
 use matex::circuit::{MnaSystem, Netlist};
-use matex::core::{
-    MatexOptions, MatexSolver, TransientEngine, TransientSpec, Trapezoidal,
-};
+use matex::core::{MatexOptions, MatexSolver, TransientEngine, TransientSpec, Trapezoidal};
 use matex::dist::{run_distributed, DistributedOptions};
 use matex::waveform::{GroupingStrategy, Pulse, Waveform};
 use proptest::prelude::*;
