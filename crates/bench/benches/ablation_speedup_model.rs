@@ -56,9 +56,9 @@ fn main() {
     let busy = dist
         .nodes
         .iter()
-        .max_by_key(|n| n.result.stats.transient_time)
+        .max_by_key(|n| n.stats.transient_time)
         .expect("nodes exist");
-    let st = &busy.result.stats;
+    let st = &busy.stats;
     let t_bs = tr.stats.transient_time.as_secs_f64() / tr.stats.substitution_pairs.max(1) as f64;
     let t_he = (st.transient_time.as_secs_f64() - st.substitution_pairs as f64 * t_bs).max(0.0)
         / st.expm_evals.max(1) as f64;

@@ -10,9 +10,10 @@
 
 use matex_bench::{stiff_rc_case, timed, Scale, Table};
 use matex_core::{
-    measure_stiffness, reference_solution, KrylovKind, MatexOptions, MatexSolver, ReferenceMethod,
-    TransientEngine, TransientSpec,
+    measure_stiffness, reference_solution, KrylovKind, MatexOptions, MatexSolver, MatexSymbolic,
+    ReferenceMethod, TransientEngine, TransientSpec,
 };
+use std::sync::Arc;
 
 fn main() {
     let scale = Scale::from_env();
@@ -43,13 +44,21 @@ fn main() {
             .fold(0.0_f64, |m, &v| m.max(v.abs()))
             .max(1e-30);
 
+        // One symbolic analysis per mesh, shared by all three variants:
+        // every solver's G factorization (and the rational solver's
+        // C + γG) replays it instead of re-running AMD + reach DFS.
+        let symbolic = Arc::new(
+            MatexSymbolic::analyze(&sys, &MatexOptions::new(KrylovKind::Rational).tol(1e-7))
+                .expect("symbolic analysis"),
+        );
         let mut mexp_time = None;
         for kind in [
             KrylovKind::Standard,
             KrylovKind::Inverted,
             KrylovKind::Rational,
         ] {
-            let solver = MatexSolver::new(MatexOptions::new(kind).tol(1e-7));
+            let solver =
+                MatexSolver::new(MatexOptions::new(kind).tol(1e-7)).with_symbolic(symbolic.clone());
             let (result, wall) = timed(|| solver.run(&sys, &spec).expect("solver run"));
             let (max_err, _) = result.error_vs(&reference).expect("comparable");
             let err_pct = 100.0 * max_err / ref_peak;

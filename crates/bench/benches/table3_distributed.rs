@@ -144,7 +144,7 @@ fn main() {
             tr.stats.substitution_pairs,
             run.nodes
                 .iter()
-                .map(|n| n.result.stats.substitution_pairs)
+                .map(|n| n.stats.substitution_pairs)
                 .max()
                 .unwrap_or(0),
         );

@@ -44,6 +44,7 @@ mod result;
 mod spec;
 mod stats;
 mod stiffness;
+mod symbolic;
 mod tr;
 mod tr_adaptive;
 
@@ -57,6 +58,7 @@ pub use result::TransientResult;
 pub use spec::{ObserveSpec, TransientSpec};
 pub use stats::SolveStats;
 pub use stiffness::measure_stiffness;
+pub use symbolic::MatexSymbolic;
 pub use tr::Trapezoidal;
 pub use tr_adaptive::TrapezoidalAdaptive;
 

@@ -20,15 +20,16 @@
 
 use crate::engine::{InputEval, Recorder, TransientEngine};
 use crate::fp_terms::IntervalTerms;
-use crate::{CoreError, SolveStats, TransientResult, TransientSpec};
+use crate::{CoreError, MatexSymbolic, SolveStats, TransientResult, TransientSpec};
 use matex_circuit::{regularize_c, MnaSystem};
 use matex_dense::norm2;
 use matex_krylov::{
-    build_basis_multi, ExpmParams, InvertedOp, KrylovBasis, KrylovError, KrylovKind, KrylovOp,
-    RationalOp, StandardOp,
+    build_basis_multi, shifted_system, ExpmParams, InvertedOp, KrylovBasis, KrylovError,
+    KrylovKind, KrylovOp, RationalOp, StandardOp,
 };
 use matex_sparse::{CsrMatrix, LuOptions, SparseLu};
 use matex_waveform::SpotSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Options for the MATEX solver.
@@ -119,6 +120,7 @@ pub struct MatexSolver {
     opts: MatexOptions,
     mask: Option<Vec<usize>>,
     lts_override: Option<SpotSet>,
+    symbolic: Option<Arc<MatexSymbolic>>,
 }
 
 impl MatexSolver {
@@ -128,6 +130,7 @@ impl MatexSolver {
             opts,
             mask: None,
             lts_override: None,
+            symbolic: None,
         }
     }
 
@@ -142,6 +145,18 @@ impl MatexSolver {
     /// the scheduler hands each node its group's LTS).
     pub fn with_lts(mut self, lts: SpotSet) -> Self {
         self.lts_override = Some(lts);
+        self
+    }
+
+    /// Reuses a shared symbolic analysis ([`MatexSymbolic::analyze`])
+    /// for this run's factorizations: `G` and — on the rational variant
+    /// — `C + γG` become cheap numeric replays (counted in
+    /// `stats.refactorizations`) instead of full factorizations. The
+    /// numerics are bitwise-unchanged: a replay produces the same
+    /// factors a full factorization would, and degraded pivots fall
+    /// back transparently.
+    pub fn with_symbolic(mut self, symbolic: Arc<MatexSymbolic>) -> Self {
+        self.symbolic = Some(symbolic);
         self
     }
 
@@ -194,9 +209,15 @@ impl TransientEngine for MatexSolver {
         };
 
         // --- DC initial condition (factors G, kept for F/P terms).
+        // With a shared symbolic analysis this is a numeric replay.
         let t0 = Instant::now();
-        let lu_g = SparseLu::factor(sys.g(), &LuOptions::default())?;
-        stats.factorizations += 1;
+        let lu_g = match &self.symbolic {
+            Some(sym) => sym.refactor_g(sys.g(), &mut stats)?,
+            None => {
+                stats.factorizations += 1;
+                SparseLu::factor(sys.g(), &LuOptions::default())?
+            }
+        };
         let x0 = lu_g.solve(&input.bu_at(t_start));
         stats.substitution_pairs += 1;
         stats.dc_time = t0.elapsed();
@@ -221,10 +242,19 @@ impl TransientEngine for MatexSolver {
                 // X1 = G: reuse the DC factorization — zero extra cost.
             }
             KrylovKind::Rational => {
-                let shifted =
-                    CsrMatrix::linear_combination(1.0, sys.c(), self.opts.gamma, sys.g())?;
-                lu_x1_storage = Some(SparseLu::factor(&shifted, &LuOptions::default())?);
+                // Factored via the krylov helper so a shared symbolic
+                // analysis turns the γ-dependent factorization into a
+                // numeric replay.
+                let (shifted, lu, reused) = shifted_system(
+                    sys.c(),
+                    sys.g(),
+                    self.opts.gamma,
+                    self.symbolic.as_deref().and_then(|s| s.shifted()),
+                    &LuOptions::default(),
+                )?;
+                lu_x1_storage = Some(lu);
                 stats.factorizations += 1;
+                stats.refactorizations += usize::from(reused);
                 shifted_storage = Some(shifted);
             }
         }
@@ -576,6 +606,48 @@ mod tests {
         sum.add_scaled(&sub2, 1.0).unwrap();
         let (max_err, _) = sum.error_vs(&full).unwrap();
         assert!(max_err < 1e-7, "superposition violated: {max_err:.3e}");
+    }
+
+    #[test]
+    fn symbolic_reuse_is_bitwise_identical_across_gammas() {
+        // The two-phase contract at the solver level: a γ sweep over one
+        // shared analysis produces exactly the waveforms the fresh-factor
+        // path produces, while every factorization becomes a replay.
+        let sys = pulsed_rc();
+        let spec = TransientSpec::new(0.0, 1e-9, 1e-11).unwrap();
+        let symbolic = Arc::new(MatexSymbolic::analyze(&sys, &MatexOptions::default()).unwrap());
+        for gamma in [5e-11, 1e-10, 4e-10] {
+            let opts = MatexOptions::default().gamma(gamma);
+            let fresh = MatexSolver::new(opts.clone()).run(&sys, &spec).unwrap();
+            let reused = MatexSolver::new(opts)
+                .with_symbolic(symbolic.clone())
+                .run(&sys, &spec)
+                .unwrap();
+            assert_eq!(fresh.series(), reused.series(), "γ={gamma}");
+            assert_eq!(fresh.final_state(), reused.final_state());
+            assert_eq!(fresh.stats.refactorizations, 0);
+            // G and C + γG both replayed the shared analysis.
+            assert_eq!(reused.stats.factorizations, 2);
+            assert_eq!(reused.stats.refactorizations, 2, "γ={gamma}");
+        }
+    }
+
+    #[test]
+    fn symbolic_reuse_covers_inverted_and_standard_dc() {
+        let sys = pulsed_rc();
+        let spec = TransientSpec::new(0.0, 1e-9, 1e-11).unwrap();
+        for kind in [KrylovKind::Inverted, KrylovKind::Standard] {
+            let opts = MatexOptions::new(kind);
+            let symbolic = Arc::new(MatexSymbolic::analyze(&sys, &opts).unwrap());
+            let fresh = MatexSolver::new(opts.clone()).run(&sys, &spec).unwrap();
+            let reused = MatexSolver::new(opts)
+                .with_symbolic(symbolic)
+                .run(&sys, &spec)
+                .unwrap();
+            assert_eq!(fresh.series(), reused.series());
+            // Only the G factorization can replay on these variants.
+            assert_eq!(reused.stats.refactorizations, 1);
+        }
     }
 
     #[test]

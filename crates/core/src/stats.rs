@@ -11,8 +11,11 @@ use std::time::Duration;
 /// Cost counters and timings for one transient run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SolveStats {
-    /// Sparse LU factorizations performed.
+    /// Sparse LU factorizations performed (full or numeric-replay).
     pub factorizations: usize,
+    /// Of those, how many were cheap numeric refactorizations replaying
+    /// a shared symbolic analysis (two-phase LU fast path).
+    pub refactorizations: usize,
     /// Pairs of forward/backward substitutions (the `T_bs` unit).
     pub substitution_pairs: usize,
     /// Accepted time steps (fixed-step engines) or evaluation points
@@ -58,6 +61,7 @@ impl SolveStats {
     /// subtask costs).
     pub fn absorb(&mut self, other: &SolveStats) {
         self.factorizations += other.factorizations;
+        self.refactorizations += other.refactorizations;
         self.substitution_pairs += other.substitution_pairs;
         self.steps += other.steps;
         self.rejected_steps += other.rejected_steps;

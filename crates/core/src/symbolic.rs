@@ -1,0 +1,112 @@
+//! Shared symbolic-factorization cache for the MATEX engines.
+//!
+//! Every [`MatexSolver`](crate::MatexSolver) run factors `G` (for the DC
+//! condition and the input terms) and — on the rational variant — the
+//! shifted system `C + γG`. Across a γ sweep, across the engine
+//! comparisons of Table 1, and across the distributed framework's
+//! per-node runs, those matrices keep one nonzero pattern: only the
+//! values change (or nothing at all, for the masked node runs). A
+//! [`MatexSymbolic`] performs the sparsity analysis once and lets every
+//! subsequent run replay cheap numeric refactorizations, skipping the
+//! AMD ordering and the Gilbert–Peierls reach DFS entirely.
+//!
+//! The object is immutable after [`MatexSymbolic::analyze`], so a single
+//! `Arc<MatexSymbolic>` is shared read-only across distributed worker
+//! threads (see `matex_dist::run_distributed`).
+
+use crate::{CoreError, SolveStats};
+use matex_circuit::MnaSystem;
+use matex_krylov::KrylovKind;
+use matex_sparse::{CsrMatrix, LuOptions, SparseLu, SymbolicLu};
+
+/// One system's reusable symbolic factorizations.
+///
+/// # Example
+///
+/// ```
+/// use matex_circuit::RcMeshBuilder;
+/// use matex_core::{MatexOptions, MatexSolver, MatexSymbolic, TransientEngine, TransientSpec};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sys = RcMeshBuilder::new(4, 4).build()?;
+/// let spec = TransientSpec::new(0.0, 1e-9, 1e-11)?;
+/// let opts = MatexOptions::default();
+/// // Analyze once, then sweep γ with numeric-replay factorizations.
+/// let symbolic = Arc::new(MatexSymbolic::analyze(&sys, &opts)?);
+/// for gamma in [5e-11, 1e-10, 2e-10] {
+///     let solver = MatexSolver::new(opts.clone().gamma(gamma))
+///         .with_symbolic(symbolic.clone());
+///     let result = solver.run(&sys, &spec)?;
+///     // Both factorizations replayed the shared analysis.
+///     assert_eq!(result.stats.refactorizations, 2);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatexSymbolic {
+    lu_opts: LuOptions,
+    g: SymbolicLu,
+    shifted: Option<SymbolicLu>,
+}
+
+impl MatexSymbolic {
+    /// Analyzes `G` and — for the rational variant — the shifted system
+    /// `C + γG` of the given options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sparse analysis failures ([`CoreError::Sparse`]).
+    pub fn analyze(sys: &MnaSystem, opts: &crate::MatexOptions) -> Result<Self, CoreError> {
+        let lu_opts = LuOptions::default();
+        let g = SymbolicLu::analyze(sys.g(), &lu_opts)?;
+        let shifted = match opts.kind {
+            KrylovKind::Rational => {
+                let m = CsrMatrix::linear_combination(1.0, sys.c(), opts.gamma, sys.g())?;
+                Some(SymbolicLu::analyze(&m, &lu_opts)?)
+            }
+            // The inverted variant factors only G; the standard variant
+            // factors a (possibly regularized) C with its own pattern.
+            _ => None,
+        };
+        Ok(MatexSymbolic {
+            lu_opts,
+            g,
+            shifted,
+        })
+    }
+
+    /// The symbolic analysis of `G`.
+    pub fn g(&self) -> &SymbolicLu {
+        &self.g
+    }
+
+    /// The symbolic analysis of the shifted pattern `C + γG`, when the
+    /// analyzed options used the rational variant.
+    pub fn shifted(&self) -> Option<&SymbolicLu> {
+        self.shifted.as_ref()
+    }
+
+    /// The LU options the analyses were performed with.
+    pub fn lu_options(&self) -> &LuOptions {
+        &self.lu_opts
+    }
+
+    /// Factors `g` by numeric replay, falling back to a full
+    /// factorization on pivot degradation; updates the counters.
+    pub(crate) fn refactor_g(
+        &self,
+        g: &CsrMatrix,
+        stats: &mut SolveStats,
+    ) -> Result<SparseLu, CoreError> {
+        stats.factorizations += 1;
+        match self.g.try_refactor(g)? {
+            Some(lu) => {
+                stats.refactorizations += 1;
+                Ok(lu)
+            }
+            None => Ok(SparseLu::factor(g, &self.lu_opts)?),
+        }
+    }
+}

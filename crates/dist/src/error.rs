@@ -15,6 +15,9 @@ pub enum DistError {
     /// The superposition step failed (mismatched grids — an internal
     /// invariant violation, since every node shares one spec).
     Superposition(CoreError),
+    /// The master's shared symbolic factorization analysis failed before
+    /// any node was scheduled.
+    Analyze(CoreError),
 }
 
 impl fmt::Display for DistError {
@@ -24,6 +27,7 @@ impl fmt::Display for DistError {
                 write!(f, "distributed node for group {group} failed: {source}")
             }
             DistError::Superposition(e) => write!(f, "superposition failed: {e}"),
+            DistError::Analyze(e) => write!(f, "symbolic analysis failed: {e}"),
         }
     }
 }
@@ -33,6 +37,7 @@ impl std::error::Error for DistError {
         match self {
             DistError::Node { source, .. } => Some(source),
             DistError::Superposition(e) => Some(e),
+            DistError::Analyze(e) => Some(e),
         }
     }
 }

@@ -10,15 +10,22 @@
 //!
 //! This crate is the master of Fig. 4:
 //!
-//! * [`run_distributed`] — group, schedule onto a worker pool
-//!   (longest-processing-time order over a [`std::thread::scope`]), run
-//!   one masked solver per group against the shared immutable system, and
-//!   superpose in group-index order so the numerics are **bitwise
-//!   independent of the worker count**,
+//! * [`run_distributed`] — group, analyze the two-phase LU symbolics
+//!   once and share them read-only with every node (each node's
+//!   factorizations become cheap numeric replays), schedule onto a
+//!   worker pool (longest-processing-time order over a
+//!   [`std::thread::scope`]), run one masked solver per group against
+//!   the shared immutable system, and **stream** each finished node's
+//!   samples into the combined result in the fixed, worker-independent
+//!   schedule order — numerics bitwise independent of the worker count,
+//!   peak memory independent of the group count,
 //! * [`DistributedRun`] — the combined result plus per-node accounting
 //!   ([`NodeRun`]) and the paper's one-instance-per-node makespan
 //!   emulation (`emulated_transient` / `emulated_total` are maxima over
 //!   nodes, matching Table 3's `trmatex` / `tr_total` columns),
+//! * [`RunStats`] — per-group predicted-vs-measured scheduling costs
+//!   (the LTS-count proxy against `NodeRun::wall`), with
+//!   [`list_schedule_makespan`] to bound the proxy's scheduling error,
 //! * [`SpeedupModel`] — the Sec. 3.4 analytic model (Eqs. (11)–(12)).
 //!
 //! # Example
@@ -41,9 +48,11 @@
 mod error;
 mod options;
 mod run;
+mod schedule;
 mod speedup;
 
 pub use error::DistError;
 pub use options::DistributedOptions;
 pub use run::{run_distributed, DistributedRun, NodeRun};
+pub use schedule::{list_schedule_makespan, lpt_order, GroupCost, RunStats};
 pub use speedup::SpeedupModel;

@@ -1,16 +1,21 @@
 //! The master node: grouping, scheduling, execution, superposition.
 
+use crate::schedule::{lpt_order, RunStats};
 use crate::{DistError, DistributedOptions};
 use matex_circuit::MnaSystem;
 use matex_core::{
-    CoreError, MatexSolver, SolveStats, TransientEngine, TransientResult, TransientSpec,
+    CoreError, MatexSolver, MatexSymbolic, SolveStats, TransientEngine, TransientResult,
+    TransientSpec,
 };
 use matex_waveform::{group_sources, SpotSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-/// One slave node's completed subtask.
+/// One slave node's completed subtask (accounting only — the node's
+/// sample series is superposed into the combined result as soon as the
+/// node finishes, then dropped, so peak memory no longer scales with the
+/// group count).
 #[derive(Debug, Clone)]
 pub struct NodeRun {
     /// Group id this node simulated (0 is the constant/supply group).
@@ -24,8 +29,8 @@ pub struct NodeRun {
     /// Wall time of this node's solver run as measured on the worker
     /// thread (uncontended when `workers == Some(1)`).
     pub wall: Duration,
-    /// The node's (masked) transient result on the shared sample grid.
-    pub result: TransientResult,
+    /// The node's solver cost counters and timings.
+    pub stats: SolveStats,
 }
 
 /// A completed distributed run.
@@ -37,6 +42,9 @@ pub struct DistributedRun {
     pub nodes: Vec<NodeRun>,
     /// Global transition spots (union of all LTS).
     pub gts: SpotSet,
+    /// Scheduling accounting: per-group predicted-vs-measured cost and
+    /// the master's symbolic-analysis time.
+    pub stats: RunStats,
     /// Makespan of the pure transient phase: the *maximum* node transient
     /// time, per the paper's one-instance-per-node accounting (Table 3's
     /// `trmatex`).
@@ -44,7 +52,7 @@ pub struct DistributedRun {
     /// Makespan including DC and factorization per node (Table 3's
     /// `tr_total`).
     pub emulated_total: Duration,
-    /// Wall time of the sequential superposition step on the master.
+    /// Wall time of the streaming superposition work on the master.
     pub superposition_time: Duration,
     /// Actual wall time of the whole distributed run on this machine
     /// (contended when several workers share cores).
@@ -65,18 +73,93 @@ struct Job {
     lts: SpotSet,
 }
 
+/// What a worker hands the master per finished node.
+type NodeOutcome = Result<(NodeRun, TransientResult), CoreError>;
+
+/// Streaming accumulator: superposes node results **in ascending group
+/// order** as they arrive, buffering only out-of-order completions, so
+/// the combined numerics stay bitwise independent of the worker count
+/// while full per-node series are dropped as soon as they are summed.
+///
+/// The summation order is the **LPT schedule order** — a fixed
+/// permutation of the groups determined by the jobs alone, never by the
+/// worker count (that fixedness is what makes the result bitwise
+/// worker-invariant). Because workers also *dispatch* in that order,
+/// completions arrive approximately in drain order and the out-of-order
+/// buffer stays bounded by the in-flight worker count, instead of
+/// growing with the group count as an ascending-group drain would when
+/// LPT schedules a light group last.
+struct Superposer {
+    pending: Vec<Option<(NodeRun, TransientResult)>>,
+    next: usize,
+    acc: Option<TransientResult>,
+    stats: SolveStats,
+    engine: String,
+    nodes: Vec<NodeRun>,
+    spent: Duration,
+}
+
+impl Superposer {
+    fn new(jobs: usize) -> Superposer {
+        Superposer {
+            pending: (0..jobs).map(|_| None).collect(),
+            next: 0,
+            acc: None,
+            stats: SolveStats::default(),
+            engine: String::new(),
+            nodes: Vec::with_capacity(jobs),
+            spent: Duration::ZERO,
+        }
+    }
+
+    /// Accepts the payload of the node at schedule position `pos` and
+    /// drains everything now contiguous in schedule order.
+    fn push(&mut self, pos: usize, payload: (NodeRun, TransientResult)) -> Result<(), CoreError> {
+        self.pending[pos] = Some(payload);
+        while self.next < self.pending.len() {
+            let Some((node, series)) = self.pending[self.next].take() else {
+                break;
+            };
+            let t0 = Instant::now();
+            if self.acc.is_none() {
+                // "Zeros + add-all" in the fixed schedule order: every
+                // node shares one grid, so any first node seeds it.
+                self.acc = Some(series.zeros_like());
+                self.engine = series.engine.clone();
+            }
+            self.acc
+                .as_mut()
+                .expect("accumulator present")
+                .add_scaled(&series, 1.0)?;
+            self.stats.absorb(&series.stats);
+            self.spent += t0.elapsed();
+            self.nodes.push(node);
+            self.next += 1;
+            // `series` dropped here: the streamed memory saving.
+        }
+        Ok(())
+    }
+}
+
 /// Runs the distributed MATEX framework of paper Fig. 4.
 ///
 /// Sources are partitioned under `opts.strategy`; each group becomes one
 /// subtask running a masked [`MatexSolver`] with the group's LTS against
-/// the shared immutable `sys`. Subtasks are scheduled onto a scoped
-/// worker pool in longest-processing-time order (cost estimate: LTS
-/// count). The results superpose in ascending group order, so the
-/// combined numerics are bitwise independent of `opts.workers`.
+/// the shared immutable `sys`. The master performs the two-phase LU
+/// analysis of `G` and `C + γG` **once** ([`MatexSymbolic`]) and shares
+/// it read-only with every worker, so each node's factorizations are
+/// cheap numeric replays. Subtasks are scheduled onto a scoped worker
+/// pool in longest-processing-time order (cost estimate: LTS count) and
+/// every finished node's samples are immediately superposed into the
+/// combined result in that same fixed, worker-independent schedule
+/// order, so the numerics are bitwise independent of `opts.workers`
+/// while peak memory stays at one full series plus the in-flight
+/// stragglers.
 ///
 /// # Errors
 ///
-/// Returns [`DistError::Node`] carrying the first node failure in group
+/// Returns [`DistError::Analyze`] when the shared symbolic analysis
+/// fails, [`DistError::Node`] carrying the first node failure in group
 /// order, or [`DistError::Superposition`] if result grids mismatch
 /// (internal invariant violation).
 pub fn run_distributed(
@@ -108,11 +191,23 @@ pub fn run_distributed(
         });
     }
 
+    // One symbolic analysis on the unmasked system; every node replays
+    // it (the matrices are identical across nodes — masking only selects
+    // input columns).
+    let ta = Instant::now();
+    let symbolic = Arc::new(MatexSymbolic::analyze(sys, &opts.matex).map_err(DistError::Analyze)?);
+    let analyze_time = ta.elapsed();
+
     // Longest-processing-time order: a group's cost is dominated by its
-    // Krylov generations, one per LTS. Ties break on group id so the
-    // schedule itself is deterministic.
-    let mut order: Vec<usize> = (0..jobs.len()).collect();
-    order.sort_by_key(|&i| (std::cmp::Reverse(jobs[i].lts.len()), jobs[i].group));
+    // Krylov generations, one per LTS. Ties break on job index (ascending
+    // group id) so the schedule itself is deterministic.
+    let costs: Vec<usize> = jobs.iter().map(|j| j.lts.len()).collect();
+    let order = lpt_order(&costs);
+    // rank[job] = position in the schedule (and summation) order.
+    let mut rank = vec![0usize; jobs.len()];
+    for (k, &j) in order.iter().enumerate() {
+        rank[j] = k;
+    }
 
     let workers = opts
         .workers
@@ -124,77 +219,94 @@ pub fn run_distributed(
         .max(1)
         .min(jobs.len());
 
-    // Worker pool: a shared cursor over the LPT order; every completed
-    // subtask lands in its job's slot, so collection order below is group
-    // order regardless of which worker ran what. A failed node trips the
-    // abort flag so idle workers stop draining the queue instead of
-    // simulating groups whose results will be discarded.
+    // Worker pool: a shared cursor over the LPT order; finished subtasks
+    // stream back to the master, which superposes them in group order. A
+    // failed node trips the abort flag so idle workers stop draining the
+    // queue instead of simulating groups whose results will be discarded.
     let cursor = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
-    let slots: Vec<OnceLock<Result<NodeRun, CoreError>>> =
-        (0..jobs.len()).map(|_| OnceLock::new()).collect();
+    let (tx, rx) = mpsc::channel::<(usize, NodeOutcome)>();
+    let mut sup = Superposer::new(jobs.len());
+    let mut failures: Vec<(usize, CoreError)> = Vec::new();
     std::thread::scope(|scope| {
+        let (jobs, order, cursor, abort, symbolic) = (&jobs, &order, &cursor, &abort, &symbolic);
         for _ in 0..workers {
-            scope.spawn(|| loop {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
                 if abort.load(Ordering::Relaxed) {
                     break;
                 }
                 let k = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(&j) = order.get(k) else { break };
-                let job = &jobs[j];
-                let outcome = run_node(sys, spec, opts, job);
+                let outcome = run_node(sys, spec, opts, &jobs[j], symbolic.clone());
                 if outcome.is_err() {
                     abort.store(true, Ordering::Relaxed);
                 }
-                slots[j].set(outcome).expect("each job runs exactly once");
+                if tx.send((j, outcome)).is_err() {
+                    break; // master gone (superposition error): stop
+                }
             });
+        }
+        drop(tx);
+        // The master thread superposes while workers keep producing.
+        while let Ok((j, outcome)) = rx.recv() {
+            match outcome {
+                Ok(payload) => {
+                    if let Err(e) = sup.push(rank[j], payload) {
+                        abort.store(true, Ordering::Relaxed);
+                        failures.push((j, e));
+                        break; // dropping rx unblocks senders
+                    }
+                }
+                Err(e) => failures.push((j, e)),
+            }
         }
     });
 
-    // Slots are in group order; after an abort some may be unset (their
-    // jobs were skipped), so report the first *completed* failure.
-    let mut nodes = Vec::with_capacity(jobs.len());
-    for (slot, job) in slots.into_iter().zip(&jobs) {
-        match slot.into_inner() {
-            Some(Ok(node)) => nodes.push(node),
-            Some(Err(source)) => {
-                return Err(DistError::Node {
-                    group: job.group,
-                    source,
-                })
-            }
-            None => {
-                assert!(
-                    abort.load(Ordering::Relaxed),
-                    "worker pool left a job unran without aborting"
-                );
-            }
-        }
+    if let Some((j, source)) = failures.into_iter().min_by_key(|&(j, _)| j) {
+        // First completed failure in group order. Distinguish internal
+        // superposition mismatches from node solver failures.
+        return Err(match source {
+            CoreError::Incomparable(_) => DistError::Superposition(source),
+            _ => DistError::Node {
+                group: jobs[j].group,
+                source,
+            },
+        });
     }
-
-    // Superpose in ascending group order — fixed summation order keeps
-    // the result bitwise independent of the worker count.
-    let sup0 = Instant::now();
-    let mut result = nodes[0].result.zeros_like();
-    let mut stats = SolveStats::default();
-    for node in &nodes {
-        result
-            .add_scaled(&node.result, 1.0)
-            .map_err(DistError::Superposition)?;
-        stats.absorb(&node.result.stats);
-    }
+    assert!(
+        sup.next == jobs.len(),
+        "worker pool left a job unran without reporting a failure"
+    );
+    let Superposer {
+        mut nodes,
+        stats,
+        engine,
+        acc,
+        spent: superposition_time,
+        ..
+    } = sup;
+    let mut result = acc.expect("at least one job ran");
     result.stats = stats;
-    result.engine = format!("MATEX-dist[{} x {}]", nodes.len(), nodes[0].result.engine);
-    let superposition_time = sup0.elapsed();
+    result.engine = format!("MATEX-dist[{} x {}]", nodes.len(), engine);
+    // Drained in schedule order; the public accounting is group order.
+    nodes.sort_by_key(|n| n.group);
 
+    let run_stats = RunStats::from_measurements(
+        &nodes
+            .iter()
+            .map(|n| (n.group, n.num_lts, n.wall))
+            .collect::<Vec<_>>(),
+        analyze_time,
+    );
     let emulated_transient = nodes
         .iter()
-        .map(|n| n.result.stats.transient_time)
+        .map(|n| n.stats.transient_time)
         .max()
         .unwrap_or_default();
     let emulated_total = nodes
         .iter()
-        .map(|n| n.result.stats.total_time())
+        .map(|n| n.stats.total_time())
         .max()
         .unwrap_or_default();
 
@@ -202,6 +314,7 @@ pub fn run_distributed(
         result,
         nodes,
         gts: grouping.gts.clip(t_start, t_stop),
+        stats: run_stats,
         emulated_transient,
         emulated_total,
         superposition_time,
@@ -215,19 +328,24 @@ fn run_node(
     spec: &TransientSpec,
     opts: &DistributedOptions,
     job: &Job,
-) -> Result<NodeRun, CoreError> {
+    symbolic: Arc<MatexSymbolic>,
+) -> NodeOutcome {
     let t0 = Instant::now();
     let solver = MatexSolver::new(opts.matex.clone())
         .with_source_mask(job.members.clone())
-        .with_lts(job.lts.clone());
+        .with_lts(job.lts.clone())
+        .with_symbolic(symbolic);
     let result = solver.run(sys, spec)?;
-    Ok(NodeRun {
-        group: job.group,
-        num_sources: job.members.len(),
-        num_lts: job.lts.len(),
-        wall: t0.elapsed(),
+    Ok((
+        NodeRun {
+            group: job.group,
+            num_sources: job.members.len(),
+            num_lts: job.lts.len(),
+            wall: t0.elapsed(),
+            stats: result.stats.clone(),
+        },
         result,
-    })
+    ))
 }
 
 #[cfg(test)]
@@ -274,6 +392,39 @@ mod tests {
             .unwrap();
         let (max_err, _) = run.result.error_vs(&mono).unwrap();
         assert!(max_err < 1e-6, "superposition deviates: {max_err:.3e}");
+    }
+
+    #[test]
+    fn nodes_replay_the_shared_symbolic_analysis() {
+        let sys = small_grid();
+        let spec = TransientSpec::new(0.0, 1e-9, 2e-11).unwrap();
+        let run = run_distributed(&sys, &spec, &DistributedOptions::default()).unwrap();
+        for node in &run.nodes {
+            // Both per-node factorizations (G, C + γG) are replays of
+            // the master's single analysis.
+            assert_eq!(
+                node.stats.refactorizations, node.stats.factorizations,
+                "group {} did a full factorization despite the shared symbolic",
+                node.group
+            );
+        }
+        assert!(run.stats.analyze_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn run_stats_cover_every_group() {
+        let sys = small_grid();
+        let spec = TransientSpec::new(0.0, 1e-9, 2e-11).unwrap();
+        let run = run_distributed(&sys, &spec, &DistributedOptions::default()).unwrap();
+        assert_eq!(run.stats.groups.len(), run.num_groups());
+        let p: f64 = run.stats.groups.iter().map(|g| g.predicted_share).sum();
+        let m: f64 = run.stats.groups.iter().map(|g| g.measured_share).sum();
+        assert!((p - 1.0).abs() < 1e-9 && (m - 1.0).abs() < 1e-9);
+        for (g, n) in run.stats.groups.iter().zip(&run.nodes) {
+            assert_eq!(g.group, n.group);
+            assert_eq!(g.num_lts, n.num_lts);
+            assert_eq!(g.wall, n.wall);
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! | rational | `(I−γA)⁻¹ v = (C+γG)⁻¹ (C v)`        | `C + γG`    | `C`  |
 
 use crate::KrylovKind;
-use matex_sparse::{CsrMatrix, SparseLu};
+use matex_sparse::{CsrMatrix, LuOptions, SparseError, SparseLu, SymbolicLu};
 
 /// One application of the Arnoldi iteration matrix.
 ///
@@ -146,6 +146,42 @@ impl<'a> RationalOp<'a> {
     }
 }
 
+/// Builds and factors the rational variant's shifted system `C + γG`
+/// for a [`RationalOp`].
+///
+/// When a [`SymbolicLu`] analyzed on the same pattern (any other γ of
+/// the same `C`/`G` pair) is supplied, the factorization is a cheap
+/// numeric replay — the γ-sweep fast path. Returns the shifted matrix,
+/// its factorization, and whether the symbolic replay was used (`false`
+/// means a full factorization ran, either because no symbolic object
+/// was given or because a pinned pivot degraded).
+///
+/// # Errors
+///
+/// Propagates [`SparseError`] from the combination or factorization.
+pub fn shifted_system(
+    c: &CsrMatrix,
+    g: &CsrMatrix,
+    gamma: f64,
+    symbolic: Option<&SymbolicLu>,
+    opts: &LuOptions,
+) -> Result<(CsrMatrix, SparseLu, bool), SparseError> {
+    let shifted = CsrMatrix::linear_combination(1.0, c, gamma, g)?;
+    match symbolic {
+        Some(sym) => match sym.try_refactor(&shifted)? {
+            Some(lu) => Ok((shifted, lu, true)),
+            None => {
+                let lu = SparseLu::factor(&shifted, sym.options())?;
+                Ok((shifted, lu, false))
+            }
+        },
+        None => {
+            let lu = SparseLu::factor(&shifted, opts)?;
+            Ok((shifted, lu, false))
+        }
+    }
+}
+
 impl KrylovOp for RationalOp<'_> {
     fn dim(&self) -> usize {
         self.c.nrows()
@@ -230,6 +266,23 @@ mod tests {
             assert!((a - b).abs() < 1e-12);
         }
         assert_eq!(op.gamma(), Some(0.1));
+    }
+
+    #[test]
+    fn shifted_system_reuses_symbolic_across_gammas() {
+        let (c, g) = small_system();
+        let opts = LuOptions::default();
+        let analyzed = CsrMatrix::linear_combination(1.0, &c, 0.1, &g).unwrap();
+        let sym = SymbolicLu::analyze(&analyzed, &opts).unwrap();
+        for gamma in [0.02, 0.1, 0.7] {
+            let (m, lu, reused) = shifted_system(&c, &g, gamma, Some(&sym), &opts).unwrap();
+            assert!(reused, "γ={gamma} should replay the analysis");
+            let (m2, lu_full, reused_full) = shifted_system(&c, &g, gamma, None, &opts).unwrap();
+            assert!(!reused_full);
+            assert_eq!(m, m2);
+            // Bitwise-identical factors → bitwise-identical solves.
+            assert_eq!(lu.solve(&[1.0, 2.0]), lu_full.solve(&[1.0, 2.0]));
+        }
     }
 
     #[test]

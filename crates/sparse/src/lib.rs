@@ -13,7 +13,11 @@
 //! * [`OrderingKind`] — AMD / RCM / natural fill-reducing orderings,
 //! * [`equilibrate`] — power-of-two row/column scaling,
 //! * [`SparseLu`] — left-looking Gilbert–Peierls LU with threshold partial
-//!   pivoting.
+//!   pivoting,
+//! * [`SymbolicLu`] — the two-phase split of that factorization: pay for
+//!   ordering + reach analysis once, then numerically refactor every
+//!   same-pattern matrix (the `C + γG` sweep hot path) at a fraction of
+//!   the cost.
 //!
 //! # Example
 //!
@@ -47,6 +51,7 @@ mod lu;
 mod options;
 mod perm;
 mod scaling;
+mod symbolic;
 
 pub mod ordering;
 
@@ -59,3 +64,10 @@ pub use options::LuOptions;
 pub use ordering::OrderingKind;
 pub use perm::Permutation;
 pub use scaling::equilibrate;
+pub use symbolic::SymbolicLu;
+
+// Compile the crate README's code blocks as doctests so the documented
+// two-phase workflow can never rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;

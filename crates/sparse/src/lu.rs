@@ -13,11 +13,15 @@
 //!    Gilbert–Peierls reach), so the total work is proportional to the
 //!    number of floating-point operations, not to `n`,
 //! 3. threshold partial pivoting with diagonal preference.
+//!
+//! When many matrices share one nonzero pattern (the `C + γG` sweep),
+//! the two-phase split in [`crate::SymbolicLu`] performs steps 1–2 once
+//! and replays only the numeric updates per matrix.
 
 use crate::{equilibrate, CsrMatrix, LuOptions, Permutation, SparseError};
 
 /// Marker for "row not yet pivotal".
-const UNPIVOTED: usize = usize::MAX;
+pub(crate) const UNPIVOTED: usize = usize::MAX;
 
 /// A computed sparse LU factorization.
 ///
@@ -40,25 +44,27 @@ const UNPIVOTED: usize = usize::MAX;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SparseLu {
-    n: usize,
+    pub(crate) n: usize,
     // L: unit lower triangular, pivot-order indices; the first entry of
-    // every column is the unit diagonal.
-    l_colptr: Vec<usize>,
-    l_rowidx: Vec<usize>,
-    l_values: Vec<f64>,
+    // every column is the unit diagonal. Fields are crate-visible so
+    // `SymbolicLu::refactor` (symbolic.rs) can assemble a factorization
+    // from a numeric replay.
+    pub(crate) l_colptr: Vec<usize>,
+    pub(crate) l_rowidx: Vec<usize>,
+    pub(crate) l_values: Vec<f64>,
     // U: upper triangular, pivot-order indices; the last entry of every
     // column is the diagonal.
-    u_colptr: Vec<usize>,
-    u_rowidx: Vec<usize>,
-    u_values: Vec<f64>,
+    pub(crate) u_colptr: Vec<usize>,
+    pub(crate) u_rowidx: Vec<usize>,
+    pub(crate) u_values: Vec<f64>,
     /// Row permutation: `pinv[original_row] = pivot_position`.
-    pinv: Vec<usize>,
+    pub(crate) pinv: Vec<usize>,
     /// Column ordering: position `k` factors original column `q.old_of(k)`.
-    q: Permutation,
+    pub(crate) q: Permutation,
     /// Row scales (all 1.0 when equilibration is off).
-    rscale: Vec<f64>,
+    pub(crate) rscale: Vec<f64>,
     /// Column scales.
-    cscale: Vec<f64>,
+    pub(crate) cscale: Vec<f64>,
 }
 
 impl SparseLu {

@@ -17,6 +17,12 @@ pub struct LuOptions {
     pub pivot_threshold: f64,
     /// Scale rows and columns to unit max-magnitude before factoring.
     pub equilibrate: bool,
+    /// Stability floor for numeric refactorization
+    /// ([`SymbolicLu::refactor`](crate::SymbolicLu::refactor)): when the
+    /// pivot pinned during analysis falls below `pivot_tol · max_i |x_i|`
+    /// in its column, the refactorization abandons the pinned order and
+    /// falls back to a fresh full factorization.
+    pub pivot_tol: f64,
 }
 
 impl Default for LuOptions {
@@ -25,6 +31,7 @@ impl Default for LuOptions {
             ordering: OrderingKind::Amd,
             pivot_threshold: 0.1,
             equilibrate: true,
+            pivot_tol: 0.01,
         }
     }
 }
@@ -50,6 +57,9 @@ mod tests {
         assert_eq!(o.ordering, OrderingKind::Amd);
         assert!(o.equilibrate);
         assert!(o.pivot_threshold > 0.0 && o.pivot_threshold < 1.0);
+        // The refactor stability floor must be at most as strict as the
+        // pivoting threshold, or the fast path could never be taken.
+        assert!(o.pivot_tol > 0.0 && o.pivot_tol <= o.pivot_threshold);
     }
 
     #[test]

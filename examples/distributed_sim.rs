@@ -67,9 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let max_node = run
         .nodes
         .iter()
-        .max_by_key(|n| n.result.stats.transient_time)
+        .max_by_key(|n| n.stats.transient_time)
         .expect("nodes");
-    let st = &max_node.result.stats;
+    let st = &max_node.stats;
     let t_bs = st.transient_time.as_secs_f64() / st.substitution_pairs.max(1) as f64; // rough per-pair cost incl. overheads
     let model = SpeedupModel {
         gts_points: run.gts.len(),
