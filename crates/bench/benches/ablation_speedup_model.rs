@@ -36,6 +36,7 @@ fn main() {
             matex: MatexOptions::default(),
             strategy: GroupingStrategy::Single,
             workers: Some(1),
+            ..DistributedOptions::default()
         },
     )
     .expect("single-node run");
@@ -48,6 +49,7 @@ fn main() {
             matex: MatexOptions::default(),
             strategy: GroupingStrategy::ByBumpFeature,
             workers: Some(1),
+            ..DistributedOptions::default()
         },
     )
     .expect("distributed run");

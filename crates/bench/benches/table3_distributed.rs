@@ -103,6 +103,7 @@ fn main() {
             matex: MatexOptions::default(),
             strategy: GroupingStrategy::ByBumpFeature,
             workers: Some(1),
+            ..DistributedOptions::default()
         };
         let run = run_distributed(&sys, &spec, &opts).expect("distributed run");
 

@@ -1,0 +1,102 @@
+//! CI bench-regression gate.
+//!
+//! Compares the freshly emitted `BENCH_table3.json` / `BENCH_lu.json`
+//! (written to the repo root by the bench targets) against the committed
+//! `baselines/BENCH_*.json`, printing a before/after table — also into
+//! `$GITHUB_STEP_SUMMARY` when set — and exiting non-zero when any
+//! tracked metric slid more than 15% below its baseline.
+//!
+//! ```text
+//! bench_gate [--baseline-dir baselines] [--fresh-dir .] [--tolerance 0.15]
+//! ```
+//!
+//! The comparison logic (and the injected-regression behaviour) is unit
+//! tested in `matex_bench::gate`.
+
+use matex_bench::gate::{compare, parse_metrics, GateReport, DEFAULT_TOLERANCE};
+use std::path::Path;
+use std::process::ExitCode;
+
+const ARTIFACTS: [&str; 2] = ["BENCH_table3.json", "BENCH_lu.json"];
+
+fn gate_one(
+    name: &str,
+    baseline_dir: &str,
+    fresh_dir: &str,
+    tolerance: f64,
+) -> Result<GateReport, String> {
+    let read = |dir: &str| {
+        let path = Path::new(dir).join(name);
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+    };
+    let (bench, baseline) =
+        parse_metrics(&read(baseline_dir)?).map_err(|e| format!("baseline {name}: {e}"))?;
+    let (fresh_bench, fresh) =
+        parse_metrics(&read(fresh_dir)?).map_err(|e| format!("fresh {name}: {e}"))?;
+    if bench != fresh_bench {
+        return Err(format!(
+            "artifact kind mismatch for {name}: baseline {bench:?} vs fresh {fresh_bench:?}"
+        ));
+    }
+    Ok(compare(&bench, &baseline, &fresh, tolerance))
+}
+
+fn main() -> ExitCode {
+    let mut baseline_dir = "baselines".to_string();
+    let mut fresh_dir = ".".to_string();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} requires a value"))
+        };
+        match arg.as_str() {
+            "--baseline-dir" => baseline_dir = take("--baseline-dir"),
+            "--fresh-dir" => fresh_dir = take("--fresh-dir"),
+            "--tolerance" => {
+                tolerance = take("--tolerance")
+                    .parse()
+                    .expect("--tolerance takes a fraction, e.g. 0.15");
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut regressions = 0usize;
+    let mut summary = String::new();
+    for name in ARTIFACTS {
+        match gate_one(name, &baseline_dir, &fresh_dir, tolerance) {
+            Ok(report) => {
+                regressions += report.regressions();
+                print!("{}", report.render_text());
+                summary.push_str(&report.render_markdown());
+                summary.push('\n');
+            }
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write as _;
+        if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(&path) {
+            let _ = writeln!(f, "## Bench gate (tolerance {:.0}%)\n", tolerance * 100.0);
+            let _ = f.write_all(summary.as_bytes());
+        }
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_gate: {regressions} tracked metric(s) regressed >{:.0}%",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gate: all tracked metrics within tolerance");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,343 @@
+//! Bench-regression gate: compares freshly emitted `BENCH_*.json`
+//! artifacts against committed baselines and fails on slowdowns.
+//!
+//! The tracked metrics are the **speedup ratios** each bench exists to
+//! demonstrate (`speedup` for the two-phase LU replay, `spdp4`/`spdp5`
+//! for the distributed framework) — ratios of times measured in the same
+//! process, so they stay comparable across runner generations where
+//! absolute seconds would not. A metric regresses when the fresh value
+//! drops more than the tolerance below its baseline (default
+//! [`DEFAULT_TOLERANCE`] = 15%).
+//!
+//! The comparison logic lives here, in the library, so the injected-
+//! regression behaviour is pinned by unit tests; `src/bin/bench_gate.rs`
+//! is a thin CLI over [`parse_metrics`] / [`compare`].
+
+use std::fmt::Write as _;
+
+/// Relative drop below baseline that fails the gate (15%).
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// One tracked (design, metric) data point. All tracked metrics are
+/// higher-is-better ratios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Design the row belongs to (`pg1t` …).
+    pub design: String,
+    /// Metric key inside the row (`speedup`, `spdp4`, …).
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+}
+
+/// One line of the gate report.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// `design/metric` identity.
+    pub design: String,
+    /// Metric key.
+    pub metric: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value (`None` when the fresh artifact lost the
+    /// row — itself a failure).
+    pub fresh: Option<f64>,
+    /// Relative change, `fresh / baseline - 1`.
+    pub delta: f64,
+    /// Whether this row fails the gate.
+    pub regressed: bool,
+}
+
+/// The before/after comparison of one bench artifact.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Bench name the artifact declared.
+    pub bench: String,
+    /// Per-(design, metric) rows in baseline order.
+    pub rows: Vec<GateRow>,
+}
+
+impl GateReport {
+    /// Number of failing rows.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.regressed).count()
+    }
+
+    /// Plain-text before/after table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench {}: {} regression(s)",
+            self.bench,
+            self.regressions()
+        );
+        for r in &self.rows {
+            let fresh = r
+                .fresh
+                .map(|f| format!("{f:8.2}"))
+                .unwrap_or_else(|| "missing".into());
+            let _ = writeln!(
+                out,
+                "  {:6} {:8} base {:8.2} -> fresh {} ({:+6.1}%){}",
+                r.design,
+                r.metric,
+                r.baseline,
+                fresh,
+                r.delta * 100.0,
+                if r.regressed { "  << REGRESSION" } else { "" },
+            );
+        }
+        out
+    }
+
+    /// GitHub-flavoured markdown table (for the job summary).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "### `{}` — {}\n",
+            self.bench,
+            if self.regressions() == 0 {
+                "✅ no regressions".to_string()
+            } else {
+                format!("❌ {} regression(s)", self.regressions())
+            }
+        );
+        let _ = writeln!(out, "| design | metric | baseline | fresh | Δ | |");
+        let _ = writeln!(out, "|---|---|---|---|---|---|");
+        for r in &self.rows {
+            let fresh = r
+                .fresh
+                .map(|f| format!("{f:.2}"))
+                .unwrap_or_else(|| "missing".into());
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.2} | {} | {:+.1}% | {} |",
+                r.design,
+                r.metric,
+                r.baseline,
+                fresh,
+                r.delta * 100.0,
+                if r.regressed { "❌" } else { "✅" },
+            );
+        }
+        out
+    }
+}
+
+/// Extracts the tracked metrics from one emitted `BENCH_*.json`.
+///
+/// The artifacts are written by the benches themselves (flat objects
+/// inside a `"rows"` array — see `benches/lu_refactor.rs`), so a small
+/// purpose-built scanner is all the offline workspace needs.
+///
+/// # Errors
+///
+/// Returns a description when the text is not a recognized artifact.
+pub fn parse_metrics(text: &str) -> Result<(String, Vec<Metric>), String> {
+    let bench = extract_string_field(text, "bench")
+        .ok_or_else(|| "artifact has no \"bench\" field".to_string())?;
+    let tracked: &[&str] = match bench.as_str() {
+        "lu_refactor" => &["speedup"],
+        "table3_distributed" => &["spdp4", "spdp5"],
+        other => return Err(format!("no tracked metrics for bench kind {other:?}")),
+    };
+    let rows_start = text
+        .find("\"rows\"")
+        .ok_or_else(|| "artifact has no \"rows\" array".to_string())?;
+    let mut metrics = Vec::new();
+    let mut rest = &text[rows_start..];
+    while let Some(obj_start) = rest.find('{') {
+        let obj_end = rest[obj_start..]
+            .find('}')
+            .ok_or_else(|| "unterminated row object".to_string())?;
+        let obj = &rest[obj_start + 1..obj_start + obj_end];
+        let design = extract_string_field(obj, "design")
+            .ok_or_else(|| "row object has no \"design\" field".to_string())?;
+        for &name in tracked {
+            let value = extract_number_field(obj, name)
+                .ok_or_else(|| format!("row {design:?} has no {name:?} field"))?;
+            metrics.push(Metric {
+                design: design.clone(),
+                name: name.to_string(),
+                value,
+            });
+        }
+        rest = &rest[obj_start + obj_end + 1..];
+    }
+    if metrics.is_empty() {
+        return Err("artifact has an empty \"rows\" array".to_string());
+    }
+    Ok((bench, metrics))
+}
+
+/// Compares fresh metrics against a baseline: a row fails when its value
+/// drops more than `tolerance` below the baseline, or disappears.
+pub fn compare(bench: &str, baseline: &[Metric], fresh: &[Metric], tolerance: f64) -> GateReport {
+    let rows = baseline
+        .iter()
+        .map(|b| {
+            let fresh_value = fresh
+                .iter()
+                .find(|f| f.design == b.design && f.name == b.name)
+                .map(|f| f.value);
+            let (delta, regressed) = match fresh_value {
+                Some(f) => (
+                    f / b.value - 1.0,
+                    f < b.value * (1.0 - tolerance) || !f.is_finite(),
+                ),
+                None => (-1.0, true),
+            };
+            GateRow {
+                design: b.design.clone(),
+                metric: b.name.clone(),
+                baseline: b.value,
+                fresh: fresh_value,
+                delta,
+                regressed,
+            }
+        })
+        .collect();
+    GateReport {
+        bench: bench.to_string(),
+        rows,
+    }
+}
+
+/// `"key": "value"` lookup in a flat JSON fragment.
+fn extract_string_field(text: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let at = text.find(&pat)?;
+    let rest = text[at + pat.len()..].trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// `"key": number` lookup in a flat JSON fragment.
+fn extract_number_field(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = text.find(&pat)?;
+    let rest = text[at + pat.len()..].trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LU_SAMPLE: &str = r#"{
+  "bench": "lu_refactor",
+  "scale": "ci",
+  "gammas": 5,
+  "rows": [
+    {"design": "pg1t", "n": 433, "nnz": 2095, "full_s": 0.004612, "refactor_s": 0.001027, "speedup": 4.49},
+    {"design": "pg2t", "n": 841, "nnz": 4143, "full_s": 0.014446, "refactor_s": 0.004565, "speedup": 3.16}
+  ]
+}"#;
+
+    const TABLE3_SAMPLE: &str = r#"{
+  "bench": "table3_distributed",
+  "scale": "ci",
+  "rows": [
+    {"design": "pg1t", "t1000_s": 0.0158, "groups": 9, "max_err": 1.070e-7, "spdp4": 14.60, "spdp5": 9.97},
+    {"design": "pg2t", "t1000_s": 0.0450, "groups": 9, "max_err": 9.755e-8, "spdp4": 22.56, "spdp5": 13.18}
+  ]
+}"#;
+
+    fn reinject(text: &str, from: &str, to: &str) -> String {
+        assert!(text.contains(from), "sample must contain {from}");
+        text.replace(from, to)
+    }
+
+    #[test]
+    fn parses_tracked_metrics_per_bench_kind() {
+        let (bench, lu) = parse_metrics(LU_SAMPLE).unwrap();
+        assert_eq!(bench, "lu_refactor");
+        assert_eq!(lu.len(), 2); // speedup only
+        assert_eq!(lu[0].design, "pg1t");
+        assert_eq!(lu[0].value, 4.49);
+        let (bench, t3) = parse_metrics(TABLE3_SAMPLE).unwrap();
+        assert_eq!(bench, "table3_distributed");
+        assert_eq!(t3.len(), 4); // spdp4 + spdp5 per design
+        assert!(t3.iter().any(|m| m.name == "spdp5" && m.value == 13.18));
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let (bench, base) = parse_metrics(TABLE3_SAMPLE).unwrap();
+        let report = compare(&bench, &base, &base, DEFAULT_TOLERANCE);
+        assert_eq!(report.regressions(), 0);
+        assert_eq!(report.rows.len(), 4);
+        assert!(report.render_text().contains("0 regression(s)"));
+    }
+
+    #[test]
+    fn injected_20_percent_slowdown_fails_the_gate() {
+        // The acceptance-criterion scenario: a >15% drop in one tracked
+        // metric must fail.
+        let (bench, base) = parse_metrics(LU_SAMPLE).unwrap();
+        let slowed = reinject(LU_SAMPLE, "\"speedup\": 3.16", "\"speedup\": 2.53");
+        let (_, fresh) = parse_metrics(&slowed).unwrap();
+        let report = compare(&bench, &base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(report.regressions(), 1);
+        let bad = report.rows.iter().find(|r| r.regressed).unwrap();
+        assert_eq!(
+            (bad.design.as_str(), bad.metric.as_str()),
+            ("pg2t", "speedup")
+        );
+        assert!(bad.delta < -0.15);
+        assert!(report.render_markdown().contains("❌"));
+    }
+
+    #[test]
+    fn slowdown_within_tolerance_passes() {
+        let (bench, base) = parse_metrics(LU_SAMPLE).unwrap();
+        // 4.49 → 4.00 is a 10.9% drop: noise, not a regression.
+        let wobbled = reinject(LU_SAMPLE, "\"speedup\": 4.49", "\"speedup\": 4.00");
+        let (_, fresh) = parse_metrics(&wobbled).unwrap();
+        assert_eq!(
+            compare(&bench, &base, &fresh, DEFAULT_TOLERANCE).regressions(),
+            0
+        );
+    }
+
+    #[test]
+    fn improvements_always_pass() {
+        let (bench, base) = parse_metrics(TABLE3_SAMPLE).unwrap();
+        let faster = reinject(TABLE3_SAMPLE, "\"spdp4\": 14.60", "\"spdp4\": 40.0");
+        let (_, fresh) = parse_metrics(&faster).unwrap();
+        assert_eq!(
+            compare(&bench, &base, &fresh, DEFAULT_TOLERANCE).regressions(),
+            0
+        );
+    }
+
+    #[test]
+    fn missing_design_in_fresh_artifact_fails() {
+        let (bench, base) = parse_metrics(LU_SAMPLE).unwrap();
+        let fresh: Vec<Metric> = base
+            .iter()
+            .filter(|m| m.design != "pg2t")
+            .cloned()
+            .collect();
+        let report = compare(&bench, &base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(report.regressions(), 1);
+        assert!(report.render_text().contains("missing"));
+    }
+
+    #[test]
+    fn malformed_artifacts_are_rejected() {
+        assert!(parse_metrics("{}").is_err());
+        assert!(parse_metrics("{\"bench\": \"mystery\", \"rows\": []}").is_err());
+        assert!(parse_metrics("{\"bench\": \"lu_refactor\"}").is_err());
+        assert!(parse_metrics("{\"bench\": \"lu_refactor\", \"rows\": []}").is_err());
+        // A row without the tracked metric.
+        let broken = LU_SAMPLE.replace("\"speedup\": 4.49", "\"spd\": 4.49");
+        assert!(parse_metrics(&broken).is_err());
+    }
+}

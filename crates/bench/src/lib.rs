@@ -14,6 +14,8 @@
 use matex_circuit::{PdnBuilder, RcMeshBuilder};
 use std::time::{Duration, Instant};
 
+pub mod gate;
+
 /// Benchmark scale selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

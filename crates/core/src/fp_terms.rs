@@ -33,7 +33,8 @@
 use crate::engine::InputEval;
 use crate::SolveStats;
 use matex_circuit::MnaSystem;
-use matex_sparse::SparseLu;
+use matex_par::ParPool;
+use matex_sparse::{SolveSchedule, SparseLu};
 
 /// Precomputed input terms for one linear interval `[t0, t1]`, plus the
 /// persistent scratch that makes recomputation allocation-free.
@@ -109,11 +110,41 @@ impl IntervalTerms {
         t1: f64,
         stats: &mut SolveStats,
     ) {
+        self.recompute_with(sys, lu_g, input, t0, t1, stats, None);
+    }
+
+    /// [`IntervalTerms::recompute`] with an optional parallel context:
+    /// the worker pool plus `lu_g`'s level-scheduled substitution plan.
+    /// The substitutions then run level-parallel (bitwise identical to
+    /// the serial path — see
+    /// [`SparseLu::solve_into_par`](matex_sparse::SparseLu::solve_into_par))
+    /// and the call remains allocation-free: the pool dispatches through
+    /// a pre-allocated job slot and the solve reuses the same persistent
+    /// scratch (`tests/alloc_free.rs` covers this path too).
+    ///
+    /// # Panics
+    ///
+    /// As [`IntervalTerms::recompute`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn recompute_with(
+        &mut self,
+        sys: &MnaSystem,
+        lu_g: &SparseLu,
+        input: &InputEval<'_>,
+        t0: f64,
+        t1: f64,
+        stats: &mut SolveStats,
+        par: Option<(&ParPool, &SolveSchedule)>,
+    ) {
         assert!(t1 > t0, "interval must have positive length");
         self.t0 = t0;
+        let solve = |b: &[f64], out: &mut [f64], work: &mut [f64]| match par {
+            None => lu_g.solve_into(b, out, work),
+            Some((pool, sched)) => lu_g.solve_into_par(b, out, work, sched, pool),
+        };
         // q0 = G⁻¹ B u(t0); keep B u(t0) in `qd` for the slope below.
         input.bu_into(t0, &mut self.qd, &mut self.u);
-        lu_g.solve_into(&self.qd, &mut self.q0, &mut self.work);
+        solve(&self.qd, &mut self.q0, &mut self.work);
         stats.substitution_pairs += 1;
         // rhs = (B u(t1) − B u(t0)) / (t1 − t0)
         input.bu_into(t1, &mut self.rhs, &mut self.u);
@@ -126,10 +157,13 @@ impl IntervalTerms {
             self.r.fill(0.0);
         } else {
             // qd = G⁻¹ u̇-term, r = G⁻¹ C qd.
-            lu_g.solve_into(&self.rhs, &mut self.qd, &mut self.work);
+            solve(&self.rhs, &mut self.qd, &mut self.work);
             stats.substitution_pairs += 1;
-            sys.c().matvec_into(&self.qd, &mut self.rhs);
-            lu_g.solve_into(&self.rhs, &mut self.r, &mut self.work);
+            match par {
+                None => sys.c().matvec_into(&self.qd, &mut self.rhs),
+                Some((pool, _)) => sys.c().matvec_into_par(&self.qd, &mut self.rhs, pool),
+            }
+            solve(&self.rhs, &mut self.r, &mut self.work);
             stats.substitution_pairs += 1;
         }
     }

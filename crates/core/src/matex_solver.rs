@@ -25,9 +25,10 @@ use matex_circuit::{regularize_c, MnaSystem};
 use matex_dense::norm2;
 use matex_krylov::{
     build_basis_multi, shifted_system, ExpmParams, InvertedOp, KrylovBasis, KrylovError,
-    KrylovKind, KrylovOp, RationalOp, StandardOp,
+    KrylovKind, KrylovOp, ParApply, RationalOp, StandardOp,
 };
-use matex_sparse::{CsrMatrix, LuOptions, SparseLu};
+use matex_par::ParPool;
+use matex_sparse::{CsrMatrix, LuOptions, SolveSchedule, SparseLu};
 use matex_waveform::SpotSet;
 use std::sync::Arc;
 use std::time::Instant;
@@ -121,6 +122,7 @@ pub struct MatexSolver {
     mask: Option<Vec<usize>>,
     lts_override: Option<SpotSet>,
     symbolic: Option<Arc<MatexSymbolic>>,
+    pool: Option<Arc<ParPool>>,
 }
 
 impl MatexSolver {
@@ -131,6 +133,7 @@ impl MatexSolver {
             mask: None,
             lts_override: None,
             symbolic: None,
+            pool: None,
         }
     }
 
@@ -157,6 +160,20 @@ impl MatexSolver {
     /// back transparently.
     pub fn with_symbolic(mut self, symbolic: Arc<MatexSymbolic>) -> Self {
         self.symbolic = Some(symbolic);
+        self
+    }
+
+    /// Runs this solver's intra-node kernels — the Krylov phase's
+    /// mat-vecs, forward/backward substitutions, and Gram–Schmidt
+    /// orthogonalization — on the given pool. After each factorization
+    /// the solver builds the level-scheduled substitution plan once and
+    /// reuses it for every solve of the run.
+    ///
+    /// Results are **bitwise-invariant in the pool width** (a one-thread
+    /// pool is the reference; see `matex_par`'s determinism contract).
+    /// Without a pool the historical serial code paths run unchanged.
+    pub fn with_parallelism(mut self, pool: Arc<ParPool>) -> Self {
+        self.pool = Some(pool);
         self
     }
 
@@ -259,21 +276,61 @@ impl TransientEngine for MatexSolver {
             }
         }
         let _ = &shifted_storage; // keep alive for the operator's lifetime
+
+        // With a pool: build each factorization's level-scheduled
+        // substitution plan once, up front — every substitution of the
+        // run (operator applies and input terms alike) replays it.
+        let sched_g: Option<SolveSchedule> = self.pool.as_ref().map(|_| lu_g.solve_schedule());
+        let sched_x1: Option<SolveSchedule> = match (&self.pool, &lu_x1_storage) {
+            (Some(_), Some(lu)) => Some(lu.solve_schedule()),
+            _ => None,
+        };
         let op_holder = match self.opts.kind {
-            KrylovKind::Standard => OpHolder::Std(StandardOp::new(
-                lu_x1_storage.as_ref().expect("lu(C) present"),
-                sys.g(),
-            )),
-            KrylovKind::Inverted => OpHolder::Inv(InvertedOp::new(&lu_g, sys.c())),
-            KrylovKind::Rational => OpHolder::Rat(RationalOp::new(
-                lu_x1_storage.as_ref().expect("lu(C+γG) present"),
-                sys.c(),
-                self.opts.gamma,
-            )),
+            KrylovKind::Standard => {
+                let mut op =
+                    StandardOp::new(lu_x1_storage.as_ref().expect("lu(C) present"), sys.g());
+                if let (Some(pool), Some(sched)) = (&self.pool, &sched_x1) {
+                    op = op.with_parallelism(ParApply {
+                        pool: pool.as_ref(),
+                        sched,
+                    });
+                }
+                OpHolder::Std(op)
+            }
+            KrylovKind::Inverted => {
+                let mut op = InvertedOp::new(&lu_g, sys.c());
+                if let (Some(pool), Some(sched)) = (&self.pool, &sched_g) {
+                    op = op.with_parallelism(ParApply {
+                        pool: pool.as_ref(),
+                        sched,
+                    });
+                }
+                OpHolder::Inv(op)
+            }
+            KrylovKind::Rational => {
+                let mut op = RationalOp::new(
+                    lu_x1_storage.as_ref().expect("lu(C+γG) present"),
+                    sys.c(),
+                    self.opts.gamma,
+                );
+                if let (Some(pool), Some(sched)) = (&self.pool, &sched_x1) {
+                    op = op.with_parallelism(ParApply {
+                        pool: pool.as_ref(),
+                        sched,
+                    });
+                }
+                OpHolder::Rat(op)
+            }
         };
         let _ = &c_reg_storage;
         let op = op_holder.as_op();
         stats.factor_time = tf.elapsed();
+        // Parallel context for the input-terms substitutions (always
+        // against the G factorization).
+        let terms_par: Option<(&ParPool, &SolveSchedule)> = match (&self.pool, &sched_g) {
+            (Some(pool), Some(sched)) => Some((pool.as_ref(), sched)),
+            _ => None,
+        };
 
         // --- Evaluation grid: output samples ∪ LTS.
         let mut eval = SpotSet::from_times(spec.sample_times());
@@ -313,7 +370,9 @@ impl TransientEngine for MatexSolver {
                     break anchor_x.clone();
                 }
                 if !terms_valid {
-                    terms.recompute(sys, &lu_g, &input, anchor_t, win_end, &mut stats);
+                    terms.recompute_with(
+                        sys, &lu_g, &input, anchor_t, win_end, &mut stats, terms_par,
+                    );
                     terms_valid = true;
                 }
                 // v = x(anchor) + F(anchor)
@@ -647,6 +706,45 @@ mod tests {
             assert_eq!(fresh.series(), reused.series());
             // Only the G factorization can replay on these variants.
             assert_eq!(reused.stats.refactorizations, 1);
+        }
+    }
+
+    #[test]
+    fn pooled_run_is_pool_width_invariant_and_close_to_serial() {
+        // The tentpole determinism contract at the solver level: any
+        // pool width produces bit-for-bit the waveform of the one-thread
+        // pool, and the pool-less legacy path agrees to rounding (the
+        // pooled orthogonalization is CGS2 instead of MGS2).
+        let sys = pulsed_rc();
+        let spec = TransientSpec::new(0.0, 1e-9, 1e-11).unwrap();
+        for kind in [
+            KrylovKind::Rational,
+            KrylovKind::Inverted,
+            KrylovKind::Standard,
+        ] {
+            let opts = MatexOptions::new(kind);
+            let legacy = MatexSolver::new(opts.clone()).run(&sys, &spec).unwrap();
+            let reference = MatexSolver::new(opts.clone())
+                .with_parallelism(Arc::new(matex_par::ParPool::serial()))
+                .run(&sys, &spec)
+                .unwrap();
+            for threads in [2usize, 3] {
+                let run = MatexSolver::new(opts.clone())
+                    .with_parallelism(Arc::new(matex_par::ParPool::new(threads)))
+                    .run(&sys, &spec)
+                    .unwrap();
+                assert_eq!(
+                    reference.series(),
+                    run.series(),
+                    "{kind:?}: {threads}-thread waveform diverged from 1-thread"
+                );
+                assert_eq!(reference.final_state(), run.final_state());
+            }
+            let (max_err, _) = reference.error_vs(&legacy).unwrap();
+            assert!(
+                max_err < 1e-9,
+                "{kind:?}: pooled path deviates from legacy serial: {max_err:.3e}"
+            );
         }
     }
 

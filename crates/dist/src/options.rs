@@ -1,4 +1,5 @@
 use matex_core::MatexOptions;
+use matex_par::ParOptions;
 use matex_waveform::GroupingStrategy;
 
 /// Options for a distributed run.
@@ -27,6 +28,15 @@ pub struct DistributedOptions {
     /// `Some(1)` emulates the paper's dedicated-node cluster faithfully
     /// (every node's wall time is uncontended).
     pub workers: Option<usize>,
+    /// Intra-node kernel parallelism (the total `MATEX_THREADS` budget).
+    /// The budget is divided across the active workers — every worker
+    /// gets a pool of `max(1, total / workers)` threads for its nodes —
+    /// so a distributed run never oversubscribes the host. Off by
+    /// default (`MATEX_THREADS` unset): the legacy serial kernels run.
+    /// Node numerics are bitwise-invariant in both the worker count and
+    /// the per-node budget, so enabling more workers never changes the
+    /// superposed waveform.
+    pub par: ParOptions,
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@ use matex_core::{
     CoreError, MatexSolver, MatexSymbolic, SolveStats, TransientEngine, TransientResult,
     TransientSpec,
 };
+use matex_par::ParPool;
 use matex_waveform::{group_sources, SpotSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -219,6 +220,14 @@ pub fn run_distributed(
         .max(1)
         .min(jobs.len());
 
+    // Nested-parallelism policy: one total kernel-thread budget
+    // (`MATEX_THREADS` / `opts.par`), divided across the active workers
+    // so node-level and kernel-level parallelism compose without
+    // oversubscribing. Each worker owns one pool for all the nodes it
+    // runs. Kernel results are bitwise-invariant in the pool width, so
+    // the division (and the worker count) never changes the waveform.
+    let kernel_budget = opts.par.resolve().map(|t| (t / workers).max(1));
+
     // Worker pool: a shared cursor over the LPT order; finished subtasks
     // stream back to the master, which superposes them in group order. A
     // failed node trips the abort flag so idle workers stop draining the
@@ -232,18 +241,22 @@ pub fn run_distributed(
         let (jobs, order, cursor, abort, symbolic) = (&jobs, &order, &cursor, &abort, &symbolic);
         for _ in 0..workers {
             let tx = tx.clone();
-            scope.spawn(move || loop {
-                if abort.load(Ordering::Relaxed) {
-                    break;
-                }
-                let k = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(&j) = order.get(k) else { break };
-                let outcome = run_node(sys, spec, opts, &jobs[j], symbolic.clone());
-                if outcome.is_err() {
-                    abort.store(true, Ordering::Relaxed);
-                }
-                if tx.send((j, outcome)).is_err() {
-                    break; // master gone (superposition error): stop
+            scope.spawn(move || {
+                let pool = kernel_budget.map(|b| Arc::new(ParPool::new(b)));
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&j) = order.get(k) else { break };
+                    let outcome =
+                        run_node(sys, spec, opts, &jobs[j], symbolic.clone(), pool.clone());
+                    if outcome.is_err() {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    if tx.send((j, outcome)).is_err() {
+                        break; // master gone (superposition error): stop
+                    }
                 }
             });
         }
@@ -329,12 +342,16 @@ fn run_node(
     opts: &DistributedOptions,
     job: &Job,
     symbolic: Arc<MatexSymbolic>,
+    pool: Option<Arc<ParPool>>,
 ) -> NodeOutcome {
     let t0 = Instant::now();
-    let solver = MatexSolver::new(opts.matex.clone())
+    let mut solver = MatexSolver::new(opts.matex.clone())
         .with_source_mask(job.members.clone())
         .with_lts(job.lts.clone())
         .with_symbolic(symbolic);
+    if let Some(pool) = pool {
+        solver = solver.with_parallelism(pool);
+    }
     let result = solver.run(sys, spec)?;
     Ok((
         NodeRun {
@@ -450,6 +467,38 @@ mod tests {
         };
         let run = run_distributed(&sys, &spec, &opts).unwrap();
         assert_eq!(run.num_groups(), 2); // supplies + one load group
+    }
+
+    #[test]
+    fn kernel_budget_never_changes_the_waveform() {
+        // The nested-parallelism contract: any MATEX_THREADS budget (and
+        // any worker count splitting it) produces bitwise-identical
+        // superposed results, and stays close to the legacy serial path.
+        let sys = small_grid();
+        let spec = TransientSpec::new(0.0, 1e-9, 2e-11).unwrap();
+        let run_with = |threads: usize, workers: Option<usize>| {
+            let opts = DistributedOptions {
+                par: matex_par::ParOptions::with_threads(threads),
+                workers,
+                ..DistributedOptions::default()
+            };
+            run_distributed(&sys, &spec, &opts).unwrap()
+        };
+        let reference = run_with(1, Some(2));
+        for (threads, workers) in [(2, Some(2)), (4, Some(1)), (7, Some(3))] {
+            let run = run_with(threads, workers);
+            assert_eq!(
+                reference.result.series(),
+                run.result.series(),
+                "budget {threads} / workers {workers:?} changed the waveform"
+            );
+        }
+        let legacy = run_distributed(&sys, &spec, &DistributedOptions::default()).unwrap();
+        let (max_err, _) = reference.result.error_vs(&legacy.result).unwrap();
+        assert!(
+            max_err < 1e-7,
+            "pooled path deviates from legacy: {max_err:.3e}"
+        );
     }
 
     #[test]

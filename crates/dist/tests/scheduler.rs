@@ -28,6 +28,7 @@ fn run_with(workers: Option<usize>) -> DistributedRun {
         matex: MatexOptions::default().tol(1e-8),
         strategy: GroupingStrategy::ByBumpFeature,
         workers,
+        ..DistributedOptions::default()
     };
     run_distributed(&sys, &spec, &opts).expect("distributed run")
 }

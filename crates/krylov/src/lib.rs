@@ -46,5 +46,5 @@ mod variant;
 pub use arnoldi::Arnoldi;
 pub use error::KrylovError;
 pub use expmv::{build_basis, build_basis_multi, BuildOutcome, ExpmParams, KrylovBasis};
-pub use operator::{shifted_system, InvertedOp, KrylovOp, RationalOp, StandardOp};
+pub use operator::{shifted_system, InvertedOp, KrylovOp, ParApply, RationalOp, StandardOp};
 pub use variant::KrylovKind;

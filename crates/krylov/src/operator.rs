@@ -10,7 +10,23 @@
 //! | rational | `(I−γA)⁻¹ v = (C+γG)⁻¹ (C v)`        | `C + γG`    | `C`  |
 
 use crate::KrylovKind;
-use matex_sparse::{CsrMatrix, LuOptions, SparseError, SparseLu, SymbolicLu};
+use matex_par::ParPool;
+use matex_sparse::{CsrMatrix, LuOptions, SolveSchedule, SparseError, SparseLu, SymbolicLu};
+
+/// Parallel execution context for a Krylov operator: the pool the
+/// kernels dispatch on plus the level-scheduled substitution plan of the
+/// operator's factored matrix (`X1`).
+///
+/// Attach with the operators' `with_parallelism` builders; the operator
+/// then advertises the pool through [`KrylovOp::pool`], which is how the
+/// Arnoldi orthogonalization picks its tiled path.
+#[derive(Debug, Clone, Copy)]
+pub struct ParApply<'a> {
+    /// The shared worker pool.
+    pub pool: &'a ParPool,
+    /// Substitution plan built from the operator's `X1` factorization.
+    pub sched: &'a SolveSchedule,
+}
 
 /// One application of the Arnoldi iteration matrix.
 ///
@@ -35,6 +51,14 @@ pub trait KrylovOp {
     fn gamma(&self) -> Option<f64> {
         None
     }
+
+    /// The pool this operator's kernels dispatch on, when the operator
+    /// was built with a [`ParApply`] context. The Arnoldi process uses
+    /// the same pool for its orthogonalization kernels, so one setting
+    /// parallelizes the whole Krylov phase.
+    fn pool(&self) -> Option<&ParPool> {
+        None
+    }
 }
 
 /// Standard-Krylov operator `v ↦ A v = −C⁻¹(G v)` (the MEXP baseline).
@@ -45,6 +69,7 @@ pub trait KrylovOp {
 pub struct StandardOp<'a> {
     lu_c: &'a SparseLu,
     g: &'a CsrMatrix,
+    par: Option<ParApply<'a>>,
 }
 
 impl<'a> StandardOp<'a> {
@@ -55,7 +80,14 @@ impl<'a> StandardOp<'a> {
     /// Panics if dimensions disagree.
     pub fn new(lu_c: &'a SparseLu, g: &'a CsrMatrix) -> Self {
         assert_eq!(lu_c.dim(), g.nrows(), "dimension mismatch");
-        StandardOp { lu_c, g }
+        StandardOp { lu_c, g, par: None }
+    }
+
+    /// Runs this operator's mat-vec and substitutions on a pool
+    /// (`par.sched` must come from `lu_c`).
+    pub fn with_parallelism(mut self, par: ParApply<'a>) -> Self {
+        self.par = Some(par);
+        self
     }
 }
 
@@ -65,9 +97,19 @@ impl KrylovOp for StandardOp<'_> {
     }
 
     fn apply(&self, v: &[f64], out: &mut [f64]) {
-        let gv = self.g.matvec(v);
+        let mut gv = vec![0.0; self.dim()];
         let mut work = vec![0.0; self.dim()];
-        self.lu_c.solve_into(&gv, out, &mut work);
+        match &self.par {
+            None => {
+                self.g.matvec_into(v, &mut gv);
+                self.lu_c.solve_into(&gv, out, &mut work);
+            }
+            Some(p) => {
+                self.g.matvec_into_par(v, &mut gv, p.pool);
+                self.lu_c
+                    .solve_into_par(&gv, out, &mut work, p.sched, p.pool);
+            }
+        }
         for x in out.iter_mut() {
             *x = -*x;
         }
@@ -75,6 +117,10 @@ impl KrylovOp for StandardOp<'_> {
 
     fn kind(&self) -> KrylovKind {
         KrylovKind::Standard
+    }
+
+    fn pool(&self) -> Option<&ParPool> {
+        self.par.as_ref().map(|p| p.pool)
     }
 }
 
@@ -85,6 +131,7 @@ impl KrylovOp for StandardOp<'_> {
 pub struct InvertedOp<'a> {
     lu_g: &'a SparseLu,
     c: &'a CsrMatrix,
+    par: Option<ParApply<'a>>,
 }
 
 impl<'a> InvertedOp<'a> {
@@ -95,7 +142,14 @@ impl<'a> InvertedOp<'a> {
     /// Panics if dimensions disagree.
     pub fn new(lu_g: &'a SparseLu, c: &'a CsrMatrix) -> Self {
         assert_eq!(lu_g.dim(), c.nrows(), "dimension mismatch");
-        InvertedOp { lu_g, c }
+        InvertedOp { lu_g, c, par: None }
+    }
+
+    /// Runs this operator's mat-vec and substitutions on a pool
+    /// (`par.sched` must come from `lu_g`).
+    pub fn with_parallelism(mut self, par: ParApply<'a>) -> Self {
+        self.par = Some(par);
+        self
     }
 }
 
@@ -105,9 +159,19 @@ impl KrylovOp for InvertedOp<'_> {
     }
 
     fn apply(&self, v: &[f64], out: &mut [f64]) {
-        let cv = self.c.matvec(v);
+        let mut cv = vec![0.0; self.dim()];
         let mut work = vec![0.0; self.dim()];
-        self.lu_g.solve_into(&cv, out, &mut work);
+        match &self.par {
+            None => {
+                self.c.matvec_into(v, &mut cv);
+                self.lu_g.solve_into(&cv, out, &mut work);
+            }
+            Some(p) => {
+                self.c.matvec_into_par(v, &mut cv, p.pool);
+                self.lu_g
+                    .solve_into_par(&cv, out, &mut work, p.sched, p.pool);
+            }
+        }
         for x in out.iter_mut() {
             *x = -*x;
         }
@@ -115,6 +179,10 @@ impl KrylovOp for InvertedOp<'_> {
 
     fn kind(&self) -> KrylovKind {
         KrylovKind::Inverted
+    }
+
+    fn pool(&self) -> Option<&ParPool> {
+        self.par.as_ref().map(|p| p.pool)
     }
 }
 
@@ -127,6 +195,7 @@ pub struct RationalOp<'a> {
     lu_shift: &'a SparseLu,
     c: &'a CsrMatrix,
     gamma: f64,
+    par: Option<ParApply<'a>>,
 }
 
 impl<'a> RationalOp<'a> {
@@ -142,7 +211,19 @@ impl<'a> RationalOp<'a> {
             gamma.is_finite() && gamma > 0.0,
             "gamma must be positive and finite"
         );
-        RationalOp { lu_shift, c, gamma }
+        RationalOp {
+            lu_shift,
+            c,
+            gamma,
+            par: None,
+        }
+    }
+
+    /// Runs this operator's mat-vec and substitutions on a pool
+    /// (`par.sched` must come from `lu_shift`).
+    pub fn with_parallelism(mut self, par: ParApply<'a>) -> Self {
+        self.par = Some(par);
+        self
     }
 }
 
@@ -188,9 +269,19 @@ impl KrylovOp for RationalOp<'_> {
     }
 
     fn apply(&self, v: &[f64], out: &mut [f64]) {
-        let cv = self.c.matvec(v);
+        let mut cv = vec![0.0; self.dim()];
         let mut work = vec![0.0; self.dim()];
-        self.lu_shift.solve_into(&cv, out, &mut work);
+        match &self.par {
+            None => {
+                self.c.matvec_into(v, &mut cv);
+                self.lu_shift.solve_into(&cv, out, &mut work);
+            }
+            Some(p) => {
+                self.c.matvec_into_par(v, &mut cv, p.pool);
+                self.lu_shift
+                    .solve_into_par(&cv, out, &mut work, p.sched, p.pool);
+            }
+        }
     }
 
     fn kind(&self) -> KrylovKind {
@@ -199,6 +290,10 @@ impl KrylovOp for RationalOp<'_> {
 
     fn gamma(&self) -> Option<f64> {
         Some(self.gamma)
+    }
+
+    fn pool(&self) -> Option<&ParPool> {
+        self.par.as_ref().map(|p| p.pool)
     }
 }
 
@@ -282,6 +377,49 @@ mod tests {
             assert_eq!(m, m2);
             // Bitwise-identical factors → bitwise-identical solves.
             assert_eq!(lu.solve(&[1.0, 2.0]), lu_full.solve(&[1.0, 2.0]));
+        }
+    }
+
+    #[test]
+    fn parallel_apply_is_pool_width_invariant() {
+        // The pooled apply (tiled mat-vec + level-scheduled solve) must
+        // agree bitwise with the serial apply at every pool width.
+        let n = 400;
+        let mut ct = Vec::new();
+        let mut gt = Vec::new();
+        for i in 0..n {
+            ct.push((i, i, 1e-13 * (1.0 + 0.1 * (i % 7) as f64)));
+            gt.push((i, i, 2.0 + 0.01 * i as f64));
+            if i + 1 < n {
+                gt.push((i, i + 1, -1.0));
+                gt.push((i + 1, i, -1.0));
+            }
+        }
+        let c = CsrMatrix::from_triplets(n, n, &ct);
+        let g = CsrMatrix::from_triplets(n, n, &gt);
+        let gamma = 1e-10;
+        let shifted = CsrMatrix::linear_combination(1.0, &c, gamma, &g).unwrap();
+        let lu = SparseLu::factor(&shifted, &LuOptions::default()).unwrap();
+        let sched = lu.solve_schedule();
+        let v: Vec<f64> = (0..n).map(|i| ((i * 13 % 31) as f64) - 15.0).collect();
+        let mut serial_out = vec![0.0; n];
+        RationalOp::new(&lu, &c, gamma).apply(&v, &mut serial_out);
+        for threads in [1usize, 2, 4] {
+            let pool = matex_par::ParPool::new(threads);
+            let op = RationalOp::new(&lu, &c, gamma).with_parallelism(ParApply {
+                pool: &pool,
+                sched: &sched,
+            });
+            assert!(op.pool().is_some());
+            let mut out = vec![0.0; n];
+            op.apply(&v, &mut out);
+            assert!(
+                serial_out
+                    .iter()
+                    .zip(&out)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{threads}-thread apply diverged"
+            );
         }
     }
 

@@ -1,0 +1,62 @@
+//! Shared parallel-kernel layer for the MATEX stack.
+//!
+//! The per-node cost of a MATEX transient run is dominated by Krylov
+//! subspace generation: sparse mat-vecs, forward/backward substitution
+//! pairs, and Gram–Schmidt orthogonalization (paper Sec. 3.2–3.3). This
+//! crate provides the std-only machinery those kernels parallelize over:
+//!
+//! * [`ParPool`] — a persistent, reusable worker pool (spin-then-park
+//!   dispatch, no allocation per call, caller participates),
+//! * [`ParOptions`] — thread-count resolution (`MATEX_THREADS` env var +
+//!   explicit API),
+//! * tiled kernels ([`dot`], [`norm2`], [`multi_dot`],
+//!   [`subtract_combination`], [`div_in_place`]) with **fixed tile
+//!   boundaries and deterministic tile-order reductions**, so results
+//!   are bitwise-invariant in the thread count,
+//! * [`RawVec`] — the tile-disjoint shared-write primitive the kernels
+//!   (and `matex_sparse`'s level-scheduled triangular solve) build on.
+//!
+//! # Determinism contract
+//!
+//! A kernel driven by a `k`-thread pool produces **bit-for-bit** the
+//! same output for every `k ≥ 1`: tiles are a function of the problem
+//! size alone and partials combine serially in tile order. The *legacy*
+//! serial code paths (no pool at all — `MATEX_THREADS` unset) remain
+//! byte-for-byte what they were before this crate existed; elementwise
+//! and triangular-solve kernels match them exactly, while tiled
+//! *reductions* differ from a naive left-to-right sum only by the usual
+//! reassociation rounding.
+//!
+//! # Example
+//!
+//! ```
+//! use matex_par::{ParOptions, ParPool};
+//!
+//! // Explicit thread count; ParOptions::default() reads MATEX_THREADS.
+//! let pool = ParPool::new(2);
+//! let x: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+//! let serial = ParPool::serial();
+//! // Bitwise equality across pool widths.
+//! assert_eq!(
+//!     matex_par::dot(&pool, &x, &x).to_bits(),
+//!     matex_par::dot(&serial, &x, &x).to_bits(),
+//! );
+//! assert_eq!(ParOptions::with_threads(0).resolve(), None);
+//! ```
+
+mod kernels;
+mod options;
+mod pool;
+
+pub use kernels::{
+    div_in_place, dot, multi_dot, norm2, subtract_combination, tile_span, tiles, RawVec, PAR_MIN,
+    TILE,
+};
+pub use options::{env_threads, ParOptions};
+pub use pool::ParPool;
+
+// Compile the crate README's code blocks as doctests so the documented
+// threading model can never rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;

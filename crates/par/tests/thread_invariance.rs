@@ -1,0 +1,120 @@
+//! Property-based proof of the thread-count-invariance contract:
+//! `MATEX_THREADS ∈ {1, 2, 4, 7}` (expressed through the equivalent
+//! `ParOptions::with_threads` API, since tests cannot safely mutate the
+//! environment) must produce **bitwise-equal** results — for a raw
+//! Krylov `expmv` evaluation and for a full `run_distributed` waveform —
+//! because every tiled kernel reduces over fixed tile boundaries in a
+//! deterministic order.
+
+use matex_circuit::PdnBuilder;
+use matex_core::TransientSpec;
+use matex_dist::{run_distributed, DistributedOptions};
+use matex_krylov::{build_basis, ExpmParams, ParApply, RationalOp};
+use matex_par::{ParOptions, ParPool};
+use matex_sparse::{CsrMatrix, LuOptions, SparseLu};
+use proptest::prelude::*;
+
+/// The thread counts the ISSUE's invariance criterion names.
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `expmv` outputs are bitwise-equal at every pool width.
+    #[test]
+    fn expmv_is_thread_count_invariant(
+        n in 60usize..220,
+        cap_spread in 1.0f64..50.0,
+        coupling in 0.2f64..1.5,
+        h in 0.01f64..0.4,
+    ) {
+        // RC-ladder style C (diagonal) and G (tridiagonal, dominant),
+        // scaled O(1) so the shifted mapping stays well conditioned for
+        // every drawn (n, spread, coupling, h).
+        let mut ct = Vec::new();
+        let mut gt = Vec::new();
+        for i in 0..n {
+            ct.push((i, i, 1.0 + cap_spread * ((i * 13 % 17) as f64) / 17.0));
+            gt.push((i, i, 2.0 + 0.03 * i as f64));
+            if i + 1 < n {
+                gt.push((i, i + 1, -coupling));
+                gt.push((i + 1, i, -coupling));
+            }
+        }
+        let c = CsrMatrix::from_triplets(n, n, &ct);
+        let g = CsrMatrix::from_triplets(n, n, &gt);
+        let gamma = 0.05;
+        let shifted = CsrMatrix::linear_combination(1.0, &c, gamma, &g).unwrap();
+        let lu = SparseLu::factor(&shifted, &LuOptions::default()).unwrap();
+        let sched = lu.solve_schedule();
+        let v: Vec<f64> = (0..n).map(|i| ((i * 11 % 23) as f64) - 11.0).collect();
+        let params = ExpmParams { tol: 1e-8, ..ExpmParams::default() };
+
+        let mut reference: Option<Vec<u64>> = None;
+        for threads in THREADS {
+            let pool = ParPool::new(threads);
+            let op = RationalOp::new(&lu, &c, gamma)
+                .with_parallelism(ParApply { pool: &pool, sched: &sched });
+            let out = build_basis(&op, &v, h, &params).unwrap();
+            let x = out.basis.eval(h).unwrap();
+            let x_bits = bits(&x);
+            match &reference {
+                None => reference = Some(x_bits),
+                Some(r) => prop_assert_eq!(
+                    r,
+                    &x_bits,
+                    "expmv diverged at {} threads (n = {})",
+                    threads,
+                    n
+                ),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Full distributed waveforms are bitwise-equal at every kernel
+    /// thread budget.
+    #[test]
+    fn run_distributed_is_thread_count_invariant(
+        dim in 4usize..7,
+        loads in 4usize..10,
+        features in 2usize..4,
+        seed in 0usize..1000,
+    ) {
+        let sys = PdnBuilder::new(dim, dim)
+            .num_loads(loads)
+            .num_features(features)
+            .window(1e-9)
+            .seed(seed as u64)
+            .build()
+            .unwrap();
+        let spec = TransientSpec::new(0.0, 1e-9, 5e-11).unwrap();
+        let mut reference: Option<Vec<Vec<f64>>> = None;
+        for threads in THREADS {
+            let opts = DistributedOptions {
+                par: ParOptions::with_threads(threads),
+                workers: Some(2),
+                ..DistributedOptions::default()
+            };
+            let run = run_distributed(&sys, &spec, &opts).unwrap();
+            let series = run.result.series().to_vec();
+            match &reference {
+                None => reference = Some(series),
+                Some(r) => prop_assert_eq!(
+                    r,
+                    &series,
+                    "distributed waveform diverged at {} kernel threads (seed {})",
+                    threads,
+                    seed
+                ),
+            }
+        }
+    }
+}

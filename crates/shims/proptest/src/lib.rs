@@ -163,7 +163,7 @@ pub mod prop {
             }
         }
 
-        /// The strategy returned by [`vec`].
+        /// The strategy returned by [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S, L> {
             element: S,

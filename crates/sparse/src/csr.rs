@@ -2,6 +2,7 @@
 
 use crate::{CooMatrix, CscMatrix, SparseError};
 use matex_dense::DMat;
+use matex_par::{ParPool, RawVec};
 
 /// A compressed-sparse-row (CSR) matrix.
 ///
@@ -201,6 +202,18 @@ impl CsrMatrix {
         y
     }
 
+    /// One row's dot with `x`, zipped (one bounds check per row, same
+    /// accumulation order as the historical indexed loop).
+    #[inline]
+    fn row_dot(&self, r: usize, x: &[f64]) -> f64 {
+        let range = self.indptr[r]..self.indptr[r + 1];
+        let mut s = 0.0;
+        for (&c, &v) in self.indices[range.clone()].iter().zip(&self.values[range]) {
+            s += v * x[c];
+        }
+        s
+    }
+
     /// Matrix–vector product writing into an existing buffer.
     ///
     /// # Panics
@@ -209,13 +222,40 @@ impl CsrMatrix {
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "matvec: x length mismatch");
         assert_eq!(y.len(), self.nrows, "matvec: y length mismatch");
-        for r in 0..self.nrows {
-            let mut s = 0.0;
-            for (idx, &c) in self.row_indices(r).iter().enumerate() {
-                s += self.values[self.indptr[r] + idx] * x[c];
-            }
-            y[r] = s;
+        for (r, yr) in y.iter_mut().enumerate() {
+            *yr = self.row_dot(r, x);
         }
+    }
+
+    /// Rows per parallel mat-vec tile (fixed — never derived from the
+    /// thread count, so tiling is invariant in `MATEX_THREADS`).
+    const MATVEC_TILE_ROWS: usize = 128;
+
+    /// Row-tiled parallel matrix–vector product.
+    ///
+    /// Each row is computed exactly as in [`CsrMatrix::matvec_into`]
+    /// (rows are independent), so the result is bitwise identical to the
+    /// serial product for any pool width. Small matrices run inline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    pub fn matvec_into_par(&self, x: &[f64], y: &mut [f64], pool: &ParPool) {
+        if pool.threads() == 1 || self.nnz() < matex_par::PAR_MIN {
+            return self.matvec_into(x, y);
+        }
+        assert_eq!(x.len(), self.ncols, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "matvec: y length mismatch");
+        let ntiles = self.nrows.div_ceil(Self::MATVEC_TILE_ROWS);
+        let shared = RawVec::new(y);
+        pool.run(ntiles, &|t| {
+            let start = t * Self::MATVEC_TILE_ROWS;
+            let end = (start + Self::MATVEC_TILE_ROWS).min(self.nrows);
+            for r in start..end {
+                // SAFETY: row tiles are disjoint; `y[r]` belongs to tile `t`.
+                unsafe { shared.set(r, self.row_dot(r, x)) };
+            }
+        });
     }
 
     /// Transposed product `Aᵀ x`.

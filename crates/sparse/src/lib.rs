@@ -64,7 +64,7 @@ pub use options::LuOptions;
 pub use ordering::OrderingKind;
 pub use perm::Permutation;
 pub use scaling::equilibrate;
-pub use symbolic::SymbolicLu;
+pub use symbolic::{SolveSchedule, SymbolicLu};
 
 // Compile the crate README's code blocks as doctests so the documented
 // two-phase workflow can never rot.

@@ -195,8 +195,10 @@ impl SparseLu {
                 }
                 let start = l_colptr[jcol] + 1;
                 let end = *l_colptr.get(jcol + 1).unwrap_or(&l_rowidx.len());
-                for p in start..end {
-                    x[l_rowidx[p]] -= l_values[p] * xj;
+                // Zipped slices instead of indexed access: one bounds
+                // check per column, same operations in the same order.
+                for (&r, &v) in l_rowidx[start..end].iter().zip(&l_values[start..end]) {
+                    x[r] -= v * xj;
                 }
             }
 
@@ -319,13 +321,19 @@ impl SparseLu {
             work[self.pinv[i]] = self.rscale[i] * b[i];
         }
         // Forward solve L y = work (unit diagonal first in each column).
+        // Zipped slices in both scatter loops: one bounds check per
+        // column instead of per entry, identical operation order.
         for j in 0..n {
             let xj = work[j];
             if xj == 0.0 {
                 continue;
             }
-            for p in (self.l_colptr[j] + 1)..self.l_colptr[j + 1] {
-                work[self.l_rowidx[p]] -= self.l_values[p] * xj;
+            let range = (self.l_colptr[j] + 1)..self.l_colptr[j + 1];
+            for (&r, &v) in self.l_rowidx[range.clone()]
+                .iter()
+                .zip(&self.l_values[range])
+            {
+                work[r] -= v * xj;
             }
         }
         // Backward solve U z = y (diagonal last in each column).
@@ -336,8 +344,12 @@ impl SparseLu {
             if xj == 0.0 {
                 continue;
             }
-            for p in self.u_colptr[j]..dpos {
-                work[self.u_rowidx[p]] -= self.u_values[p] * xj;
+            let range = self.u_colptr[j]..dpos;
+            for (&r, &v) in self.u_rowidx[range.clone()]
+                .iter()
+                .zip(&self.u_values[range])
+            {
+                work[r] -= v * xj;
             }
         }
         // out[q[k]] = cscale[q[k]] * z[k]   (undo Q and Dc)

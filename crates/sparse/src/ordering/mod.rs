@@ -5,9 +5,9 @@
 //! what keeps the per-step forward/backward substitution cost `T_bs` low —
 //! the dominant term of MATEX's complexity model. We provide:
 //!
-//! * [`amd`] — approximate minimum degree on the pattern of `A + Aᵀ`
+//! * `amd` — approximate minimum degree on the pattern of `A + Aᵀ`
 //!   (the default, mirroring UMFPACK's symmetric strategy on MNA systems),
-//! * [`rcm`] — reverse Cuthill–McKee (bandwidth reduction),
+//! * `rcm` — reverse Cuthill–McKee (bandwidth reduction),
 //! * natural (identity) ordering as the baseline for ablations.
 
 mod amd;

@@ -34,6 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         matex: MatexOptions::default().tol(1e-7),
         strategy: GroupingStrategy::ByBumpFeature,
         workers: None, // all cores
+        ..DistributedOptions::default()
     };
     let run = run_distributed(&grid, &spec, &opts)?;
 

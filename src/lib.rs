@@ -10,6 +10,7 @@
 //! * [`waveform`] — PULSE/PWL sources, transition spots, bump grouping
 //! * [`circuit`] — netlists, SPICE parser, MNA assembly, PDN generators
 //! * [`krylov`] — Arnoldi + standard/inverted/rational expm kernels
+//! * [`par`] — std-only worker pool + deterministic tiled kernels
 //! * [`core`] — transient engines (BE, TR, TR-adaptive, MATEX solver)
 //! * [`dist`] — the distributed scheduler / superposition framework
 //!
@@ -59,5 +60,6 @@ pub use matex_core as core;
 pub use matex_dense as dense;
 pub use matex_dist as dist;
 pub use matex_krylov as krylov;
+pub use matex_par as par;
 pub use matex_sparse as sparse;
 pub use matex_waveform as waveform;

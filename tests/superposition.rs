@@ -129,6 +129,7 @@ fn distributed_framework_matches_monolithic_and_tr() {
             matex: MatexOptions::default().tol(1e-9),
             strategy: GroupingStrategy::ByBumpFeature,
             workers: Some(4),
+            ..DistributedOptions::default()
         },
     )
     .expect("distributed run");
