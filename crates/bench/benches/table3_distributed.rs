@@ -149,6 +149,29 @@ fn main() {
                 .max()
                 .unwrap_or(0),
         );
+        // Fig. 13-style per-node decomposition: the snapshot phase's
+        // T_H (small expm) vs T_e (basis combination) split, straight
+        // from each node's RunStats record.
+        let (th_sum, te_sum, th_max, te_max) = run.stats.groups.iter().fold(
+            (0.0_f64, 0.0_f64, 0.0_f64, 0.0_f64),
+            |(ts, es, tm, em), g| {
+                (
+                    ts + g.expm_time.as_secs_f64(),
+                    es + g.combine_time.as_secs_f64(),
+                    tm.max(g.expm_time.as_secs_f64()),
+                    em.max(g.combine_time.as_secs_f64()),
+                )
+            },
+        );
+        eprintln!(
+            "  [{}] snapshot split: T_H {:.3}ms / T_e {:.3}ms summed over nodes \
+             (max node {:.3} / {:.3}ms)",
+            case.name,
+            th_sum * 1e3,
+            te_sum * 1e3,
+            th_max * 1e3,
+            te_max * 1e3,
+        );
     }
     table.print();
     write_json(scale, &json_rows);

@@ -17,7 +17,7 @@ use matex_bench::gate::{compare, parse_metrics, GateReport, DEFAULT_TOLERANCE};
 use std::path::Path;
 use std::process::ExitCode;
 
-const ARTIFACTS: [&str; 2] = ["BENCH_table3.json", "BENCH_lu.json"];
+const ARTIFACTS: [&str; 3] = ["BENCH_table3.json", "BENCH_lu.json", "BENCH_eval.json"];
 
 fn gate_one(
     name: &str,

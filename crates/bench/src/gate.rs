@@ -2,8 +2,9 @@
 //! artifacts against committed baselines and fails on slowdowns.
 //!
 //! The tracked metrics are the **speedup ratios** each bench exists to
-//! demonstrate (`speedup` for the two-phase LU replay, `spdp4`/`spdp5`
-//! for the distributed framework) — ratios of times measured in the same
+//! demonstrate (`speedup` for the two-phase LU replay and for the
+//! batched snapshot evaluation, `spdp4`/`spdp5` for the distributed
+//! framework) — ratios of times measured in the same
 //! process, so they stay comparable across runner generations where
 //! absolute seconds would not. A metric regresses when the fresh value
 //! drops more than the tolerance below its baseline (default
@@ -141,6 +142,7 @@ pub fn parse_metrics(text: &str) -> Result<(String, Vec<Metric>), String> {
     let tracked: &[&str] = match bench.as_str() {
         "lu_refactor" => &["speedup"],
         "table3_distributed" => &["spdp4", "spdp5"],
+        "eval_batch" => &["speedup"],
         other => return Err(format!("no tracked metrics for bench kind {other:?}")),
     };
     let rows_start = text
@@ -240,6 +242,16 @@ mod tests {
   ]
 }"#;
 
+    const EVAL_SAMPLE: &str = r#"{
+  "bench": "eval_batch",
+  "scale": "ci",
+  "k": 48,
+  "rows": [
+    {"design": "pg1t", "n": 433, "m": 2, "k": 48, "fails": 0, "legacy_expms": 48, "batch_expms": 48, "legacy_s": 0.001406, "batch_s": 0.000440, "speedup": 3.20},
+    {"design": "stiffrc", "n": 144, "m": 12, "k": 48, "fails": 4, "legacy_expms": 168, "batch_expms": 60, "legacy_s": 0.022975, "batch_s": 0.009271, "speedup": 2.48}
+  ]
+}"#;
+
     const TABLE3_SAMPLE: &str = r#"{
   "bench": "table3_distributed",
   "scale": "ci",
@@ -265,6 +277,20 @@ mod tests {
         assert_eq!(bench, "table3_distributed");
         assert_eq!(t3.len(), 4); // spdp4 + spdp5 per design
         assert!(t3.iter().any(|m| m.name == "spdp5" && m.value == 13.18));
+        let (bench, ev) = parse_metrics(EVAL_SAMPLE).unwrap();
+        assert_eq!(bench, "eval_batch");
+        assert_eq!(ev.len(), 2); // speedup per design
+        assert!(ev.iter().any(|m| m.design == "stiffrc" && m.value == 2.48));
+    }
+
+    #[test]
+    fn eval_batch_regression_fails_the_gate() {
+        let (bench, base) = parse_metrics(EVAL_SAMPLE).unwrap();
+        // 2.48 → 1.40: the batched path losing its ≥1.5X edge must trip.
+        let slowed = reinject(EVAL_SAMPLE, "\"speedup\": 2.48", "\"speedup\": 1.40");
+        let (_, fresh) = parse_metrics(&slowed).unwrap();
+        let report = compare(&bench, &base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(report.regressions(), 1);
     }
 
     #[test]

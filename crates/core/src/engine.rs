@@ -103,7 +103,12 @@ impl Recorder {
     pub fn new(spec: &TransientSpec, dim: usize) -> Self {
         let sample_times = spec.sample_times();
         let rows = spec.observed_rows(dim);
-        let series = vec![Vec::with_capacity(sample_times.len()); rows.len()];
+        // Not `vec![Vec::with_capacity(..); k]`: cloning an empty Vec
+        // drops its capacity, which would make recording reallocate as
+        // samples accumulate (the hot path must stay allocation-free).
+        let series = (0..rows.len())
+            .map(|_| Vec::with_capacity(sample_times.len()))
+            .collect();
         Recorder {
             sample_times,
             rows,

@@ -25,13 +25,13 @@ use matex_circuit::{regularize_c, MnaSystem};
 use matex_dense::norm2;
 use matex_krylov::{
     build_basis_multi, shifted_system, ExpmParams, InvertedOp, KrylovBasis, KrylovError,
-    KrylovKind, KrylovOp, ParApply, RationalOp, StandardOp,
+    KrylovKind, KrylovOp, ParApply, RationalOp, SnapshotEvaluator, StandardOp,
 };
 use matex_par::ParPool;
 use matex_sparse::{CsrMatrix, LuOptions, SolveSchedule, SparseLu};
 use matex_waveform::SpotSet;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Options for the MATEX solver.
 #[derive(Debug, Clone)]
@@ -344,158 +344,308 @@ impl TransientEngine for MatexSolver {
         let mut rec = Recorder::new(spec, sys.dim());
         rec.record_at_sample(t_start, &x0);
 
+        let n = sys.dim();
         let mut anchor_t = t_start;
         let mut anchor_x = x0;
         let mut win_end = next_window_end(&lts, anchor_t, t_stop);
         // Persistent input terms + scratch: the substitution hot path is
         // allocation-free after this point (see fp_terms.rs).
-        let mut terms = IntervalTerms::new(sys.dim(), input.num_sources());
+        let mut terms = IntervalTerms::new(n, input.num_sources());
         let mut terms_valid = false;
-        let mut fbuf = vec![0.0; sys.dim()];
-        let mut pbuf = vec![0.0; sys.dim()];
-        let mut v = vec![0.0; sys.dim()];
+        let mut fbuf = vec![0.0; n];
+        let mut pbuf = vec![0.0; n];
+        let mut v = vec![0.0; n];
         let mut basis: Option<KrylovBasis> = None;
         let mut x_final = anchor_x.clone();
+        // Batched snapshot evaluation: one weight batch (`T_H`) and one
+        // pooled combination (`T_e`) cover every eval time of a window;
+        // the evaluator owns all scratch, so the whole eval path is
+        // allocation-free after warm-up (see tests/alloc_free.rs).
+        let mut evaluator = SnapshotEvaluator::new();
+        let mut hs_batch: Vec<f64> = Vec::new();
+        let mut xbatch: Vec<f64> = Vec::new();
+        let pool_ref: Option<&ParPool> = self.pool.as_deref();
+        let times: &[f64] = eval.as_slice();
+        let mut t_expm = Duration::ZERO;
+        let mut t_comb = Duration::ZERO;
+        let s_cap = self.opts.max_substeps.max(1);
 
-        for &te in eval.iter() {
+        let mut idx = 0usize;
+        // Ladder re-anchors spent on the current eval point (the legacy
+        // per-point sub-step budget).
+        let mut rounds = 0usize;
+        // Batch width, doubling after each fully accepted chunk and
+        // resetting on any rejection or anchor change: an all-pass
+        // window quickly amortizes to wide pooled combinations, while a
+        // window that sub-steps never wastes more than half of its
+        // evaluated prefix on to-be-discarded weight columns.
+        let mut chunk_size = 1usize;
+        while idx < times.len() {
+            let te = times[idx];
             if te <= anchor_t + 1e-30 || te <= t_start {
+                idx += 1;
+                rounds = 0;
                 continue;
             }
-            // Evaluate x(te) from the current anchor, sub-stepping if the
-            // posterior estimate rejects the distance.
-            let mut local_substeps = 0usize;
-            let x_te = loop {
-                let h = te - anchor_t;
-                if h <= 0.0 {
-                    break anchor_x.clone();
+            let h = te - anchor_t;
+            if !terms_valid {
+                terms.recompute_with(sys, &lu_g, &input, anchor_t, win_end, &mut stats, terms_par);
+                terms_valid = true;
+            }
+            // v = x(anchor) + F(anchor)
+            terms.f_into(&mut fbuf);
+            for ((vi, x), f) in v.iter_mut().zip(&anchor_x).zip(&fbuf) {
+                *vi = x + f;
+            }
+            if norm2(&v) == 0.0 {
+                // Pure steady state: x(t+h) = −P(h).
+                terms.p_into(h, &mut pbuf);
+                xbatch.resize(n, 0.0);
+                for (x, q) in xbatch.iter_mut().zip(&pbuf) {
+                    *x = -q;
                 }
-                if !terms_valid {
-                    terms.recompute_with(
-                        sys, &lu_g, &input, anchor_t, win_end, &mut stats, terms_par,
-                    );
-                    terms_valid = true;
-                }
-                // v = x(anchor) + F(anchor)
-                terms.f_into(&mut fbuf);
-                for ((vi, x), f) in v.iter_mut().zip(&anchor_x).zip(&fbuf) {
-                    *vi = x + f;
-                }
-                if norm2(&v) == 0.0 {
-                    // Pure steady state: x(t+h) = −P(h).
-                    terms.p_into(h, &mut pbuf);
-                    break pbuf.iter().map(|q| -q).collect();
-                }
-                if basis.is_none() {
-                    // Build for the current target and the window end, so
-                    // snapshot reuse across the window holds; also check
-                    // intermediate offsets — on stiff systems the
-                    // residual at the window end underflows (all modes
-                    // decayed) while mid-window it is still large.
-                    let hw = (win_end - anchor_t).max(h);
-                    let checks = [h, hw, hw / 8.0, hw / 64.0];
-                    let outcome = match build_basis_multi(op, &v, &checks, &self.opts.expm) {
-                        Ok(o) => o,
-                        Err(KrylovError::ZeroStartVector) => {
-                            terms.p_into(h, &mut pbuf);
-                            break pbuf.iter().map(|q| -q).collect();
+                accept_point(
+                    te,
+                    &xbatch[..n],
+                    &mut rec,
+                    &mut x_final,
+                    &mut stats,
+                    &lts,
+                    t_stop,
+                    &mut anchor_t,
+                    &mut anchor_x,
+                    &mut win_end,
+                    &mut terms_valid,
+                    &mut basis,
+                );
+                idx += 1;
+                rounds = 0;
+                continue;
+            }
+            if basis.is_none() {
+                // Build for the current target and the window end, so
+                // snapshot reuse across the window holds; also check
+                // intermediate offsets — on stiff systems the
+                // residual at the window end underflows (all modes
+                // decayed) while mid-window it is still large.
+                let hw = (win_end - anchor_t).max(h);
+                let checks = [h, hw, hw / 8.0, hw / 64.0];
+                let outcome = match build_basis_multi(op, &v, &checks, &self.opts.expm) {
+                    Ok(o) => o,
+                    Err(KrylovError::ZeroStartVector) => {
+                        terms.p_into(h, &mut pbuf);
+                        xbatch.resize(n, 0.0);
+                        for (x, q) in xbatch.iter_mut().zip(&pbuf) {
+                            *x = -q;
                         }
-                        Err(e) => return Err(e.into()),
-                    };
-                    stats.krylov_bases += 1;
-                    stats.krylov_dim_sum += outcome.basis.m();
-                    stats.krylov_dim_peak = stats.krylov_dim_peak.max(outcome.basis.m());
-                    stats.substitution_pairs += outcome.substitutions;
-                    basis = Some(outcome.basis);
-                }
-                let b = basis.as_ref().expect("basis present");
-                // A non-finite projected exponential (overflow from a
-                // sign-flipped Ritz artifact at long reuse distances)
-                // is treated as a failed estimate: force sub-stepping.
-                let (xh, est) = match b.eval_with_estimate(h) {
-                    Ok(pair) => pair,
-                    Err(KrylovError::Dense(matex_dense::DenseError::NotFinite)) => {
-                        (Vec::new(), f64::INFINITY)
+                        accept_point(
+                            te,
+                            &xbatch[..n],
+                            &mut rec,
+                            &mut x_final,
+                            &mut stats,
+                            &lts,
+                            t_stop,
+                            &mut anchor_t,
+                            &mut anchor_x,
+                            &mut win_end,
+                            &mut terms_valid,
+                            &mut basis,
+                        );
+                        idx += 1;
+                        rounds = 0;
+                        continue;
                     }
                     Err(e) => return Err(e.into()),
                 };
-                stats.expm_evals += 1;
-                let tol_abs = self.opts.expm.tol * b.beta();
-                if est <= tol_abs || (local_substeps >= self.opts.max_substeps && !xh.is_empty()) {
-                    terms.p_into(h, &mut pbuf);
-                    break xh.iter().zip(&pbuf).map(|(x, p)| x - p).collect();
+                stats.krylov_bases += 1;
+                stats.krylov_dim_sum += outcome.basis.m();
+                stats.krylov_dim_peak = stats.krylov_dim_peak.max(outcome.basis.m());
+                stats.substitution_pairs += outcome.substitutions;
+                basis = Some(outcome.basis);
+            }
+            let b = basis.as_ref().expect("basis present");
+            let tol_abs = self.opts.expm.tol * b.beta();
+
+            // Batch every eval time of the current window: they all
+            // evaluate from the same anchor, so one weight batch + one
+            // pooled combination covers them. A non-finite projected
+            // exponential (overflow from a sign-flipped Ritz artifact at
+            // long reuse distances) surfaces as an ∞ estimate: force
+            // sub-stepping, exactly like the per-call path did.
+            hs_batch.clear();
+            let mut jend = idx;
+            while jend < times.len()
+                && hs_batch.len() < chunk_size
+                && times[jend] <= win_end * (1.0 + 1e-12)
+            {
+                hs_batch.push(times[jend] - anchor_t);
+                jend += 1;
+            }
+            if hs_batch.is_empty() {
+                hs_batch.push(h);
+            }
+            let t0 = Instant::now();
+            evaluator.weights_many(b, &hs_batch)?;
+            t_expm += t0.elapsed();
+            stats.expm_evals += hs_batch.len();
+            let accepted = evaluator
+                .estimates()
+                .iter()
+                .take_while(|&&e| e <= tol_abs)
+                .count();
+            if accepted > 0 {
+                let t0 = Instant::now();
+                xbatch.resize(accepted * n, 0.0);
+                evaluator.combine_into(b, accepted, pool_ref, &mut xbatch);
+                for j in 0..accepted {
+                    terms.p_into(hs_batch[j], &mut pbuf);
+                    for (x, p) in xbatch[j * n..(j + 1) * n].iter_mut().zip(&pbuf) {
+                        *x -= p;
+                    }
                 }
-                if local_substeps >= self.opts.max_substeps {
-                    // Exhausted and still non-finite: hard failure.
-                    return Err(CoreError::Krylov(KrylovError::Dense(
-                        matex_dense::DenseError::NotFinite,
-                    )));
+                for j in 0..accepted {
+                    accept_point(
+                        times[idx + j],
+                        &xbatch[j * n..(j + 1) * n],
+                        &mut rec,
+                        &mut x_final,
+                        &mut stats,
+                        &lts,
+                        t_stop,
+                        &mut anchor_t,
+                        &mut anchor_x,
+                        &mut win_end,
+                        &mut terms_valid,
+                        &mut basis,
+                    );
                 }
-                // Sub-step: find a shorter reuse distance that passes,
-                // re-anchor there and rebuild.
-                let mut hs = h * 0.5;
-                let mut moved = false;
-                while hs > h * 2f64.powi(-(self.opts.max_substeps as i32)) {
-                    let (xm, em) = match b.eval_with_estimate(hs) {
-                        Ok(pair) => pair,
-                        Err(KrylovError::Dense(matex_dense::DenseError::NotFinite)) => {
-                            (Vec::new(), f64::INFINITY)
-                        }
-                        Err(e) => return Err(e.into()),
+                t_comb += t0.elapsed();
+                idx += accepted;
+                rounds = 0;
+                if accepted == hs_batch.len() {
+                    chunk_size = if basis.is_none() {
+                        1 // window advanced: the next window starts cautious
+                    } else {
+                        (chunk_size * 2).min(MAX_BATCH)
                     };
+                    continue;
+                }
+            }
+            chunk_size = 1;
+
+            // First rejected time: one squaring ladder replaces the
+            // legacy halving retry loop — its intermediates are exactly
+            // the exponentials at the halved trial distances.
+            let te_f = times[idx];
+            let h_f = te_f - anchor_t;
+            let b = basis.as_ref().expect("basis survives a partial batch");
+            // With the per-point budget exhausted, skip straight to the
+            // best-effort acceptance (rung = None) instead of laddering.
+            // Depths are staged (shallow first): the common shallow
+            // sub-step finds its rung for a handful of squarings, and
+            // only a genuinely stiff rejection pays the full ladder.
+            let mut rung = None;
+            if rounds < s_cap {
+                let t0 = Instant::now();
+                for depth in [4usize, 12, s_cap] {
+                    let depth = depth.min(s_cap);
+                    evaluator.eval_ladder(b, h_f, depth, tol_abs)?;
                     stats.expm_evals += 1;
-                    stats.substeps += 1;
-                    local_substeps += 1;
-                    if em <= tol_abs && !xm.is_empty() {
-                        terms.p_into(hs, &mut pbuf);
-                        let xa: Vec<f64> = xm.iter().zip(&pbuf).map(|(x, p)| x - p).collect();
-                        anchor_t += hs;
-                        anchor_x = xa;
-                        basis = None;
-                        terms_valid = false;
-                        moved = true;
-                        break;
-                    }
-                    hs *= 0.5;
-                    if local_substeps >= self.opts.max_substeps {
+                    rung = evaluator.best_rung(tol_abs);
+                    if rung.is_some() || depth == s_cap {
                         break;
                     }
                 }
-                if !moved {
-                    if xh.is_empty() {
-                        // Every distance was non-finite: hard failure.
+                t_expm += t0.elapsed();
+            }
+            match rung {
+                Some(0) => {
+                    // The ladder's own full-step value passes: accept it.
+                    let t0 = Instant::now();
+                    xbatch.resize(n, 0.0);
+                    evaluator.combine_rung(b, 0, pool_ref, &mut xbatch[..n]);
+                    terms.p_into(h_f, &mut pbuf);
+                    for (x, p) in xbatch[..n].iter_mut().zip(&pbuf) {
+                        *x -= p;
+                    }
+                    accept_point(
+                        te_f,
+                        &xbatch[..n],
+                        &mut rec,
+                        &mut x_final,
+                        &mut stats,
+                        &lts,
+                        t_stop,
+                        &mut anchor_t,
+                        &mut anchor_x,
+                        &mut win_end,
+                        &mut terms_valid,
+                        &mut basis,
+                    );
+                    t_comb += t0.elapsed();
+                    idx += 1;
+                    rounds = 0;
+                }
+                Some(s) => {
+                    // Re-anchor at the longest passing rung h/2^s (a
+                    // pseudo-anchor of Alg. 2) and rebuild there.
+                    let hs = h_f * 0.5_f64.powi(s as i32);
+                    let t0 = Instant::now();
+                    xbatch.resize(n, 0.0);
+                    evaluator.combine_rung(b, s, pool_ref, &mut xbatch[..n]);
+                    terms.p_into(hs, &mut pbuf);
+                    for (x, p) in xbatch[..n].iter_mut().zip(&pbuf) {
+                        *x -= p;
+                    }
+                    t_comb += t0.elapsed();
+                    anchor_t += hs;
+                    anchor_x.copy_from_slice(&xbatch[..n]);
+                    basis = None;
+                    terms_valid = false;
+                    stats.substeps += s;
+                    rounds += 1;
+                }
+                None => {
+                    // No rung passed (or the per-point budget ran out):
+                    // accept the best-effort full-step value, or fail
+                    // hard if it never went finite — legacy semantics.
+                    let batch_col = accepted;
+                    if !evaluator.estimates()[batch_col].is_finite() {
                         return Err(CoreError::Krylov(KrylovError::Dense(
                             matex_dense::DenseError::NotFinite,
                         )));
                     }
-                    // Could not find any acceptable sub-step: accept the
-                    // best-effort full-step value.
-                    terms.p_into(h, &mut pbuf);
-                    break xh.iter().zip(&pbuf).map(|(x, p)| x - p).collect();
+                    let t0 = Instant::now();
+                    xbatch.resize(n, 0.0);
+                    evaluator.combine_one(b, batch_col, pool_ref, &mut xbatch[..n]);
+                    terms.p_into(h_f, &mut pbuf);
+                    for (x, p) in xbatch[..n].iter_mut().zip(&pbuf) {
+                        *x -= p;
+                    }
+                    accept_point(
+                        te_f,
+                        &xbatch[..n],
+                        &mut rec,
+                        &mut x_final,
+                        &mut stats,
+                        &lts,
+                        t_stop,
+                        &mut anchor_t,
+                        &mut anchor_x,
+                        &mut win_end,
+                        &mut terms_valid,
+                        &mut basis,
+                    );
+                    t_comb += t0.elapsed();
+                    idx += 1;
+                    rounds = 0;
                 }
-                // Re-anchored: recompute terms for [anchor_t, win_end] on
-                // the next pass (the window itself is unchanged).
-            };
-            stats.steps += 1;
-
-            // Record if this evaluation lands on the next output sample.
-            if let Some(ts) = rec.next_sample() {
-                if (ts - te).abs() <= 1e-9 * ts.abs().max(1e-30) + 1e-30 {
-                    rec.record_at_sample(te, &x_te);
-                }
-            }
-            x_final.copy_from_slice(&x_te);
-
-            // Window advance: a new Krylov subspace is required at LTS
-            // (input slope changes there).
-            if lts.contains(te) || te >= win_end * (1.0 - 1e-12) {
-                anchor_t = te;
-                anchor_x = x_te;
-                terms_valid = false;
-                basis = None;
-                win_end = next_window_end(&lts, te, t_stop);
             }
         }
         stats.transient_time = tt.elapsed();
+        stats.expm_time = t_expm;
+        stats.combine_time = t_comb;
         let (times, rows, series) = rec.finish();
         Ok(TransientResult::new(
             self.name(),
@@ -512,6 +662,47 @@ impl TransientEngine for MatexSolver {
             KrylovKind::Rational => format!("R-MATEX(γ={:.1e})", self.opts.gamma),
             k => k.label().to_string(),
         }
+    }
+}
+
+/// Widest snapshot batch one weight/combination round may cover: bounds
+/// the `n × MAX_BATCH` output staging buffer while keeping the pooled
+/// combination wide enough to amortize dispatch.
+const MAX_BATCH: usize = 32;
+
+/// Acceptance bookkeeping shared by every evaluation path: counts the
+/// step, records the value if it lands on the next output sample, tracks
+/// the final state, and advances the window when the accepted point is a
+/// local transition spot or the window end (a new Krylov subspace is
+/// required there — the input slope changes).
+#[allow(clippy::too_many_arguments)]
+fn accept_point(
+    te: f64,
+    x_te: &[f64],
+    rec: &mut Recorder,
+    x_final: &mut [f64],
+    stats: &mut SolveStats,
+    lts: &SpotSet,
+    t_stop: f64,
+    anchor_t: &mut f64,
+    anchor_x: &mut [f64],
+    win_end: &mut f64,
+    terms_valid: &mut bool,
+    basis: &mut Option<KrylovBasis>,
+) {
+    stats.steps += 1;
+    if let Some(ts) = rec.next_sample() {
+        if (ts - te).abs() <= 1e-9 * ts.abs().max(1e-30) + 1e-30 {
+            rec.record_at_sample(te, x_te);
+        }
+    }
+    x_final.copy_from_slice(x_te);
+    if lts.contains(te) || te >= *win_end * (1.0 - 1e-12) {
+        *anchor_t = te;
+        anchor_x.copy_from_slice(x_te);
+        *terms_valid = false;
+        *basis = None;
+        *win_end = next_window_end(lts, te, t_stop);
     }
 }
 
@@ -746,6 +937,40 @@ mod tests {
                 "{kind:?}: pooled path deviates from legacy serial: {max_err:.3e}"
             );
         }
+    }
+
+    #[test]
+    fn ladder_substeps_engage_and_waveform_stays_accurate() {
+        // Force the sub-step path with an RLC grid (oscillatory modes)
+        // and a deliberately starved basis budget: the squaring ladder
+        // must insert pseudo-anchors (Alg. 2) and the waveform must
+        // still track the Trapezoidal reference.
+        let sys = matex_circuit::PdnBuilder::new(10, 10)
+            .num_loads(25)
+            .num_features(4)
+            .window(1e-8)
+            .cap_spread(30.0)
+            .seed(1003)
+            .pad_inductance(1e-11)
+            .build()
+            .unwrap();
+        let spec = TransientSpec::new(0.0, 1e-8, 1e-10).unwrap();
+        let mut opts = MatexOptions::new(KrylovKind::Rational).tol(1e-8);
+        opts.expm.m_max = 6;
+        let matex = MatexSolver::new(opts).run(&sys, &spec).unwrap();
+        assert!(
+            matex.stats.substeps > 0,
+            "starved basis should force sub-stepping"
+        );
+        // One staged ladder (≤ 3 calls) per rejected point instead of a
+        // fresh expm per halving trial: the expm count stays bounded by
+        // a small multiple of the accepted steps.
+        assert!(matex.stats.expm_evals <= 4 * matex.stats.steps + 3 * matex.stats.substeps);
+        let tr = Trapezoidal::new(5e-12).run(&sys, &spec).unwrap();
+        let (max_err, _) = matex.error_vs(&tr).unwrap();
+        assert!(max_err < 1e-2, "sub-stepped waveform error {max_err:.3e}");
+        // The timing split covers the snapshot phase.
+        assert!(matex.stats.expm_time + matex.stats.combine_time <= matex.stats.transient_time);
     }
 
     #[test]

@@ -40,6 +40,16 @@ pub struct SolveStats {
     /// Wall time of the transient computation after factorization (the
     /// paper's "pure transient computing" column).
     pub transient_time: Duration,
+    /// Of the transient time, wall time spent in small projected
+    /// exponentials — the per-snapshot `e^{h·Hm}e₁` columns and the
+    /// sub-step squaring ladder (the paper's `T_H` term). MATEX only;
+    /// zero for the companion-model engines.
+    pub expm_time: Duration,
+    /// Of the transient time, wall time spent materializing accepted
+    /// snapshots: the basis combination itself plus the
+    /// particular-solution (`P(h)`) application and output recording
+    /// (the paper's `T_e` term). MATEX only.
+    pub combine_time: Duration,
 }
 
 impl SolveStats {
@@ -73,6 +83,8 @@ impl SolveStats {
         self.dc_time += other.dc_time;
         self.factor_time += other.factor_time;
         self.transient_time += other.transient_time;
+        self.expm_time += other.expm_time;
+        self.combine_time += other.combine_time;
     }
 }
 

@@ -7,8 +7,9 @@
 //! threads allocating concurrently.
 
 use matex_circuit::{MnaSystem, Netlist};
-use matex_core::{InputEval, IntervalTerms, SolveStats};
-use matex_sparse::{LuOptions, SparseLu};
+use matex_core::{InputEval, IntervalTerms, Recorder, SolveStats, TransientSpec};
+use matex_krylov::{build_basis_multi, ExpmParams, RationalOp, SnapshotEvaluator};
+use matex_sparse::{CsrMatrix, LuOptions, SparseLu};
 use matex_waveform::{Pulse, Waveform};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -129,6 +130,57 @@ fn pooled_recompute_is_also_allocation_free() {
     assert_eq!(
         allocated, 0,
         "pooled substitution hot path allocated {allocated} times in 100 warm recomputes"
+    );
+}
+
+#[test]
+fn snapshot_evaluation_hot_path_is_allocation_free_after_warmup() {
+    // The ISSUE 4 criterion: the whole snapshot-evaluation path —
+    // batched weights (`T_H`), the sub-step squaring ladder, pooled and
+    // serial combination (`T_e`), and output recording — performs zero
+    // heap allocations once warm.
+    let sys = pulsed_rc();
+    let gamma = 1e-10;
+    let shifted = CsrMatrix::linear_combination(1.0, sys.c(), gamma, sys.g()).unwrap();
+    let lu = SparseLu::factor(&shifted, &LuOptions::default()).unwrap();
+    let op = RationalOp::new(&lu, sys.c(), gamma);
+    let n = sys.dim();
+    let v: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+    let hs = [2e-11, 5e-11, 1e-10, 2e-10];
+    let basis = build_basis_multi(&op, &v, &hs, &ExpmParams::with_tol(1e-10))
+        .unwrap()
+        .basis;
+
+    let mut ev = SnapshotEvaluator::new();
+    let pool = matex_par::ParPool::new(2);
+    let mut batch = vec![0.0; n * hs.len()];
+    let mut one = vec![0.0; n];
+    let spec = TransientSpec::new(0.0, 1.0, 1.0 / 256.0).unwrap();
+    let mut rec = Recorder::new(&spec, n);
+    let sample_times = rec.sample_times().to_vec();
+
+    // Warm-up: touch every path once (batch weights, serial + pooled
+    // combination, ladder, rung combination, recording).
+    ev.eval_many_into(&basis, &hs, None, &mut batch).unwrap();
+    ev.eval_many_into(&basis, &hs, Some(&pool), &mut batch)
+        .unwrap();
+    ev.eval_ladder(&basis, 2e-10, 6, f64::INFINITY).unwrap();
+    ev.combine_rung(&basis, 1, Some(&pool), &mut one);
+    rec.record_at_sample(sample_times[0], &one);
+
+    let before = allocations_so_far();
+    for k in 0..100 {
+        ev.weights_many(&basis, &hs).unwrap();
+        ev.combine_into(&basis, hs.len(), None, &mut batch);
+        ev.combine_into(&basis, hs.len(), Some(&pool), &mut batch);
+        ev.eval_ladder(&basis, 2e-10, 6, f64::INFINITY).unwrap();
+        ev.combine_rung(&basis, 1, Some(&pool), &mut one);
+        rec.record_at_sample(sample_times[k + 1], &one);
+    }
+    let allocated = allocations_so_far() - before;
+    assert_eq!(
+        allocated, 0,
+        "snapshot-evaluation hot path allocated {allocated} times in 100 warm rounds"
     );
 }
 

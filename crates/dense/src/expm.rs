@@ -179,14 +179,409 @@ fn pade_solve(u: &DMat, v: &DMat) -> Result<DMat> {
 /// First column of `e^{A}`, i.e. `e^{A} e₁`.
 ///
 /// This is the quantity MATEX evaluates at every time point:
-/// `x(t+h) ≈ ‖v‖ V_m e^{h H_m} e₁`. For the small `m × m` Hessenberg blocks
-/// the full exponential is formed and its first column returned.
+/// `x(t+h) ≈ ‖v‖ V_m e^{h H_m} e₁`. A thin wrapper over
+/// [`expm_col0_into`] with a one-shot scratch; hot paths should hold an
+/// [`ExpmScratch`] and call the into-variant directly.
 ///
 /// # Errors
 ///
 /// Same as [`expm`].
 pub fn expm_col0(a: &DMat) -> Result<Vec<f64>> {
-    Ok(expm(a)?.col(0))
+    let mut scratch = ExpmScratch::new();
+    let mut out = vec![0.0; a.nrows()];
+    expm_col0_into(a, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Reusable buffers for the allocation-free exponential kernels
+/// ([`expm_col0_into`], [`expm_col0_ladder`]).
+///
+/// All slots are lazily sized to the input dimension; after the first
+/// call at a given size, subsequent calls perform **zero** heap
+/// allocations (verified by the counting-allocator test in
+/// `matex-core/tests/alloc_free.rs`).
+#[derive(Debug, Clone)]
+pub struct ExpmScratch {
+    /// `A²` and the rotating even-power slots.
+    a2: DMat,
+    pa: DMat,
+    pb: DMat,
+    /// Padé polynomial accumulators.
+    w1: DMat,
+    w2: DMat,
+    t: DMat,
+    u: DMat,
+    v: DMat,
+    /// The exponential itself plus the squaring ping-pong partner.
+    e: DMat,
+    e2: DMat,
+    /// The `2^{-s}`-scaled input.
+    scaled: DMat,
+    /// Reusable Padé-denominator factorization.
+    lu: Option<DenseLu>,
+    /// Column scratch for the triangular solves.
+    col: Vec<f64>,
+}
+
+impl ExpmScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> ExpmScratch {
+        let z = || DMat::zeros(0, 0);
+        ExpmScratch {
+            a2: z(),
+            pa: z(),
+            pb: z(),
+            w1: z(),
+            w2: z(),
+            t: z(),
+            u: z(),
+            v: z(),
+            e: z(),
+            e2: z(),
+            scaled: z(),
+            lu: None,
+            col: Vec::new(),
+        }
+    }
+
+    /// Sizes every slot for `n × n` inputs (reallocates only on change).
+    fn ensure(&mut self, n: usize) {
+        if self.a2.nrows() != n {
+            for m in [
+                &mut self.a2,
+                &mut self.pa,
+                &mut self.pb,
+                &mut self.w1,
+                &mut self.w2,
+                &mut self.t,
+                &mut self.u,
+                &mut self.v,
+                &mut self.e,
+                &mut self.e2,
+                &mut self.scaled,
+            ] {
+                *m = DMat::zeros(n, n);
+            }
+        }
+        if self.col.len() != n {
+            self.col.resize(n, 0.0);
+        }
+    }
+
+    /// Factors the Padé denominator in `self.t`, reusing the stored
+    /// factorization's buffers.
+    fn refactor_denominator(&mut self) -> Result<()> {
+        match &mut self.lu {
+            Some(lu) => lu.refactor(&self.t),
+            None => {
+                self.lu = Some(DenseLu::factor(&self.t)?);
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Default for ExpmScratch {
+    fn default() -> Self {
+        ExpmScratch::new()
+    }
+}
+
+/// Degree 3/5/7/9 Padé numerator/denominator halves into `s.u` / `s.v`,
+/// performing bit-for-bit the arithmetic of [`pade_low`] without
+/// allocating.
+fn pade_low_into(a: &DMat, b: &[f64], s: &mut ExpmScratch) {
+    let n = a.nrows();
+    a.matmul_into(a, &mut s.a2);
+    // k = 0 term (identity power): every Padé coefficient is positive,
+    // so the off-diagonal `+= b·0.0` of the allocating version leaves
+    // exactly the +0.0 the zero-fill already wrote.
+    s.w1.as_mut_slice().fill(0.0);
+    s.v.as_mut_slice().fill(0.0);
+    for i in 0..n {
+        s.w1[(i, i)] += b[1];
+        s.v[(i, i)] += b[0];
+    }
+    // k = 1..=half with the even powers A^{2k} built incrementally.
+    let half = (b.len() - 1) / 2;
+    s.pa.copy_from(&s.a2);
+    for k in 1..=half {
+        let (w1, v, pa) = (s.w1.as_mut_slice(), s.v.as_mut_slice(), s.pa.as_slice());
+        let (bu, bv) = (b[2 * k + 1], b[2 * k]);
+        for (e, &p) in pa.iter().enumerate() {
+            w1[e] += bu * p;
+            v[e] += bv * p;
+        }
+        if k < half {
+            s.pa.matmul_into(&s.a2, &mut s.pb);
+            std::mem::swap(&mut s.pa, &mut s.pb);
+        }
+    }
+    // U = A · Σ b[2k+1] A^{2k}
+    a.matmul_into(&s.w1, &mut s.u);
+}
+
+/// Degree-13 Padé halves into `s.u` / `s.v` (Higham factored form),
+/// bit-for-bit the arithmetic of [`pade13`] without allocating.
+fn pade13_into(a: &DMat, s: &mut ExpmScratch) {
+    let n = a.nrows();
+    let b = &PADE13;
+    a.matmul_into(a, &mut s.a2); // A²
+    s.a2.matmul_into(&s.a2, &mut s.pa); // A⁴
+    s.pa.matmul_into(&s.a2, &mut s.pb); // A⁶
+    {
+        let (a2, a4, a6) = (s.a2.as_slice(), s.pa.as_slice(), s.pb.as_slice());
+        let (w1, w2) = (s.w1.as_mut_slice(), s.w2.as_mut_slice());
+        for e in 0..n * n {
+            // W1 = b13 A6 + b11 A4 + b9 A2
+            w1[e] = b[13] * a6[e] + b[11] * a4[e] + b[9] * a2[e];
+            // W2 = b7 A6 + b5 A4 + b3 A2 + b1 I (the identity term is a
+            // genuine `+ b·{0,1}` so ±0.0 handling matches the
+            // allocating version).
+            let ie = if e % (n + 1) == 0 { 1.0 } else { 0.0 };
+            w2[e] = ((b[7] * a6[e] + b[5] * a4[e]) + b[3] * a2[e]) + b[1] * ie;
+        }
+    }
+    // U = A (A6 W1 + W2)
+    s.pb.matmul_into(&s.w1, &mut s.t);
+    {
+        let (t, w2) = (s.t.as_mut_slice(), s.w2.as_slice());
+        for (te, &we) in t.iter_mut().zip(w2) {
+            *te += we;
+        }
+    }
+    a.matmul_into(&s.t, &mut s.u);
+    // V = A6 (b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
+    {
+        let (a2, a4, a6) = (s.a2.as_slice(), s.pa.as_slice(), s.pb.as_slice());
+        let (w1, w2) = (s.w1.as_mut_slice(), s.w2.as_mut_slice());
+        for e in 0..n * n {
+            w1[e] = b[12] * a6[e] + b[10] * a4[e] + b[8] * a2[e];
+            let ie = if e % (n + 1) == 0 { 1.0 } else { 0.0 };
+            w2[e] = ((b[6] * a6[e] + b[4] * a4[e]) + b[2] * a2[e]) + b[0] * ie;
+        }
+    }
+    s.pb.matmul_into(&s.w1, &mut s.t);
+    {
+        let (v, t, w2) = (s.v.as_mut_slice(), s.t.as_slice(), s.w2.as_slice());
+        for e in 0..n * n {
+            v[e] = t[e] + w2[e];
+        }
+    }
+}
+
+/// Solves the Padé quotient for its first column only: one triangular
+/// solve instead of `n` (the `T_H` saving of the batched evaluator).
+fn pade_solve_col0(s: &mut ExpmScratch, out: &mut [f64]) -> Result<()> {
+    let n = s.u.nrows();
+    {
+        let (t, u, v) = (s.t.as_mut_slice(), s.u.as_slice(), s.v.as_slice());
+        for e in 0..n * n {
+            t[e] = v[e] - u[e];
+        }
+    }
+    for i in 0..n {
+        s.col[i] = s.v[(i, 0)] + s.u[(i, 0)];
+    }
+    s.refactor_denominator()?;
+    let lu = s.lu.as_ref().expect("denominator factored");
+    lu.solve_in_place(&mut s.col);
+    out.copy_from_slice(&s.col);
+    Ok(())
+}
+
+/// Solves the full Padé quotient into `s.e`, column by column in the
+/// exact order of the allocating [`pade_solve`].
+fn pade_solve_full(s: &mut ExpmScratch) -> Result<()> {
+    let n = s.u.nrows();
+    {
+        let (t, u, v, e) = (
+            s.t.as_mut_slice(),
+            s.u.as_slice(),
+            s.v.as_slice(),
+            s.e.as_mut_slice(),
+        );
+        for k in 0..n * n {
+            t[k] = v[k] - u[k];
+            e[k] = v[k] + u[k];
+        }
+    }
+    s.refactor_denominator()?;
+    let lu = s.lu.as_ref().expect("denominator factored");
+    for j in 0..n {
+        for i in 0..n {
+            s.col[i] = s.e[(i, j)];
+        }
+        lu.solve_in_place(&mut s.col);
+        for i in 0..n {
+            s.e[(i, j)] = s.col[i];
+        }
+    }
+    Ok(())
+}
+
+/// Allocation-free `e^{A} e₁`: writes the first column of the matrix
+/// exponential into `out`, reusing `scratch` for every intermediate.
+///
+/// Performs bit-for-bit the arithmetic of [`expm_col0`] (which is a
+/// wrapper over this function). When no squaring is needed, only the
+/// first column of the Padé quotient is solved — `O(m²)` instead of the
+/// `O(m³)` full solve, on top of the removed allocations.
+///
+/// # Errors
+///
+/// As [`expm`], except that the post-squaring finiteness check covers
+/// only the returned column when the full quotient was never formed.
+///
+/// # Panics
+///
+/// Panics when `out.len()` differs from the dimension of `a`.
+pub fn expm_col0_into(a: &DMat, scratch: &mut ExpmScratch, out: &mut [f64]) -> Result<()> {
+    if !a.is_square() {
+        return Err(DenseError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
+    }
+    if !a.is_finite() {
+        return Err(DenseError::NotFinite);
+    }
+    let n = a.nrows();
+    assert_eq!(out.len(), n, "expm_col0_into: output length mismatch");
+    scratch.ensure(n);
+    let norm = a.norm_one();
+    if norm <= THETA9 {
+        let coeffs: &[f64] = if norm <= THETA3 {
+            &PADE3
+        } else if norm <= THETA5 {
+            &PADE5
+        } else if norm <= THETA7 {
+            &PADE7
+        } else {
+            &PADE9
+        };
+        pade_low_into(a, coeffs, scratch);
+        return pade_solve_col0(scratch, out);
+    }
+    // Scaling and squaring with degree-13 Padé.
+    let s = if norm > THETA13 {
+        ((norm / THETA13).log2().ceil()) as u32
+    } else {
+        0
+    };
+    let mut scaled = std::mem::replace(&mut scratch.scaled, DMat::zeros(0, 0));
+    a.scaled_into(0.5_f64.powi(s as i32), &mut scaled);
+    pade13_into(&scaled, scratch);
+    scratch.scaled = scaled;
+    if s == 0 {
+        pade_solve_col0(scratch, out)?;
+        if !out.iter().all(|v| v.is_finite()) {
+            return Err(DenseError::NotFinite);
+        }
+        return Ok(());
+    }
+    pade_solve_full(scratch)?;
+    for _ in 0..s {
+        s_square(scratch);
+    }
+    if !scratch.e.is_finite() {
+        return Err(DenseError::NotFinite);
+    }
+    for i in 0..n {
+        out[i] = scratch.e[(i, 0)];
+    }
+    Ok(())
+}
+
+/// One squaring step of the scratch exponential (`E ← E²`).
+fn s_square(s: &mut ExpmScratch) {
+    s.e.matmul_into(&s.e, &mut s.e2);
+    std::mem::swap(&mut s.e, &mut s.e2);
+}
+
+/// The `e₁`-columns of `e^{A}, e^{A/2}, …, e^{A/2^{s_max}}` from a
+/// **single** scaling-and-squaring pass.
+///
+/// This is the kernel behind MATEX's sub-step search: the squaring
+/// intermediates of one `expm(A)` *are* the exponentials at the halved
+/// step distances, so the whole ladder costs one Padé evaluation plus
+/// one `O(m³)` matrix square per rung — where the per-trial search paid
+/// a full `expm` at every halving.
+///
+/// Rungs are produced bottom-up (deepest first): rung `s` is written to
+/// `out[s·n .. (s+1)·n]` and handed to `continue_up(s, col)`; returning
+/// `false` stops the ascent (shallower rungs are left untouched —
+/// estimate-driven early exit). The callback is also invoked for rung 0,
+/// whose return value is ignored. Returns the lowest rung index
+/// produced.
+///
+/// The ladder always uses the degree-13 Padé kernel with at least
+/// `s_max` scaling steps, so rung `s` equals the standalone
+/// `e^{A/2^s}` to rounding (not bitwise — the standalone evaluation may
+/// pick a lower Padé degree). Non-finite squaring overflow is not an
+/// error here: the garbage column yields a NaN/∞ residual estimate and
+/// the callback is expected to stop the ascent.
+///
+/// # Errors
+///
+/// As [`expm`] for the base Padé evaluation (non-square / non-finite
+/// input, singular denominator).
+///
+/// # Panics
+///
+/// Panics when `out.len() != (s_max + 1) · n`.
+pub fn expm_col0_ladder(
+    a: &DMat,
+    s_max: usize,
+    scratch: &mut ExpmScratch,
+    out: &mut [f64],
+    mut continue_up: impl FnMut(usize, &[f64]) -> bool,
+) -> Result<usize> {
+    if !a.is_square() {
+        return Err(DenseError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
+    }
+    if !a.is_finite() {
+        return Err(DenseError::NotFinite);
+    }
+    let n = a.nrows();
+    assert_eq!(
+        out.len(),
+        (s_max + 1) * n,
+        "expm_col0_ladder: output length mismatch"
+    );
+    scratch.ensure(n);
+    let norm = a.norm_one();
+    let s_nat = if norm > THETA13 {
+        ((norm / THETA13).log2().ceil()) as u32
+    } else {
+        0
+    };
+    let s_total = s_nat.max(s_max as u32);
+    let mut scaled = std::mem::replace(&mut scratch.scaled, DMat::zeros(0, 0));
+    a.scaled_into(0.5_f64.powi(s_total as i32), &mut scaled);
+    pade13_into(&scaled, scratch);
+    scratch.scaled = scaled;
+    pade_solve_full(scratch)?;
+    // Bring the base to the deepest rung: e = e^{A/2^{s_max}}.
+    for _ in 0..(s_total - s_max as u32) {
+        s_square(scratch);
+    }
+    let mut lowest = s_max;
+    for rung in (0..=s_max).rev() {
+        let span = rung * n..(rung + 1) * n;
+        for (k, o) in out[span.clone()].iter_mut().enumerate() {
+            *o = scratch.e[(k, 0)];
+        }
+        lowest = rung;
+        if !continue_up(rung, &out[span]) || rung == 0 {
+            break;
+        }
+        s_square(scratch);
+    }
+    Ok(lowest)
 }
 
 /// The phi-1 function `φ₁(A) = A⁻¹(e^A − I)`, evaluated stably via an
@@ -314,6 +709,64 @@ mod tests {
         for i in 0..3 {
             assert_eq!(c[i], full[(i, 0)]);
         }
+    }
+
+    #[test]
+    fn expm_col0_into_matches_wrapper_and_reuses_scratch() {
+        // Low-norm (Padé 3/5/7/9), mid-norm (degree 13, no squaring) and
+        // high-norm (squaring) inputs, interleaved through ONE scratch:
+        // every call must match the one-shot wrapper bitwise.
+        let cases = [
+            DMat::from_rows(&[&[0.01, 0.002], &[-0.003, 0.004]]),
+            DMat::from_rows(&[&[0.9, 0.3], &[-0.2, 0.5]]),
+            DMat::from_rows(&[&[3.0, 1.0], &[0.5, -2.5]]),
+            DMat::from_rows(&[&[0.0, 40.0], &[-40.0, 0.0]]),
+            DMat::from_rows(&[&[0.2, 1.0, 0.0], &[0.3, -0.1, 0.5], &[0.0, 0.2, 0.1]]),
+        ];
+        let mut scratch = ExpmScratch::new();
+        for a in &cases {
+            let mut out = vec![0.0; a.nrows()];
+            expm_col0_into(a, &mut scratch, &mut out).unwrap();
+            let full = expm(a).unwrap().col(0);
+            for (p, q) in out.iter().zip(&full) {
+                assert_eq!(p.to_bits(), q.to_bits(), "norm {}", a.norm_one());
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_rungs_match_standalone_expm() {
+        let a = DMat::from_rows(&[&[1.4, 0.8, 0.0], &[-0.3, 2.0, 0.5], &[0.1, -0.2, -1.0]]);
+        let s_max = 5;
+        let mut scratch = ExpmScratch::new();
+        let mut out = vec![0.0; (s_max + 1) * 3];
+        let mut seen = Vec::new();
+        let lowest = expm_col0_ladder(&a, s_max, &mut scratch, &mut out, |s, _| {
+            seen.push(s);
+            true
+        })
+        .unwrap();
+        assert_eq!(lowest, 0);
+        assert_eq!(seen, vec![5, 4, 3, 2, 1, 0]);
+        for s in 0..=s_max {
+            let reference = expm(&a.scaled(0.5_f64.powi(s as i32))).unwrap().col(0);
+            for (p, q) in out[s * 3..(s + 1) * 3].iter().zip(&reference) {
+                assert!((p - q).abs() < 1e-12, "rung {s}: {p} vs {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_early_stop_leaves_shallow_rungs_untouched() {
+        let a = DMat::from_diag(&[-2.0, 0.5]);
+        let s_max = 4;
+        let mut scratch = ExpmScratch::new();
+        let mut out = vec![f64::NAN; (s_max + 1) * 2];
+        let lowest = expm_col0_ladder(&a, s_max, &mut scratch, &mut out, |s, _| s > 2).unwrap();
+        // Stopped after recording rung 2 (whose callback returned false).
+        assert_eq!(lowest, 2);
+        assert!(out[2 * 2..].iter().all(|v| v.is_finite()));
+        assert!(out[..2 * 2].iter().all(|v| v.is_nan()));
     }
 
     #[test]

@@ -53,42 +53,39 @@ impl DenseLu {
         if !a.is_finite() {
             return Err(DenseError::NotFinite);
         }
-        let n = a.nrows();
         let mut lu = a.clone();
-        let mut piv = Vec::with_capacity(n);
-        let mut sign = 1.0;
-        for k in 0..n {
-            // Partial pivoting: pick the largest magnitude entry in column k.
-            let mut p = k;
-            let mut best = lu[(k, k)].abs();
-            for i in (k + 1)..n {
-                let v = lu[(i, k)].abs();
-                if v > best {
-                    best = v;
-                    p = i;
-                }
-            }
-            piv.push(p);
-            if p != k {
-                lu.swap_rows(p, k);
-                sign = -sign;
-            }
-            let pivot = lu[(k, k)];
-            if pivot == 0.0 {
-                return Err(DenseError::SingularPivot { column: k });
-            }
-            for i in (k + 1)..n {
-                let m = lu[(i, k)] / pivot;
-                lu[(i, k)] = m;
-                if m != 0.0 {
-                    for j in (k + 1)..n {
-                        let ukj = lu[(k, j)];
-                        lu[(i, j)] -= m * ukj;
-                    }
-                }
-            }
-        }
+        let mut piv = Vec::with_capacity(a.nrows());
+        let sign = factor_core(&mut lu, &mut piv)?;
         Ok(DenseLu { lu, piv, sign })
+    }
+
+    /// Re-factorizes `a` in place, reusing this factorization's storage:
+    /// zero heap allocations when the dimension is unchanged. The factors
+    /// are bit-for-bit what [`DenseLu::factor`] produces.
+    ///
+    /// # Errors
+    ///
+    /// As [`DenseLu::factor`]. On error this factorization is left in an
+    /// unusable state — callers must not solve with it until a later
+    /// `refactor` succeeds.
+    pub fn refactor(&mut self, a: &DMat) -> Result<()> {
+        if !a.is_square() {
+            return Err(DenseError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
+        }
+        if !a.is_finite() {
+            return Err(DenseError::NotFinite);
+        }
+        if self.lu.nrows() == a.nrows() {
+            self.lu.copy_from(a);
+        } else {
+            self.lu = a.clone();
+        }
+        self.piv.clear();
+        self.sign = factor_core(&mut self.lu, &mut self.piv)?;
+        Ok(())
     }
 
     /// Dimension of the factored matrix.
@@ -197,6 +194,46 @@ impl DenseLu {
     }
 }
 
+/// The Gilbert-style right-looking elimination shared by
+/// [`DenseLu::factor`] and [`DenseLu::refactor`]: factors `lu` in place,
+/// fills `piv`, and returns the permutation sign.
+fn factor_core(lu: &mut DMat, piv: &mut Vec<usize>) -> Result<f64> {
+    let n = lu.nrows();
+    let mut sign = 1.0;
+    for k in 0..n {
+        // Partial pivoting: pick the largest magnitude entry in column k.
+        let mut p = k;
+        let mut best = lu[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = lu[(i, k)].abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        piv.push(p);
+        if p != k {
+            lu.swap_rows(p, k);
+            sign = -sign;
+        }
+        let pivot = lu[(k, k)];
+        if pivot == 0.0 {
+            return Err(DenseError::SingularPivot { column: k });
+        }
+        for i in (k + 1)..n {
+            let m = lu[(i, k)] / pivot;
+            lu[(i, k)] = m;
+            if m != 0.0 {
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= m * ukj;
+                }
+            }
+        }
+    }
+    Ok(sign)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +316,25 @@ mod tests {
         let x = lu.solve_mat(&b).unwrap();
         let c0 = lu.solve(&b.col(0)).unwrap();
         assert_eq!(x.col(0), c0);
+    }
+
+    #[test]
+    fn refactor_matches_factor_bitwise() {
+        let a = DMat::from_rows(&[&[2.0, 1.0, 1.0], &[1.0, 3.0, 2.0], &[1.0, 0.0, 0.0]]);
+        let b = DMat::from_rows(&[&[0.0, 1.0, -4.0], &[7.0, 0.5, 2.0], &[1.0, 1.0, 1.0]]);
+        let mut lu = DenseLu::factor(&a).unwrap();
+        lu.refactor(&b).unwrap();
+        let fresh = DenseLu::factor(&b).unwrap();
+        assert_eq!(lu.piv, fresh.piv);
+        assert_eq!(lu.sign, fresh.sign);
+        for (p, q) in lu.lu.as_slice().iter().zip(fresh.lu.as_slice()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        // Dimension change falls back to fresh storage.
+        let c = DMat::from_diag(&[2.0, 3.0]);
+        lu.refactor(&c).unwrap();
+        let x = lu.solve(&[2.0, 6.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-14 && (x[1] - 2.0).abs() < 1e-14);
     }
 
     #[test]

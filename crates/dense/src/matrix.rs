@@ -113,6 +113,25 @@ impl DMat {
         &self.data
     }
 
+    /// Mutable borrow of the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Overwrites this matrix with `src` (same shape, no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, src: &DMat) {
+        assert_eq!(
+            (self.nrows, self.ncols),
+            (src.nrows, src.ncols),
+            "copy_from: shape mismatch"
+        );
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Row `i` as a slice.
     ///
     /// # Panics
@@ -234,6 +253,39 @@ impl DMat {
         Ok(c)
     }
 
+    /// Matrix product `A B` written into `out` (no allocation).
+    ///
+    /// Performs bit-for-bit the arithmetic of [`DMat::matmul`] — the
+    /// same skip-zero inner loop in the same order — so into-style
+    /// callers (the expm scratch kernels) produce identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self.ncols != b.nrows` or `out` is not
+    /// `self.nrows × b.ncols`.
+    pub fn matmul_into(&self, b: &DMat, out: &mut DMat) {
+        assert_eq!(self.ncols, b.nrows, "matmul_into: inner dim mismatch");
+        assert_eq!(
+            (out.nrows, out.ncols),
+            (self.nrows, b.ncols),
+            "matmul_into: output shape mismatch"
+        );
+        out.data.fill(0.0);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let aik = self.data[i * self.ncols + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b.data[k * b.ncols..(k + 1) * b.ncols];
+                let crow = &mut out.data[i * b.ncols..(i + 1) * b.ncols];
+                for (cij, bkj) in crow.iter_mut().zip(brow) {
+                    *cij += aik * bkj;
+                }
+            }
+        }
+    }
+
     /// Transpose as a new matrix.
     pub fn transpose(&self) -> DMat {
         let mut t = DMat::zeros(self.ncols, self.nrows);
@@ -251,6 +303,24 @@ impl DMat {
             nrows: self.nrows,
             ncols: self.ncols,
             data: self.data.iter().map(|v| a * v).collect(),
+        }
+    }
+
+    /// Writes `a·self` into `out` (same shape, no allocation).
+    ///
+    /// Bit-for-bit the arithmetic of [`DMat::scaled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn scaled_into(&self, a: f64, out: &mut DMat) {
+        assert_eq!(
+            (self.nrows, self.ncols),
+            (out.nrows, out.ncols),
+            "scaled_into: shape mismatch"
+        );
+        for (o, v) in out.data.iter_mut().zip(&self.data) {
+            *o = a * v;
         }
     }
 
@@ -510,6 +580,37 @@ mod tests {
         a.set_col(1, &[1.0, 2.0, 3.0]);
         assert_eq!(a.col(1), vec![1.0, 2.0, 3.0]);
         assert_eq!(a.col(0), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_bitwise() {
+        let a = DMat::from_rows(&[&[1.0, 0.0, 2.5], &[-0.3, 4.0, 0.0]]);
+        let b = DMat::from_rows(&[&[0.1, 7.0], &[0.0, -2.0], &[3.0, 0.25]]);
+        let alloc = a.matmul(&b).unwrap();
+        let mut out = DMat::zeros(2, 2);
+        a.matmul_into(&b, &mut out);
+        for (p, q) in alloc.as_slice().iter().zip(out.as_slice()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn scaled_into_matches_scaled_bitwise() {
+        let a = DMat::from_rows(&[&[1.0, -2.0], &[0.3, 4.0]]);
+        let alloc = a.scaled(0.37);
+        let mut out = DMat::zeros(2, 2);
+        a.scaled_into(0.37, &mut out);
+        for (p, q) in alloc.as_slice().iter().zip(out.as_slice()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn copy_from_copies() {
+        let a = DMat::from_diag(&[1.0, 2.0]);
+        let mut b = DMat::zeros(2, 2);
+        b.copy_from(&a);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The master node: grouping, scheduling, execution, superposition.
 
-use crate::schedule::{lpt_order, RunStats};
+use crate::schedule::{lpt_order, NodeMeasurement, RunStats};
 use crate::{DistError, DistributedOptions};
 use matex_circuit::MnaSystem;
 use matex_core::{
@@ -308,7 +308,13 @@ pub fn run_distributed(
     let run_stats = RunStats::from_measurements(
         &nodes
             .iter()
-            .map(|n| (n.group, n.num_lts, n.wall))
+            .map(|n| NodeMeasurement {
+                group: n.group,
+                num_lts: n.num_lts,
+                wall: n.wall,
+                expm_time: n.stats.expm_time,
+                combine_time: n.stats.combine_time,
+            })
             .collect::<Vec<_>>(),
         analyze_time,
     );
@@ -441,6 +447,10 @@ mod tests {
             assert_eq!(g.group, n.group);
             assert_eq!(g.num_lts, n.num_lts);
             assert_eq!(g.wall, n.wall);
+            // The Fig. 13-style T_H / T_e split rides along per node.
+            assert_eq!(g.expm_time, n.stats.expm_time);
+            assert_eq!(g.combine_time, n.stats.combine_time);
+            assert!(g.expm_time + g.combine_time <= n.stats.transient_time);
         }
     }
 

@@ -58,6 +58,12 @@ pub struct GroupCost {
     pub measured_share: f64,
     /// Measured wall time of the node run.
     pub wall: Duration,
+    /// Of the node's transient time, the small-expm share (`T_H`: the
+    /// per-snapshot `e^{h·Hm}e₁` columns and the sub-step ladder).
+    pub expm_time: Duration,
+    /// Of the node's transient time, the basis-combination share
+    /// (`T_e`) including output recording.
+    pub combine_time: Duration,
 }
 
 /// Scheduling accounting for one distributed run: the per-group
@@ -74,36 +80,51 @@ pub struct RunStats {
     pub analyze_time: Duration,
 }
 
+/// One node's raw scheduling measurement, fed to
+/// [`RunStats::from_measurements`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct NodeMeasurement {
+    pub group: usize,
+    pub num_lts: usize,
+    pub wall: Duration,
+    /// The node solver's `T_H` wall time (`SolveStats::expm_time`).
+    pub expm_time: Duration,
+    /// The node solver's `T_e` wall time (`SolveStats::combine_time`).
+    pub combine_time: Duration,
+}
+
 impl RunStats {
-    /// Builds the record from `(group, num_lts, wall)` triples.
+    /// Builds the record from per-node measurements.
     pub(crate) fn from_measurements(
-        measurements: &[(usize, usize, Duration)],
+        measurements: &[NodeMeasurement],
         analyze_time: Duration,
     ) -> RunStats {
-        let total_lts: usize = measurements.iter().map(|&(_, l, _)| l).sum();
-        let total_wall: f64 = measurements.iter().map(|&(_, _, w)| w.as_secs_f64()).sum();
+        let total_lts: usize = measurements.iter().map(|m| m.num_lts).sum();
+        let total_wall: f64 = measurements.iter().map(|m| m.wall.as_secs_f64()).sum();
         let even = 1.0 / measurements.len().max(1) as f64;
         let mut proxy_max_error = 0.0_f64;
         let groups = measurements
             .iter()
-            .map(|&(group, num_lts, wall)| {
+            .map(|m| {
                 let predicted_share = if total_lts == 0 {
                     even
                 } else {
-                    num_lts as f64 / total_lts as f64
+                    m.num_lts as f64 / total_lts as f64
                 };
                 let measured_share = if total_wall <= 0.0 {
                     even
                 } else {
-                    wall.as_secs_f64() / total_wall
+                    m.wall.as_secs_f64() / total_wall
                 };
                 proxy_max_error = proxy_max_error.max((predicted_share - measured_share).abs());
                 GroupCost {
-                    group,
-                    num_lts,
+                    group: m.group,
+                    num_lts: m.num_lts,
                     predicted_share,
                     measured_share,
-                    wall,
+                    wall: m.wall,
+                    expm_time: m.expm_time,
+                    combine_time: m.combine_time,
                 }
             })
             .collect();
@@ -140,12 +161,21 @@ mod tests {
         assert_eq!(list_schedule_makespan(&order, &costs, 5), 5.0);
     }
 
+    fn m(group: usize, num_lts: usize, wall: Duration) -> NodeMeasurement {
+        NodeMeasurement {
+            group,
+            num_lts,
+            wall,
+            ..NodeMeasurement::default()
+        }
+    }
+
     #[test]
     fn run_stats_shares_sum_to_one() {
         let m = [
-            (0, 0, Duration::from_millis(10)),
-            (1, 6, Duration::from_millis(50)),
-            (2, 3, Duration::from_millis(40)),
+            m(0, 0, Duration::from_millis(10)),
+            m(1, 6, Duration::from_millis(50)),
+            m(2, 3, Duration::from_millis(40)),
         ];
         let stats = RunStats::from_measurements(&m, Duration::ZERO);
         let p: f64 = stats.groups.iter().map(|g| g.predicted_share).sum();
@@ -157,7 +187,7 @@ mod tests {
 
     #[test]
     fn degenerate_measurements_fall_back_to_even_shares() {
-        let m = [(0, 0, Duration::ZERO), (1, 0, Duration::ZERO)];
+        let m = [m(0, 0, Duration::ZERO), m(1, 0, Duration::ZERO)];
         let stats = RunStats::from_measurements(&m, Duration::ZERO);
         for g in &stats.groups {
             assert_eq!(g.predicted_share, 0.5);

@@ -6,8 +6,9 @@
 //! for every snapshot time until the next input transition, by only
 //! rescaling `h` (Sec. 2.4 / Alg. 2 line 11).
 
+use crate::snapshot::with_shared;
 use crate::{Arnoldi, KrylovError, KrylovKind, KrylovOp};
-use matex_dense::{expm_col0, DMat};
+use matex_dense::DMat;
 
 /// Parameters for building a Krylov basis.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,25 +93,42 @@ impl KrylovBasis {
         self.gamma
     }
 
+    /// The orthonormal basis vectors `V_m` (each of the state dimension).
+    ///
+    /// Empty for estimate-only probe bases built during Arnoldi
+    /// convergence checks.
+    pub fn vectors(&self) -> &[Vec<f64>] {
+        &self.vm
+    }
+
+    /// State dimension `n` of the basis vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an estimate-only probe basis (no vectors).
+    pub fn dim(&self) -> usize {
+        self.vm[0].len()
+    }
+
     /// Evaluates `e^{hA} v ≈ β · V_m · e^{h·H_m} · e₁`.
+    ///
+    /// A thin wrapper over the batched [`SnapshotEvaluator`] (this
+    /// thread's shared instance), so the per-call API no longer
+    /// allocates its dense intermediates — only the returned vector.
+    ///
+    /// [`SnapshotEvaluator`]: crate::SnapshotEvaluator
     ///
     /// # Errors
     ///
     /// Returns [`KrylovError::Dense`] if the small exponential fails
     /// (non-finite `h·H_m`).
     pub fn eval(&self, h: f64) -> Result<Vec<f64>, KrylovError> {
-        let w = self.eval_weights(h)?;
-        let n = self.vm[0].len();
-        let mut x = vec![0.0; n];
-        for (wi, vi) in w.iter().zip(&self.vm) {
-            if *wi == 0.0 {
-                continue;
-            }
-            for (xk, vk) in x.iter_mut().zip(vi) {
-                *xk += wi * vk;
-            }
-        }
-        Ok(x)
+        with_shared(|ev| {
+            ev.weights_one(self, h)?;
+            let mut x = vec![0.0; self.dim()];
+            ev.combine_into(self, 1, None, &mut x);
+            Ok(x)
+        })
     }
 
     /// The combination weights `β · e^{h·H_m} · e₁` (an `m`-vector).
@@ -119,11 +137,10 @@ impl KrylovBasis {
     ///
     /// As [`KrylovBasis::eval`].
     pub fn eval_weights(&self, h: f64) -> Result<Vec<f64>, KrylovError> {
-        let mut col = expm_col0(&self.hm.scaled(h))?;
-        for c in col.iter_mut() {
-            *c *= self.beta;
-        }
-        Ok(col)
+        with_shared(|ev| {
+            ev.weights_one(self, h)?;
+            Ok(ev.weights()[..self.m()].to_vec())
+        })
     }
 
     /// Evaluates `e^{hA} v` and the posterior error estimate in one small
@@ -133,20 +150,13 @@ impl KrylovBasis {
     ///
     /// As [`KrylovBasis::eval`].
     pub fn eval_with_estimate(&self, h: f64) -> Result<(Vec<f64>, f64), KrylovError> {
-        let col = expm_col0(&self.hm.scaled(h))?;
-        let est = self.estimate_from_col(&col);
-        let n = self.vm[0].len();
-        let mut x = vec![0.0; n];
-        for (ci, vi) in col.iter().zip(&self.vm) {
-            let w = self.beta * ci;
-            if w == 0.0 {
-                continue;
-            }
-            for (xk, vk) in x.iter_mut().zip(vi) {
-                *xk += w * vk;
-            }
-        }
-        Ok((x, est))
+        with_shared(|ev| {
+            ev.weights_one(self, h)?;
+            let est = ev.estimates()[0];
+            let mut x = vec![0.0; self.dim()];
+            ev.combine_into(self, 1, None, &mut x);
+            Ok((x, est))
+        })
     }
 
     /// Posterior error estimate at step `h` (paper Eqs. (7)/(8)/(10),
@@ -163,12 +173,22 @@ impl KrylovBasis {
         if self.breakdown {
             return Ok(0.0);
         }
-        let col = expm_col0(&self.hm.scaled(h))?;
-        Ok(self.estimate_from_col(&col))
+        with_shared(|ev| {
+            ev.weights_one(self, h)?;
+            Ok(ev.estimates()[0])
+        })
+    }
+
+    /// Residual estimate from a **raw** (not β-scaled) `e^{h·Hm} e₁`
+    /// column — the reusable core of [`KrylovBasis::error_estimate`],
+    /// public so batched callers and benches can estimate from columns
+    /// they already hold.
+    pub fn residual_estimate(&self, col: &[f64]) -> f64 {
+        self.estimate_from_col(col)
     }
 
     /// Residual estimate from an already computed `e^{h·Hm} e₁` column.
-    fn estimate_from_col(&self, col: &[f64]) -> f64 {
+    pub(crate) fn estimate_from_col(&self, col: &[f64]) -> f64 {
         if self.breakdown {
             return 0.0;
         }

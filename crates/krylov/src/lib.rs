@@ -12,7 +12,11 @@
 //!   (`Ĥ`, `Ĥ⁻¹`, `(I−Ĥ⁻¹)/γ`),
 //! * [`build_basis`] — tolerance-driven subspace construction with the
 //!   paper's posterior error estimates,
-//! * [`KrylovBasis`] — `(β, V_m, H_m)` with `eval(h)` for snapshot reuse.
+//! * [`KrylovBasis`] — `(β, V_m, H_m)` with `eval(h)` for snapshot reuse,
+//! * [`SnapshotEvaluator`] — batched, allocation-free snapshot
+//!   evaluation: pooled `Vᵀ·W` combination over a whole window of eval
+//!   times plus the `expm` squaring ladder that subsumes the sub-step
+//!   search (see `README.md` for the model).
 //!
 //! # Example
 //!
@@ -41,10 +45,18 @@ mod arnoldi;
 mod error;
 mod expmv;
 mod operator;
+mod snapshot;
 mod variant;
 
 pub use arnoldi::Arnoldi;
 pub use error::KrylovError;
 pub use expmv::{build_basis, build_basis_multi, BuildOutcome, ExpmParams, KrylovBasis};
 pub use operator::{shifted_system, InvertedOp, KrylovOp, ParApply, RationalOp, StandardOp};
+pub use snapshot::SnapshotEvaluator;
 pub use variant::KrylovKind;
+
+// Compile the crate README's code blocks as doctests so the documented
+// snapshot-evaluation model can never rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;

@@ -1,0 +1,537 @@
+//! Batched snapshot evaluation: the engine behind MATEX's "one basis,
+//! many eval times" economy.
+//!
+//! Every snapshot evaluation costs a small projected exponential
+//! (`T_H = O(m³)`) plus a basis combination (`T_e = O(n·m)`). This
+//! module makes both allocation-free and batchable:
+//!
+//! * [`SnapshotEvaluator::weights_many`] computes the combination
+//!   weights `β·e^{hⱼ·Hm}e₁` **and** the posterior error estimate for a
+//!   whole window of eval times through one reusable
+//!   [`ExpmScratch`](matex_dense::ExpmScratch),
+//! * [`SnapshotEvaluator::combine_into`] turns the accepted weight
+//!   columns into state vectors with one pooled, tile-deterministic
+//!   [`combine_columns`](matex_par::combine_columns) call,
+//! * [`SnapshotEvaluator::eval_ladder`] replaces the per-trial sub-step
+//!   search: the squaring intermediates of a **single** scaling-and-
+//!   squaring pass are exactly the exponentials at the halved distances
+//!   `h/2^s`, so the whole halving ladder costs one Padé evaluation
+//!   plus one `O(m³)` square per rung.
+//!
+//! Determinism contract: the serial (`pool = None`) combination is
+//! byte-for-byte the legacy [`KrylovBasis::eval`] loop, and the pooled
+//! combination is bitwise-invariant in the pool width (see
+//! `matex_par`'s kernel contract). The weight and ladder computations
+//! are small dense serial code, identical on every path.
+
+use crate::{KrylovBasis, KrylovError};
+use matex_dense::{expm_col0_into, expm_col0_ladder, DMat, DenseError, ExpmScratch};
+use matex_par::ParPool;
+use std::cell::RefCell;
+
+/// Reusable scratch and weight storage for batched snapshot evaluation.
+///
+/// One evaluator serves any number of bases (buffers re-size lazily on
+/// dimension changes); after warm-up at a given `(m, k)` every call is
+/// allocation-free (counting-allocator proof in
+/// `matex-core/tests/alloc_free.rs`).
+///
+/// # Example
+///
+/// ```
+/// use matex_krylov::{build_basis_multi, ExpmParams, SnapshotEvaluator, StandardOp};
+/// use matex_sparse::{CsrMatrix, LuOptions, SparseLu};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]);
+/// let g = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 2.0)]);
+/// let lu = SparseLu::factor(&c, &LuOptions::default())?;
+/// let op = StandardOp::new(&lu, &g);
+/// let hs = [0.05, 0.1, 0.2];
+/// let out = build_basis_multi(&op, &[1.0, 0.5], &hs, &ExpmParams::with_tol(1e-12))?;
+///
+/// let mut ev = SnapshotEvaluator::new();
+/// let mut batch = vec![0.0; 2 * hs.len()];
+/// ev.eval_many_into(&out.basis, &hs, None, &mut batch)?;
+/// // Bitwise identical to the per-call sequence.
+/// for (j, &h) in hs.iter().enumerate() {
+///     assert_eq!(out.basis.eval(h)?, batch[j * 2..(j + 1) * 2]);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SnapshotEvaluator {
+    /// `h·Hm` scratch.
+    scaled: DMat,
+    /// Dense expm scratch shared by every weight/ladder computation.
+    scratch: ExpmScratch,
+    /// Batch weights, snapshot `j` at `[j·m, (j+1)·m)`, scaled by `β`.
+    weights: Vec<f64>,
+    /// Posterior estimate per batch snapshot (`∞` where the projected
+    /// exponential overflowed).
+    estimates: Vec<f64>,
+    /// Ladder weights, rung `s` at `[s·m, (s+1)·m)`, scaled by `β`.
+    ladder_weights: Vec<f64>,
+    /// Posterior estimate per rung (`∞` for rungs never computed).
+    ladder_estimates: Vec<f64>,
+    /// Lowest (longest-step) rung the last ladder ascent reached.
+    ladder_lo: usize,
+}
+
+impl SnapshotEvaluator {
+    /// Creates an evaluator with empty buffers (sized on first use).
+    pub fn new() -> SnapshotEvaluator {
+        SnapshotEvaluator {
+            scaled: DMat::zeros(0, 0),
+            scratch: ExpmScratch::new(),
+            weights: Vec::new(),
+            estimates: Vec::new(),
+            ladder_weights: Vec::new(),
+            ladder_estimates: Vec::new(),
+            ladder_lo: 0,
+        }
+    }
+
+    fn ensure_m(&mut self, m: usize) {
+        if self.scaled.nrows() != m {
+            self.scaled = DMat::zeros(m, m);
+        }
+    }
+
+    /// Weights and estimate for a single step `h`, written to the first
+    /// batch column. Unlike [`SnapshotEvaluator::weights_many`] this
+    /// propagates a non-finite projected exponential as an error — the
+    /// legacy per-call contract the [`KrylovBasis`] wrappers keep.
+    pub(crate) fn weights_one(&mut self, basis: &KrylovBasis, h: f64) -> Result<(), KrylovError> {
+        let m = basis.m();
+        self.ensure_m(m);
+        if self.weights.len() < m {
+            self.weights.resize(m, 0.0);
+        }
+        if self.estimates.is_empty() {
+            self.estimates.push(0.0);
+        }
+        basis.hm().scaled_into(h, &mut self.scaled);
+        let col = &mut self.weights[..m];
+        expm_col0_into(&self.scaled, &mut self.scratch, col)?;
+        self.estimates[0] = basis.estimate_from_col(col);
+        for c in col.iter_mut() {
+            *c *= basis.beta();
+        }
+        Ok(())
+    }
+
+    /// Phase 1 (`T_H`): combination weights `β·e^{hⱼ·Hm}e₁` and the
+    /// posterior error estimate for **every** snapshot time in `hs`.
+    ///
+    /// A snapshot whose projected exponential overflows (sign-flipped
+    /// Ritz artifacts at long reuse distances) is recorded with zero
+    /// weights and an `∞` estimate instead of failing the batch — the
+    /// same "treat as rejected, sub-step" semantics the solver applied
+    /// per call.
+    ///
+    /// # Errors
+    ///
+    /// [`KrylovError::Dense`] for structural dense failures (singular
+    /// Padé denominator).
+    pub fn weights_many(&mut self, basis: &KrylovBasis, hs: &[f64]) -> Result<(), KrylovError> {
+        let m = basis.m();
+        self.ensure_m(m);
+        self.weights.resize(hs.len() * m, 0.0);
+        self.estimates.resize(hs.len(), 0.0);
+        for (j, &h) in hs.iter().enumerate() {
+            basis.hm().scaled_into(h, &mut self.scaled);
+            let col = &mut self.weights[j * m..(j + 1) * m];
+            match expm_col0_into(&self.scaled, &mut self.scratch, col) {
+                Ok(()) => {
+                    self.estimates[j] = basis.estimate_from_col(col);
+                    for c in col.iter_mut() {
+                        *c *= basis.beta();
+                    }
+                }
+                Err(DenseError::NotFinite) => {
+                    col.fill(0.0);
+                    self.estimates[j] = f64::INFINITY;
+                }
+                Err(e) => return Err(KrylovError::Dense(e)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Posterior estimates of the last [`SnapshotEvaluator::weights_many`]
+    /// batch, in snapshot order.
+    pub fn estimates(&self) -> &[f64] {
+        &self.estimates
+    }
+
+    /// The β-scaled weight columns of the last batch (snapshot `j` at
+    /// `[j·m, (j+1)·m)`).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Phase 2 (`T_e`): combines the first `k` batch columns into state
+    /// vectors: `out[j·n .. (j+1)·n] = Σᵢ wⱼ[i]·vᵢ`.
+    ///
+    /// With a pool this is one tiled [`combine_columns`]
+    /// (bitwise-invariant in the pool width); without, byte-for-byte the
+    /// legacy per-call combination loop.
+    ///
+    /// [`combine_columns`]: matex_par::combine_columns
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `k` columns were computed or
+    /// `out.len() != k·n`.
+    pub fn combine_into(
+        &self,
+        basis: &KrylovBasis,
+        k: usize,
+        pool: Option<&ParPool>,
+        out: &mut [f64],
+    ) {
+        self.combine_range(basis, 0, k, pool, out);
+    }
+
+    /// Combines the contiguous batch columns `[start, end)` — the
+    /// general form behind [`SnapshotEvaluator::combine_into`], for
+    /// callers whose accepted snapshots are not a prefix (on stiff
+    /// bases the *short* distances are the ones that reject).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range exceeds the computed columns or
+    /// `out.len() != (end - start)·n`.
+    pub fn combine_range(
+        &self,
+        basis: &KrylovBasis,
+        start: usize,
+        end: usize,
+        pool: Option<&ParPool>,
+        out: &mut [f64],
+    ) {
+        let m = basis.m();
+        assert!(start <= end, "combine_range: inverted range");
+        assert!(
+            end * m <= self.weights.len(),
+            "combine_range: only {} weight columns available",
+            self.weights.len() / m.max(1)
+        );
+        combine_slice(
+            basis.vectors(),
+            &self.weights[start * m..end * m],
+            end - start,
+            pool,
+            out,
+        );
+    }
+
+    /// Combines a single batch column `j` (the best-effort acceptance
+    /// path of an exhausted sub-step search).
+    ///
+    /// # Panics
+    ///
+    /// As [`SnapshotEvaluator::combine_into`].
+    pub fn combine_one(
+        &self,
+        basis: &KrylovBasis,
+        j: usize,
+        pool: Option<&ParPool>,
+        out: &mut [f64],
+    ) {
+        let m = basis.m();
+        assert!(
+            (j + 1) * m <= self.weights.len(),
+            "combine_one: column {j} not computed"
+        );
+        combine_slice(
+            basis.vectors(),
+            &self.weights[j * m..(j + 1) * m],
+            1,
+            pool,
+            out,
+        );
+    }
+
+    /// Convenience: [`SnapshotEvaluator::weights_many`] +
+    /// [`SnapshotEvaluator::combine_into`] over the full batch. The
+    /// result is bitwise-identical to the per-call
+    /// [`KrylovBasis::eval`] sequence.
+    ///
+    /// # Errors
+    ///
+    /// As [`SnapshotEvaluator::weights_many`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != hs.len()·n`.
+    pub fn eval_many_into(
+        &mut self,
+        basis: &KrylovBasis,
+        hs: &[f64],
+        pool: Option<&ParPool>,
+        out: &mut [f64],
+    ) -> Result<(), KrylovError> {
+        self.weights_many(basis, hs)?;
+        self.combine_into(basis, hs.len(), pool, out);
+        Ok(())
+    }
+
+    /// Squaring-ladder evaluation of `h, h/2, …, h/2^{s_max}` from one
+    /// scaling-and-squaring pass ([`expm_col0_ladder`]).
+    ///
+    /// Rungs are produced bottom-up (deepest first); the ascent stops at
+    /// the first rung whose posterior estimate exceeds `stop_above`
+    /// (pass `f64::INFINITY` to force the full ladder). Per-rung
+    /// weights and estimates are kept on the evaluator —
+    /// [`SnapshotEvaluator::best_rung`] then picks the longest passing
+    /// step and [`SnapshotEvaluator::combine_rung`] materializes it.
+    ///
+    /// # Errors
+    ///
+    /// [`KrylovError::Dense`] when the base Padé evaluation fails.
+    pub fn eval_ladder(
+        &mut self,
+        basis: &KrylovBasis,
+        h: f64,
+        s_max: usize,
+        stop_above: f64,
+    ) -> Result<(), KrylovError> {
+        let m = basis.m();
+        self.ensure_m(m);
+        self.ladder_weights.resize((s_max + 1) * m, 0.0);
+        self.ladder_estimates.clear();
+        self.ladder_estimates.resize(s_max + 1, f64::INFINITY);
+        basis.hm().scaled_into(h, &mut self.scaled);
+        let ests = &mut self.ladder_estimates;
+        let lo = expm_col0_ladder(
+            &self.scaled,
+            s_max,
+            &mut self.scratch,
+            &mut self.ladder_weights,
+            |s, col| {
+                let e = basis.estimate_from_col(col);
+                ests[s] = e;
+                e <= stop_above
+            },
+        )
+        .map_err(KrylovError::Dense)?;
+        self.ladder_lo = lo;
+        for c in self.ladder_weights[lo * m..].iter_mut() {
+            *c *= basis.beta();
+        }
+        Ok(())
+    }
+
+    /// Per-rung posterior estimates of the last ladder (`∞` for rungs
+    /// the early exit never computed), indexed by `s` (rung `s`
+    /// evaluates `h/2^s`).
+    pub fn ladder_estimates(&self) -> &[f64] {
+        &self.ladder_estimates
+    }
+
+    /// The longest step of the last ladder whose estimate passes `tol`:
+    /// the smallest rung index `s` with `estimate ≤ tol`.
+    pub fn best_rung(&self, tol: f64) -> Option<usize> {
+        self.ladder_estimates.iter().position(|&e| e <= tol)
+    }
+
+    /// Combines ladder rung `s` into a state vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when rung `s` was not computed by the last ladder ascent.
+    pub fn combine_rung(
+        &self,
+        basis: &KrylovBasis,
+        s: usize,
+        pool: Option<&ParPool>,
+        out: &mut [f64],
+    ) {
+        let m = basis.m();
+        assert!(
+            s >= self.ladder_lo && (s + 1) * m <= self.ladder_weights.len(),
+            "combine_rung: rung {s} not computed (ladder reached {})",
+            self.ladder_lo
+        );
+        combine_slice(
+            basis.vectors(),
+            &self.ladder_weights[s * m..(s + 1) * m],
+            1,
+            pool,
+            out,
+        );
+    }
+}
+
+impl Default for SnapshotEvaluator {
+    fn default() -> Self {
+        SnapshotEvaluator::new()
+    }
+}
+
+/// Shared combination body: pooled tiled kernel, or the byte-for-byte
+/// legacy serial loop when no pool is set.
+fn combine_slice(
+    vs: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    pool: Option<&ParPool>,
+    out: &mut [f64],
+) {
+    let m = vs.len();
+    let n = vs.first().map_or(0, Vec::len);
+    assert_eq!(out.len(), k * n, "combine: output length mismatch");
+    match pool {
+        Some(pool) => matex_par::combine_columns(pool, vs, weights, k, out),
+        None => {
+            for j in 0..k {
+                let w = &weights[j * m..(j + 1) * m];
+                let x = &mut out[j * n..(j + 1) * n];
+                x.fill(0.0);
+                for (wi, vi) in w.iter().zip(vs) {
+                    if *wi == 0.0 {
+                        continue;
+                    }
+                    for (xe, ve) in x.iter_mut().zip(vi) {
+                        *xe += wi * ve;
+                    }
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread evaluator backing the legacy [`KrylovBasis`] per-call
+    /// API, so even `eval`/`eval_weights`/`error_estimate` stop
+    /// allocating their dense intermediates.
+    static SHARED: RefCell<SnapshotEvaluator> = RefCell::new(SnapshotEvaluator::new());
+}
+
+/// Runs `f` against this thread's shared evaluator.
+pub(crate) fn with_shared<R>(f: impl FnOnce(&mut SnapshotEvaluator) -> R) -> R {
+    SHARED.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_basis_multi, ExpmParams, RationalOp};
+    use matex_sparse::{CsrMatrix, LuOptions, SparseLu};
+
+    fn basis(n: usize, hs: &[f64]) -> (KrylovBasis, SparseLu, CsrMatrix) {
+        let mut ct = Vec::new();
+        let mut gt = Vec::new();
+        for i in 0..n {
+            ct.push((i, i, 1.0 + 0.1 * i as f64));
+            gt.push((i, i, 2.0 + 0.05 * i as f64));
+            if i + 1 < n {
+                gt.push((i, i + 1, -1.0));
+                gt.push((i + 1, i, -1.0));
+            }
+        }
+        let c = CsrMatrix::from_triplets(n, n, &ct);
+        let g = CsrMatrix::from_triplets(n, n, &gt);
+        let gamma = 0.07;
+        let shifted = CsrMatrix::linear_combination(1.0, &c, gamma, &g).unwrap();
+        let lu = SparseLu::factor(&shifted, &LuOptions::default()).unwrap();
+        let op = RationalOp::new(&lu, &c, gamma);
+        let v: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 5 % 11) as f64) * 0.3).collect();
+        let params = ExpmParams {
+            tol: 1e-11,
+            m_max: n,
+            ..ExpmParams::default()
+        };
+        let out = build_basis_multi(&op, &v, hs, &params).unwrap();
+        (out.basis, lu, c)
+    }
+
+    #[test]
+    fn eval_many_matches_per_call_eval_bitwise() {
+        let hs = [0.02, 0.05, 0.11, 0.2];
+        let (b, _lu, _c) = basis(12, &hs);
+        let n = 12;
+        let mut ev = SnapshotEvaluator::new();
+        let mut out = vec![0.0; n * hs.len()];
+        ev.eval_many_into(&b, &hs, None, &mut out).unwrap();
+        for (j, &h) in hs.iter().enumerate() {
+            let single = b.eval(h).unwrap();
+            for (p, q) in single.iter().zip(&out[j * n..(j + 1) * n]) {
+                assert_eq!(p.to_bits(), q.to_bits(), "h = {h}");
+            }
+        }
+        // Estimates match the per-call error_estimate.
+        for (j, &h) in hs.iter().enumerate() {
+            let est = b.error_estimate(h).unwrap();
+            assert_eq!(est.to_bits(), ev.estimates()[j].to_bits());
+        }
+    }
+
+    #[test]
+    fn pooled_combination_is_pool_width_invariant() {
+        let hs = [0.03, 0.09, 0.18];
+        let (b, _lu, _c) = basis(16, &hs);
+        let n = 16;
+        let mut ev = SnapshotEvaluator::new();
+        let mut reference = vec![0.0; n * hs.len()];
+        ev.eval_many_into(&b, &hs, None, &mut reference).unwrap();
+        for threads in [1usize, 2, 4, 7] {
+            let pool = ParPool::new(threads);
+            let mut out = vec![f64::NAN; n * hs.len()];
+            ev.eval_many_into(&b, &hs, Some(&pool), &mut out).unwrap();
+            assert!(
+                reference
+                    .iter()
+                    .zip(&out)
+                    .all(|(p, q)| p.to_bits() == q.to_bits()),
+                "pool width {threads} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_rungs_agree_with_per_call_eval() {
+        let (b, _lu, _c) = basis(10, &[0.4]);
+        let mut ev = SnapshotEvaluator::new();
+        let h = 0.4;
+        let s_max = 4;
+        ev.eval_ladder(&b, h, s_max, f64::INFINITY).unwrap();
+        // Every rung passes with an infinite threshold; rung values agree
+        // with the standalone evaluation to rounding.
+        assert_eq!(ev.best_rung(f64::INFINITY), Some(0));
+        let mut out = vec![0.0; 10];
+        for s in 0..=s_max {
+            ev.combine_rung(&b, s, None, &mut out);
+            let hs = h * 0.5_f64.powi(s as i32);
+            let reference = b.eval(hs).unwrap();
+            let scale = reference.iter().fold(1.0_f64, |m, v| m.max(v.abs()));
+            for (p, q) in out.iter().zip(&reference) {
+                assert!((p - q).abs() <= 1e-11 * scale, "rung {s}: {p} vs {q}");
+            }
+            // And the rung estimate tracks the per-call estimate.
+            let est = b.error_estimate(hs).unwrap();
+            let lest = ev.ladder_estimates()[s];
+            assert!(
+                (est - lest).abs() <= 1e-6 * est.max(1e-300) + 1e-300,
+                "rung {s}: estimate {lest:.3e} vs per-call {est:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_early_exit_reports_unreached_rungs_as_infinite() {
+        let (b, _lu, _c) = basis(10, &[0.4]);
+        let mut ev = SnapshotEvaluator::new();
+        // Threshold below every estimate: the ascent stops right above
+        // the deepest rung.
+        ev.eval_ladder(&b, 0.4, 6, -1.0).unwrap();
+        let ests = ev.ladder_estimates();
+        assert!(ests[6].is_finite());
+        assert!(ests[..6].iter().all(|e| e.is_infinite()));
+        assert_eq!(ev.best_rung(1e300), Some(6));
+        assert_eq!(ev.best_rung(0.0), None);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based proof of the batched snapshot-evaluation contract
+//! (ISSUE 4): `eval_many_into` is **bitwise** the per-call `eval`
+//! sequence on the serial path, and bitwise-invariant across pool
+//! widths {1, 2, 4, 7}. The ladder is *not* required to match the
+//! standalone evaluation bitwise (it pins the degree-13 Padé kernel);
+//! waveform-level accuracy is asserted in `matex-core` against the
+//! Trapezoidal reference instead.
+
+use matex_krylov::{build_basis_multi, ExpmParams, KrylovBasis, RationalOp, SnapshotEvaluator};
+use matex_par::ParPool;
+use matex_sparse::{CsrMatrix, LuOptions, SparseLu};
+use proptest::prelude::*;
+
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// RC-ladder style system scaled O(1); returns a converged multi-step
+/// basis for the drawn snapshot window.
+fn window_basis(n: usize, cap_spread: f64, coupling: f64, hs: &[f64]) -> KrylovBasis {
+    let mut ct = Vec::new();
+    let mut gt = Vec::new();
+    for i in 0..n {
+        ct.push((i, i, 1.0 + cap_spread * ((i * 13 % 17) as f64) / 17.0));
+        gt.push((i, i, 2.0 + 0.03 * i as f64));
+        if i + 1 < n {
+            gt.push((i, i + 1, -coupling));
+            gt.push((i + 1, i, -coupling));
+        }
+    }
+    let c = CsrMatrix::from_triplets(n, n, &ct);
+    let g = CsrMatrix::from_triplets(n, n, &gt);
+    let gamma = 0.05;
+    let shifted = CsrMatrix::linear_combination(1.0, &c, gamma, &g).unwrap();
+    let lu = SparseLu::factor(&shifted, &LuOptions::default()).unwrap();
+    let op = RationalOp::new(&lu, &c, gamma);
+    let v: Vec<f64> = (0..n).map(|i| ((i * 11 % 23) as f64) - 11.0).collect();
+    let params = ExpmParams {
+        tol: 1e-8,
+        ..ExpmParams::default()
+    };
+    build_basis_multi(&op, &v, hs, &params).unwrap().basis
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Serial `eval_many_into` ≡ the per-call `eval` sequence, bitwise,
+    /// and the batch is bitwise-invariant in the pool width.
+    #[test]
+    fn eval_many_is_bitwise_per_call_and_pool_invariant(
+        n in 60usize..200,
+        cap_spread in 1.0f64..40.0,
+        coupling in 0.2f64..1.5,
+        h_max in 0.05f64..0.4,
+        k in 2usize..7,
+    ) {
+        let hs: Vec<f64> = (1..=k).map(|j| h_max * j as f64 / k as f64).collect();
+        let basis = window_basis(n, cap_spread, coupling, &hs);
+        let mut ev = SnapshotEvaluator::new();
+        let mut batch = vec![0.0; n * k];
+        ev.eval_many_into(&basis, &hs, None, &mut batch).unwrap();
+
+        // Bitwise ≡ the per-call sequence.
+        for (j, &h) in hs.iter().enumerate() {
+            let single = basis.eval(h).unwrap();
+            prop_assert_eq!(
+                bits(&single),
+                bits(&batch[j * n..(j + 1) * n]),
+                "per-call eval diverged at h = {}",
+                h
+            );
+        }
+
+        // Bitwise-invariant across pool widths.
+        let reference = bits(&batch);
+        for threads in THREADS {
+            let pool = ParPool::new(threads);
+            let mut pooled = vec![f64::NAN; n * k];
+            ev.eval_many_into(&basis, &hs, Some(&pool), &mut pooled).unwrap();
+            prop_assert_eq!(
+                &reference,
+                &bits(&pooled),
+                "batch diverged at {} threads (n = {})",
+                threads,
+                n
+            );
+        }
+    }
+
+    /// Ladder rungs agree with the standalone evaluation to rounding
+    /// and the rung combination is pool-width bitwise-invariant.
+    #[test]
+    fn ladder_is_accurate_and_rung_combination_pool_invariant(
+        n in 60usize..160,
+        cap_spread in 1.0f64..30.0,
+        h in 0.1f64..0.5,
+        s_max in 1usize..6,
+    ) {
+        let basis = window_basis(n, cap_spread, 0.8, &[h]);
+        let mut ev = SnapshotEvaluator::new();
+        ev.eval_ladder(&basis, h, s_max, f64::INFINITY).unwrap();
+        let mut serial = vec![0.0; n];
+        for s in 0..=s_max {
+            ev.combine_rung(&basis, s, None, &mut serial);
+            let reference = basis.eval(h * 0.5f64.powi(s as i32)).unwrap();
+            let scale = reference.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+            for (p, q) in serial.iter().zip(&reference) {
+                prop_assert!(
+                    (p - q).abs() <= 1e-10 * scale,
+                    "rung {} deviates: {} vs {}",
+                    s, p, q
+                );
+            }
+            for threads in THREADS {
+                let pool = ParPool::new(threads);
+                let mut pooled = vec![f64::NAN; n];
+                ev.combine_rung(&basis, s, Some(&pool), &mut pooled);
+                prop_assert_eq!(bits(&serial), bits(&pooled));
+            }
+        }
+    }
+}

@@ -238,6 +238,70 @@ pub fn subtract_combination(pool: &ParPool, w: &mut [f64], vs: &[Vec<f64>], coef
     });
 }
 
+/// Batched basis combination `X ← Vᵀ·W`: for each of `k` weight columns
+/// `w_j` (stored contiguously in `weights[j·m .. (j+1)·m]`), writes
+/// `out[j·n .. (j+1)·n] = Σᵢ w_j[i] · vs[i]`.
+///
+/// This is the [`subtract_combination`] shape generalized to many
+/// right-hand sides — the `T_e` kernel of MATEX's batched snapshot
+/// evaluation. Each output element accumulates its terms in ascending
+/// `i` order (zero weights skipped) regardless of tiling, so the result
+/// is **bitwise-invariant in the pool width** and bitwise-identical to
+/// the straightforward per-column serial loop.
+///
+/// # Panics
+///
+/// Panics on any length mismatch (`weights.len() != k·vs.len()`,
+/// `out.len() != k·n`, or ragged basis vectors).
+pub fn combine_columns(
+    pool: &ParPool,
+    vs: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    out: &mut [f64],
+) {
+    let m = vs.len();
+    assert_eq!(
+        weights.len(),
+        k * m,
+        "combine_columns: weights length mismatch"
+    );
+    let n = vs.first().map_or(0, Vec::len);
+    for v in vs {
+        assert_eq!(v.len(), n, "combine_columns: basis length mismatch");
+    }
+    assert_eq!(out.len(), k * n, "combine_columns: output length mismatch");
+    let nt = tiles(n);
+    let run_tile = |t: usize, out: &RawVec<'_>| {
+        let r = tile_span(t, n);
+        for j in 0..k {
+            let w = &weights[j * m..(j + 1) * m];
+            // SAFETY: tile `t` of column `j` is owned exclusively by
+            // this item (tiles partition `0..n`, columns are disjoint).
+            let x = unsafe { out.range_mut(j * n + r.start..j * n + r.end) };
+            x.fill(0.0);
+            for (i, v) in vs.iter().enumerate() {
+                let wi = w[i];
+                if wi == 0.0 {
+                    continue;
+                }
+                for (xe, ve) in x.iter_mut().zip(&v[r.clone()]) {
+                    *xe += wi * ve;
+                }
+            }
+        }
+    };
+    if pool.threads() == 1 || n * k.max(1) < PAR_MIN {
+        let shared = RawVec::new(out);
+        for t in 0..nt {
+            run_tile(t, &shared);
+        }
+        return;
+    }
+    let shared = RawVec::new(out);
+    pool.run(nt, &|t| run_tile(t, &shared));
+}
+
 /// Tiled in-place division `w ← w / d` (element order preserved — the
 /// divisor is *not* inverted, matching the serial normalization).
 pub fn div_in_place(pool: &ParPool, w: &mut [f64], d: f64) {
@@ -317,6 +381,65 @@ mod tests {
         subtract_combination(&ParPool::serial(), &mut a, &vs, &coef);
         subtract_combination(&ParPool::new(4), &mut b, &vs, &coef);
         assert!(a.iter().zip(&b).all(|(p, q)| p.to_bits() == q.to_bits()));
+    }
+
+    #[test]
+    fn combine_columns_matches_naive_and_is_pool_width_invariant() {
+        let n = PAR_MIN + TILE + 17;
+        let m = 6;
+        let k = 3;
+        let vs: Vec<Vec<f64>> = (0..m)
+            .map(|s| {
+                (0..n)
+                    .map(|i| ((i * (s + 2)) as f64 * 0.01).cos())
+                    .collect()
+            })
+            .collect();
+        let mut weights = vec![0.0; k * m];
+        for (j, w) in weights.iter_mut().enumerate() {
+            // Include an exact zero weight to exercise the skip.
+            *w = if j == 4 {
+                0.0
+            } else {
+                ((j * 31 % 13) as f64) - 6.0
+            };
+        }
+        // Naive per-column reference: the legacy `KrylovBasis::eval` loop.
+        let mut reference = vec![0.0; k * n];
+        for j in 0..k {
+            let x = &mut reference[j * n..(j + 1) * n];
+            for (i, v) in vs.iter().enumerate() {
+                let wi = weights[j * m + i];
+                if wi == 0.0 {
+                    continue;
+                }
+                for (xe, ve) in x.iter_mut().zip(v) {
+                    *xe += wi * ve;
+                }
+            }
+        }
+        for threads in [1usize, 2, 4, 7] {
+            let pool = ParPool::new(threads);
+            let mut out = vec![f64::NAN; k * n];
+            combine_columns(&pool, &vs, &weights, k, &mut out);
+            assert!(
+                reference
+                    .iter()
+                    .zip(&out)
+                    .all(|(p, q)| p.to_bits() == q.to_bits()),
+                "combine_columns diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn combine_columns_empty_shapes() {
+        let pool = ParPool::serial();
+        let mut out: Vec<f64> = Vec::new();
+        combine_columns(&pool, &[], &[], 0, &mut out);
+        // k = 0 with a nonempty basis: nothing to write.
+        let vs = vec![vec![1.0, 2.0]];
+        combine_columns(&pool, &vs, &[], 0, &mut out);
     }
 
     #[test]

@@ -10,9 +10,9 @@
 //! * [`ParOptions`] — thread-count resolution (`MATEX_THREADS` env var +
 //!   explicit API),
 //! * tiled kernels ([`dot`], [`norm2`], [`multi_dot`],
-//!   [`subtract_combination`], [`div_in_place`]) with **fixed tile
-//!   boundaries and deterministic tile-order reductions**, so results
-//!   are bitwise-invariant in the thread count,
+//!   [`subtract_combination`], [`combine_columns`], [`div_in_place`])
+//!   with **fixed tile boundaries and deterministic tile-order
+//!   reductions**, so results are bitwise-invariant in the thread count,
 //! * [`RawVec`] — the tile-disjoint shared-write primitive the kernels
 //!   (and `matex_sparse`'s level-scheduled triangular solve) build on.
 //!
@@ -49,8 +49,8 @@ mod options;
 mod pool;
 
 pub use kernels::{
-    div_in_place, dot, multi_dot, norm2, subtract_combination, tile_span, tiles, RawVec, PAR_MIN,
-    TILE,
+    combine_columns, div_in_place, dot, multi_dot, norm2, subtract_combination, tile_span, tiles,
+    RawVec, PAR_MIN, TILE,
 };
 pub use options::{env_threads, ParOptions};
 pub use pool::ParPool;
