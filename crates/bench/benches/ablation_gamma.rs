@@ -23,7 +23,7 @@ fn main() {
     let scale = Scale::from_env();
     println!("\n=== Ablation: R-MATEX shift parameter γ (analyze-once γ sweep) ===\n");
     let case = pg_suite(scale).into_iter().next().expect("suite case");
-    let sys = case.builder.build().expect("grid builds");
+    let sys = case.build().expect("grid builds");
     let rows: Vec<usize> = (0..sys.num_nodes()).step_by(7).collect();
     let spec = TransientSpec::new(0.0, case.window, case.window / 100.0)
         .expect("valid spec")

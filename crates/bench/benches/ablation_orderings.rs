@@ -14,7 +14,7 @@ fn main() {
     let scale = Scale::from_env();
     println!("\n=== Ablation: ordering choice for the direct solver ===\n");
     let case = pg_suite(scale).into_iter().nth(3).expect("suite case");
-    let sys = case.builder.build().expect("grid builds");
+    let sys = case.build().expect("grid builds");
     let gamma = 1e-10;
     let shifted = CsrMatrix::linear_combination(1.0, sys.c(), gamma, sys.g()).expect("same shape");
 

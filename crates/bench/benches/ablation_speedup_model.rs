@@ -19,7 +19,7 @@ fn main() {
         .into_iter()
         .nth(2)
         .expect("suite has 6 cases");
-    let sys = case.builder.build().expect("grid builds");
+    let sys = case.build().expect("grid builds");
     let rows: Vec<usize> = (0..sys.num_nodes()).step_by(13).collect();
     let spec = TransientSpec::new(0.0, case.window, case.window / 100.0)
         .expect("valid spec")

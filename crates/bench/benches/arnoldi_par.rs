@@ -124,7 +124,7 @@ fn main() {
     ]);
     let mut json_rows = Vec::new();
     for case in pg_suite(scale) {
-        let sys = case.builder.build().expect("grid builds");
+        let sys = case.build().expect("grid builds");
         let shifted =
             CsrMatrix::linear_combination(1.0, sys.c(), GAMMA, sys.g()).expect("same shape");
         let lu = SparseLu::factor(&shifted, &LuOptions::default()).expect("factor");

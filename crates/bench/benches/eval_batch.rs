@@ -242,7 +242,7 @@ struct Case {
 fn cases(scale: Scale) -> Vec<Case> {
     let mut out = Vec::new();
     for case in pg_suite(scale).into_iter().take(2) {
-        let sys = case.builder.build().expect("grid builds");
+        let sys = case.build().expect("grid builds");
         out.push(Case {
             name: case.name,
             c: sys.c().clone(),

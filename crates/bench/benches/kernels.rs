@@ -11,7 +11,7 @@ use matex_sparse::{CsrMatrix, LuOptions, SparseLu};
 
 fn bench_sparse_lu(c: &mut Criterion) {
     let case = pg_suite(Scale::Ci).into_iter().next().expect("case");
-    let sys = case.builder.build().expect("grid builds");
+    let sys = case.build().expect("grid builds");
     let g = sys.g().clone();
     let mut group = c.benchmark_group("sparse_lu");
     group.sample_size(10);
@@ -52,7 +52,7 @@ fn bench_dense_expm(c: &mut Criterion) {
 
 fn bench_arnoldi_step(c: &mut Criterion) {
     let case = pg_suite(Scale::Ci).into_iter().next().expect("case");
-    let sys = case.builder.build().expect("grid builds");
+    let sys = case.build().expect("grid builds");
     let gamma = 1e-10;
     let shifted = CsrMatrix::linear_combination(1.0, sys.c(), gamma, sys.g()).expect("same shape");
     let lu = SparseLu::factor(&shifted, &LuOptions::default()).expect("factorable");

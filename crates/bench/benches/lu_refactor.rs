@@ -92,7 +92,7 @@ fn main() {
     ]);
     let mut json_rows = Vec::new();
     for case in pg_suite(scale) {
-        let sys = case.builder.build().expect("grid builds");
+        let sys = case.build().expect("grid builds");
         let mats: Vec<CsrMatrix> = GAMMAS
             .iter()
             .map(|&g| CsrMatrix::linear_combination(1.0, sys.c(), g, sys.g()).expect("same shape"))

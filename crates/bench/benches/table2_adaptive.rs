@@ -29,7 +29,7 @@ fn main() {
         "Spdp3",
     ]);
     for case in pg_suite(scale) {
-        let sys = case.builder.build().expect("grid builds");
+        let sys = case.build().expect("grid builds");
         // 100 output samples over the window; engines step as they wish.
         let rows: Vec<usize> = (0..sys.num_nodes()).step_by(11).collect();
         let spec = TransientSpec::new(0.0, case.window, case.window / 100.0)

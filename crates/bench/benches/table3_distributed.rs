@@ -85,7 +85,7 @@ fn main() {
         "Spdp5",
     ]);
     for case in pg_suite(scale) {
-        let sys = case.builder.build().expect("grid builds");
+        let sys = case.build().expect("grid builds");
         let rows: Vec<usize> = (0..sys.num_nodes()).step_by(11).collect();
         // Output on 100 samples; TR *steps* at 10 ps (1000 pairs = t1000).
         let spec = TransientSpec::new(0.0, case.window, case.window / 100.0)

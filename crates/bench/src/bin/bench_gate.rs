@@ -1,6 +1,6 @@
 //! CI bench-regression gate.
 //!
-//! Compares the freshly emitted `BENCH_table3.json` / `BENCH_lu.json`
+//! Compares the freshly emitted `BENCH_*.json` artifacts
 //! (written to the repo root by the bench targets) against the committed
 //! `baselines/BENCH_*.json`, printing a before/after table — also into
 //! `$GITHUB_STEP_SUMMARY` when set — and exiting non-zero when any
@@ -17,7 +17,12 @@ use matex_bench::gate::{compare, parse_metrics, GateReport, DEFAULT_TOLERANCE};
 use std::path::Path;
 use std::process::ExitCode;
 
-const ARTIFACTS: [&str; 3] = ["BENCH_table3.json", "BENCH_lu.json", "BENCH_eval.json"];
+const ARTIFACTS: [&str; 4] = [
+    "BENCH_table3.json",
+    "BENCH_lu.json",
+    "BENCH_eval.json",
+    "BENCH_serve.json",
+];
 
 fn gate_one(
     name: &str,

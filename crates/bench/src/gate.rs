@@ -4,7 +4,8 @@
 //! The tracked metrics are the **speedup ratios** each bench exists to
 //! demonstrate (`speedup` for the two-phase LU replay and for the
 //! batched snapshot evaluation, `spdp4`/`spdp5` for the distributed
-//! framework) — ratios of times measured in the same
+//! framework, `hit_speedup` for the scenario engine's cold-vs-warm
+//! amortization) — ratios of times measured in the same
 //! process, so they stay comparable across runner generations where
 //! absolute seconds would not. A metric regresses when the fresh value
 //! drops more than the tolerance below its baseline (default
@@ -143,6 +144,7 @@ pub fn parse_metrics(text: &str) -> Result<(String, Vec<Metric>), String> {
         "lu_refactor" => &["speedup"],
         "table3_distributed" => &["spdp4", "spdp5"],
         "eval_batch" => &["speedup"],
+        "serve_throughput" => &["hit_speedup"],
         other => return Err(format!("no tracked metrics for bench kind {other:?}")),
     };
     let rows_start = text
@@ -252,6 +254,16 @@ mod tests {
   ]
 }"#;
 
+    const SERVE_SAMPLE: &str = r#"{
+  "bench": "serve_throughput",
+  "scale": "ci",
+  "service": {"clients": 4, "completed": 24, "jobs_per_s": 82.8, "p50_ms": 41.7, "p99_ms": 70.0, "warm_rate": 0.71, "deterministic": true},
+  "rows": [
+    {"design": "pg1s", "n": 841, "jobs": 13, "cold_s": 0.0136, "hit_s": 0.0029, "hit_speedup": 4.70, "max_dev": 0.0e0},
+    {"design": "pg2s", "n": 1385, "jobs": 13, "cold_s": 0.0334, "hit_s": 0.0062, "hit_speedup": 5.40, "max_dev": 0.0e0}
+  ]
+}"#;
+
     const TABLE3_SAMPLE: &str = r#"{
   "bench": "table3_distributed",
   "scale": "ci",
@@ -281,6 +293,30 @@ mod tests {
         assert_eq!(bench, "eval_batch");
         assert_eq!(ev.len(), 2); // speedup per design
         assert!(ev.iter().any(|m| m.design == "stiffrc" && m.value == 2.48));
+        let (bench, sv) = parse_metrics(SERVE_SAMPLE).unwrap();
+        assert_eq!(bench, "serve_throughput");
+        // The service summary object precedes "rows" and is not a row:
+        // exactly one hit_speedup metric per design.
+        assert_eq!(sv.len(), 2);
+        assert!(sv.iter().any(|m| m.design == "pg2s" && m.value == 5.40));
+    }
+
+    #[test]
+    fn serve_hit_speedup_regression_fails_the_gate() {
+        let (bench, base) = parse_metrics(SERVE_SAMPLE).unwrap();
+        // 4.70 → 3.20: the warm path losing a third of its edge must trip.
+        let slowed = reinject(
+            SERVE_SAMPLE,
+            "\"hit_speedup\": 4.70",
+            "\"hit_speedup\": 3.20",
+        );
+        let (_, fresh) = parse_metrics(&slowed).unwrap();
+        let report = compare(&bench, &base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(report.regressions(), 1);
+        assert_eq!(
+            report.rows.iter().find(|r| r.regressed).unwrap().design,
+            "pg1s"
+        );
     }
 
     #[test]

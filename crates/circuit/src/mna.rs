@@ -11,7 +11,7 @@
 
 use crate::{CircuitError, Element, Netlist, SourceKind};
 use matex_sparse::{CooMatrix, CsrMatrix};
-use matex_waveform::Waveform;
+use matex_waveform::{Fnv64, Waveform};
 
 /// Metadata for one input (one column of `B`).
 #[derive(Debug, Clone, PartialEq)]
@@ -320,6 +320,107 @@ impl MnaSystem {
             .filter(|&r| self.c.row_values(r).iter().all(|&v| v == 0.0))
             .collect()
     }
+
+    /// Canonical fingerprint of the MNA *sparsity structure*: dimensions
+    /// plus the nonzero patterns of `G`, `C`, and `B`.
+    ///
+    /// Two systems with equal pattern fingerprints admit the same
+    /// symbolic LU analyses and solve schedules — this is the cache key
+    /// a scenario engine uses to amortize structural work across jobs
+    /// whose element *values* or source waveforms differ.
+    pub fn pattern_fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_usize(self.num_nodes);
+        h.write_usize(self.num_inductors);
+        h.write_usize(self.num_vsources);
+        h.write_usize(self.sources.len());
+        for m in [&self.g, &self.c, &self.b] {
+            hash_pattern(m, &mut h);
+        }
+        h.finish()
+    }
+
+    /// Fingerprint of structure *and* numeric content of `G`, `C`, `B`
+    /// (bit patterns of every stored value on top of
+    /// [`MnaSystem::pattern_fingerprint`]). Source waveforms are **not**
+    /// included — factorizations and DC matrices depend only on the
+    /// matrices, so scenario overrides that rescale or swap waveforms
+    /// keep this fingerprint (see [`MnaSystem::source_fingerprint`]).
+    pub fn value_fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.pattern_fingerprint());
+        for m in [&self.g, &self.c, &self.b] {
+            for r in 0..m.nrows() {
+                h.write_f64s(m.row_values(r));
+            }
+        }
+        h.finish()
+    }
+
+    /// Fingerprint of the input side: every source's kind and waveform
+    /// parameters, in column order. Together with
+    /// [`MnaSystem::value_fingerprint`] this identifies a transient
+    /// problem completely (up to the analysis spec).
+    pub fn source_fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_usize(self.sources.len());
+        for s in &self.sources {
+            h.write_u8(match s.kind {
+                SourceKind::Voltage => 0,
+                SourceKind::Current => 1,
+            });
+            s.waveform.fingerprint(&mut h);
+        }
+        h.finish()
+    }
+
+    /// A copy of this system with the source waveforms replaced, column
+    /// by column. Matrices, source kinds, and names are untouched, so
+    /// the structural and value fingerprints are preserved — the
+    /// scenario-override primitive of the service layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidNetlist`] when the waveform count
+    /// differs from [`MnaSystem::num_sources`].
+    pub fn with_source_waveforms(&self, waveforms: Vec<Waveform>) -> Result<Self, CircuitError> {
+        if waveforms.len() != self.sources.len() {
+            return Err(CircuitError::InvalidNetlist(format!(
+                "waveform rebind: {} waveforms for {} sources",
+                waveforms.len(),
+                self.sources.len()
+            )));
+        }
+        let mut out = self.clone();
+        for (s, w) in out.sources.iter_mut().zip(waveforms) {
+            s.waveform = w;
+        }
+        Ok(out)
+    }
+
+    /// A copy of this system with every source waveform scaled by `k`
+    /// ([`Waveform::scaled`]): the uniform load-scaling scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidNetlist`] when `k` is not finite.
+    pub fn with_scaled_sources(&self, k: f64) -> Result<Self, CircuitError> {
+        let scaled: Result<Vec<Waveform>, _> =
+            self.sources.iter().map(|s| s.waveform.scaled(k)).collect();
+        let scaled = scaled
+            .map_err(|e| CircuitError::InvalidNetlist(format!("source scaling failed: {e}")))?;
+        self.with_source_waveforms(scaled)
+    }
+}
+
+/// Feeds a CSR matrix's shape and nonzero pattern into a hasher.
+fn hash_pattern(m: &CsrMatrix, h: &mut Fnv64) {
+    h.write_usize(m.nrows());
+    h.write_usize(m.ncols());
+    h.write_usizes(m.indptr());
+    for r in 0..m.nrows() {
+        h.write_usizes(m.row_indices(r));
+    }
 }
 
 /// Symmetric two-terminal stamp into a COO matrix.
@@ -432,6 +533,51 @@ mod tests {
     fn empty_netlist_rejected() {
         let nl = Netlist::new();
         assert!(MnaSystem::assemble(&nl).is_err());
+    }
+
+    #[test]
+    fn fingerprints_separate_structure_values_and_sources() {
+        let build = |ohms: f64, amps: f64| {
+            let mut nl = Netlist::new();
+            let a = nl.node("a");
+            nl.add_isource("i1", Netlist::ground(), a, Waveform::Dc(amps))
+                .unwrap();
+            nl.add_resistor("r1", a, Netlist::ground(), ohms).unwrap();
+            nl.add_capacitor("c1", a, Netlist::ground(), 1e-12).unwrap();
+            MnaSystem::assemble(&nl).unwrap()
+        };
+        let base = build(1000.0, 1e-3);
+        let same = build(1000.0, 1e-3);
+        assert_eq!(base.pattern_fingerprint(), same.pattern_fingerprint());
+        assert_eq!(base.value_fingerprint(), same.value_fingerprint());
+        assert_eq!(base.source_fingerprint(), same.source_fingerprint());
+        // Different element value: same pattern, different values.
+        let revalued = build(500.0, 1e-3);
+        assert_eq!(base.pattern_fingerprint(), revalued.pattern_fingerprint());
+        assert_ne!(base.value_fingerprint(), revalued.value_fingerprint());
+        // Different waveform: matrices identical, sources differ.
+        let redriven = build(1000.0, 2e-3);
+        assert_eq!(base.value_fingerprint(), redriven.value_fingerprint());
+        assert_ne!(base.source_fingerprint(), redriven.source_fingerprint());
+    }
+
+    #[test]
+    fn scenario_rebind_preserves_matrix_fingerprints() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.add_isource("i1", Netlist::ground(), a, Waveform::Dc(1e-3))
+            .unwrap();
+        nl.add_resistor("r1", a, Netlist::ground(), 1000.0).unwrap();
+        let sys = MnaSystem::assemble(&nl).unwrap();
+        let scaled = sys.with_scaled_sources(2.0).unwrap();
+        assert_eq!(sys.value_fingerprint(), scaled.value_fingerprint());
+        assert_ne!(sys.source_fingerprint(), scaled.source_fingerprint());
+        assert_eq!(scaled.input_at(0.0), vec![2e-3]);
+        // Rebind validates the column count.
+        assert!(sys.with_source_waveforms(vec![]).is_err());
+        let swapped = sys.with_source_waveforms(vec![Waveform::Dc(5.0)]).unwrap();
+        assert_eq!(swapped.input_at(0.0), vec![5.0]);
+        assert!(sys.with_scaled_sources(f64::INFINITY).is_err());
     }
 
     #[test]

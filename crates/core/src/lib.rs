@@ -41,6 +41,7 @@ mod fp_terms;
 mod matex_solver;
 mod reference;
 mod result;
+mod setup;
 mod spec;
 mod stats;
 mod stiffness;
@@ -55,6 +56,7 @@ pub use fp_terms::IntervalTerms;
 pub use matex_solver::{MatexOptions, MatexSolver};
 pub use reference::{reference_solution, ReferenceMethod};
 pub use result::TransientResult;
+pub use setup::MatexSetup;
 pub use spec::{ObserveSpec, TransientSpec};
 pub use stats::SolveStats;
 pub use stiffness::measure_stiffness;

@@ -20,15 +20,15 @@
 
 use crate::engine::{InputEval, Recorder, TransientEngine};
 use crate::fp_terms::IntervalTerms;
-use crate::{CoreError, MatexSymbolic, SolveStats, TransientResult, TransientSpec};
-use matex_circuit::{regularize_c, MnaSystem};
+use crate::{CoreError, MatexSetup, MatexSymbolic, SolveStats, TransientResult, TransientSpec};
+use matex_circuit::MnaSystem;
 use matex_dense::norm2;
 use matex_krylov::{
-    build_basis_multi, shifted_system, ExpmParams, InvertedOp, KrylovBasis, KrylovError,
-    KrylovKind, KrylovOp, ParApply, RationalOp, SnapshotEvaluator, StandardOp,
+    build_basis_multi, ExpmParams, InvertedOp, KrylovBasis, KrylovError, KrylovKind, KrylovOp,
+    ParApply, RationalOp, SnapshotEvaluator, StandardOp,
 };
 use matex_par::ParPool;
-use matex_sparse::{CsrMatrix, LuOptions, SolveSchedule, SparseLu};
+use matex_sparse::SolveSchedule;
 use matex_waveform::SpotSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -122,6 +122,8 @@ pub struct MatexSolver {
     mask: Option<Vec<usize>>,
     lts_override: Option<SpotSet>,
     symbolic: Option<Arc<MatexSymbolic>>,
+    setup: Option<Arc<MatexSetup>>,
+    dc: Option<Arc<Vec<f64>>>,
     pool: Option<Arc<ParPool>>,
 }
 
@@ -133,6 +135,8 @@ impl MatexSolver {
             mask: None,
             lts_override: None,
             symbolic: None,
+            setup: None,
+            dc: None,
             pool: None,
         }
     }
@@ -160,6 +164,31 @@ impl MatexSolver {
     /// back transparently.
     pub fn with_symbolic(mut self, symbolic: Arc<MatexSymbolic>) -> Self {
         self.symbolic = Some(symbolic);
+        self
+    }
+
+    /// Injects a shared, pre-built [`MatexSetup`]: the run skips its own
+    /// factorization phase entirely and marches straight from the
+    /// injected factors. The setup must match the run's system and
+    /// `(kind, γ)` ([`MatexSetup::check`]); with a matching setup the
+    /// waveforms are bitwise what an un-injected run produces, since the
+    /// factors are the same objects a fresh preparation computes.
+    ///
+    /// The run's `stats` report the setup's (amortized) factorization
+    /// counters, so accounting invariants hold whether or not the work
+    /// was shared.
+    pub fn with_setup(mut self, setup: Arc<MatexSetup>) -> Self {
+        self.setup = Some(setup);
+        self
+    }
+
+    /// Injects a cached DC operating point, skipping the run's initial
+    /// `G x₀ = B u(t_start)` solve. The caller asserts the vector is
+    /// exactly that solve's solution for this run's system, sources, and
+    /// start time (a scenario engine keys DC solutions by the system's
+    /// value and source fingerprints).
+    pub fn with_dc(mut self, x0: Arc<Vec<f64>>) -> Self {
+        self.dc = Some(x0);
         self
     }
 
@@ -225,71 +254,78 @@ impl TransientEngine for MatexSolver {
             }
         };
 
-        // --- DC initial condition (factors G, kept for F/P terms).
-        // With a shared symbolic analysis this is a numeric replay.
-        let t0 = Instant::now();
-        let lu_g = match &self.symbolic {
-            Some(sym) => sym.refactor_g(sys.g(), &mut stats)?,
+        // --- Preparation: factors of G and X1 plus their substitution
+        // schedules. Either injected ([`MatexSolver::with_setup`] — the
+        // scenario-cache fast path) or prepared here, exactly as every
+        // run historically did. The factors are identical either way, so
+        // the waveform is independent of where the setup came from.
+        let prepared_storage;
+        let setup: &MatexSetup = match &self.setup {
+            Some(shared) => {
+                shared.check(sys, &self.opts)?;
+                shared.as_ref()
+            }
             None => {
-                stats.factorizations += 1;
-                SparseLu::factor(sys.g(), &LuOptions::default())?
+                prepared_storage = MatexSetup::prepare(
+                    sys,
+                    &self.opts,
+                    self.symbolic.as_deref(),
+                    self.pool.is_some(),
+                )?;
+                &prepared_storage
             }
         };
-        let x0 = lu_g.solve(&input.bu_at(t_start));
-        stats.substitution_pairs += 1;
+        stats.factorizations += setup.factorizations();
+        stats.refactorizations += setup.refactorizations();
+        stats.factor_time = setup.factor_time();
+        let lu_g = setup.lu_g();
+
+        // --- DC initial condition, unless a cached one was injected.
+        let t0 = Instant::now();
+        let x0 = match &self.dc {
+            Some(cached) => {
+                if cached.len() != sys.dim() {
+                    return Err(CoreError::InvalidSpec(format!(
+                        "injected DC solution has dim {}, system has {}",
+                        cached.len(),
+                        sys.dim()
+                    )));
+                }
+                cached.as_ref().clone()
+            }
+            None => {
+                stats.substitution_pairs += 1;
+                lu_g.solve(&input.bu_at(t_start))
+            }
+        };
         stats.dc_time = t0.elapsed();
 
-        // --- Variant matrices: factor X1 once.
-        let tf = Instant::now();
-        let mut c_reg_storage: Option<CsrMatrix> = None;
-        let mut shifted_storage: Option<CsrMatrix> = None;
-        let mut lu_x1_storage: Option<SparseLu> = None;
-        match self.opts.kind {
-            KrylovKind::Standard => {
-                let c_eff = if sys.zero_c_rows().is_empty() {
-                    sys.c().clone()
-                } else {
-                    regularize_c(sys, self.opts.regularize_eps).c
+        // With a pool: every substitution of the run (operator applies
+        // and input terms alike) replays a level-scheduled plan — taken
+        // from the setup when it carries one, built once here otherwise.
+        let mut sched_g_store: Option<SolveSchedule> = None;
+        let mut sched_x1_store: Option<SolveSchedule> = None;
+        let (sched_g, sched_x1): (Option<&SolveSchedule>, Option<&SolveSchedule>) =
+            if self.pool.is_some() {
+                let g = match setup.sched_g() {
+                    Some(s) => s,
+                    None => sched_g_store.insert(lu_g.solve_schedule()),
                 };
-                lu_x1_storage = Some(SparseLu::factor(&c_eff, &LuOptions::default())?);
-                stats.factorizations += 1;
-                c_reg_storage = Some(c_eff);
-            }
-            KrylovKind::Inverted => {
-                // X1 = G: reuse the DC factorization — zero extra cost.
-            }
-            KrylovKind::Rational => {
-                // Factored via the krylov helper so a shared symbolic
-                // analysis turns the γ-dependent factorization into a
-                // numeric replay.
-                let (shifted, lu, reused) = shifted_system(
-                    sys.c(),
-                    sys.g(),
-                    self.opts.gamma,
-                    self.symbolic.as_deref().and_then(|s| s.shifted()),
-                    &LuOptions::default(),
-                )?;
-                lu_x1_storage = Some(lu);
-                stats.factorizations += 1;
-                stats.refactorizations += usize::from(reused);
-                shifted_storage = Some(shifted);
-            }
-        }
-        let _ = &shifted_storage; // keep alive for the operator's lifetime
-
-        // With a pool: build each factorization's level-scheduled
-        // substitution plan once, up front — every substitution of the
-        // run (operator applies and input terms alike) replays it.
-        let sched_g: Option<SolveSchedule> = self.pool.as_ref().map(|_| lu_g.solve_schedule());
-        let sched_x1: Option<SolveSchedule> = match (&self.pool, &lu_x1_storage) {
-            (Some(_), Some(lu)) => Some(lu.solve_schedule()),
-            _ => None,
-        };
+                let x1 = match setup.lu_x1() {
+                    Some(lu) => Some(match setup.sched_x1() {
+                        Some(s) => s,
+                        None => &*sched_x1_store.insert(lu.solve_schedule()),
+                    }),
+                    None => None,
+                };
+                (Some(g), x1)
+            } else {
+                (None, None)
+            };
         let op_holder = match self.opts.kind {
             KrylovKind::Standard => {
-                let mut op =
-                    StandardOp::new(lu_x1_storage.as_ref().expect("lu(C) present"), sys.g());
-                if let (Some(pool), Some(sched)) = (&self.pool, &sched_x1) {
+                let mut op = StandardOp::new(setup.lu_x1().expect("lu(C) present"), sys.g());
+                if let (Some(pool), Some(sched)) = (&self.pool, sched_x1) {
                     op = op.with_parallelism(ParApply {
                         pool: pool.as_ref(),
                         sched,
@@ -298,8 +334,8 @@ impl TransientEngine for MatexSolver {
                 OpHolder::Std(op)
             }
             KrylovKind::Inverted => {
-                let mut op = InvertedOp::new(&lu_g, sys.c());
-                if let (Some(pool), Some(sched)) = (&self.pool, &sched_g) {
+                let mut op = InvertedOp::new(lu_g, sys.c());
+                if let (Some(pool), Some(sched)) = (&self.pool, sched_g) {
                     op = op.with_parallelism(ParApply {
                         pool: pool.as_ref(),
                         sched,
@@ -309,11 +345,11 @@ impl TransientEngine for MatexSolver {
             }
             KrylovKind::Rational => {
                 let mut op = RationalOp::new(
-                    lu_x1_storage.as_ref().expect("lu(C+γG) present"),
+                    setup.lu_x1().expect("lu(C+γG) present"),
                     sys.c(),
                     self.opts.gamma,
                 );
-                if let (Some(pool), Some(sched)) = (&self.pool, &sched_x1) {
+                if let (Some(pool), Some(sched)) = (&self.pool, sched_x1) {
                     op = op.with_parallelism(ParApply {
                         pool: pool.as_ref(),
                         sched,
@@ -322,12 +358,10 @@ impl TransientEngine for MatexSolver {
                 OpHolder::Rat(op)
             }
         };
-        let _ = &c_reg_storage;
         let op = op_holder.as_op();
-        stats.factor_time = tf.elapsed();
         // Parallel context for the input-terms substitutions (always
         // against the G factorization).
-        let terms_par: Option<(&ParPool, &SolveSchedule)> = match (&self.pool, &sched_g) {
+        let terms_par: Option<(&ParPool, &SolveSchedule)> = match (&self.pool, sched_g) {
             (Some(pool), Some(sched)) => Some((pool.as_ref(), sched)),
             _ => None,
         };
@@ -389,7 +423,7 @@ impl TransientEngine for MatexSolver {
             }
             let h = te - anchor_t;
             if !terms_valid {
-                terms.recompute_with(sys, &lu_g, &input, anchor_t, win_end, &mut stats, terms_par);
+                terms.recompute_with(sys, lu_g, &input, anchor_t, win_end, &mut stats, terms_par);
                 terms_valid = true;
             }
             // v = x(anchor) + F(anchor)
@@ -971,6 +1005,63 @@ mod tests {
         assert!(max_err < 1e-2, "sub-stepped waveform error {max_err:.3e}");
         // The timing split covers the snapshot phase.
         assert!(matex.stats.expm_time + matex.stats.combine_time <= matex.stats.transient_time);
+    }
+
+    #[test]
+    fn injected_setup_and_dc_are_bitwise_identical() {
+        // The setup/run split contract: a shared MatexSetup (with or
+        // without a cached DC solution) yields bit-for-bit the waveform
+        // of a self-preparing run, for every variant, pooled or not.
+        let sys = pulsed_rc();
+        let spec = TransientSpec::new(0.0, 1e-9, 1e-11).unwrap();
+        for kind in [
+            KrylovKind::Rational,
+            KrylovKind::Inverted,
+            KrylovKind::Standard,
+        ] {
+            let opts = MatexOptions::new(kind);
+            let fresh = MatexSolver::new(opts.clone()).run(&sys, &spec).unwrap();
+            let setup = Arc::new(MatexSetup::prepare(&sys, &opts, None, false).unwrap());
+            let reused = MatexSolver::new(opts.clone())
+                .with_setup(setup.clone())
+                .run(&sys, &spec)
+                .unwrap();
+            assert_eq!(fresh.series(), reused.series(), "{kind:?}");
+            assert_eq!(fresh.final_state(), reused.final_state());
+            // Amortized counters still satisfy the run invariants.
+            assert_eq!(fresh.stats.factorizations, reused.stats.factorizations);
+            // DC injection: hand the run its own x₀ back.
+            let x0 = Arc::new(setup.lu_g().solve(&sys.bu_at(0.0)));
+            let with_dc = MatexSolver::new(opts.clone())
+                .with_setup(setup.clone())
+                .with_dc(x0)
+                .run(&sys, &spec)
+                .unwrap();
+            assert_eq!(fresh.series(), with_dc.series(), "{kind:?} with DC");
+            // A pooled run over a schedule-less setup builds schedules
+            // itself and stays bitwise equal to a pool-prepared run.
+            let pooled_fresh = MatexSolver::new(opts.clone())
+                .with_parallelism(Arc::new(matex_par::ParPool::new(2)))
+                .run(&sys, &spec)
+                .unwrap();
+            let pooled_reused = MatexSolver::new(opts.clone())
+                .with_setup(setup)
+                .with_parallelism(Arc::new(matex_par::ParPool::new(2)))
+                .run(&sys, &spec)
+                .unwrap();
+            assert_eq!(pooled_fresh.series(), pooled_reused.series());
+            // Mismatched setups are rejected, not silently used.
+            let wrong = Arc::new(
+                MatexSetup::prepare(&sys, &MatexOptions::default().gamma(3e-10), None, false)
+                    .unwrap(),
+            );
+            if kind == KrylovKind::Rational {
+                assert!(MatexSolver::new(opts)
+                    .with_setup(wrong)
+                    .run(&sys, &spec)
+                    .is_err());
+            }
+        }
     }
 
     #[test]

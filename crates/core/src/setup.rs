@@ -1,0 +1,304 @@
+//! Reusable solver setup: the split between *preparing* a MATEX run and
+//! *running* it.
+//!
+//! Everything [`MatexSolver::run`](crate::MatexSolver) does before its
+//! transient loop — factoring `G`, factoring the variant's `X1` matrix
+//! (`C + γG` for R-MATEX, a regularized `C` for MEXP), and building the
+//! level-scheduled substitution plans — depends only on the system
+//! matrices and `(kind, γ)`, never on the source waveforms, the time
+//! window, the source mask, or the tolerances. A [`MatexSetup`] captures
+//! exactly that prefix as an immutable artifact:
+//!
+//! * a solver prepares one internally when none is injected (the
+//!   historical behavior, bit for bit),
+//! * a scenario engine prepares one per `(circuit values, γ)` and
+//!   injects it into every job that shares them
+//!   ([`MatexSolver::with_setup`](crate::MatexSolver::with_setup)), so
+//!   repeated-structure jobs skip straight to the numeric march,
+//! * a distributed run shares one across all of its nodes
+//!   (`DistributedOptions::setup` in `matex-dist`) — the node matrices
+//!   are identical, masking only selects input columns.
+//!
+//! Injection never changes the numerics: the factors (and therefore
+//! every substitution of the run) are the same objects a fresh
+//! preparation would produce.
+
+use crate::{CoreError, MatexOptions, MatexSymbolic, SolveStats};
+use matex_circuit::{regularize_c, MnaSystem};
+use matex_krylov::{shifted_system, KrylovKind};
+use matex_sparse::{CsrMatrix, LuOptions, SolveSchedule, SparseLu};
+use std::time::{Duration, Instant};
+
+/// The immutable, shareable preparation of a MATEX run: factors of `G`
+/// and the variant matrix plus (optionally) their substitution
+/// schedules.
+///
+/// # Example
+///
+/// ```
+/// use matex_circuit::RcMeshBuilder;
+/// use matex_core::{MatexOptions, MatexSetup, MatexSolver, TransientEngine, TransientSpec};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sys = RcMeshBuilder::new(4, 4).build()?;
+/// let opts = MatexOptions::default();
+/// let setup = Arc::new(MatexSetup::prepare(&sys, &opts, None, false)?);
+/// // Two runs over different windows share one preparation; the
+/// // waveforms are bitwise what a fresh solver produces.
+/// let spec = TransientSpec::new(0.0, 1e-9, 1e-11)?;
+/// let fresh = MatexSolver::new(opts.clone()).run(&sys, &spec)?;
+/// let reused = MatexSolver::new(opts).with_setup(setup).run(&sys, &spec)?;
+/// assert_eq!(fresh.series(), reused.series());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MatexSetup {
+    kind: KrylovKind,
+    gamma: f64,
+    regularize_eps: f64,
+    dim: usize,
+    lu_g: SparseLu,
+    /// The variant's `X1` factorization; `None` for I-MATEX, which
+    /// reuses `lu_g`.
+    lu_x1: Option<SparseLu>,
+    /// MEXP's (possibly regularized) effective `C`.
+    #[allow(dead_code)]
+    c_reg: Option<CsrMatrix>,
+    /// R-MATEX's shifted system `C + γG`.
+    #[allow(dead_code)]
+    shifted: Option<CsrMatrix>,
+    sched_g: Option<SolveSchedule>,
+    sched_x1: Option<SolveSchedule>,
+    factorizations: usize,
+    refactorizations: usize,
+    factor_time: Duration,
+}
+
+impl MatexSetup {
+    /// Performs the run-independent preparation for `(sys, opts)`.
+    ///
+    /// With a shared `symbolic` analysis the factorizations become
+    /// numeric replays (counted in [`MatexSetup::refactorizations`]).
+    /// `with_schedules` additionally builds the level-scheduled
+    /// substitution plans that pooled runs replay; a pooled run injected
+    /// with a schedule-less setup builds them itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization failures ([`CoreError::Sparse`]).
+    pub fn prepare(
+        sys: &MnaSystem,
+        opts: &MatexOptions,
+        symbolic: Option<&MatexSymbolic>,
+        with_schedules: bool,
+    ) -> Result<MatexSetup, CoreError> {
+        let t0 = Instant::now();
+        let mut counters = SolveStats::default();
+        let lu_g = match symbolic {
+            Some(sym) => sym.refactor_g(sys.g(), &mut counters)?,
+            None => {
+                counters.factorizations += 1;
+                SparseLu::factor(sys.g(), &LuOptions::default())?
+            }
+        };
+        let mut c_reg = None;
+        let mut shifted = None;
+        let mut lu_x1 = None;
+        match opts.kind {
+            KrylovKind::Standard => {
+                let c_eff = if sys.zero_c_rows().is_empty() {
+                    sys.c().clone()
+                } else {
+                    regularize_c(sys, opts.regularize_eps).c
+                };
+                lu_x1 = Some(SparseLu::factor(&c_eff, &LuOptions::default())?);
+                counters.factorizations += 1;
+                c_reg = Some(c_eff);
+            }
+            KrylovKind::Inverted => {
+                // X1 = G: reuse the DC factorization — zero extra cost.
+            }
+            KrylovKind::Rational => {
+                let (sh, lu, reused) = shifted_system(
+                    sys.c(),
+                    sys.g(),
+                    opts.gamma,
+                    symbolic.and_then(|s| s.shifted()),
+                    &LuOptions::default(),
+                )?;
+                lu_x1 = Some(lu);
+                counters.factorizations += 1;
+                counters.refactorizations += usize::from(reused);
+                shifted = Some(sh);
+            }
+        }
+        let sched_g = with_schedules.then(|| lu_g.solve_schedule());
+        let sched_x1 = match (&lu_x1, with_schedules) {
+            (Some(lu), true) => Some(lu.solve_schedule()),
+            _ => None,
+        };
+        Ok(MatexSetup {
+            kind: opts.kind,
+            gamma: opts.gamma,
+            regularize_eps: opts.regularize_eps,
+            dim: sys.dim(),
+            lu_g,
+            lu_x1,
+            c_reg,
+            shifted,
+            sched_g,
+            sched_x1,
+            factorizations: counters.factorizations,
+            refactorizations: counters.refactorizations,
+            factor_time: t0.elapsed(),
+        })
+    }
+
+    /// Verifies this setup matches a run's system and options. Values
+    /// are the caller's contract (a scenario engine keys setups by the
+    /// system's value fingerprint); the cheap invariants — dimension,
+    /// variant, and γ — are checked here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] on any mismatch.
+    pub fn check(&self, sys: &MnaSystem, opts: &MatexOptions) -> Result<(), CoreError> {
+        if self.dim != sys.dim() {
+            return Err(CoreError::InvalidSpec(format!(
+                "setup prepared for dim {} used on dim {}",
+                self.dim,
+                sys.dim()
+            )));
+        }
+        if self.kind != opts.kind {
+            return Err(CoreError::InvalidSpec(format!(
+                "setup prepared for {:?} used with {:?}",
+                self.kind, opts.kind
+            )));
+        }
+        if self.kind == KrylovKind::Rational && self.gamma.to_bits() != opts.gamma.to_bits() {
+            return Err(CoreError::InvalidSpec(format!(
+                "setup prepared at γ={} used at γ={}",
+                self.gamma, opts.gamma
+            )));
+        }
+        if self.kind == KrylovKind::Standard
+            && self.regularize_eps.to_bits() != opts.regularize_eps.to_bits()
+        {
+            return Err(CoreError::InvalidSpec(format!(
+                "setup prepared with regularize_eps={} used with {}",
+                self.regularize_eps, opts.regularize_eps
+            )));
+        }
+        Ok(())
+    }
+
+    /// The variant this setup was prepared for.
+    pub fn kind(&self) -> KrylovKind {
+        self.kind
+    }
+
+    /// The γ this setup was prepared at (meaningful for R-MATEX).
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// System dimension the setup was prepared for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The `G` factorization (DC condition and input terms).
+    pub fn lu_g(&self) -> &SparseLu {
+        &self.lu_g
+    }
+
+    /// The variant's `X1` factorization (`None` for I-MATEX).
+    pub fn lu_x1(&self) -> Option<&SparseLu> {
+        self.lu_x1.as_ref()
+    }
+
+    /// The pre-built substitution schedule for `lu_g`, if prepared.
+    pub fn sched_g(&self) -> Option<&SolveSchedule> {
+        self.sched_g.as_ref()
+    }
+
+    /// The pre-built substitution schedule for `lu_x1`, if prepared.
+    pub fn sched_x1(&self) -> Option<&SolveSchedule> {
+        self.sched_x1.as_ref()
+    }
+
+    /// Factorizations the preparation performed (full or replay).
+    pub fn factorizations(&self) -> usize {
+        self.factorizations
+    }
+
+    /// Of those, numeric replays of a shared symbolic analysis.
+    pub fn refactorizations(&self) -> usize {
+        self.refactorizations
+    }
+
+    /// Wall time of the preparation.
+    pub fn factor_time(&self) -> Duration {
+        self.factor_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matex_circuit::RcMeshBuilder;
+
+    #[test]
+    fn prepare_counts_and_checks() {
+        let sys = RcMeshBuilder::new(4, 4).build().unwrap();
+        let opts = MatexOptions::default();
+        let setup = MatexSetup::prepare(&sys, &opts, None, true).unwrap();
+        assert_eq!(setup.factorizations(), 2); // G and C + γG
+        assert_eq!(setup.refactorizations(), 0);
+        assert!(setup.lu_x1().is_some());
+        assert!(setup.sched_g().is_some() && setup.sched_x1().is_some());
+        assert!(setup.check(&sys, &opts).is_ok());
+        // γ mismatch is rejected for the rational variant.
+        assert!(setup.check(&sys, &opts.clone().gamma(2e-10)).is_err());
+        let mut inv = opts.clone();
+        inv.kind = KrylovKind::Inverted;
+        assert!(setup.check(&sys, &inv).is_err());
+        let other = RcMeshBuilder::new(5, 5).build().unwrap();
+        assert!(setup.check(&other, &opts).is_err());
+        // MEXP's effective C depends on regularize_eps: a setup prepared
+        // at one ε must not be reused at another.
+        let std_opts = MatexOptions::new(KrylovKind::Standard);
+        let std_setup = MatexSetup::prepare(&sys, &std_opts, None, false).unwrap();
+        assert!(std_setup.check(&sys, &std_opts).is_ok());
+        let mut other_eps = std_opts.clone();
+        other_eps.regularize_eps = 1e-6;
+        assert!(std_setup.check(&sys, &other_eps).is_err());
+        // γ is irrelevant off the rational variant.
+        let mut other_gamma = std_opts;
+        other_gamma.gamma = 9e-9;
+        assert!(std_setup.check(&sys, &other_gamma).is_ok());
+    }
+
+    #[test]
+    fn symbolic_turns_preparation_into_replays() {
+        let sys = RcMeshBuilder::new(4, 4).build().unwrap();
+        let opts = MatexOptions::default();
+        let symbolic = MatexSymbolic::analyze(&sys, &opts).unwrap();
+        let setup = MatexSetup::prepare(&sys, &opts, Some(&symbolic), false).unwrap();
+        assert_eq!(setup.factorizations(), 2);
+        assert_eq!(setup.refactorizations(), 2);
+        assert!(setup.sched_g().is_none() && setup.sched_x1().is_none());
+    }
+
+    #[test]
+    fn inverted_variant_shares_the_g_factor() {
+        let sys = RcMeshBuilder::new(4, 4).build().unwrap();
+        let opts = MatexOptions::new(KrylovKind::Inverted);
+        let setup = MatexSetup::prepare(&sys, &opts, None, false).unwrap();
+        assert_eq!(setup.factorizations(), 1);
+        assert!(setup.lu_x1().is_none());
+    }
+}

@@ -18,6 +18,9 @@ pub enum DistError {
     /// The master's shared symbolic factorization analysis failed before
     /// any node was scheduled.
     Analyze(CoreError),
+    /// An injected pre-built group plan does not match this run's
+    /// system, spec, or grouping strategy.
+    Plan(String),
 }
 
 impl fmt::Display for DistError {
@@ -28,6 +31,7 @@ impl fmt::Display for DistError {
             }
             DistError::Superposition(e) => write!(f, "superposition failed: {e}"),
             DistError::Analyze(e) => write!(f, "symbolic analysis failed: {e}"),
+            DistError::Plan(msg) => write!(f, "injected plan mismatch: {msg}"),
         }
     }
 }
@@ -38,6 +42,7 @@ impl std::error::Error for DistError {
             DistError::Node { source, .. } => Some(source),
             DistError::Superposition(e) => Some(e),
             DistError::Analyze(e) => Some(e),
+            DistError::Plan(_) => None,
         }
     }
 }

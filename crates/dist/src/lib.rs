@@ -47,12 +47,14 @@
 
 mod error;
 mod options;
+mod plan;
 mod run;
 mod schedule;
 mod speedup;
 
 pub use error::DistError;
 pub use options::DistributedOptions;
+pub use plan::{plan_groups, GroupPlan, PlanJob};
 pub use run::{run_distributed, DistributedRun, NodeRun};
 pub use schedule::{list_schedule_makespan, lpt_order, GroupCost, RunStats};
 pub use speedup::SpeedupModel;

@@ -1,6 +1,8 @@
-use matex_core::MatexOptions;
+use crate::GroupPlan;
+use matex_core::{MatexOptions, MatexSetup, MatexSymbolic};
 use matex_par::ParOptions;
 use matex_waveform::GroupingStrategy;
+use std::sync::Arc;
 
 /// Options for a distributed run.
 ///
@@ -37,6 +39,22 @@ pub struct DistributedOptions {
     /// the per-node budget, so enabling more workers never changes the
     /// superposed waveform.
     pub par: ParOptions,
+    /// A pre-built shared symbolic analysis. `None` (default) analyzes
+    /// on the master, exactly as before; `Some` skips the analysis (a
+    /// scenario engine amortizes it across runs). Ignored when `setup`
+    /// is also injected — the setup already embeds the factors.
+    pub symbolic: Option<Arc<MatexSymbolic>>,
+    /// A pre-built solver setup shared by **every node** (the node
+    /// matrices are identical — masking only selects input columns).
+    /// `None` (default) lets each node factor for itself; `Some` skips
+    /// all per-node factorization. Must match `matex` (kind, γ) and the
+    /// system, per [`MatexSetup::check`].
+    pub setup: Option<Arc<MatexSetup>>,
+    /// A pre-built group plan ([`crate::plan_groups`]). `None` (default)
+    /// plans inside the run; `Some` must fit the run's system, spec, and
+    /// `strategy` ([`GroupPlan::check`]) or the run fails with
+    /// [`crate::DistError::Plan`].
+    pub plan: Option<Arc<GroupPlan>>,
 }
 
 #[cfg(test)]

@@ -1,0 +1,216 @@
+//! Pre-built group plans: the cacheable front half of a distributed run.
+//!
+//! [`run_distributed`](crate::run_distributed) spends its first phase on
+//! pure functions of `(sources, window, strategy)`: partitioning the
+//! sources into groups, deriving each group's local transition spots,
+//! and ordering the groups longest-processing-time first. A
+//! [`GroupPlan`] captures that phase as an immutable artifact, so a
+//! scenario engine serving many transients of one circuit computes it
+//! once ([`plan_groups`]) and injects it into every run
+//! (`DistributedOptions::plan`). Injection is numerically invisible:
+//! the plan is exactly what the run would have computed.
+
+use crate::schedule::lpt_order;
+use matex_circuit::MnaSystem;
+use matex_core::TransientSpec;
+use matex_waveform::{group_sources, GroupingStrategy, SpotSet};
+
+/// One schedulable subtask of a plan: a source group and its LTS.
+#[derive(Debug, Clone)]
+pub struct PlanJob {
+    /// Group id (0 is the constant/supply group).
+    pub group: usize,
+    /// Source columns belonging to the group.
+    pub members: Vec<usize>,
+    /// The group's local transition spots, clipped to the window.
+    pub lts: SpotSet,
+}
+
+/// The immutable scheduling plan of a distributed run: jobs, global
+/// transition spots, and the LPT drain order.
+///
+/// # Example
+///
+/// ```
+/// use matex_circuit::PdnBuilder;
+/// use matex_core::TransientSpec;
+/// use matex_dist::plan_groups;
+/// use matex_waveform::GroupingStrategy;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let grid = PdnBuilder::new(8, 8).num_loads(10).num_features(3).window(2e-9).build()?;
+/// let spec = TransientSpec::new(0.0, 2e-9, 4e-11)?;
+/// let plan = plan_groups(&grid, &spec, GroupingStrategy::ByBumpFeature);
+/// assert_eq!(plan.num_jobs(), 4); // 3 bump shapes + the supply group
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GroupPlan {
+    strategy: GroupingStrategy,
+    t_start: f64,
+    t_stop: f64,
+    num_sources: usize,
+    jobs: Vec<PlanJob>,
+    gts: SpotSet,
+    order: Vec<usize>,
+}
+
+impl GroupPlan {
+    /// Number of schedulable subtasks (slave nodes).
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The subtasks, in ascending group order.
+    pub fn jobs(&self) -> &[PlanJob] {
+        &self.jobs
+    }
+
+    /// Global transition spots (union of all LTS), clipped to the
+    /// window.
+    pub fn gts(&self) -> &SpotSet {
+        &self.gts
+    }
+
+    /// Indices into [`GroupPlan::jobs`] in LPT schedule order — the
+    /// dispatch *and* superposition order of the run.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The strategy the plan was derived under.
+    pub fn strategy(&self) -> GroupingStrategy {
+        self.strategy
+    }
+
+    /// Verifies this plan fits a run. The source *waveforms* are the
+    /// caller's contract (a scenario engine keys plans by the system's
+    /// source fingerprint); the cheap invariants — source count and the
+    /// exact window — are checked here.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    pub fn check(
+        &self,
+        sys: &MnaSystem,
+        spec: &TransientSpec,
+        strategy: GroupingStrategy,
+    ) -> Result<(), String> {
+        if self.num_sources != sys.num_sources() {
+            return Err(format!(
+                "plan covers {} sources, system has {}",
+                self.num_sources,
+                sys.num_sources()
+            ));
+        }
+        if self.strategy != strategy {
+            return Err(format!(
+                "plan derived under {:?}, run requested {:?}",
+                self.strategy, strategy
+            ));
+        }
+        if self.t_start.to_bits() != spec.t_start().to_bits()
+            || self.t_stop.to_bits() != spec.t_stop().to_bits()
+        {
+            return Err(format!(
+                "plan window [{}, {}] vs spec [{}, {}]",
+                self.t_start,
+                self.t_stop,
+                spec.t_start(),
+                spec.t_stop()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Derives the group plan [`run_distributed`](crate::run_distributed)
+/// would compute for `(sys, spec, strategy)`: group the sources, clip
+/// each group's LTS to the window, and fix the LPT schedule order
+/// (cost estimate: LTS count, ties on ascending group id).
+///
+/// A sourceless system yields one empty job, so the run still produces
+/// a well-formed (zero) result grid.
+pub fn plan_groups(sys: &MnaSystem, spec: &TransientSpec, strategy: GroupingStrategy) -> GroupPlan {
+    let (t_start, t_stop) = (spec.t_start(), spec.t_stop());
+    let grouping = group_sources(&sys.source_waveforms(), t_stop, strategy);
+    let mut jobs: Vec<PlanJob> = grouping
+        .groups
+        .iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| PlanJob {
+            group: g.id,
+            members: g.members.clone(),
+            lts: g.lts.clip(t_start, t_stop),
+        })
+        .collect();
+    if jobs.is_empty() {
+        jobs.push(PlanJob {
+            group: 0,
+            members: Vec::new(),
+            lts: SpotSet::new(),
+        });
+    }
+    let costs: Vec<usize> = jobs.iter().map(|j| j.lts.len()).collect();
+    let order = lpt_order(&costs);
+    GroupPlan {
+        strategy,
+        t_start,
+        t_stop,
+        num_sources: sys.num_sources(),
+        jobs,
+        gts: grouping.gts.clip(t_start, t_stop),
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matex_circuit::PdnBuilder;
+
+    fn grid() -> MnaSystem {
+        PdnBuilder::new(6, 6)
+            .num_loads(8)
+            .num_features(3)
+            .window(1e-9)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn plan_covers_every_source_once() {
+        let sys = grid();
+        let spec = TransientSpec::new(0.0, 1e-9, 2e-11).unwrap();
+        let plan = plan_groups(&sys, &spec, GroupingStrategy::ByBumpFeature);
+        let covered: usize = plan.jobs().iter().map(|j| j.members.len()).sum();
+        assert_eq!(covered, sys.num_sources());
+        assert_eq!(plan.order().len(), plan.num_jobs());
+        assert!(plan
+            .check(&sys, &spec, GroupingStrategy::ByBumpFeature)
+            .is_ok());
+    }
+
+    #[test]
+    fn check_rejects_mismatches() {
+        let sys = grid();
+        let spec = TransientSpec::new(0.0, 1e-9, 2e-11).unwrap();
+        let plan = plan_groups(&sys, &spec, GroupingStrategy::ByBumpFeature);
+        assert!(plan.check(&sys, &spec, GroupingStrategy::Single).is_err());
+        let other_spec = TransientSpec::new(0.0, 2e-9, 2e-11).unwrap();
+        assert!(plan
+            .check(&sys, &other_spec, GroupingStrategy::ByBumpFeature)
+            .is_err());
+        let other_sys = PdnBuilder::new(6, 6)
+            .num_loads(4)
+            .num_features(2)
+            .window(1e-9)
+            .build()
+            .unwrap();
+        assert!(plan
+            .check(&other_sys, &spec, GroupingStrategy::ByBumpFeature)
+            .is_err());
+    }
+}

@@ -1,6 +1,7 @@
 //! The master node: grouping, scheduling, execution, superposition.
 
-use crate::schedule::{lpt_order, NodeMeasurement, RunStats};
+use crate::plan::{plan_groups, GroupPlan, PlanJob};
+use crate::schedule::{NodeMeasurement, RunStats};
 use crate::{DistError, DistributedOptions};
 use matex_circuit::MnaSystem;
 use matex_core::{
@@ -8,7 +9,7 @@ use matex_core::{
     TransientSpec,
 };
 use matex_par::ParPool;
-use matex_waveform::{group_sources, SpotSet};
+use matex_waveform::SpotSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -65,13 +66,6 @@ impl DistributedRun {
     pub fn num_groups(&self) -> usize {
         self.nodes.len()
     }
-}
-
-/// One schedulable subtask.
-struct Job {
-    group: usize,
-    members: Vec<usize>,
-    lts: SpotSet,
 }
 
 /// What a worker hands the master per finished node.
@@ -169,41 +163,48 @@ pub fn run_distributed(
     opts: &DistributedOptions,
 ) -> Result<DistributedRun, DistError> {
     let wall0 = Instant::now();
-    let (t_start, t_stop) = (spec.t_start(), spec.t_stop());
 
-    let grouping = group_sources(&sys.source_waveforms(), t_stop, opts.strategy);
-    let mut jobs: Vec<Job> = grouping
-        .groups
-        .iter()
-        .filter(|g| !g.is_empty())
-        .map(|g| Job {
-            group: g.id,
-            members: g.members.clone(),
-            lts: g.lts.clip(t_start, t_stop),
-        })
-        .collect();
-    if jobs.is_empty() {
-        // Sourceless system: one node computes the (zero) homogeneous
-        // response so the run still has a well-formed result grid.
-        jobs.push(Job {
-            group: 0,
-            members: Vec::new(),
-            lts: SpotSet::new(),
-        });
-    }
+    // The planning phase — grouping, LTS clipping, LPT ordering — either
+    // injected (a scenario engine amortizes it across runs of one
+    // circuit) or computed here. The plan is a pure function of
+    // `(sources, window, strategy)`, so injection never changes the jobs
+    // or their fixed summation order.
+    let plan_storage;
+    let plan: &GroupPlan = match &opts.plan {
+        Some(shared) => {
+            shared
+                .check(sys, spec, opts.strategy)
+                .map_err(DistError::Plan)?;
+            shared.as_ref()
+        }
+        None => {
+            plan_storage = plan_groups(sys, spec, opts.strategy);
+            &plan_storage
+        }
+    };
+    let jobs: &[PlanJob] = plan.jobs();
+    let order: &[usize] = plan.order();
 
     // One symbolic analysis on the unmasked system; every node replays
     // it (the matrices are identical across nodes — masking only selects
-    // input columns).
-    let ta = Instant::now();
-    let symbolic = Arc::new(MatexSymbolic::analyze(sys, &opts.matex).map_err(DistError::Analyze)?);
-    let analyze_time = ta.elapsed();
+    // input columns). An injected analysis — or an injected full setup,
+    // which embeds the factors themselves — skips this master phase.
+    let mut analyze_time = Duration::ZERO;
+    let symbolic: Option<Arc<MatexSymbolic>> = if opts.setup.is_some() {
+        None
+    } else {
+        match &opts.symbolic {
+            Some(shared) => Some(shared.clone()),
+            None => {
+                let ta = Instant::now();
+                let s =
+                    Arc::new(MatexSymbolic::analyze(sys, &opts.matex).map_err(DistError::Analyze)?);
+                analyze_time = ta.elapsed();
+                Some(s)
+            }
+        }
+    };
 
-    // Longest-processing-time order: a group's cost is dominated by its
-    // Krylov generations, one per LTS. Ties break on job index (ascending
-    // group id) so the schedule itself is deterministic.
-    let costs: Vec<usize> = jobs.iter().map(|j| j.lts.len()).collect();
-    let order = lpt_order(&costs);
     // rank[job] = position in the schedule (and summation) order.
     let mut rank = vec![0usize; jobs.len()];
     for (k, &j) in order.iter().enumerate() {
@@ -238,7 +239,7 @@ pub fn run_distributed(
     let mut sup = Superposer::new(jobs.len());
     let mut failures: Vec<(usize, CoreError)> = Vec::new();
     std::thread::scope(|scope| {
-        let (jobs, order, cursor, abort, symbolic) = (&jobs, &order, &cursor, &abort, &symbolic);
+        let (cursor, abort, symbolic) = (&cursor, &abort, &symbolic);
         for _ in 0..workers {
             let tx = tx.clone();
             scope.spawn(move || {
@@ -332,7 +333,7 @@ pub fn run_distributed(
     Ok(DistributedRun {
         result,
         nodes,
-        gts: grouping.gts.clip(t_start, t_stop),
+        gts: plan.gts().clone(),
         stats: run_stats,
         emulated_transient,
         emulated_total,
@@ -346,15 +347,20 @@ fn run_node(
     sys: &MnaSystem,
     spec: &TransientSpec,
     opts: &DistributedOptions,
-    job: &Job,
-    symbolic: Arc<MatexSymbolic>,
+    job: &PlanJob,
+    symbolic: Option<Arc<MatexSymbolic>>,
     pool: Option<Arc<ParPool>>,
 ) -> NodeOutcome {
     let t0 = Instant::now();
     let mut solver = MatexSolver::new(opts.matex.clone())
         .with_source_mask(job.members.clone())
-        .with_lts(job.lts.clone())
-        .with_symbolic(symbolic);
+        .with_lts(job.lts.clone());
+    if let Some(setup) = &opts.setup {
+        // Every node shares the one pre-built factorization set.
+        solver = solver.with_setup(setup.clone());
+    } else if let Some(sym) = symbolic {
+        solver = solver.with_symbolic(sym);
+    }
     if let Some(pool) = pool {
         solver = solver.with_parallelism(pool);
     }
@@ -509,6 +515,78 @@ mod tests {
             max_err < 1e-7,
             "pooled path deviates from legacy: {max_err:.3e}"
         );
+    }
+
+    #[test]
+    fn injected_artifacts_are_bitwise_invisible() {
+        // Pre-built plan / symbolic / setup — alone and together — must
+        // reproduce the self-computing run bit for bit: each artifact is
+        // exactly what the run would have derived.
+        let sys = small_grid();
+        let spec = TransientSpec::new(0.0, 1e-9, 2e-11).unwrap();
+        let base_opts = DistributedOptions::default();
+        let reference = run_distributed(&sys, &spec, &base_opts).unwrap();
+
+        let plan = Arc::new(crate::plan_groups(&sys, &spec, base_opts.strategy));
+        let symbolic =
+            Arc::new(matex_core::MatexSymbolic::analyze(&sys, &base_opts.matex).unwrap());
+        let setup = Arc::new(
+            matex_core::MatexSetup::prepare(&sys, &base_opts.matex, Some(&symbolic), false)
+                .unwrap(),
+        );
+        let variants = [
+            DistributedOptions {
+                plan: Some(plan.clone()),
+                ..base_opts.clone()
+            },
+            DistributedOptions {
+                symbolic: Some(symbolic.clone()),
+                ..base_opts.clone()
+            },
+            DistributedOptions {
+                plan: Some(plan.clone()),
+                symbolic: Some(symbolic.clone()),
+                setup: Some(setup.clone()),
+                ..base_opts.clone()
+            },
+        ];
+        for (k, opts) in variants.iter().enumerate() {
+            let run = run_distributed(&sys, &spec, opts).unwrap();
+            assert_eq!(
+                reference.result.series(),
+                run.result.series(),
+                "variant {k} changed the waveform"
+            );
+            assert_eq!(
+                reference.result.final_state(),
+                run.result.final_state(),
+                "variant {k} changed the final state"
+            );
+            assert_eq!(reference.gts.as_slice(), run.gts.as_slice());
+        }
+        // Injected symbolic: the master skips its own analysis.
+        let injected = run_distributed(
+            &sys,
+            &spec,
+            &DistributedOptions {
+                symbolic: Some(symbolic),
+                ..base_opts.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(injected.stats.analyze_time, Duration::ZERO);
+
+        // A plan for a different window is rejected, not silently used.
+        let other_spec = TransientSpec::new(0.0, 2e-9, 2e-11).unwrap();
+        let err = run_distributed(
+            &sys,
+            &other_spec,
+            &DistributedOptions {
+                plan: Some(plan),
+                ..base_opts
+            },
+        );
+        assert!(matches!(err, Err(DistError::Plan(_))));
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Thread-budget admission control for concurrent jobs.
+//!
+//! A scenario engine multiplexes many independent solver jobs over one
+//! machine. Each job brings its own worker threads and kernel pools; run
+//! enough of them at once and the host oversubscribes, wrecking every
+//! job's latency. [`ThreadBudget`] is the admission primitive: a
+//! fair (FIFO) counting semaphore over a fixed total thread budget.
+//! A job acquires a lease for the threads it will occupy before it
+//! starts and releases it (by dropping the [`BudgetLease`]) when it
+//! finishes, so the sum of running jobs' thread demands never exceeds
+//! the budget.
+//!
+//! Grants are strictly first-come-first-served: a wide job at the head
+//! of the queue blocks later narrow jobs until it fits, so heavy jobs
+//! cannot be starved by a stream of light ones.
+
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct BudgetState {
+    in_use: usize,
+    /// Next ticket to hand out.
+    next_ticket: u64,
+    /// Ticket currently allowed to try to acquire (FIFO fairness).
+    now_serving: u64,
+}
+
+/// A fair counting semaphore over a total thread budget.
+///
+/// # Example
+///
+/// ```
+/// use matex_par::ThreadBudget;
+///
+/// let budget = ThreadBudget::new(8);
+/// let a = budget.acquire(5);
+/// assert_eq!(budget.in_use(), 5);
+/// assert!(budget.try_acquire(4).is_none()); // would oversubscribe
+/// drop(a);
+/// let b = budget.try_acquire(4).expect("fits after release");
+/// assert_eq!(b.threads(), 4);
+/// ```
+#[derive(Debug)]
+pub struct ThreadBudget {
+    total: usize,
+    state: Mutex<BudgetState>,
+    cv: Condvar,
+}
+
+impl ThreadBudget {
+    /// A budget of `total` threads (at least 1).
+    pub fn new(total: usize) -> ThreadBudget {
+        ThreadBudget {
+            total: total.max(1),
+            state: Mutex::new(BudgetState {
+                in_use: 0,
+                next_ticket: 0,
+                now_serving: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The total thread budget.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Threads currently leased out.
+    pub fn in_use(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).in_use
+    }
+
+    /// Clamps a demand into the grantable range `1..=total`. A job
+    /// asking for more than the whole machine is admitted alone rather
+    /// than deadlocked forever.
+    fn clamp(&self, want: usize) -> usize {
+        want.clamp(1, self.total)
+    }
+
+    /// Blocks until `want` threads (clamped to the budget) can be leased,
+    /// in strict FIFO order with every other acquirer.
+    pub fn acquire(&self, want: usize) -> BudgetLease<'_> {
+        let want = self.clamp(want);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        while st.now_serving != ticket || st.in_use + want > self.total {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.in_use += want;
+        st.now_serving += 1;
+        self.cv.notify_all();
+        BudgetLease {
+            budget: self,
+            threads: want,
+        }
+    }
+
+    /// Non-blocking acquire: `None` when the lease does not fit *right
+    /// now* or earlier acquirers are still queued (FIFO is preserved —
+    /// `try_acquire` never jumps the line).
+    pub fn try_acquire(&self, want: usize) -> Option<BudgetLease<'_>> {
+        let want = self.clamp(want);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.now_serving != st.next_ticket || st.in_use + want > self.total {
+            return None;
+        }
+        st.next_ticket += 1;
+        st.now_serving += 1;
+        st.in_use += want;
+        Some(BudgetLease {
+            budget: self,
+            threads: want,
+        })
+    }
+}
+
+/// An outstanding lease of budget threads; returns them on drop.
+#[derive(Debug)]
+pub struct BudgetLease<'a> {
+    budget: &'a ThreadBudget,
+    threads: usize,
+}
+
+impl BudgetLease<'_> {
+    /// Threads this lease holds.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Drop for BudgetLease<'_> {
+    fn drop(&mut self) {
+        let mut st = self.budget.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.in_use -= self.threads;
+        drop(st);
+        self.budget.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn leases_never_oversubscribe() {
+        let budget = Arc::new(ThreadBudget::new(3));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let current = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let (budget, peak, current) = (budget.clone(), peak.clone(), current.clone());
+                std::thread::spawn(move || {
+                    let lease = budget.acquire(1 + i % 3);
+                    let now =
+                        current.fetch_add(lease.threads(), Ordering::SeqCst) + lease.threads();
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    current.fetch_sub(lease.threads(), Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 3, "budget exceeded");
+        assert_eq!(budget.in_use(), 0);
+    }
+
+    #[test]
+    fn oversized_demands_are_clamped_not_deadlocked() {
+        let budget = ThreadBudget::new(2);
+        let lease = budget.acquire(100);
+        assert_eq!(lease.threads(), 2);
+        drop(lease);
+        let zero = budget.acquire(0);
+        assert_eq!(zero.threads(), 1);
+    }
+
+    #[test]
+    fn fifo_wide_job_is_not_starved() {
+        // A 4-thread job queued behind a running 1-thread job must be
+        // served before 1-thread jobs that arrived after it.
+        let budget = Arc::new(ThreadBudget::new(4));
+        let first = budget.acquire(1);
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let wide = {
+            let (budget, order) = (budget.clone(), order.clone());
+            std::thread::spawn(move || {
+                let _lease = budget.acquire(4);
+                order.lock().unwrap().push("wide");
+            })
+        };
+        // Give the wide job time to take its ticket.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let narrow = {
+            let (budget, order) = (budget.clone(), order.clone());
+            std::thread::spawn(move || {
+                let _lease = budget.acquire(1);
+                order.lock().unwrap().push("narrow");
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Nothing can proceed while `first` holds a thread and the wide
+        // job heads the queue.
+        assert!(order.lock().unwrap().is_empty());
+        drop(first);
+        wide.join().unwrap();
+        narrow.join().unwrap();
+        assert_eq!(*order.lock().unwrap(), vec!["wide", "narrow"]);
+    }
+
+    #[test]
+    fn try_acquire_respects_queue_and_capacity() {
+        let budget = ThreadBudget::new(2);
+        let a = budget.try_acquire(2).expect("empty budget grants");
+        assert!(budget.try_acquire(1).is_none());
+        drop(a);
+        assert!(budget.try_acquire(1).is_some());
+    }
+}

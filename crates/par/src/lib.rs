@@ -44,10 +44,12 @@
 //! assert_eq!(ParOptions::with_threads(0).resolve(), None);
 //! ```
 
+mod budget;
 mod kernels;
 mod options;
 mod pool;
 
+pub use budget::{BudgetLease, ThreadBudget};
 pub use kernels::{
     combine_columns, div_in_place, dot, multi_dot, norm2, subtract_combination, tile_span, tiles,
     RawVec, PAR_MIN, TILE,

@@ -1,0 +1,150 @@
+//! The `matex-serve` binary: run the TCP job service, or load-test one.
+//!
+//! ```text
+//! matex-serve serve [--addr 127.0.0.1:7171] [--threads N] [--executors N]
+//! matex-serve load  --addr HOST:PORT [--clients 4] [--jobs 5] [--grids 2]
+//! ```
+//!
+//! `serve` prints `listening on <addr>` once bound (port 0 picks a free
+//! port) and runs until killed. `load` drives `--clients` concurrent
+//! connections through `--jobs` repetitions over `--grids` distinct
+//! synthetic PDN circuits and prints throughput, latency percentiles,
+//! cache hit-rate, and the cross-client determinism verdict.
+
+use matex_serve::{
+    run_load, serve, EngineOptions, LoadJob, LoadSpec, ScenarioEngine, ServiceOptions,
+};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("serve") => cmd_serve(args),
+        Some("load") => cmd_load(args),
+        _ => {
+            eprintln!(
+                "usage: matex-serve <serve|load> [options]   (see --help in the module docs)"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn take(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next()
+        .unwrap_or_else(|| panic!("{flag} requires a value"))
+}
+
+fn cmd_serve(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut opts = EngineOptions::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = take(&mut args, "--addr"),
+            "--threads" => {
+                opts.threads = Some(take(&mut args, "--threads").parse().expect("--threads N"))
+            }
+            "--executors" => {
+                opts.executors = take(&mut args, "--executors")
+                    .parse()
+                    .expect("--executors N")
+            }
+            "--kernel-threads" => {
+                opts.kernel_threads = take(&mut args, "--kernel-threads")
+                    .parse()
+                    .expect("--kernel-threads N")
+            }
+            other => {
+                eprintln!("unknown serve argument {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let engine = Arc::new(ScenarioEngine::new(opts));
+    let handle = match serve(
+        engine,
+        &ServiceOptions {
+            addr,
+            ..ServiceOptions::default()
+        },
+    ) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("matex-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", handle.addr());
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut addr = None;
+    let mut clients = 4usize;
+    let mut jobs_per_grid = 5usize;
+    let mut grids = 2usize;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(take(&mut args, "--addr")),
+            "--clients" => clients = take(&mut args, "--clients").parse().expect("--clients N"),
+            "--jobs" => jobs_per_grid = take(&mut args, "--jobs").parse().expect("--jobs N"),
+            "--grids" => grids = take(&mut args, "--grids").parse().expect("--grids N"),
+            other => {
+                eprintln!("unknown load argument {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("load requires --addr HOST:PORT");
+        return ExitCode::from(2);
+    };
+    // `grids` distinct structures, `jobs_per_grid` scenario variations
+    // each — the repeated-structure workload the cache exists for.
+    let mut jobs = Vec::new();
+    for g in 0..grids.max(1) {
+        let dim = 6 + 2 * g;
+        for j in 0..jobs_per_grid.max(1) {
+            let job = LoadJob::pdn(dim, dim, 8 + 2 * g, 3, 100 + g as u64);
+            jobs.push(if j == 0 {
+                job
+            } else {
+                job.scaled(0.75 + 0.125 * j as f64)
+            });
+        }
+    }
+    match run_load(&LoadSpec {
+        addr,
+        clients,
+        jobs,
+    }) {
+        Ok(r) => {
+            println!(
+                "clients {clients}  jobs {}  failed {}  wall {:.3}s  {:.1} jobs/s",
+                r.completed,
+                r.failed,
+                r.wall.as_secs_f64(),
+                r.jobs_per_s
+            );
+            println!(
+                "latency p50 {:.1}ms  p99 {:.1}ms  deterministic: {}",
+                r.p50.as_secs_f64() * 1e3,
+                r.p99.as_secs_f64() * 1e3,
+                r.deterministic
+            );
+            if r.deterministic && r.failed == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("matex-serve load: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,833 @@
+//! The scenario engine: cached, admission-controlled job execution.
+
+use crate::cache::{ArtifactCache, CacheSizes, DcKey, PlanKey, SetupKey};
+use crate::job::{CacheReport, ExecutionMode, Hit, JobId, JobOutcome, JobSpec, JobStatus};
+use crate::ServeError;
+use matex_circuit::MnaSystem;
+use matex_core::{
+    KrylovKind, MatexOptions, MatexSetup, MatexSolver, MatexSymbolic, TransientEngine,
+};
+use matex_dist::{plan_groups, run_distributed, DistributedOptions};
+use matex_par::{ParOptions, ParPool, ThreadBudget};
+use matex_waveform::GroupingStrategy;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`ScenarioEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Total thread budget shared by all concurrently running jobs
+    /// (admission control never oversubscribes it). `None` uses
+    /// [`std::thread::available_parallelism`].
+    pub threads: Option<usize>,
+    /// Executor threads draining the job queue (the maximum number of
+    /// jobs *attempting* admission at once).
+    pub executors: usize,
+    /// Kernel threads per monolithic job / total intra-node budget per
+    /// distributed job. `0` (default) runs the legacy serial kernels —
+    /// the reference point for bitwise comparisons against standalone
+    /// runs.
+    pub kernel_threads: usize,
+    /// Default worker count for distributed jobs that leave `workers`
+    /// unset.
+    pub dist_workers: usize,
+    /// Maximum distinct circuit structures kept in the artifact cache
+    /// (whole-circuit LRU eviction beyond this).
+    pub max_circuits: usize,
+    /// Resolved job outcomes retained for polling/streaming. Beyond
+    /// this, the oldest resolved job's outcome (its full waveform) is
+    /// dropped and its status becomes [`JobStatus::Expired`], so a
+    /// long-running service's memory is bounded by recent traffic.
+    pub max_retained: usize,
+    /// How many γ decades away a symbolic anchor may be reused
+    /// (`0` = exact decade only).
+    pub anchor_span: i32,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            threads: None,
+            executors: 2,
+            kernel_threads: 0,
+            dist_workers: 2,
+            max_circuits: 32,
+            max_retained: 1024,
+            anchor_span: 1,
+        }
+    }
+}
+
+/// Monotonic counters of engine activity (a snapshot; see
+/// [`ScenarioEngine::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Jobs accepted by [`ScenarioEngine::submit`] or run synchronously.
+    pub submitted: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Jobs that hit the full numeric-setup cache (skipped all
+    /// factorization).
+    pub warm_jobs: u64,
+    /// Symbolic-analysis cache hits (exact or neighbouring anchor).
+    pub symbolic_hits: u64,
+    /// Symbolic analyses performed (cache misses + replanted anchors).
+    pub symbolic_misses: u64,
+    /// Numeric-setup cache hits.
+    pub setup_hits: u64,
+    /// Numeric setups prepared.
+    pub setup_misses: u64,
+    /// DC-solution cache hits.
+    pub dc_hits: u64,
+    /// Group-plan cache hits.
+    pub plan_hits: u64,
+    /// Artifact counts currently cached.
+    pub cache: CacheSizes,
+}
+
+impl EngineStats {
+    /// Fraction of resolved jobs that ran on the warm path.
+    pub fn warm_rate(&self) -> f64 {
+        let done = self.completed.max(1);
+        self.warm_jobs as f64 / done as f64
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    warm_jobs: AtomicU64,
+    symbolic_hits: AtomicU64,
+    symbolic_misses: AtomicU64,
+    setup_hits: AtomicU64,
+    setup_misses: AtomicU64,
+    dc_hits: AtomicU64,
+    plan_hits: AtomicU64,
+}
+
+struct JobRecord {
+    spec: JobSpec,
+    status: JobStatus,
+    submitted_at: Instant,
+}
+
+#[derive(Default)]
+struct JobTable {
+    records: Vec<JobRecord>,
+    queue: VecDeque<JobId>,
+    /// Resolved job ids in completion order, for outcome retention.
+    resolved: VecDeque<JobId>,
+}
+
+struct Inner {
+    opts: EngineOptions,
+    cache: ArtifactCache,
+    budget: ThreadBudget,
+    table: Mutex<JobTable>,
+    queue_cv: Condvar,
+    done_cv: Condvar,
+    shutdown: AtomicBool,
+    counters: Counters,
+    /// Idle kernel pools (each `kernel_threads` wide), reused across
+    /// monolithic jobs so the warm fast path never pays thread spawn.
+    idle_pools: Mutex<Vec<Arc<ParPool>>>,
+}
+
+/// The scenario engine: accepts [`JobSpec`]s, amortizes per-circuit
+/// analysis through a structure-fingerprint cache, and multiplexes
+/// concurrent jobs over a fixed thread budget.
+///
+/// # Example
+///
+/// ```
+/// use matex_circuit::PdnBuilder;
+/// use matex_core::TransientSpec;
+/// use matex_serve::{EngineOptions, JobSpec, ScenarioEngine};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = ScenarioEngine::new(EngineOptions::default());
+/// let grid = Arc::new(PdnBuilder::new(6, 6).num_loads(8).window(1e-9).build()?);
+/// let spec = TransientSpec::new(0.0, 1e-9, 2e-11)?;
+/// let cold = engine.run(&JobSpec::new(grid.clone(), spec.clone()))?;
+/// let warm = engine.run(&JobSpec::new(grid, spec))?;
+/// assert!(!cold.cache.is_warm() && warm.cache.is_warm());
+/// // Cache hits replay the identical factors: waveforms are bitwise equal.
+/// assert_eq!(cold.result.series(), warm.result.series());
+/// # Ok(())
+/// # }
+/// ```
+pub struct ScenarioEngine {
+    inner: Arc<Inner>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ScenarioEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioEngine")
+            .field("opts", &self.inner.opts)
+            .field("executors", &self.executors.len())
+            .finish()
+    }
+}
+
+impl ScenarioEngine {
+    /// Starts an engine with `opts.executors` queue-draining threads.
+    pub fn new(opts: EngineOptions) -> ScenarioEngine {
+        let threads = opts.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        let inner = Arc::new(Inner {
+            cache: ArtifactCache::new(opts.max_circuits),
+            budget: ThreadBudget::new(threads),
+            table: Mutex::new(JobTable::default()),
+            queue_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            idle_pools: Mutex::new(Vec::new()),
+            opts,
+        });
+        let executors = (0..inner.opts.executors.max(1))
+            .map(|k| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("matex-serve-exec-{k}"))
+                    .spawn(move || executor_loop(&inner))
+                    .expect("spawn engine executor")
+            })
+            .collect();
+        ScenarioEngine { inner, executors }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.inner.opts
+    }
+
+    /// Queues a job; returns its id immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ShuttingDown`] after the engine began
+    /// shutting down.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, ServeError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let mut table = self.inner.lock_table();
+        let id = table.records.len() as JobId;
+        table.records.push(JobRecord {
+            spec,
+            status: JobStatus::Queued,
+            submitted_at: Instant::now(),
+        });
+        table.queue.push_back(id);
+        drop(table);
+        self.inner
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner.queue_cv.notify_one();
+        Ok(id)
+    }
+
+    /// The job's current status, or `None` for an unknown id.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        let table = self.inner.lock_table();
+        table.records.get(id as usize).map(|r| r.status.clone())
+    }
+
+    /// Blocks until the job finishes; returns its outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] for an unsubmitted id, or the job's
+    /// own failure as [`ServeError::InvalidJob`] text.
+    pub fn wait(&self, id: JobId) -> Result<Arc<JobOutcome>, ServeError> {
+        let mut table = self.inner.lock_table();
+        loop {
+            match table.records.get(id as usize) {
+                None => return Err(ServeError::UnknownJob(id)),
+                Some(r) => match &r.status {
+                    JobStatus::Done(out) => return Ok(out.clone()),
+                    JobStatus::Failed(msg) => return Err(ServeError::InvalidJob(msg.clone())),
+                    JobStatus::Expired => {
+                        return Err(ServeError::InvalidJob(format!(
+                            "job {id} resolved but its outcome expired (retention limit)"
+                        )))
+                    }
+                    _ => {
+                        table = self
+                            .inner
+                            .done_cv
+                            .wait(table)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                },
+            }
+        }
+    }
+
+    /// Runs a job synchronously on the calling thread, still under
+    /// admission control and against the shared cache. This is the
+    /// engine's core execution path — the queued path calls it too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit/solver/distributed failures.
+    pub fn run(&self, spec: &JobSpec) -> Result<JobOutcome, ServeError> {
+        self.inner
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        let out = self.inner.admit_and_execute(spec);
+        self.inner.note_result(&out);
+        out
+    }
+
+    /// A snapshot of the engine's counters and cache sizes.
+    pub fn stats(&self) -> EngineStats {
+        let c = &self.inner.counters;
+        EngineStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            warm_jobs: c.warm_jobs.load(Ordering::Relaxed),
+            symbolic_hits: c.symbolic_hits.load(Ordering::Relaxed),
+            symbolic_misses: c.symbolic_misses.load(Ordering::Relaxed),
+            setup_hits: c.setup_hits.load(Ordering::Relaxed),
+            setup_misses: c.setup_misses.load(Ordering::Relaxed),
+            dc_hits: c.dc_hits.load(Ordering::Relaxed),
+            plan_hits: c.plan_hits.load(Ordering::Relaxed),
+            cache: self.inner.cache.sizes(),
+        }
+    }
+}
+
+impl Drop for ScenarioEngine {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.queue_cv.notify_all();
+        for h in self.executors.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn executor_loop(inner: &Inner) {
+    loop {
+        let (id, spec, submitted_at) = {
+            let mut table = inner.lock_table();
+            loop {
+                if let Some(id) = table.queue.pop_front() {
+                    let rec = &mut table.records[id as usize];
+                    rec.status = JobStatus::Running;
+                    break (id, rec.spec.clone(), rec.submitted_at);
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                table = inner
+                    .queue_cv
+                    .wait(table)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let queue_wait = submitted_at.elapsed();
+        // Panic isolation: a job that panics must resolve to Failed —
+        // never leave its record stuck in Running (wedging every waiter)
+        // or kill this executor thread. The budget lease is RAII, so it
+        // is returned during the unwind.
+        let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inner.admit_and_execute(&spec)
+        })) {
+            Ok(out) => out,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                Err(ServeError::InvalidJob(format!("job panicked: {msg}")))
+            }
+        };
+        inner.note_result(&outcome);
+        let mut table = inner.lock_table();
+        table.records[id as usize].status = match outcome {
+            Ok(mut out) => {
+                out.queue_wait = queue_wait;
+                JobStatus::Done(Arc::new(out))
+            }
+            Err(e) => JobStatus::Failed(e.to_string()),
+        };
+        // Outcome retention: a long-running service must not accumulate
+        // every waveform it ever computed. Beyond the limit, the oldest
+        // resolved job keeps its id but drops its payload.
+        table.resolved.push_back(id);
+        while table.resolved.len() > inner.opts.max_retained.max(1) {
+            if let Some(old) = table.resolved.pop_front() {
+                table.records[old as usize].status = JobStatus::Expired;
+            }
+        }
+        drop(table);
+        inner.done_cv.notify_all();
+    }
+}
+
+impl Inner {
+    fn lock_table(&self) -> std::sync::MutexGuard<'_, JobTable> {
+        self.table.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn note_result(&self, out: &Result<JobOutcome, ServeError>) {
+        match out {
+            Ok(o) => {
+                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                if o.cache.is_warm() {
+                    self.counters.warm_jobs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                self.counters.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Threads the job will occupy while running.
+    fn demand(&self, spec: &JobSpec) -> usize {
+        match &spec.mode {
+            ExecutionMode::Monolithic => self.opts.kernel_threads.max(1),
+            ExecutionMode::Distributed { workers, .. } => {
+                let w = workers.unwrap_or(self.opts.dist_workers).max(1);
+                // Each worker owns max(1, kernel/workers) kernel threads.
+                w * (self.opts.kernel_threads / w).max(1)
+            }
+        }
+    }
+
+    fn admit_and_execute(&self, spec: &JobSpec) -> Result<JobOutcome, ServeError> {
+        let t0 = Instant::now();
+        let lease = self.budget.acquire(self.demand(spec));
+        let mut out = self.execute(spec)?;
+        drop(lease);
+        out.wall = t0.elapsed();
+        Ok(out)
+    }
+
+    /// Takes an idle kernel pool (or spawns one) when kernel threads
+    /// are configured. Pools are returned by [`Inner::return_pool`] and
+    /// reused, so warm jobs never pay per-job thread spawn.
+    fn take_pool(&self) -> Option<Arc<ParPool>> {
+        if self.opts.kernel_threads == 0 {
+            return None;
+        }
+        let recycled = self
+            .idle_pools
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop();
+        Some(recycled.unwrap_or_else(|| Arc::new(ParPool::new(self.opts.kernel_threads))))
+    }
+
+    /// Returns a pool to the idle list (bounded by the executor count —
+    /// beyond that the pool is simply dropped).
+    fn return_pool(&self, pool: Arc<ParPool>) {
+        let mut idle = self.idle_pools.lock().unwrap_or_else(|e| e.into_inner());
+        if idle.len() < self.opts.executors.max(1) + 1 {
+            idle.push(pool);
+        }
+    }
+
+    /// Resolves cached artifacts and runs the job.
+    fn execute(&self, job: &JobSpec) -> Result<JobOutcome, ServeError> {
+        let sys = job.effective_circuit()?;
+        let opts = job.effective_options();
+        let pattern = sys.pattern_fingerprint();
+        let value_fp = sys.value_fingerprint();
+        let mut report = CacheReport::default();
+        let (setup, symbolic_hit, setup_hit) = self.setup_for(&sys, &opts, pattern, value_fp)?;
+        report.symbolic = symbolic_hit;
+        report.setup = setup_hit;
+
+        match &job.mode {
+            ExecutionMode::Monolithic => {
+                let source_fp = sys.source_fingerprint();
+                let dc_key = DcKey {
+                    value_fp,
+                    source_fp,
+                    t_start_bits: job.spec.t_start().to_bits(),
+                };
+                let (x0, dc_hit) = match self.cache.dc(pattern, &dc_key) {
+                    Some(x0) => (x0, Hit::Hit),
+                    None => {
+                        // The exact solve the solver would perform.
+                        let x0 = Arc::new(setup.lu_g().solve(&sys.bu_at(job.spec.t_start())));
+                        self.cache.store_dc(pattern, dc_key, x0.clone());
+                        (x0, Hit::Miss)
+                    }
+                };
+                if dc_hit == Hit::Hit {
+                    self.counters.dc_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                report.dc = dc_hit;
+                let mut solver = MatexSolver::new(opts).with_setup(setup).with_dc(x0);
+                let pool = self.take_pool();
+                if let Some(p) = &pool {
+                    solver = solver.with_parallelism(p.clone());
+                }
+                let result = solver.run(&sys, &job.spec);
+                if let Some(p) = pool {
+                    self.return_pool(p);
+                }
+                let result = result?;
+                Ok(JobOutcome {
+                    result,
+                    cache: report,
+                    groups: None,
+                    wall: Duration::ZERO,
+                    queue_wait: Duration::ZERO,
+                })
+            }
+            ExecutionMode::Distributed { strategy, workers } => {
+                let source_fp = sys.source_fingerprint();
+                let plan_key = PlanKey {
+                    source_fp,
+                    strategy: strategy_tag(*strategy),
+                    t_start_bits: job.spec.t_start().to_bits(),
+                    t_stop_bits: job.spec.t_stop().to_bits(),
+                };
+                let (plan, plan_hit) = match self.cache.plan(pattern, &plan_key) {
+                    Some(p) => (p, Hit::Hit),
+                    None => {
+                        let p = Arc::new(plan_groups(&sys, &job.spec, *strategy));
+                        self.cache.store_plan(pattern, plan_key, p.clone());
+                        (p, Hit::Miss)
+                    }
+                };
+                if plan_hit == Hit::Hit {
+                    self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                report.plan = plan_hit;
+                let groups = plan.num_jobs();
+                let dist_opts = DistributedOptions {
+                    matex: opts,
+                    strategy: *strategy,
+                    workers: Some(workers.unwrap_or(self.opts.dist_workers).max(1)),
+                    par: ParOptions::with_threads(self.opts.kernel_threads),
+                    symbolic: None,
+                    setup: Some(setup),
+                    plan: Some(plan),
+                };
+                let run = run_distributed(&sys, &job.spec, &dist_opts)?;
+                Ok(JobOutcome {
+                    result: run.result,
+                    cache: report,
+                    groups: Some(groups),
+                    wall: Duration::ZERO,
+                    queue_wait: Duration::ZERO,
+                })
+            }
+        }
+    }
+
+    /// Resolves (or builds) the numeric setup for `(sys, opts)`,
+    /// consulting the γ-decade symbolic anchors underneath.
+    fn setup_for(
+        &self,
+        sys: &MnaSystem,
+        opts: &MatexOptions,
+        pattern: u64,
+        value_fp: u64,
+    ) -> Result<(Arc<MatexSetup>, Hit, Hit), ServeError> {
+        let scheduled = self.opts.kernel_threads > 0;
+        let key = SetupKey {
+            value_fp,
+            kind: opts.kind,
+            gamma_bits: opts.gamma.to_bits(),
+            regularize_bits: opts.regularize_eps.to_bits(),
+            scheduled,
+        };
+        if let Some(setup) = self.cache.setup(pattern, &key) {
+            self.counters.setup_hits.fetch_add(1, Ordering::Relaxed);
+            // The symbolic layer was not even consulted.
+            return Ok((setup, Hit::Skipped, Hit::Hit));
+        }
+        let (symbolic, mut sym_hit) =
+            match self
+                .cache
+                .symbolic(pattern, opts.kind, opts.gamma, self.opts.anchor_span)
+            {
+                Some((s, false)) => (s, Hit::Hit),
+                Some((s, true)) => (s, Hit::Neighbor),
+                None => {
+                    let s = Arc::new(MatexSymbolic::analyze(sys, opts)?);
+                    self.cache
+                        .store_symbolic(pattern, opts.kind, opts.gamma, s.clone());
+                    self.counters
+                        .symbolic_misses
+                        .fetch_add(1, Ordering::Relaxed);
+                    (s, Hit::Miss)
+                }
+            };
+        let setup = MatexSetup::prepare(sys, opts, Some(&symbolic), scheduled)?;
+        // Survival check: a replay that fell back to full factorization
+        // means the anchor's pinned pivots no longer apply at this γ (or
+        // these values). The run is still bitwise-correct — the fallback
+        // IS the full factorization — but future jobs deserve a fresh
+        // anchor at this decade, so plant one.
+        let expected = match opts.kind {
+            KrylovKind::Rational => 2,
+            _ => 1,
+        };
+        if sym_hit.is_hit() {
+            if setup.refactorizations() < expected {
+                let fresh = Arc::new(MatexSymbolic::analyze(sys, opts)?);
+                self.cache
+                    .store_symbolic(pattern, opts.kind, opts.gamma, fresh);
+                self.counters
+                    .symbolic_misses
+                    .fetch_add(1, Ordering::Relaxed);
+                sym_hit = Hit::Miss;
+            } else {
+                self.counters.symbolic_hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let setup = Arc::new(setup);
+        self.cache.store_setup(pattern, key, setup.clone());
+        self.counters.setup_misses.fetch_add(1, Ordering::Relaxed);
+        Ok((setup, sym_hit, Hit::Miss))
+    }
+}
+
+/// Stable tag for plan-cache keys (injective over the strategies).
+fn strategy_tag(s: GroupingStrategy) -> u64 {
+    match s {
+        GroupingStrategy::ByBumpFeature => 0,
+        GroupingStrategy::BySource => 1,
+        GroupingStrategy::Single => 2,
+        GroupingStrategy::MaxGroups(k) => 3 + ((k as u64) << 8),
+        // Future strategies fall into one shared slot; the run-time
+        // GroupPlan::check still rejects any true mismatch.
+        _ => u64::MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matex_circuit::PdnBuilder;
+    use matex_core::TransientSpec;
+
+    fn grid(seed: u64) -> Arc<MnaSystem> {
+        Arc::new(
+            PdnBuilder::new(6, 6)
+                .num_loads(8)
+                .num_features(3)
+                .window(1e-9)
+                .seed(seed)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn spec() -> TransientSpec {
+        TransientSpec::new(0.0, 1e-9, 2e-11).unwrap()
+    }
+
+    #[test]
+    fn cold_then_warm_bitwise_and_counted() {
+        let engine = ScenarioEngine::new(EngineOptions::default());
+        let sys = grid(1);
+        let job = JobSpec::new(sys.clone(), spec());
+        let cold = engine.run(&job).unwrap();
+        assert_eq!(cold.cache.setup, Hit::Miss);
+        assert_eq!(cold.cache.symbolic, Hit::Miss);
+        assert_eq!(cold.cache.dc, Hit::Miss);
+        let warm = engine.run(&job).unwrap();
+        assert_eq!(warm.cache.setup, Hit::Hit);
+        assert_eq!(warm.cache.dc, Hit::Hit);
+        assert_eq!(cold.result.series(), warm.result.series());
+        // Standalone comparison: the engine never changes a bit.
+        let standalone = MatexSolver::new(job.effective_options())
+            .run(&sys, &job.spec)
+            .unwrap();
+        assert_eq!(standalone.series(), warm.result.series());
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.warm_jobs, 1);
+        assert_eq!(stats.setup_hits, 1);
+        assert_eq!(stats.cache.circuits, 1);
+    }
+
+    #[test]
+    fn scenario_overrides_share_the_structure_cache() {
+        let engine = ScenarioEngine::new(EngineOptions::default());
+        let sys = grid(2);
+        let base = JobSpec::new(sys.clone(), spec());
+        engine.run(&base).unwrap();
+        // Scaled sources: same matrices, so the setup cache hits.
+        let scaled = base.clone().source_scale(1.5);
+        let out = engine.run(&scaled).unwrap();
+        assert_eq!(out.cache.setup, Hit::Hit);
+        assert_eq!(out.cache.dc, Hit::Miss, "DC depends on the sources");
+        let standalone = MatexSolver::new(scaled.effective_options())
+            .run(&scaled.effective_circuit().unwrap(), &scaled.spec)
+            .unwrap();
+        assert_eq!(standalone.series(), out.result.series());
+        // Same-decade γ override: symbolic anchor replays, new setup.
+        let swept = base.clone().gamma(2.5e-10);
+        let out = engine.run(&swept).unwrap();
+        assert_eq!(out.cache.setup, Hit::Miss);
+        assert_eq!(out.cache.symbolic, Hit::Hit);
+        let standalone = MatexSolver::new(swept.effective_options())
+            .run(&sys, &swept.spec)
+            .unwrap();
+        assert_eq!(standalone.series(), out.result.series());
+        // Neighbouring decade: anchor reused (pivots survive on this
+        // diagonally dominant grid).
+        let neighbor = base.clone().gamma(2e-9);
+        let out = engine.run(&neighbor).unwrap();
+        assert!(matches!(out.cache.symbolic, Hit::Neighbor | Hit::Miss));
+        let standalone = MatexSolver::new(neighbor.effective_options())
+            .run(&sys, &neighbor.spec)
+            .unwrap();
+        assert_eq!(standalone.series(), out.result.series());
+    }
+
+    #[test]
+    fn distributed_jobs_cache_plan_and_setup() {
+        let engine = ScenarioEngine::new(EngineOptions::default());
+        let sys = grid(3);
+        let job = JobSpec::new(sys.clone(), spec()).mode(ExecutionMode::Distributed {
+            strategy: GroupingStrategy::ByBumpFeature,
+            workers: Some(2),
+        });
+        let cold = engine.run(&job).unwrap();
+        assert_eq!(cold.cache.plan, Hit::Miss);
+        assert!(cold.groups.unwrap() >= 2);
+        let warm = engine.run(&job).unwrap();
+        assert_eq!(warm.cache.plan, Hit::Hit);
+        assert_eq!(warm.cache.setup, Hit::Hit);
+        assert_eq!(cold.result.series(), warm.result.series());
+        // Standalone distributed run agrees bitwise.
+        let standalone = run_distributed(&sys, &job.spec, &DistributedOptions::default()).unwrap();
+        assert_eq!(standalone.result.series(), warm.result.series());
+    }
+
+    #[test]
+    fn submit_poll_wait_lifecycle() {
+        let engine = ScenarioEngine::new(EngineOptions {
+            executors: 2,
+            ..EngineOptions::default()
+        });
+        let sys = grid(4);
+        let ids: Vec<JobId> = (0..4)
+            .map(|k| {
+                engine
+                    .submit(JobSpec::new(sys.clone(), spec()).source_scale(1.0 + k as f64 * 0.25))
+                    .unwrap()
+            })
+            .collect();
+        let outs: Vec<_> = ids.iter().map(|&id| engine.wait(id).unwrap()).collect();
+        // All jobs of one structure agree with their own standalone runs
+        // and the repeats hit the cache.
+        assert!(outs.iter().skip(1).any(|o| o.cache.setup == Hit::Hit));
+        for (&id, out) in ids.iter().zip(&outs) {
+            assert!(matches!(engine.status(id), Some(JobStatus::Done(_))));
+            assert_eq!(out.result.times().len(), 51);
+        }
+        assert!(engine.status(99).is_none());
+        assert!(matches!(engine.wait(99), Err(ServeError::UnknownJob(99))));
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.completed, 4);
+    }
+
+    #[test]
+    fn outcome_retention_expires_oldest_jobs() {
+        let engine = ScenarioEngine::new(EngineOptions {
+            executors: 1,
+            max_retained: 2,
+            ..EngineOptions::default()
+        });
+        let sys = grid(6);
+        let ids: Vec<JobId> = (0..4)
+            .map(|_| engine.submit(JobSpec::new(sys.clone(), spec())).unwrap())
+            .collect();
+        // Resolve everything (single executor: completion order = ids).
+        engine.wait(ids[3]).unwrap();
+        assert!(matches!(engine.status(ids[0]), Some(JobStatus::Expired)));
+        assert!(matches!(engine.status(ids[1]), Some(JobStatus::Expired)));
+        assert!(matches!(engine.status(ids[3]), Some(JobStatus::Done(_))));
+        assert!(matches!(
+            engine.wait(ids[0]),
+            Err(ServeError::InvalidJob(_))
+        ));
+        // Expired ids still answer polls with a stable label.
+        assert_eq!(engine.status(ids[0]).unwrap().label(), "expired");
+    }
+
+    #[test]
+    fn panicking_job_fails_cleanly_and_executors_survive() {
+        let engine = ScenarioEngine::new(EngineOptions {
+            executors: 1,
+            ..EngineOptions::default()
+        });
+        let sys = grid(7);
+        // An out-of-range observed row panics inside the recorder (the
+        // TCP layer validates this; the direct API can still trigger it).
+        let bad_spec = spec().observing(vec![99_999]);
+        let id = engine.submit(JobSpec::new(sys.clone(), bad_spec)).unwrap();
+        let err = engine.wait(id).unwrap_err();
+        assert!(
+            err.to_string().contains("panicked"),
+            "expected a panic-failure, got {err}"
+        );
+        // The single executor must still be alive to serve the next job.
+        let ok = engine.submit(JobSpec::new(sys, spec())).unwrap();
+        assert!(engine.wait(ok).is_ok());
+    }
+
+    #[test]
+    fn kernel_pools_are_recycled_across_jobs() {
+        let engine = ScenarioEngine::new(EngineOptions {
+            executors: 1,
+            kernel_threads: 2,
+            threads: Some(2),
+            ..EngineOptions::default()
+        });
+        let sys = grid(8);
+        let job = JobSpec::new(sys, spec());
+        let a = engine.run(&job).unwrap();
+        assert_eq!(engine.inner.idle_pools.lock().unwrap().len(), 1);
+        let b = engine.run(&job).unwrap();
+        // Reuse keeps the list at one pool, and the pooled waveforms are
+        // width-invariant so the repeat is still bitwise identical.
+        assert_eq!(engine.inner.idle_pools.lock().unwrap().len(), 1);
+        assert_eq!(a.result.series(), b.result.series());
+    }
+
+    #[test]
+    fn failed_jobs_report_their_error() {
+        let engine = ScenarioEngine::new(EngineOptions::default());
+        let sys = grid(5);
+        // A NaN source scale fails in the circuit layer.
+        let id = engine
+            .submit(JobSpec::new(sys, spec()).source_scale(f64::NAN))
+            .unwrap();
+        let err = engine.wait(id).unwrap_err();
+        assert!(matches!(err, ServeError::InvalidJob(_)));
+        assert!(matches!(engine.status(id), Some(JobStatus::Failed(_))));
+        assert_eq!(engine.stats().failed, 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Service-layer errors.
+
+use matex_circuit::CircuitError;
+use matex_core::CoreError;
+use matex_dist::DistError;
+use std::fmt;
+
+/// Errors from the scenario engine and the TCP job service.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Circuit construction or scenario override failed.
+    Circuit(CircuitError),
+    /// A monolithic solver run failed.
+    Core(CoreError),
+    /// A distributed run failed.
+    Dist(DistError),
+    /// The job specification is invalid (before any solve started).
+    InvalidJob(String),
+    /// A protocol request could not be parsed or served.
+    Protocol(String),
+    /// Socket or file I/O failed (message carries the `io::Error` text).
+    Io(String),
+    /// The referenced job id was never submitted.
+    UnknownJob(u64),
+    /// The engine is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Circuit(e) => write!(f, "circuit error: {e}"),
+            ServeError::Core(e) => write!(f, "solver error: {e}"),
+            ServeError::Dist(e) => write!(f, "distributed run error: {e}"),
+            ServeError::InvalidJob(m) => write!(f, "invalid job: {m}"),
+            ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServeError::Io(m) => write!(f, "i/o error: {m}"),
+            ServeError::UnknownJob(id) => write!(f, "unknown job id {id}"),
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Circuit(e) => Some(e),
+            ServeError::Core(e) => Some(e),
+            ServeError::Dist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for ServeError {
+    fn from(e: CircuitError) -> Self {
+        ServeError::Circuit(e)
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<DistError> for ServeError {
+    fn from(e: DistError) -> Self {
+        ServeError::Dist(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ServeError::from(CoreError::InvalidSpec("x".into()));
+        assert!(e.to_string().contains("solver error"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ServeError::UnknownJob(3)).is_none());
+        assert_eq!(ServeError::UnknownJob(3).to_string(), "unknown job id 3");
+    }
+}

@@ -1,0 +1,272 @@
+//! Job specifications and outcomes.
+
+use crate::ServeError;
+use matex_circuit::MnaSystem;
+use matex_core::{MatexOptions, TransientResult, TransientSpec};
+use matex_waveform::GroupingStrategy;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifier of a submitted job (engine-scoped, monotonically
+/// increasing).
+pub type JobId = u64;
+
+/// How a job's transient is computed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// One [`matex_core::MatexSolver`] over all sources.
+    #[default]
+    Monolithic,
+    /// The paper's distributed framework
+    /// ([`matex_dist::run_distributed`]): sources grouped into subtasks,
+    /// superposed.
+    Distributed {
+        /// Source partitioning strategy.
+        strategy: GroupingStrategy,
+        /// Worker threads for this run's node pool (`None` lets the
+        /// engine pick from its thread budget).
+        workers: Option<usize>,
+    },
+}
+
+/// Scenario overrides layered on top of a job's base circuit and
+/// options. Overrides are what make a fleet of jobs out of one circuit:
+/// they change the *question* without changing the expensive structure.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScenarioOverrides {
+    /// Override γ (R-MATEX shift). Cached symbolic analyses are keyed by
+    /// γ decade, so same-decade overrides replay a cached anchor.
+    pub gamma: Option<f64>,
+    /// Override the Krylov tolerance.
+    pub tol: Option<f64>,
+    /// Scale every source waveform by this factor
+    /// ([`MnaSystem::with_scaled_sources`]). Matrix fingerprints are
+    /// unchanged, so scaled jobs still hit the factorization cache.
+    pub source_scale: Option<f64>,
+}
+
+impl ScenarioOverrides {
+    /// `true` when no override is set (the job runs the base scenario).
+    pub fn is_empty(&self) -> bool {
+        self.gamma.is_none() && self.tol.is_none() && self.source_scale.is_none()
+    }
+}
+
+/// One unit of work for the [`ScenarioEngine`](crate::ScenarioEngine):
+/// a circuit, a time window, solver options, an execution mode, and
+/// scenario overrides.
+///
+/// # Example
+///
+/// ```
+/// use matex_circuit::PdnBuilder;
+/// use matex_core::TransientSpec;
+/// use matex_serve::JobSpec;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let grid = Arc::new(PdnBuilder::new(6, 6).num_loads(8).window(1e-9).build()?);
+/// let spec = TransientSpec::new(0.0, 1e-9, 2e-11)?;
+/// let job = JobSpec::new(grid, spec).source_scale(1.5).gamma(2e-10);
+/// assert!(!job.overrides.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The circuit (shared — many jobs typically reference one system).
+    pub circuit: Arc<MnaSystem>,
+    /// Time window and output sampling.
+    pub spec: TransientSpec,
+    /// Base solver options (kind, γ, tolerances) before overrides.
+    pub matex: MatexOptions,
+    /// Monolithic or distributed execution.
+    pub mode: ExecutionMode,
+    /// Scenario overrides applied on top of `circuit` / `matex`.
+    pub overrides: ScenarioOverrides,
+}
+
+impl JobSpec {
+    /// A monolithic R-MATEX job with default options and no overrides.
+    pub fn new(circuit: Arc<MnaSystem>, spec: TransientSpec) -> JobSpec {
+        JobSpec {
+            circuit,
+            spec,
+            matex: MatexOptions::default(),
+            mode: ExecutionMode::Monolithic,
+            overrides: ScenarioOverrides::default(),
+        }
+    }
+
+    /// Sets the execution mode (builder style).
+    pub fn mode(mut self, mode: ExecutionMode) -> JobSpec {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides γ (builder style).
+    pub fn gamma(mut self, gamma: f64) -> JobSpec {
+        self.overrides.gamma = Some(gamma);
+        self
+    }
+
+    /// Overrides the Krylov tolerance (builder style).
+    pub fn tol(mut self, tol: f64) -> JobSpec {
+        self.overrides.tol = Some(tol);
+        self
+    }
+
+    /// Scales every source waveform (builder style).
+    pub fn source_scale(mut self, k: f64) -> JobSpec {
+        self.overrides.source_scale = Some(k);
+        self
+    }
+
+    /// The solver options with overrides folded in.
+    pub fn effective_options(&self) -> MatexOptions {
+        let mut opts = self.matex.clone();
+        if let Some(g) = self.overrides.gamma {
+            opts.gamma = g;
+        }
+        if let Some(t) = self.overrides.tol {
+            opts.expm.tol = t;
+        }
+        opts
+    }
+
+    /// The circuit with overrides folded in (the same `Arc` when no
+    /// source scaling is requested).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Circuit`] when the scale is not finite.
+    pub fn effective_circuit(&self) -> Result<Arc<MnaSystem>, ServeError> {
+        match self.overrides.source_scale {
+            None => Ok(self.circuit.clone()),
+            Some(k) => Ok(Arc::new(self.circuit.with_scaled_sources(k)?)),
+        }
+    }
+}
+
+/// Whether an artifact lookup hit the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Hit {
+    /// Not looked up on this path (e.g. DC for a distributed job, or a
+    /// symbolic analysis short-circuited by a full setup hit).
+    #[default]
+    Skipped,
+    /// Found in the cache.
+    Hit,
+    /// Found via a neighbouring γ-decade anchor (symbolic only).
+    Neighbor,
+    /// Built fresh (and inserted for the next job).
+    Miss,
+}
+
+impl Hit {
+    /// `true` for any flavor of reuse (`Hit` or `Neighbor`).
+    pub fn is_hit(self) -> bool {
+        matches!(self, Hit::Hit | Hit::Neighbor)
+    }
+}
+
+/// Which cached artifacts a job reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheReport {
+    /// Symbolic LU analysis (γ-decade anchored).
+    pub symbolic: Hit,
+    /// Full numeric setup (factors + schedules).
+    pub setup: Hit,
+    /// DC operating point (monolithic jobs only).
+    pub dc: Hit,
+    /// Group plan (distributed jobs only).
+    pub plan: Hit,
+}
+
+impl CacheReport {
+    /// `true` when the job skipped all factorization work (the
+    /// cache-hit fast path: straight to the numeric march).
+    pub fn is_warm(&self) -> bool {
+        self.setup == Hit::Hit
+    }
+}
+
+/// A completed job: the waveform plus reuse and timing accounting.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The transient result (bitwise identical to a standalone run with
+    /// the same parallelism setting).
+    pub result: TransientResult,
+    /// Which artifacts were reused.
+    pub cache: CacheReport,
+    /// Number of distributed groups (`None` for monolithic jobs).
+    pub groups: Option<usize>,
+    /// Wall time of the execution itself (admission + solve).
+    pub wall: Duration,
+    /// Time spent queued before an executor picked the job up (zero for
+    /// synchronous [`ScenarioEngine::run`](crate::ScenarioEngine::run)).
+    pub queue_wait: Duration,
+}
+
+/// Lifecycle state of a submitted job.
+#[derive(Debug, Clone)]
+pub enum JobStatus {
+    /// Waiting for an executor.
+    Queued,
+    /// An executor is running it.
+    Running,
+    /// Finished successfully.
+    Done(Arc<JobOutcome>),
+    /// Failed; carries the error text.
+    Failed(String),
+    /// Resolved long ago; the outcome was dropped under the engine's
+    /// retention limit (`EngineOptions::max_retained`) so a long-running
+    /// service's memory stays bounded by its recent traffic.
+    Expired,
+}
+
+impl JobStatus {
+    /// Short state label (`queued` / `running` / `done` / `failed` /
+    /// `expired`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done(_) => "done",
+            JobStatus::Failed(_) => "failed",
+            JobStatus::Expired => "expired",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matex_circuit::RcMeshBuilder;
+
+    #[test]
+    fn overrides_fold_into_options_and_circuit() {
+        let sys = Arc::new(RcMeshBuilder::new(3, 3).build().unwrap());
+        let spec = TransientSpec::new(0.0, 1e-9, 1e-11).unwrap();
+        let job = JobSpec::new(sys.clone(), spec).gamma(3e-10).tol(1e-8);
+        let opts = job.effective_options();
+        assert_eq!(opts.gamma, 3e-10);
+        assert_eq!(opts.expm.tol, 1e-8);
+        // No scale: the very same Arc comes back.
+        assert!(Arc::ptr_eq(&job.effective_circuit().unwrap(), &sys));
+        let scaled = job.source_scale(2.0);
+        let eff = scaled.effective_circuit().unwrap();
+        assert!(!Arc::ptr_eq(&eff, &sys));
+        assert_eq!(eff.value_fingerprint(), sys.value_fingerprint());
+    }
+
+    #[test]
+    fn cache_report_warmth() {
+        let mut r = CacheReport::default();
+        assert!(!r.is_warm());
+        r.setup = Hit::Hit;
+        assert!(r.is_warm());
+        assert!(Hit::Neighbor.is_hit());
+        assert!(!Hit::Miss.is_hit());
+    }
+}

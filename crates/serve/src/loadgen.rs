@@ -1,0 +1,279 @@
+//! Load generator for the TCP service.
+//!
+//! Drives N concurrent clients through identical job sequences and
+//! measures what a serving system is judged on: throughput (jobs/s),
+//! latency percentiles (p50/p99 of submit→stream-complete), and
+//! **determinism** — every client hashes the exact bytes of its
+//! streamed waveform frames, and the hashes must agree across clients
+//! (the engine's bitwise-replay contract, observed end to end through
+//! the wire).
+
+use crate::json::escape;
+use crate::ServeError;
+use matex_waveform::Fnv64;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One client-side job template of a load run.
+#[derive(Debug, Clone)]
+pub struct LoadJob {
+    /// Extra `submit` fields (for example
+    /// `"pdn_nx": 8, "pdn_ny": 8` or a `"netlist"` — already escaped),
+    /// joined into the request object.
+    pub submit_fields: String,
+    /// Window end (seconds).
+    pub t_stop: f64,
+    /// Output step (seconds).
+    pub dt_out: f64,
+    /// Optional uniform source scale.
+    pub scale: Option<f64>,
+}
+
+impl LoadJob {
+    /// A synthetic-PDN job.
+    pub fn pdn(nx: usize, ny: usize, loads: usize, features: usize, seed: u64) -> LoadJob {
+        LoadJob {
+            submit_fields: format!(
+                "\"pdn_nx\": {nx}, \"pdn_ny\": {ny}, \"pdn_loads\": {loads}, \
+                 \"pdn_features\": {features}, \"pdn_seed\": {seed}"
+            ),
+            t_stop: 1e-9,
+            dt_out: 2e-11,
+            scale: None,
+        }
+    }
+
+    /// An inline-netlist job.
+    pub fn netlist(text: &str) -> LoadJob {
+        LoadJob {
+            submit_fields: format!("\"netlist\": \"{}\"", escape(text)),
+            t_stop: 1e-9,
+            dt_out: 2e-11,
+            scale: None,
+        }
+    }
+
+    /// Sets the window (builder style).
+    pub fn window(mut self, t_stop: f64, dt_out: f64) -> LoadJob {
+        self.t_stop = t_stop;
+        self.dt_out = dt_out;
+        self
+    }
+
+    /// Sets the source scale (builder style).
+    pub fn scaled(mut self, k: f64) -> LoadJob {
+        self.scale = Some(k);
+        self
+    }
+
+    fn submit_line(&self) -> String {
+        let mut line = format!(
+            "{{\"cmd\": \"submit\", {}, \"t_stop\": {:e}, \"dt_out\": {:e}",
+            self.submit_fields, self.t_stop, self.dt_out
+        );
+        if let Some(k) = self.scale {
+            line.push_str(&format!(", \"scale\": {k:e}"));
+        }
+        line.push('}');
+        line
+    }
+}
+
+/// A load-generation request: `clients` concurrent connections each
+/// running the whole `jobs` sequence, in order.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Service address (`host:port`).
+    pub addr: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// The job sequence every client runs.
+    pub jobs: Vec<LoadJob>,
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Jobs completed successfully (across all clients).
+    pub completed: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+    /// Throughput over the whole run.
+    pub jobs_per_s: f64,
+    /// Median submit→stream-complete latency.
+    pub p50: Duration,
+    /// 99th-percentile latency (max for small samples).
+    pub p99: Duration,
+    /// Per-client hash over all streamed frame bytes, in client order.
+    pub stream_hashes: Vec<u64>,
+    /// `true` when every client saw byte-identical streams.
+    pub deterministic: bool,
+}
+
+/// Runs the load: spawns the clients, drives the sequences, aggregates.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Io`] when a client cannot connect; per-job
+/// failures are counted, not fatal.
+pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ServeError> {
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..spec.clients.max(1) {
+        let addr = spec.addr.clone();
+        let jobs = spec.jobs.clone();
+        handles.push(std::thread::spawn(move || client_run(&addr, &jobs)));
+    }
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut stream_hashes = Vec::new();
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    for h in handles {
+        let outcome = h
+            .join()
+            .map_err(|_| ServeError::Io("load client panicked".into()))??;
+        completed += outcome.completed;
+        failed += outcome.failed;
+        latencies.extend(outcome.latencies);
+        stream_hashes.push(outcome.stream_hash);
+    }
+    let wall = t0.elapsed();
+    latencies.sort();
+    let pick = |q: f64| {
+        if latencies.is_empty() {
+            Duration::ZERO
+        } else {
+            let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
+            latencies[idx]
+        }
+    };
+    let deterministic = stream_hashes.windows(2).all(|w| w[0] == w[1]);
+    Ok(LoadReport {
+        completed,
+        failed,
+        jobs_per_s: completed as f64 / wall.as_secs_f64().max(1e-9),
+        wall,
+        p50: pick(0.5),
+        p99: pick(0.99),
+        stream_hashes,
+        deterministic,
+    })
+}
+
+struct ClientOutcome {
+    completed: usize,
+    failed: usize,
+    latencies: Vec<Duration>,
+    stream_hash: u64,
+}
+
+fn client_run(addr: &str, jobs: &[LoadJob]) -> Result<ClientOutcome, ServeError> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    let mut hash = Fnv64::new();
+    let mut latencies = Vec::with_capacity(jobs.len());
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    let read_line = |reader: &mut BufReader<TcpStream>| -> Result<String, ServeError> {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(ServeError::Io("server closed the connection".into()));
+        }
+        Ok(line.trim_end().to_string())
+    };
+    for job in jobs {
+        let t0 = Instant::now();
+        writeln!(writer, "{}", job.submit_line())?;
+        writer.flush()?;
+        let submitted = read_line(&mut reader)?;
+        let Some(id) = extract_uint(&submitted, "\"job\": ") else {
+            failed += 1;
+            continue;
+        };
+        writeln!(writer, "{{\"cmd\": \"stream\", \"job\": {id}}}")?;
+        writer.flush()?;
+        let meta = read_line(&mut reader)?;
+        let Some(frames) = extract_uint(&meta, "\"frames\": ") else {
+            failed += 1;
+            continue;
+        };
+        let mut ok = true;
+        for _ in 0..frames {
+            let frame = read_line(&mut reader)?;
+            ok &= frame.contains("\"ok\": true");
+            // Hash the exact frame bytes: the determinism witness.
+            hash.write_bytes(frame.as_bytes());
+        }
+        if ok {
+            completed += 1;
+            latencies.push(t0.elapsed());
+        } else {
+            failed += 1;
+        }
+    }
+    Ok(ClientOutcome {
+        completed,
+        failed,
+        latencies,
+        stream_hash: hash.finish(),
+    })
+}
+
+/// Pulls the unsigned integer following `pat` out of a response line.
+fn extract_uint(line: &str, pat: &str) -> Option<u64> {
+    let at = line.find(pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{serve, EngineOptions, ScenarioEngine, ServiceOptions};
+    use std::sync::Arc;
+
+    #[test]
+    fn four_clients_are_deterministic() {
+        let engine = Arc::new(ScenarioEngine::new(EngineOptions {
+            executors: 4,
+            threads: Some(4),
+            ..EngineOptions::default()
+        }));
+        let handle = serve(engine, &ServiceOptions::default()).unwrap();
+        let jobs = vec![
+            LoadJob::pdn(6, 6, 8, 3, 1),
+            LoadJob::pdn(6, 6, 8, 3, 1).scaled(1.25),
+            LoadJob::pdn(5, 7, 6, 2, 2),
+        ];
+        let report = run_load(&LoadSpec {
+            addr: handle.addr().to_string(),
+            clients: 4,
+            jobs,
+        })
+        .unwrap();
+        assert_eq!(report.completed, 12);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.stream_hashes.len(), 4);
+        assert!(
+            report.deterministic,
+            "clients saw different bytes: {:x?}",
+            report.stream_hashes
+        );
+        assert!(report.p99 >= report.p50);
+        assert!(report.jobs_per_s > 0.0);
+        handle.stop();
+    }
+
+    #[test]
+    fn extract_uint_parses_fields() {
+        assert_eq!(extract_uint("{\"job\": 42}", "\"job\": "), Some(42));
+        assert_eq!(extract_uint("{\"x\": 1}", "\"job\": "), None);
+    }
+}

@@ -1,0 +1,555 @@
+//! The JSON-lines TCP front end.
+//!
+//! One request per line, one-or-more response lines per request, every
+//! line a JSON object. Commands:
+//!
+//! | request | response |
+//! |---|---|
+//! | `{"cmd":"submit", ...}` | `{"ok":true,"job":N}` |
+//! | `{"cmd":"poll","job":N}` | `{"ok":true,"job":N,"state":"queued\|running\|done\|failed",...}` |
+//! | `{"cmd":"wait","job":N}` | as `poll`, but blocks until resolved |
+//! | `{"cmd":"stream","job":N}` | a meta line, then `frames` chunked waveform lines |
+//! | `{"cmd":"stats"}` | engine counters and cache sizes |
+//!
+//! A `submit` names its circuit either inline (`"netlist"`: SPICE text,
+//! newlines escaped) or synthetically (`"pdn_nx"`/`"pdn_ny"` plus
+//! optional `pdn_loads`, `pdn_features`, `pdn_seed`, `pdn_window`), and
+//! the window via `t_stop` + `dt_out` (+ optional `t_start`). Optional
+//! scenario fields: `gamma`, `tol`, `scale`, `mode` (`"mono"` /
+//! `"dist"`), `workers`, `rows` (comma-separated state rows to record).
+//! Parsed/built circuits are cached by content hash, so a fleet of
+//! submissions of one circuit assembles it once — and hits the engine's
+//! artifact cache underneath.
+//!
+//! Responses to distinct requests never interleave on one connection;
+//! `stream` waveform frames are chunked so a client can process arrival
+//! by arrival. All numbers are emitted with full round-trip precision —
+//! two clients streaming the same job sequence receive byte-identical
+//! frame lines (the determinism check `run_load` performs).
+
+use crate::job::{ExecutionMode, JobSpec, JobStatus};
+use crate::json::{escape, parse_flat_json, JsonValue};
+use crate::{JobId, ScenarioEngine, ServeError};
+use matex_circuit::{parse_netlist, MnaSystem, PdnBuilder};
+use matex_core::TransientSpec;
+use matex_waveform::{Fnv64, GroupingStrategy};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceOptions {
+    /// Bind address; port 0 picks a free port (see
+    /// [`ServiceHandle::addr`]).
+    pub addr: String,
+    /// Output samples per streamed waveform frame.
+    pub stream_chunk: usize,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            addr: "127.0.0.1:0".into(),
+            stream_chunk: 32,
+        }
+    }
+}
+
+/// A running service; stops (and joins the accept loop) on
+/// [`ServiceHandle::stop`] or drop.
+#[derive(Debug)]
+pub struct ServiceHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    /// In-flight connection handlers finish with their clients.
+    pub fn stop(mut self) {
+        self.shutdown_now();
+    }
+
+    fn shutdown_now(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        self.shutdown_now();
+    }
+}
+
+/// Starts the TCP service on `opts.addr`, serving `engine`.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Io`] when the listener cannot bind.
+pub fn serve(
+    engine: Arc<ScenarioEngine>,
+    opts: &ServiceOptions,
+) -> Result<ServiceHandle, ServeError> {
+    let listener = TcpListener::bind(&opts.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let shutdown = shutdown.clone();
+        let opts = opts.clone();
+        let state = Arc::new(ServiceState {
+            engine,
+            circuits: Mutex::new(HashMap::new()),
+            stream_chunk: opts.stream_chunk.max(1),
+        });
+        std::thread::Builder::new()
+            .name("matex-serve-accept".into())
+            .spawn(move || {
+                // Connection handlers are detached: each exits when its
+                // client disconnects (they hold the engine alive through
+                // their shared state, so a stopped service drains
+                // naturally as clients hang up).
+                while !shutdown.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let state = state.clone();
+                            let _ = std::thread::Builder::new()
+                                .name("matex-serve-conn".into())
+                                .spawn(move || handle_connection(stream, &state));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn accept loop")
+    };
+    Ok(ServiceHandle {
+        addr,
+        shutdown,
+        accept: Some(accept),
+    })
+}
+
+/// Bound on the per-service circuit-assembly cache. It is a pure
+/// content-hash cache (jobs hold their own `Arc`s), so wholesale
+/// clearing at the cap is safe — just a re-parse for later submissions.
+const MAX_ASSEMBLED_CIRCUITS: usize = 256;
+
+struct ServiceState {
+    engine: Arc<ScenarioEngine>,
+    /// Assembled circuits by content hash (netlist text or PDN params):
+    /// a fleet of submissions of one circuit assembles it once.
+    circuits: Mutex<HashMap<u64, Arc<MnaSystem>>>,
+    stream_chunk: usize,
+}
+
+impl ServiceState {
+    /// Looks up an assembled circuit by content hash.
+    fn cached_circuit(&self, key: u64) -> Option<Arc<MnaSystem>> {
+        self.circuits
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .cloned()
+    }
+
+    /// Caches an assembled circuit, clearing the map at the cap.
+    fn store_circuit(&self, key: u64, sys: Arc<MnaSystem>) {
+        let mut map = self.circuits.lock().unwrap_or_else(|e| e.into_inner());
+        if map.len() >= MAX_ASSEMBLED_CIRCUITS {
+            map.clear();
+        }
+        map.insert(key, sys);
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &ServiceState) {
+    let reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let responses = match handle_request(&line, state) {
+            Ok(lines) => lines,
+            Err(e) => vec![format!(
+                "{{\"ok\": false, \"error\": \"{}\"}}",
+                escape(&e.to_string())
+            )],
+        };
+        for r in responses {
+            if writeln!(writer, "{r}").is_err() {
+                return;
+            }
+        }
+        if writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_request(line: &str, state: &ServiceState) -> Result<Vec<String>, ServeError> {
+    let req = parse_flat_json(line).map_err(ServeError::Protocol)?;
+    let cmd = req
+        .get("cmd")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ServeError::Protocol("request has no \"cmd\"".into()))?;
+    match cmd {
+        "submit" => {
+            let spec = build_job(&req, state)?;
+            let id = state.engine.submit(spec)?;
+            Ok(vec![format!("{{\"ok\": true, \"job\": {id}}}")])
+        }
+        "poll" => {
+            let id = job_id(&req)?;
+            Ok(vec![status_line(id, state)?])
+        }
+        "wait" => {
+            let id = job_id(&req)?;
+            // Resolve (ignoring the job's own failure — reported by the
+            // status line), then report.
+            let _ = state.engine.wait(id);
+            Ok(vec![status_line(id, state)?])
+        }
+        "stream" => stream_lines(&req, state),
+        "stats" => Ok(vec![stats_line(state)]),
+        other => Err(ServeError::Protocol(format!("unknown cmd {other:?}"))),
+    }
+}
+
+fn job_id(req: &HashMap<String, JsonValue>) -> Result<JobId, ServeError> {
+    req.get("job")
+        .and_then(JsonValue::as_num)
+        .map(|v| v as JobId)
+        .ok_or_else(|| ServeError::Protocol("request has no \"job\" id".into()))
+}
+
+fn num(req: &HashMap<String, JsonValue>, key: &str) -> Option<f64> {
+    req.get(key).and_then(JsonValue::as_num)
+}
+
+fn status_line(id: JobId, state: &ServiceState) -> Result<String, ServeError> {
+    let status = state.engine.status(id).ok_or(ServeError::UnknownJob(id))?;
+    let mut line = format!(
+        "{{\"ok\": true, \"job\": {id}, \"state\": \"{}\"",
+        status.label()
+    );
+    match &status {
+        JobStatus::Failed(msg) => {
+            line.push_str(&format!(", \"error\": \"{}\"", escape(msg)));
+        }
+        JobStatus::Done(out) => {
+            line.push_str(&format!(
+                ", \"warm\": {}, \"wall_us\": {}, \"points\": {}",
+                out.cache.is_warm(),
+                out.wall.as_micros(),
+                out.result.times().len()
+            ));
+            if let Some(groups) = out.groups {
+                line.push_str(&format!(", \"groups\": {groups}"));
+            }
+        }
+        _ => {}
+    }
+    line.push('}');
+    Ok(line)
+}
+
+fn stats_line(state: &ServiceState) -> String {
+    let s = state.engine.stats();
+    format!(
+        "{{\"ok\": true, \"submitted\": {}, \"completed\": {}, \"failed\": {}, \
+         \"warm_jobs\": {}, \"setup_hits\": {}, \"setup_misses\": {}, \
+         \"symbolic_hits\": {}, \"dc_hits\": {}, \"plan_hits\": {}, \
+         \"circuits_cached\": {}, \"setups_cached\": {}}}",
+        s.submitted,
+        s.completed,
+        s.failed,
+        s.warm_jobs,
+        s.setup_hits,
+        s.setup_misses,
+        s.symbolic_hits,
+        s.dc_hits,
+        s.plan_hits,
+        s.cache.circuits,
+        s.cache.setups,
+    )
+}
+
+/// Emits a stream response: one meta line, then chunked waveform frames
+/// covering the whole sampled window.
+fn stream_lines(
+    req: &HashMap<String, JsonValue>,
+    state: &ServiceState,
+) -> Result<Vec<String>, ServeError> {
+    let id = job_id(req)?;
+    let out = state.engine.wait(id)?;
+    let times = out.result.times();
+    let chunk = num(req, "chunk")
+        .map(|c| (c as usize).max(1))
+        .unwrap_or(state.stream_chunk);
+    let frames = times.len().div_ceil(chunk);
+    let mut lines = Vec::with_capacity(frames + 1);
+    lines.push(format!(
+        "{{\"ok\": true, \"job\": {id}, \"frames\": {frames}, \"rows\": {}, \"points\": {}}}",
+        out.result.rows().len(),
+        times.len(),
+    ));
+    for f in 0..frames {
+        let start = f * chunk;
+        let end = (start + chunk).min(times.len());
+        // Frames deliberately omit the job id: they follow their meta
+        // line positionally on the connection, and leaving the id out
+        // makes frame bytes comparable across clients (two clients
+        // running the same job sequence receive identical frames even
+        // though their engine-assigned ids differ).
+        let mut line = format!(
+            "{{\"ok\": true, \"frame\": {f}, \"start\": {start}, \"count\": {}, \"times\": [",
+            end - start,
+        );
+        push_floats(&mut line, &times[start..end]);
+        line.push_str("], \"series\": [");
+        for (k, series) in out.result.series().iter().enumerate() {
+            if k > 0 {
+                line.push(',');
+            }
+            line.push('[');
+            push_floats(&mut line, &series[start..end]);
+            line.push(']');
+        }
+        line.push_str("]}");
+        lines.push(line);
+    }
+    Ok(lines)
+}
+
+/// Appends comma-separated floats with round-trip precision (the exact
+/// bytes are part of the cross-client determinism contract).
+fn push_floats(line: &mut String, values: &[f64]) {
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&format!("{v:e}"));
+    }
+}
+
+/// Builds a [`JobSpec`] from a flat `submit` request.
+fn build_job(
+    req: &HashMap<String, JsonValue>,
+    state: &ServiceState,
+) -> Result<JobSpec, ServeError> {
+    let circuit = resolve_circuit(req, state)?;
+    let t_start = num(req, "t_start").unwrap_or(0.0);
+    let t_stop = num(req, "t_stop")
+        .ok_or_else(|| ServeError::Protocol("submit requires \"t_stop\"".into()))?;
+    let dt_out = num(req, "dt_out")
+        .ok_or_else(|| ServeError::Protocol("submit requires \"dt_out\"".into()))?;
+    let mut spec = TransientSpec::new(t_start, t_stop, dt_out).map_err(ServeError::Core)?;
+    if let Some(rows) = req.get("rows").and_then(JsonValue::as_str) {
+        let parsed: Result<Vec<usize>, _> = rows
+            .split(',')
+            .filter(|t| !t.trim().is_empty())
+            .map(|t| t.trim().parse::<usize>())
+            .collect();
+        let parsed =
+            parsed.map_err(|_| ServeError::Protocol(format!("bad \"rows\" list {rows:?}")))?;
+        // Validate against the circuit here, at the protocol boundary —
+        // the recorder indexes the state vector by these rows verbatim.
+        if let Some(&bad) = parsed.iter().find(|&&r| r >= circuit.dim()) {
+            return Err(ServeError::Protocol(format!(
+                "row {bad} out of range for a {}-state circuit",
+                circuit.dim()
+            )));
+        }
+        spec = spec.observing(parsed);
+    }
+    let mut job = JobSpec::new(circuit, spec);
+    if let Some(g) = num(req, "gamma") {
+        job = job.gamma(g);
+    }
+    if let Some(t) = num(req, "tol") {
+        job = job.tol(t);
+    }
+    if let Some(k) = num(req, "scale") {
+        job = job.source_scale(k);
+    }
+    match req.get("mode").and_then(JsonValue::as_str) {
+        None | Some("mono") => {}
+        Some("dist") => {
+            job = job.mode(ExecutionMode::Distributed {
+                strategy: GroupingStrategy::ByBumpFeature,
+                workers: num(req, "workers").map(|w| (w as usize).max(1)),
+            });
+        }
+        Some(other) => {
+            return Err(ServeError::Protocol(format!("unknown mode {other:?}")));
+        }
+    }
+    Ok(job)
+}
+
+/// Resolves the request's circuit — inline netlist or synthetic PDN —
+/// through the per-service assembly cache.
+fn resolve_circuit(
+    req: &HashMap<String, JsonValue>,
+    state: &ServiceState,
+) -> Result<Arc<MnaSystem>, ServeError> {
+    let mut h = Fnv64::new();
+    if let Some(text) = req.get("netlist").and_then(JsonValue::as_str) {
+        h.write_u8(0);
+        h.write_bytes(text.as_bytes());
+        let key = h.finish();
+        if let Some(sys) = state.cached_circuit(key) {
+            return Ok(sys);
+        }
+        let parsed = parse_netlist(text)?;
+        let sys = Arc::new(MnaSystem::assemble(&parsed.netlist)?);
+        state.store_circuit(key, sys.clone());
+        Ok(sys)
+    } else if let (Some(nx), Some(ny)) = (num(req, "pdn_nx"), num(req, "pdn_ny")) {
+        let loads = num(req, "pdn_loads").unwrap_or(8.0) as usize;
+        let features = num(req, "pdn_features").unwrap_or(3.0) as usize;
+        let seed = num(req, "pdn_seed").unwrap_or(1.0) as u64;
+        let window = num(req, "pdn_window").unwrap_or(1e-9);
+        h.write_u8(1);
+        for v in [nx, ny, loads as f64, features as f64, seed as f64, window] {
+            h.write_f64(v);
+        }
+        let key = h.finish();
+        if let Some(sys) = state.cached_circuit(key) {
+            return Ok(sys);
+        }
+        let sys = Arc::new(
+            PdnBuilder::new(nx as usize, ny as usize)
+                .num_loads(loads)
+                .num_features(features)
+                .seed(seed)
+                .window(window)
+                .build()?,
+        );
+        state.store_circuit(key, sys.clone());
+        Ok(sys)
+    } else {
+        Err(ServeError::Protocol(
+            "submit requires \"netlist\" or \"pdn_nx\"/\"pdn_ny\"".into(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineOptions;
+    use std::io::BufRead;
+
+    fn start() -> (Arc<ScenarioEngine>, ServiceHandle) {
+        let engine = Arc::new(ScenarioEngine::new(EngineOptions {
+            executors: 2,
+            ..EngineOptions::default()
+        }));
+        let handle = serve(engine.clone(), &ServiceOptions::default()).unwrap();
+        (engine, handle)
+    }
+
+    fn roundtrip(stream: &mut TcpStream, req: &str) -> Vec<String> {
+        let mut w = stream.try_clone().unwrap();
+        writeln!(w, "{req}").unwrap();
+        w.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut first = String::new();
+        reader.read_line(&mut first).unwrap();
+        let mut lines = vec![first.trim_end().to_string()];
+        // Stream responses announce their frame count up front.
+        if let Some(at) = lines[0].find("\"frames\": ") {
+            let rest = &lines[0][at + 10..];
+            let n: usize = rest[..rest.find(|c: char| !c.is_ascii_digit()).unwrap()]
+                .parse()
+                .unwrap();
+            for _ in 0..n {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                lines.push(line.trim_end().to_string());
+            }
+        }
+        lines
+    }
+
+    #[test]
+    fn submit_wait_stream_stats_over_tcp() {
+        let (_engine, handle) = start();
+        let mut conn = TcpStream::connect(handle.addr()).unwrap();
+        let sub = roundtrip(
+            &mut conn,
+            r#"{"cmd": "submit", "pdn_nx": 6, "pdn_ny": 6, "t_stop": 1e-9, "dt_out": 2e-11, "rows": "0,1"}"#,
+        );
+        assert!(sub[0].contains("\"ok\": true"), "{sub:?}");
+        assert!(sub[0].contains("\"job\": 0"));
+        let wait = roundtrip(&mut conn, r#"{"cmd": "wait", "job": 0}"#);
+        assert!(wait[0].contains("\"state\": \"done\""), "{wait:?}");
+        let stream = roundtrip(&mut conn, r#"{"cmd": "stream", "job": 0, "chunk": 20}"#);
+        assert!(stream[0].contains("\"frames\": 3")); // 51 points / 20
+        assert_eq!(stream.len(), 4);
+        assert!(stream[1].contains("\"times\": [0e0,"));
+        let stats = roundtrip(&mut conn, r#"{"cmd": "stats"}"#);
+        assert!(stats[0].contains("\"completed\": 1"), "{stats:?}");
+        handle.stop();
+    }
+
+    #[test]
+    fn netlist_submissions_share_assembly_and_protocol_errors_report() {
+        let (_engine, handle) = start();
+        let mut conn = TcpStream::connect(handle.addr()).unwrap();
+        let netlist = "i1 0 a PULSE(0 1m 0.1n 50p 200p 50p)\\nr1 a 0 1k\\nc1 a 0 10f\\n.end";
+        let req = format!(
+            "{{\"cmd\": \"submit\", \"netlist\": \"{netlist}\", \"t_stop\": 1e-9, \"dt_out\": 1e-11}}"
+        );
+        let a = roundtrip(&mut conn, &req);
+        assert!(a[0].contains("\"job\": 0"), "{a:?}");
+        let b = roundtrip(&mut conn, &req);
+        assert!(b[0].contains("\"job\": 1"));
+        for id in [0, 1] {
+            let w = roundtrip(&mut conn, &format!("{{\"cmd\": \"wait\", \"job\": {id}}}"));
+            assert!(w[0].contains("done"), "{w:?}");
+        }
+        // Identical submissions: the second assembled nothing and ran warm.
+        let stats = roundtrip(&mut conn, r#"{"cmd": "stats"}"#);
+        assert!(stats[0].contains("\"warm_jobs\": 1"), "{stats:?}");
+        // Errors come back as ok:false lines, connection stays usable.
+        let err = roundtrip(&mut conn, r#"{"cmd": "submit", "t_stop": 1e-9}"#);
+        assert!(err[0].contains("\"ok\": false"));
+        // Out-of-range observed rows are rejected at the protocol
+        // boundary, never reaching the solver.
+        let err = roundtrip(
+            &mut conn,
+            r#"{"cmd": "submit", "pdn_nx": 5, "pdn_ny": 5, "t_stop": 1e-9, "dt_out": 1e-11, "rows": "99999"}"#,
+        );
+        assert!(err[0].contains("out of range"), "{err:?}");
+        let err = roundtrip(&mut conn, r#"{"cmd": "nonsense"}"#);
+        assert!(err[0].contains("unknown cmd"));
+        let err = roundtrip(&mut conn, "not json at all");
+        assert!(err[0].contains("\"ok\": false"));
+        handle.stop();
+    }
+}

@@ -1,0 +1,141 @@
+//! Deterministic 64-bit fingerprinting for scenario caches.
+//!
+//! The service layer (`matex-serve`) keys its reusable artifacts —
+//! symbolic analyses, numeric factorizations, DC solutions, group
+//! schedules — by content fingerprints of the structures they were
+//! derived from. [`Fnv64`] is the shared hasher: FNV-1a over explicit
+//! byte feeds, so a fingerprint is a pure function of the fed data
+//! (process- and platform-independent), unlike `std`'s randomized
+//! `HashMap` hashing.
+
+/// An FNV-1a 64-bit streaming hasher.
+///
+/// # Example
+///
+/// ```
+/// use matex_waveform::Fnv64;
+///
+/// let mut a = Fnv64::new();
+/// a.write_f64(1.5);
+/// a.write_u64(7);
+/// let mut b = Fnv64::new();
+/// b.write_f64(1.5);
+/// b.write_u64(7);
+/// assert_eq!(a.finish(), b.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Feeds one byte (tag bytes for enum variants).
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Feeds a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` (widened to 64 bits first).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds an `f64` by its IEEE-754 bit pattern, so `-0.0` and `0.0`
+    /// fingerprint differently and NaN payloads are preserved — the
+    /// fingerprint distinguishes exactly what bitwise replay
+    /// distinguishes.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feeds a whole `f64` slice (length-prefixed).
+    pub fn write_f64s(&mut self, vs: &[f64]) {
+        self.write_usize(vs.len());
+        for &v in vs {
+            self.write_f64(v);
+        }
+    }
+
+    /// Feeds a whole `usize` slice (length-prefixed).
+    pub fn write_usizes(&mut self, vs: &[usize]) {
+        self.write_usize(vs.len());
+        for &v in vs {
+            self.write_usize(v);
+        }
+    }
+
+    /// The accumulated 64-bit fingerprint.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = Fnv64::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv64::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fnv64::new();
+        c.write_u64(1);
+        c.write_u64(2);
+        assert_eq!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn empty_is_offset_basis() {
+        assert_eq!(Fnv64::new().finish(), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn float_bits_distinguish_signed_zero() {
+        let mut a = Fnv64::new();
+        a.write_f64(0.0);
+        let mut b = Fnv64::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn slices_are_length_prefixed() {
+        // [1.0] ++ [] must differ from [] ++ [1.0].
+        let mut a = Fnv64::new();
+        a.write_f64s(&[1.0]);
+        a.write_f64s(&[]);
+        let mut b = Fnv64::new();
+        b.write_f64s(&[]);
+        b.write_f64s(&[1.0]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -34,6 +34,7 @@
 
 mod error;
 mod features;
+mod fingerprint;
 mod grouping;
 mod pulse;
 mod pwl;
@@ -42,6 +43,7 @@ mod waveform;
 
 pub use error::WaveformError;
 pub use features::FeatureKey;
+pub use fingerprint::Fnv64;
 pub use grouping::{group_sources, Grouping, GroupingStrategy, SourceGroup};
 pub use pulse::Pulse;
 pub use pwl::Pwl;

@@ -1,6 +1,6 @@
 //! The unified waveform type.
 
-use crate::{Pulse, Pwl};
+use crate::{Fnv64, Pulse, Pwl, WaveformError};
 
 /// A source waveform: constant, pulse, or piecewise linear.
 ///
@@ -80,6 +80,95 @@ impl Waveform {
     pub fn initial_value(&self) -> f64 {
         self.value(0.0)
     }
+
+    /// The waveform scaled by `k` in value: `w'(t) = k · w(t)`.
+    ///
+    /// Timing (and therefore every transition spot) is unchanged, which
+    /// is what makes scaled-source scenarios structure-preserving: a
+    /// scenario engine can replay the same grouping and factorization
+    /// artifacts under any load scaling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::InvalidTiming`] when `k` is not finite
+    /// (the scaled levels re-validate through the variant constructors).
+    pub fn scaled(&self, k: f64) -> Result<Waveform, WaveformError> {
+        if !k.is_finite() {
+            return Err(WaveformError::InvalidTiming(format!(
+                "source scale {k} is not finite"
+            )));
+        }
+        Ok(match self {
+            Waveform::Dc(v) => {
+                let scaled = v * k;
+                if !scaled.is_finite() {
+                    return Err(WaveformError::InvalidTiming(format!(
+                        "scaled DC level {scaled} is not finite"
+                    )));
+                }
+                Waveform::Dc(scaled)
+            }
+            Waveform::Pulse(p) => {
+                // Through the validating constructors: a product that
+                // overflows fails here, at the override boundary, not
+                // as an Inf deep inside a solver run.
+                let scaled = match p.t_period {
+                    None => {
+                        Pulse::new(p.v1 * k, p.v2 * k, p.t_delay, p.t_rise, p.t_width, p.t_fall)?
+                    }
+                    Some(per) => Pulse::periodic(
+                        p.v1 * k,
+                        p.v2 * k,
+                        p.t_delay,
+                        p.t_rise,
+                        p.t_width,
+                        p.t_fall,
+                        per,
+                    )?,
+                };
+                Waveform::Pulse(scaled)
+            }
+            Waveform::Pwl(w) => Waveform::Pwl(Pwl::new(
+                w.points().iter().map(|&(t, v)| (t, v * k)).collect(),
+            )?),
+        })
+    }
+
+    /// Feeds the waveform's identity — variant tag plus every parameter's
+    /// bit pattern — into a fingerprint hasher. Two waveforms fingerprint
+    /// equal iff they evaluate bitwise-identically at every time.
+    pub fn fingerprint(&self, h: &mut Fnv64) {
+        match self {
+            Waveform::Dc(v) => {
+                h.write_u8(0);
+                h.write_f64(*v);
+            }
+            Waveform::Pulse(p) => {
+                h.write_u8(1);
+                h.write_f64(p.v1);
+                h.write_f64(p.v2);
+                h.write_f64(p.t_delay);
+                h.write_f64(p.t_rise);
+                h.write_f64(p.t_width);
+                h.write_f64(p.t_fall);
+                match p.t_period {
+                    None => h.write_u8(0),
+                    Some(per) => {
+                        h.write_u8(1);
+                        h.write_f64(per);
+                    }
+                }
+            }
+            Waveform::Pwl(w) => {
+                h.write_u8(2);
+                h.write_usize(w.points().len());
+                for &(t, v) in w.points() {
+                    h.write_f64(t);
+                    h.write_f64(v);
+                }
+            }
+        }
+    }
 }
 
 impl Default for Waveform {
@@ -146,5 +235,36 @@ mod tests {
     fn constant_pulse_detected() {
         let p = Pulse::new(1.0, 1.0, 0.0, 0.0, 1.0, 0.0).unwrap();
         assert!(Waveform::Pulse(p).is_constant());
+    }
+
+    #[test]
+    fn scaling_preserves_timing_and_scales_values() {
+        let p = Waveform::Pulse(Pulse::new(0.0, 2.0, 1.0, 1.0, 2.0, 1.0).unwrap());
+        let s = p.scaled(0.5).unwrap();
+        assert_eq!(s.transition_spots(10.0), p.transition_spots(10.0));
+        assert_eq!(s.value(2.5), 0.5 * p.value(2.5));
+        let w = Waveform::Pwl(Pwl::new(vec![(0.0, 1.0), (1.0, -2.0)]).unwrap());
+        assert_eq!(w.scaled(3.0).unwrap().value(1.0), -6.0);
+        assert_eq!(Waveform::Dc(2.0).scaled(-1.0).unwrap().value(0.0), -2.0);
+        assert!(p.scaled(f64::NAN).is_err());
+        // Scaling to zero flattens the pulse without a validation trip
+        // (v1 == v2 == 0 permits the zero-length ramps).
+        assert!(p.scaled(0.0).unwrap().is_zero());
+    }
+
+    #[test]
+    fn fingerprint_separates_waveforms() {
+        let fp = |w: &Waveform| {
+            let mut h = crate::Fnv64::new();
+            w.fingerprint(&mut h);
+            h.finish()
+        };
+        let p = Waveform::Pulse(Pulse::new(0.0, 2.0, 1.0, 1.0, 2.0, 1.0).unwrap());
+        assert_eq!(fp(&p), fp(&p.clone()));
+        assert_ne!(fp(&p), fp(&p.scaled(2.0).unwrap()));
+        assert_ne!(fp(&Waveform::Dc(1.0)), fp(&Waveform::Dc(2.0)));
+        // A periodic pulse must not collide with its one-shot shape.
+        let per = Waveform::Pulse(Pulse::periodic(0.0, 2.0, 1.0, 1.0, 2.0, 1.0, 10.0).unwrap());
+        assert_ne!(fp(&p), fp(&per));
     }
 }
