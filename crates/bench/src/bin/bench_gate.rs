@@ -17,11 +17,12 @@ use matex_bench::gate::{compare, parse_metrics, GateReport, DEFAULT_TOLERANCE};
 use std::path::Path;
 use std::process::ExitCode;
 
-const ARTIFACTS: [&str; 4] = [
+const ARTIFACTS: [&str; 5] = [
     "BENCH_table3.json",
     "BENCH_lu.json",
     "BENCH_eval.json",
     "BENCH_serve.json",
+    "BENCH_whatif.json",
 ];
 
 fn gate_one(

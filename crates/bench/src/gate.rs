@@ -5,7 +5,8 @@
 //! demonstrate (`speedup` for the two-phase LU replay and for the
 //! batched snapshot evaluation, `spdp4`/`spdp5` for the distributed
 //! framework, `hit_speedup` for the scenario engine's cold-vs-warm
-//! amortization) — ratios of times measured in the same
+//! amortization, `whatif_speedup` for the SMW-corrected what-if path
+//! vs the refactoring warm path) — ratios of times measured in the same
 //! process, so they stay comparable across runner generations where
 //! absolute seconds would not. A metric regresses when the fresh value
 //! drops more than the tolerance below its baseline (default
@@ -145,6 +146,7 @@ pub fn parse_metrics(text: &str) -> Result<(String, Vec<Metric>), String> {
         "table3_distributed" => &["spdp4", "spdp5"],
         "eval_batch" => &["speedup"],
         "serve_throughput" => &["hit_speedup"],
+        "whatif" => &["whatif_speedup"],
         other => return Err(format!("no tracked metrics for bench kind {other:?}")),
     };
     let rows_start = text
@@ -264,6 +266,16 @@ mod tests {
   ]
 }"#;
 
+    const WHATIF_SAMPLE: &str = r#"{
+  "bench": "whatif",
+  "scale": "ci",
+  "whatif": {"hits": 16, "avg_rank": 1.00, "fallback_bitwise": true},
+  "rows": [
+    {"design": "pg1w", "n": 841, "variants": 8, "cold_s": 0.0141, "hit_s": 0.0102, "whatif_s": 0.0031, "whatif_speedup": 3.29, "max_dev": 2.1e-12},
+    {"design": "pg2w", "n": 1385, "variants": 8, "cold_s": 0.0350, "hit_s": 0.0258, "whatif_s": 0.0064, "whatif_speedup": 4.03, "max_dev": 3.4e-12}
+  ]
+}"#;
+
     const TABLE3_SAMPLE: &str = r#"{
   "bench": "table3_distributed",
   "scale": "ci",
@@ -299,6 +311,42 @@ mod tests {
         // exactly one hit_speedup metric per design.
         assert_eq!(sv.len(), 2);
         assert!(sv.iter().any(|m| m.design == "pg2s" && m.value == 5.40));
+        let (bench, wi) = parse_metrics(WHATIF_SAMPLE).unwrap();
+        assert_eq!(bench, "whatif");
+        // Likewise the whatif summary object is skipped by the scanner.
+        assert_eq!(wi.len(), 2);
+        assert!(wi.iter().any(|m| m.design == "pg1w" && m.value == 3.29));
+    }
+
+    #[test]
+    fn whatif_speedup_regression_fails_the_gate() {
+        let (bench, base) = parse_metrics(WHATIF_SAMPLE).unwrap();
+        // 4.03 → 2.00: the SMW path losing half its edge over the
+        // refactoring warm path must trip, even though 2.00 still
+        // clears the 2X acceptance floor in absolute terms.
+        let slowed = reinject(
+            WHATIF_SAMPLE,
+            "\"whatif_speedup\": 4.03",
+            "\"whatif_speedup\": 2.00",
+        );
+        let (_, fresh) = parse_metrics(&slowed).unwrap();
+        let report = compare(&bench, &base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(report.regressions(), 1);
+        assert_eq!(
+            report.rows.iter().find(|r| r.regressed).unwrap().design,
+            "pg2w"
+        );
+        // A within-tolerance wobble on the other design passes.
+        let wobbled = reinject(
+            WHATIF_SAMPLE,
+            "\"whatif_speedup\": 3.29",
+            "\"whatif_speedup\": 3.00",
+        );
+        let (_, fresh) = parse_metrics(&wobbled).unwrap();
+        assert_eq!(
+            compare(&bench, &base, &fresh, DEFAULT_TOLERANCE).regressions(),
+            0
+        );
     }
 
     #[test]

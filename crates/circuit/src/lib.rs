@@ -42,7 +42,7 @@ pub mod ibmpg;
 pub use dc::{dc_operating_point, factor_g};
 pub use elements::{Element, Node, SourceKind};
 pub use error::CircuitError;
-pub use mna::{MnaSystem, SourceInfo};
+pub use mna::{MnaSystem, SourceInfo, ValueDiff};
 pub use netlist::Netlist;
 pub use parser::{parse_netlist, parse_value, ParsedCircuit, TranSpec};
 pub use pdn::{PdnBuilder, RcMeshBuilder};

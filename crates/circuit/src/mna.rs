@@ -10,7 +10,7 @@
 //! currents]` and one input column per independent source.
 
 use crate::{CircuitError, Element, Netlist, SourceKind};
-use matex_sparse::{CooMatrix, CsrMatrix};
+use matex_sparse::{CooMatrix, CsrMatrix, SparseCol};
 use matex_waveform::{Fnv64, Waveform};
 
 /// Metadata for one input (one column of `B`).
@@ -411,6 +411,295 @@ impl MnaSystem {
             .map_err(|e| CircuitError::InvalidNetlist(format!("source scaling failed: {e}")))?;
         self.with_source_waveforms(scaled)
     }
+
+    /// A copy of this system with the ground capacitance at `row`
+    /// scaled by `factor` — the "tune/add a decap at this node" what-if
+    /// edit. Only the `C[row, row]` diagonal changes, so the sparsity
+    /// pattern (and [`MnaSystem::pattern_fingerprint`]) is preserved
+    /// while [`MnaSystem::value_fingerprint`] changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidNetlist`] when `factor` is not a
+    /// positive finite number, `row` is not a node row, or the node has
+    /// no stored capacitance to scale.
+    pub fn with_cap_scaled(&self, row: usize, factor: f64) -> Result<Self, CircuitError> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(CircuitError::InvalidNetlist(format!(
+                "cap scale factor must be positive and finite, got {factor}"
+            )));
+        }
+        if row >= self.num_nodes {
+            return Err(CircuitError::InvalidNetlist(format!(
+                "cap edit row {row} is not a node row (nodes: {})",
+                self.num_nodes
+            )));
+        }
+        let mut out = self.clone();
+        match csr_entry_mut(&mut out.c, row, row) {
+            Some(v) if *v != 0.0 => *v *= factor,
+            _ => {
+                return Err(CircuitError::InvalidNetlist(format!(
+                    "node row {row} has no capacitance to scale"
+                )))
+            }
+        }
+        Ok(out)
+    }
+
+    /// A copy of this system with `dg` added to the conductance between
+    /// node rows `a` and `b` (ground when `None`) — the "change one R"
+    /// what-if edit. All four stamp entries must already exist in `G`'s
+    /// pattern, so the fingerprinted structure is preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidNetlist`] when `dg` is not
+    /// finite, a row is out of range, or a stamp entry is absent from
+    /// the pattern.
+    pub fn with_conductance_delta(
+        &self,
+        a: Option<usize>,
+        b: Option<usize>,
+        dg: f64,
+    ) -> Result<Self, CircuitError> {
+        if !dg.is_finite() {
+            return Err(CircuitError::InvalidNetlist(format!(
+                "conductance delta must be finite, got {dg}"
+            )));
+        }
+        for r in [a, b].into_iter().flatten() {
+            if r >= self.num_nodes {
+                return Err(CircuitError::InvalidNetlist(format!(
+                    "conductance edit row {r} is not a node row (nodes: {})",
+                    self.num_nodes
+                )));
+            }
+        }
+        let mut out = self.clone();
+        let mut bump = |r: usize, c: usize, v: f64| match csr_entry_mut(&mut out.g, r, c) {
+            Some(e) => {
+                *e += v;
+                Ok(())
+            }
+            None => Err(CircuitError::InvalidNetlist(format!(
+                "G has no stored entry at ({r}, {c}) to edit"
+            ))),
+        };
+        if let Some(i) = a {
+            bump(i, i, dg)?;
+        }
+        if let Some(j) = b {
+            bump(j, j, dg)?;
+        }
+        if let (Some(i), Some(j)) = (a, b) {
+            bump(i, j, -dg)?;
+            bump(j, i, -dg)?;
+        }
+        Ok(out)
+    }
+
+    /// The sparse value edit set turning `base` into `self`, for the
+    /// Sherman–Morrison–Woodbury what-if fast path.
+    ///
+    /// Guarded by the existing fingerprints: returns `None` when the
+    /// sparsity patterns differ ([`MnaSystem::pattern_fingerprint`]
+    /// mismatch — a structural change cannot be a value edit), and
+    /// short-circuits to an empty diff when the value fingerprints
+    /// match. Otherwise walks the shared `G`/`C` patterns once and
+    /// records per-row deltas (`self − base`), so the edit's rank is
+    /// the number of **touched rows** (stamp structure), not the number
+    /// of changed entries. `B` differences are deliberately ignored:
+    /// `B` is never factored, so they need no correction.
+    pub fn value_diff(&self, base: &MnaSystem) -> Option<ValueDiff> {
+        if self.dim() != base.dim() || self.pattern_fingerprint() != base.pattern_fingerprint() {
+            return None;
+        }
+        let dim = self.dim();
+        if self.value_fingerprint() == base.value_fingerprint() {
+            return Some(ValueDiff {
+                dim,
+                g_rows: Vec::new(),
+                c_rows: Vec::new(),
+            });
+        }
+        let g_rows = diff_rows(&self.g, &base.g)?;
+        let c_rows = diff_rows(&self.c, &base.c)?;
+        Some(ValueDiff {
+            dim,
+            g_rows,
+            c_rows,
+        })
+    }
+}
+
+/// Mutable access to a stored CSR entry, if present in the pattern.
+fn csr_entry_mut(m: &mut CsrMatrix, r: usize, c: usize) -> Option<&mut f64> {
+    let pos = m.row_indices(r).iter().position(|&cc| cc == c)?;
+    Some(&mut m.row_values_mut(r)[pos])
+}
+
+/// Per-row value deltas `new − base` over a shared pattern, ascending
+/// row order, each row's entries in stored (ascending column) order.
+/// `None` when the patterns turn out to differ after all (fingerprint
+/// collision safety net).
+fn diff_rows(new: &CsrMatrix, base: &CsrMatrix) -> Option<Vec<(usize, SparseCol)>> {
+    let mut rows = Vec::new();
+    for r in 0..new.nrows() {
+        let (ni, nv) = (new.row_indices(r), new.row_values(r));
+        let (bi, bv) = (base.row_indices(r), base.row_values(r));
+        if ni != bi {
+            return None;
+        }
+        let mut entries: Vec<(usize, f64)> = Vec::new();
+        for ((&c, &a), &b) in ni.iter().zip(nv).zip(bv) {
+            if a.to_bits() != b.to_bits() {
+                let d = a - b;
+                if d != 0.0 {
+                    entries.push((c, d));
+                }
+            }
+        }
+        if !entries.is_empty() {
+            rows.push((r, entries));
+        }
+    }
+    Some(rows)
+}
+
+/// A sparse value edit set between two same-pattern [`MnaSystem`]s
+/// (produced by [`MnaSystem::value_diff`]): per-row deltas of `G` and
+/// `C`, exposed as the `U`/`V` column pairs of a rank-`k` update
+/// `A' = A + U·Vᵀ` with `k` = touched-row count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueDiff {
+    dim: usize,
+    /// Touched rows of `ΔG` with their delta entries, ascending.
+    g_rows: Vec<(usize, SparseCol)>,
+    /// Touched rows of `ΔC` with their delta entries, ascending.
+    c_rows: Vec<(usize, SparseCol)>,
+}
+
+/// The `U`/`V` column pairs of a rank-`k` edit `A' = A + U·Vᵀ`, in the
+/// form [`matex_sparse::SmwUpdate::build`] consumes.
+pub type UpdateCols = (Vec<SparseCol>, Vec<SparseCol>);
+
+impl ValueDiff {
+    /// Dimension of the differed systems.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// `true` when the systems' matrices are numerically identical.
+    pub fn is_empty(&self) -> bool {
+        self.g_rows.is_empty() && self.c_rows.is_empty()
+    }
+
+    /// Number of rows touched in `G`.
+    pub fn rank_g(&self) -> usize {
+        self.g_rows.len()
+    }
+
+    /// Number of rows touched in `C`.
+    pub fn rank_c(&self) -> usize {
+        self.c_rows.len()
+    }
+
+    /// Rank of the widest correction any solver path needs: the number
+    /// of rows touched in `G` *or* `C` (their union — the shifted
+    /// system `C + γG` inherits every touched row).
+    pub fn rank(&self) -> usize {
+        let (mut i, mut j, mut count) = (0, 0, 0);
+        while i < self.g_rows.len() || j < self.c_rows.len() {
+            let gr = self.g_rows.get(i).map(|e| e.0).unwrap_or(usize::MAX);
+            let cr = self.c_rows.get(j).map(|e| e.0).unwrap_or(usize::MAX);
+            if gr <= cr {
+                i += 1;
+            }
+            if cr <= gr {
+                j += 1;
+            }
+            count += 1;
+        }
+        count
+    }
+
+    /// The edit columns for `G_new = G_base + U·Vᵀ`: `U` holds one unit
+    /// column per touched row, `V` the matching delta rows.
+    pub fn g_update(&self) -> UpdateCols {
+        rows_to_update(&self.g_rows)
+    }
+
+    /// The edit columns for `C_new = C_base + U·Vᵀ`.
+    pub fn c_update(&self) -> UpdateCols {
+        rows_to_update(&self.c_rows)
+    }
+
+    /// The edit columns for the shifted system
+    /// `(C + γG)_new = (C + γG)_base + U·Vᵀ`: touched rows are the
+    /// union of both matrices' touched rows, each delta row
+    /// `ΔC[r, :] + γ·ΔG[r, :]`.
+    pub fn shifted_update(&self, gamma: f64) -> UpdateCols {
+        rows_to_update(&merge_touched(&self.c_rows, &self.g_rows, 1.0, gamma))
+    }
+}
+
+/// Turns per-row deltas into SMW `U`/`V` columns: `U[:, k] = e_{row_k}`,
+/// `V[:, k] = delta_row_kᵀ`.
+fn rows_to_update(rows: &[(usize, SparseCol)]) -> UpdateCols {
+    let u = rows.iter().map(|&(r, _)| vec![(r, 1.0)]).collect();
+    let v = rows.iter().map(|(_, entries)| entries.clone()).collect();
+    (u, v)
+}
+
+/// Merges two per-row delta sets into `alpha·first + beta·second`,
+/// ascending rows, each row's entries merged in ascending column order.
+fn merge_touched(
+    first: &[(usize, SparseCol)],
+    second: &[(usize, SparseCol)],
+    alpha: f64,
+    beta: f64,
+) -> Vec<(usize, Vec<(usize, f64)>)> {
+    let mut out: Vec<(usize, Vec<(usize, f64)>)> = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < first.len() || j < second.len() {
+        let take_first = j >= second.len() || (i < first.len() && first[i].0 <= second[j].0);
+        let take_second = i >= first.len() || (j < second.len() && second[j].0 <= first[i].0);
+        let row = if take_first { first[i].0 } else { second[j].0 };
+        let mut entries: Vec<(usize, f64)> = Vec::new();
+        let empty: Vec<(usize, f64)> = Vec::new();
+        let fe = if take_first { &first[i].1 } else { &empty };
+        let se = if take_second { &second[j].1 } else { &empty };
+        let (mut p, mut q) = (0, 0);
+        while p < fe.len() || q < se.len() {
+            let fc = fe.get(p).map(|e| e.0).unwrap_or(usize::MAX);
+            let sc = se.get(q).map(|e| e.0).unwrap_or(usize::MAX);
+            let (col, val) = if fc < sc {
+                p += 1;
+                (fc, alpha * fe[p - 1].1)
+            } else if sc < fc {
+                q += 1;
+                (sc, beta * se[q - 1].1)
+            } else {
+                p += 1;
+                q += 1;
+                (fc, alpha * fe[p - 1].1 + beta * se[q - 1].1)
+            };
+            if val != 0.0 {
+                entries.push((col, val));
+            }
+        }
+        if take_first {
+            i += 1;
+        }
+        if take_second {
+            j += 1;
+        }
+        if !entries.is_empty() {
+            out.push((row, entries));
+        }
+    }
+    out
 }
 
 /// Feeds a CSR matrix's shape and nonzero pattern into a hasher.
@@ -590,5 +879,128 @@ mod tests {
         let sys = MnaSystem::assemble(&nl).unwrap();
         assert_eq!(sys.row_name(0), "a");
         assert_eq!(sys.row_name(1), "i(vs)");
+    }
+
+    /// Applies `U·Vᵀ` (from a [`ValueDiff`] update) to a dense vector:
+    /// `out += U (Vᵀ x)`.
+    fn apply_update(u: &[Vec<(usize, f64)>], v: &[Vec<(usize, f64)>], x: &[f64], out: &mut [f64]) {
+        for (ucol, vcol) in u.iter().zip(v) {
+            let dot: f64 = vcol.iter().map(|&(r, val)| val * x[r]).sum();
+            for &(r, val) in ucol {
+                out[r] += val * dot;
+            }
+        }
+    }
+
+    fn pdn_pair() -> (MnaSystem, MnaSystem) {
+        let base = crate::PdnBuilder::new(6, 6)
+            .num_loads(4)
+            .seed(77)
+            .build()
+            .unwrap();
+        let variant = base.with_cap_scaled(7, 3.0).unwrap();
+        (base, variant)
+    }
+
+    #[test]
+    fn value_diff_no_change_short_circuits() {
+        let (base, _) = pdn_pair();
+        let diff = base.value_diff(&base).expect("same system diffs");
+        assert!(diff.is_empty());
+        assert_eq!(diff.rank(), 0);
+        // Source overrides keep the matrices identical too.
+        let scaled = base.with_scaled_sources(1.5).unwrap();
+        assert!(scaled.value_diff(&base).unwrap().is_empty());
+    }
+
+    #[test]
+    fn value_diff_decap_add_is_rank_one() {
+        let (base, variant) = pdn_pair();
+        assert_eq!(base.pattern_fingerprint(), variant.pattern_fingerprint());
+        assert_ne!(base.value_fingerprint(), variant.value_fingerprint());
+        let diff = variant.value_diff(&base).expect("same pattern diffs");
+        assert!(!diff.is_empty());
+        assert_eq!(diff.rank_g(), 0, "cap edit must not touch G");
+        assert_eq!(diff.rank_c(), 1);
+        assert_eq!(diff.rank(), 1);
+        // C_variant = C_base + U·Vᵀ exactly.
+        let n = base.dim();
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        let (u, v) = diff.c_update();
+        let mut got = base.c().matvec(&x);
+        apply_update(&u, &v, &x, &mut got);
+        let want = variant.c().matvec(&x);
+        for (p, q) in got.iter().zip(&want) {
+            assert!((p - q).abs() <= 1e-18, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn value_diff_single_r_change_has_stamp_rank() {
+        let base = crate::PdnBuilder::new(6, 6)
+            .num_loads(4)
+            .seed(78)
+            .build()
+            .unwrap();
+        // Change one wire resistor: both endpoint rows touched → rank 2,
+        // not 4 (the number of changed entries).
+        let a = base
+            .node_row(&crate::PdnBuilder::node_name(1, 1, 1))
+            .unwrap();
+        let b = base
+            .node_row(&crate::PdnBuilder::node_name(1, 2, 1))
+            .unwrap();
+        let variant = base.with_conductance_delta(Some(a), Some(b), 0.7).unwrap();
+        let diff = variant.value_diff(&base).expect("same pattern diffs");
+        assert_eq!(diff.rank_g(), 2);
+        assert_eq!(diff.rank_c(), 0);
+        assert_eq!(diff.rank(), 2);
+        let n = base.dim();
+        let x: Vec<f64> = (0..n).map(|i| 0.5 - (i % 3) as f64).collect();
+        let (u, v) = diff.g_update();
+        let mut got = base.g().matvec(&x);
+        apply_update(&u, &v, &x, &mut got);
+        let want = variant.g().matvec(&x);
+        for (p, q) in got.iter().zip(&want) {
+            assert!((p - q).abs() <= 1e-12, "{p} vs {q}");
+        }
+        // The shifted-system update combines ΔC + γΔG over the union.
+        let gamma = 1e-10;
+        let (us, vs) = diff.shifted_update(gamma);
+        assert_eq!(us.len(), 2);
+        let shift_base =
+            matex_sparse::CsrMatrix::linear_combination(1.0, base.c(), gamma, base.g()).unwrap();
+        let shift_new =
+            matex_sparse::CsrMatrix::linear_combination(1.0, variant.c(), gamma, variant.g())
+                .unwrap();
+        let mut got = shift_base.matvec(&x);
+        apply_update(&us, &vs, &x, &mut got);
+        let want = shift_new.matvec(&x);
+        for (p, q) in got.iter().zip(&want) {
+            assert!((p - q).abs() <= 1e-18, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn value_diff_rejects_structural_changes() {
+        let (base, _) = pdn_pair();
+        let other = crate::PdnBuilder::new(7, 6)
+            .num_loads(4)
+            .seed(77)
+            .build()
+            .unwrap();
+        assert!(base.value_diff(&other).is_none());
+    }
+
+    #[test]
+    fn edit_helpers_validate_input() {
+        let (base, _) = pdn_pair();
+        assert!(base.with_cap_scaled(7, 0.0).is_err());
+        assert!(base.with_cap_scaled(base.dim() + 1, 2.0).is_err());
+        assert!(base
+            .with_conductance_delta(Some(0), Some(1), f64::NAN)
+            .is_err());
+        // Nodes 0 and 5 are not pattern-adjacent on a 6-wide grid row.
+        assert!(base.with_conductance_delta(Some(0), Some(5), 0.1).is_err());
     }
 }

@@ -34,7 +34,7 @@ use crate::engine::InputEval;
 use crate::SolveStats;
 use matex_circuit::MnaSystem;
 use matex_par::ParPool;
-use matex_sparse::{SolveSchedule, SparseLu};
+use matex_sparse::{SmwUpdate, SolveSchedule, SparseLu};
 
 /// Precomputed input terms for one linear interval `[t0, t1]`, plus the
 /// persistent scratch that makes recomputation allocation-free.
@@ -136,11 +136,42 @@ impl IntervalTerms {
         stats: &mut SolveStats,
         par: Option<(&ParPool, &SolveSchedule)>,
     ) {
+        self.recompute_corrected(sys, lu_g, input, t0, t1, stats, par, None);
+    }
+
+    /// [`IntervalTerms::recompute_with`] with an optional
+    /// Sherman–Morrison–Woodbury correction built against `lu_g`: each
+    /// of the (up to three) substitution pairs is followed by
+    /// [`SmwUpdate::correct_in_place`], so the terms come out for the
+    /// *edited* `G` without refactoring — the what-if fast path. The
+    /// correction's fixed evaluation order keeps the result bitwise
+    /// identical across repeat calls and pool widths.
+    ///
+    /// # Panics
+    ///
+    /// As [`IntervalTerms::recompute`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn recompute_corrected(
+        &mut self,
+        sys: &MnaSystem,
+        lu_g: &SparseLu,
+        input: &InputEval<'_>,
+        t0: f64,
+        t1: f64,
+        stats: &mut SolveStats,
+        par: Option<(&ParPool, &SolveSchedule)>,
+        smw: Option<&SmwUpdate>,
+    ) {
         assert!(t1 > t0, "interval must have positive length");
         self.t0 = t0;
-        let solve = |b: &[f64], out: &mut [f64], work: &mut [f64]| match par {
-            None => lu_g.solve_into(b, out, work),
-            Some((pool, sched)) => lu_g.solve_into_par(b, out, work, sched, pool),
+        let solve = |b: &[f64], out: &mut [f64], work: &mut [f64]| {
+            match par {
+                None => lu_g.solve_into(b, out, work),
+                Some((pool, sched)) => lu_g.solve_into_par(b, out, work, sched, pool),
+            }
+            if let Some(smw) = smw {
+                smw.correct_in_place(out);
+            }
         };
         // q0 = G⁻¹ B u(t0); keep B u(t0) in `qd` for the slope below.
         input.bu_into(t0, &mut self.qd, &mut self.u);

@@ -66,3 +66,6 @@ pub use tr_adaptive::TrapezoidalAdaptive;
 
 // Re-export the Krylov variant selector: it is part of this crate's API.
 pub use matex_krylov::{ExpmParams, KrylovKind};
+// Re-export the what-if correction types consumed by `MatexSetup::correct`,
+// so downstream crates (the serve engine) need no direct sparse dependency.
+pub use matex_sparse::{SmwOptions, SmwRejection};

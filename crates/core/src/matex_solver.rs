@@ -295,7 +295,7 @@ impl TransientEngine for MatexSolver {
             }
             None => {
                 stats.substitution_pairs += 1;
-                lu_g.solve(&input.bu_at(t_start))
+                setup.solve_g(&input.bu_at(t_start))
             }
         };
         stats.dc_time = t0.elapsed();
@@ -331,6 +331,9 @@ impl TransientEngine for MatexSolver {
                         sched,
                     });
                 }
+                if let Some(smw) = setup.smw_x1() {
+                    op = op.with_correction(smw);
+                }
                 OpHolder::Std(op)
             }
             KrylovKind::Inverted => {
@@ -340,6 +343,9 @@ impl TransientEngine for MatexSolver {
                         pool: pool.as_ref(),
                         sched,
                     });
+                }
+                if let Some(smw) = setup.smw_g() {
+                    op = op.with_correction(smw);
                 }
                 OpHolder::Inv(op)
             }
@@ -354,6 +360,9 @@ impl TransientEngine for MatexSolver {
                         pool: pool.as_ref(),
                         sched,
                     });
+                }
+                if let Some(smw) = setup.smw_x1() {
+                    op = op.with_correction(smw);
                 }
                 OpHolder::Rat(op)
             }
@@ -423,7 +432,16 @@ impl TransientEngine for MatexSolver {
             }
             let h = te - anchor_t;
             if !terms_valid {
-                terms.recompute_with(sys, lu_g, &input, anchor_t, win_end, &mut stats, terms_par);
+                terms.recompute_corrected(
+                    sys,
+                    lu_g,
+                    &input,
+                    anchor_t,
+                    win_end,
+                    &mut stats,
+                    terms_par,
+                    setup.smw_g(),
+                );
                 terms_valid = true;
             }
             // v = x(anchor) + F(anchor)

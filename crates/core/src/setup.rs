@@ -24,9 +24,12 @@
 //! preparation would produce.
 
 use crate::{CoreError, MatexOptions, MatexSymbolic, SolveStats};
-use matex_circuit::{regularize_c, MnaSystem};
+use matex_circuit::{regularize_c, MnaSystem, ValueDiff};
 use matex_krylov::{shifted_system, KrylovKind};
-use matex_sparse::{CsrMatrix, LuOptions, SolveSchedule, SparseLu};
+use matex_sparse::{
+    CsrMatrix, LuOptions, SmwOptions, SmwRejection, SmwUpdate, SolveSchedule, SparseLu,
+};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The immutable, shareable preparation of a MATEX run: factors of `G`
@@ -59,9 +62,10 @@ pub struct MatexSetup {
     gamma: f64,
     regularize_eps: f64,
     dim: usize,
-    lu_g: SparseLu,
+    /// `None` only for corrected setups, which delegate to `base`.
+    lu_g: Option<SparseLu>,
     /// The variant's `X1` factorization; `None` for I-MATEX, which
-    /// reuses `lu_g`.
+    /// reuses `lu_g`, and for corrected setups.
     lu_x1: Option<SparseLu>,
     /// MEXP's (possibly regularized) effective `C`.
     #[allow(dead_code)]
@@ -71,6 +75,18 @@ pub struct MatexSetup {
     shifted: Option<CsrMatrix>,
     sched_g: Option<SolveSchedule>,
     sched_x1: Option<SolveSchedule>,
+    /// The uncorrected setup this one wraps (what-if fast path): all
+    /// factors and schedules come from here, with the SMW corrections
+    /// below turning its solves into edited-system solves.
+    base: Option<Arc<MatexSetup>>,
+    /// Correction turning `base`'s `lu_g` solves into `G_new` solves.
+    smw_g: Option<SmwUpdate>,
+    /// Correction for the variant's `X1` solves (`C + γG` for R-MATEX,
+    /// the regularized `C` for MEXP).
+    smw_x1: Option<SmwUpdate>,
+    /// Touched-row rank of the edit this setup corrects for (0 when
+    /// uncorrected).
+    whatif_rank: usize,
     factorizations: usize,
     refactorizations: usize,
     factor_time: Duration,
@@ -144,14 +160,109 @@ impl MatexSetup {
             gamma: opts.gamma,
             regularize_eps: opts.regularize_eps,
             dim: sys.dim(),
-            lu_g,
+            lu_g: Some(lu_g),
             lu_x1,
             c_reg,
             shifted,
             sched_g,
             sched_x1,
+            base: None,
+            smw_g: None,
+            smw_x1: None,
+            whatif_rank: 0,
             factorizations: counters.factorizations,
             refactorizations: counters.refactorizations,
+            factor_time: t0.elapsed(),
+        })
+    }
+
+    /// Wraps `base` with Sherman–Morrison–Woodbury corrections for the
+    /// value edit `diff` (produced by
+    /// [`MnaSystem::value_diff`](matex_circuit::MnaSystem::value_diff)
+    /// between the edited system and the system `base` was prepared
+    /// for). Every solve through the returned setup — DC, input terms,
+    /// and the variant's Krylov operator — then produces
+    /// edited-system solutions without any refactorization: the what-if
+    /// fast path.
+    ///
+    /// Costs `O(rank)` substitution pairs against `base`'s cached
+    /// factors plus one `rank × rank` dense factorization; evaluation
+    /// order is fixed, so corrected solves are bitwise-deterministic
+    /// across repeat runs and (via the pool-invariant base
+    /// substitutions) thread counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SmwRejection`] when the edit must be served by a
+    /// full preparation instead: rank above [`SmwOptions::max_rank`] or
+    /// an ill-conditioned capture matrix. Callers fall back to
+    /// [`MatexSetup::prepare`], which is bitwise-identical to the
+    /// never-corrected path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is itself corrected or `diff`'s dimension
+    /// disagrees with `base`.
+    pub fn correct(
+        base: Arc<MatexSetup>,
+        diff: &ValueDiff,
+        opts: &SmwOptions,
+    ) -> Result<MatexSetup, SmwRejection> {
+        assert!(
+            !base.is_corrected(),
+            "what-if corrections must wrap an uncorrected base setup"
+        );
+        assert_eq!(
+            base.dim(),
+            diff.dim(),
+            "edit set dimension disagrees with the base setup"
+        );
+        let t0 = Instant::now();
+        let rank = diff.rank();
+        let smw_g = if diff.rank_g() > 0 {
+            let (u, v) = diff.g_update();
+            Some(SmwUpdate::build(base.lu_g(), &u, &v, opts)?)
+        } else {
+            None
+        };
+        let smw_x1 = match base.kind {
+            KrylovKind::Inverted => None,
+            KrylovKind::Rational => {
+                let (u, v) = diff.shifted_update(base.gamma);
+                if u.is_empty() {
+                    None
+                } else {
+                    let lu = base.lu_x1().expect("rational base holds lu(C+γG)");
+                    Some(SmwUpdate::build(lu, &u, &v, opts)?)
+                }
+            }
+            KrylovKind::Standard => {
+                if diff.rank_c() > 0 {
+                    let (u, v) = diff.c_update();
+                    let lu = base.lu_x1().expect("standard base holds lu(C)");
+                    Some(SmwUpdate::build(lu, &u, &v, opts)?)
+                } else {
+                    None
+                }
+            }
+        };
+        Ok(MatexSetup {
+            kind: base.kind,
+            gamma: base.gamma,
+            regularize_eps: base.regularize_eps,
+            dim: base.dim,
+            lu_g: None,
+            lu_x1: None,
+            c_reg: None,
+            shifted: None,
+            sched_g: None,
+            sched_x1: None,
+            base: Some(base),
+            smw_g,
+            smw_x1,
+            whatif_rank: rank,
+            factorizations: 0,
+            refactorizations: 0,
             factor_time: t0.elapsed(),
         })
     }
@@ -210,24 +321,74 @@ impl MatexSetup {
         self.dim
     }
 
-    /// The `G` factorization (DC condition and input terms).
+    /// The `G` factorization (DC condition and input terms). For a
+    /// corrected setup this is the **base** factorization — pair its
+    /// solves with [`MatexSetup::smw_g`] (or use
+    /// [`MatexSetup::solve_g`]) to get edited-system solutions.
     pub fn lu_g(&self) -> &SparseLu {
-        &self.lu_g
+        match &self.base {
+            Some(b) => b.lu_g(),
+            None => self.lu_g.as_ref().expect("uncorrected setup holds lu_g"),
+        }
     }
 
-    /// The variant's `X1` factorization (`None` for I-MATEX).
+    /// The variant's `X1` factorization (`None` for I-MATEX); the base
+    /// factorization for corrected setups, as with
+    /// [`MatexSetup::lu_g`].
     pub fn lu_x1(&self) -> Option<&SparseLu> {
-        self.lu_x1.as_ref()
+        match &self.base {
+            Some(b) => b.lu_x1(),
+            None => self.lu_x1.as_ref(),
+        }
     }
 
     /// The pre-built substitution schedule for `lu_g`, if prepared.
     pub fn sched_g(&self) -> Option<&SolveSchedule> {
-        self.sched_g.as_ref()
+        match &self.base {
+            Some(b) => b.sched_g(),
+            None => self.sched_g.as_ref(),
+        }
     }
 
     /// The pre-built substitution schedule for `lu_x1`, if prepared.
     pub fn sched_x1(&self) -> Option<&SolveSchedule> {
-        self.sched_x1.as_ref()
+        match &self.base {
+            Some(b) => b.sched_x1(),
+            None => self.sched_x1.as_ref(),
+        }
+    }
+
+    /// Whether this setup wraps a base with what-if corrections.
+    pub fn is_corrected(&self) -> bool {
+        self.base.is_some()
+    }
+
+    /// Touched-row rank of the edit this setup corrects for (0 when
+    /// uncorrected).
+    pub fn whatif_rank(&self) -> usize {
+        self.whatif_rank
+    }
+
+    /// The SMW correction for `lu_g` solves, when present.
+    pub fn smw_g(&self) -> Option<&SmwUpdate> {
+        self.smw_g.as_ref()
+    }
+
+    /// The SMW correction for `lu_x1` solves, when present.
+    pub fn smw_x1(&self) -> Option<&SmwUpdate> {
+        self.smw_x1.as_ref()
+    }
+
+    /// Solves `G_eff x = b` — the (possibly corrected) solve backing
+    /// the DC condition: base substitution pair plus the `smw_g`
+    /// correction when present. Uncorrected setups get exactly
+    /// `lu_g().solve(b)`, bit for bit.
+    pub fn solve_g(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = self.lu_g().solve(b);
+        if let Some(smw) = &self.smw_g {
+            smw.correct_in_place(&mut x);
+        }
+        x
     }
 
     /// Factorizations the preparation performed (full or replay).
@@ -300,5 +461,113 @@ mod tests {
         let setup = MatexSetup::prepare(&sys, &opts, None, false).unwrap();
         assert_eq!(setup.factorizations(), 1);
         assert!(setup.lu_x1().is_none());
+    }
+
+    fn pdn_pair() -> (MnaSystem, MnaSystem) {
+        let base = matex_circuit::PdnBuilder::new(6, 6)
+            .num_loads(5)
+            .seed(77)
+            .build()
+            .unwrap();
+        let edited = base.with_cap_scaled(7, 3.0).unwrap();
+        (base, edited)
+    }
+
+    #[test]
+    fn corrected_setup_matches_full_refactor() {
+        use crate::{MatexSolver, TransientEngine, TransientSpec};
+        let (base_sys, edited) = pdn_pair();
+        let spec = TransientSpec::new(0.0, 2e-9, 2e-11).unwrap();
+        for kind in [
+            KrylovKind::Rational,
+            KrylovKind::Inverted,
+            KrylovKind::Standard,
+        ] {
+            let opts = MatexOptions::new(kind);
+            let base = Arc::new(MatexSetup::prepare(&base_sys, &opts, None, false).unwrap());
+            let diff = edited.value_diff(&base_sys).expect("same pattern");
+            assert!(diff.rank() > 0);
+            let corrected =
+                MatexSetup::correct(Arc::clone(&base), &diff, &SmwOptions::default()).unwrap();
+            assert!(corrected.is_corrected());
+            assert_eq!(corrected.whatif_rank(), diff.rank());
+            assert_eq!(corrected.factorizations(), 0);
+            let corrected = Arc::new(corrected);
+            let fast = MatexSolver::new(opts.clone())
+                .with_setup(Arc::clone(&corrected))
+                .run(&edited, &spec)
+                .unwrap();
+            let slow = MatexSolver::new(opts.clone()).run(&edited, &spec).unwrap();
+            let (max_dev, _) = fast.error_vs(&slow).unwrap();
+            assert!(
+                max_dev <= 1e-8,
+                "{kind:?}: corrected run deviates by {max_dev:e}"
+            );
+            // Repeat runs through the same corrected setup are bitwise
+            // identical (the fixed-order SMW evaluation).
+            let again = MatexSolver::new(opts)
+                .with_setup(corrected)
+                .run(&edited, &spec)
+                .unwrap();
+            assert_eq!(fast.series(), again.series());
+        }
+    }
+
+    #[test]
+    fn corrected_solve_g_matches_edited_factorization() {
+        let (base_sys, edited) = pdn_pair();
+        // A pure-C edit leaves G untouched: solve_g must match the base
+        // solve bit for bit (no smw_g built at all).
+        let opts = MatexOptions::default();
+        let base = Arc::new(MatexSetup::prepare(&base_sys, &opts, None, false).unwrap());
+        let diff = edited.value_diff(&base_sys).unwrap();
+        assert_eq!(diff.rank_g(), 0);
+        let corrected =
+            MatexSetup::correct(Arc::clone(&base), &diff, &SmwOptions::default()).unwrap();
+        assert!(corrected.smw_g().is_none());
+        let b: Vec<f64> = (0..base_sys.dim()).map(|i| (i % 7) as f64 - 3.0).collect();
+        assert_eq!(corrected.solve_g(&b), base.solve_g(&b));
+        // A G edit routes solve_g through the correction and agrees with
+        // a from-scratch factorization of the edited G.
+        let (r1, r2) = (
+            base_sys
+                .node_row(&matex_circuit::PdnBuilder::node_name(1, 1, 1))
+                .unwrap(),
+            base_sys
+                .node_row(&matex_circuit::PdnBuilder::node_name(1, 2, 1))
+                .unwrap(),
+        );
+        let g_edit = base_sys
+            .with_conductance_delta(Some(r1), Some(r2), 0.4)
+            .unwrap();
+        let diff = g_edit.value_diff(&base_sys).unwrap();
+        assert!(diff.rank_g() > 0);
+        let corrected = MatexSetup::correct(base, &diff, &SmwOptions::default()).unwrap();
+        assert!(corrected.smw_g().is_some());
+        let exact = SparseLu::factor(g_edit.g(), &LuOptions::default())
+            .unwrap()
+            .solve(&b);
+        for (a, e) in corrected.solve_g(&b).iter().zip(&exact) {
+            assert!((a - e).abs() <= 1e-10 * e.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn over_rank_edit_is_rejected_for_fallback() {
+        let (base_sys, edited) = pdn_pair();
+        let opts = MatexOptions::default();
+        let base = Arc::new(MatexSetup::prepare(&base_sys, &opts, None, false).unwrap());
+        let diff = edited.value_diff(&base_sys).unwrap();
+        let tight = SmwOptions {
+            max_rank: 0,
+            ..SmwOptions::default()
+        };
+        match MatexSetup::correct(base, &diff, &tight) {
+            Err(SmwRejection::RankExceeded { rank, max_rank }) => {
+                assert_eq!(rank, diff.rank_c());
+                assert_eq!(max_rank, 0);
+            }
+            other => panic!("expected rank rejection, got {other:?}"),
+        }
     }
 }

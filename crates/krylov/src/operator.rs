@@ -11,7 +11,9 @@
 
 use crate::KrylovKind;
 use matex_par::ParPool;
-use matex_sparse::{CsrMatrix, LuOptions, SolveSchedule, SparseError, SparseLu, SymbolicLu};
+use matex_sparse::{
+    CsrMatrix, LuOptions, SmwUpdate, SolveSchedule, SparseError, SparseLu, SymbolicLu,
+};
 
 /// Parallel execution context for a Krylov operator: the pool the
 /// kernels dispatch on plus the level-scheduled substitution plan of the
@@ -70,6 +72,7 @@ pub struct StandardOp<'a> {
     lu_c: &'a SparseLu,
     g: &'a CsrMatrix,
     par: Option<ParApply<'a>>,
+    smw: Option<&'a SmwUpdate>,
 }
 
 impl<'a> StandardOp<'a> {
@@ -80,13 +83,27 @@ impl<'a> StandardOp<'a> {
     /// Panics if dimensions disagree.
     pub fn new(lu_c: &'a SparseLu, g: &'a CsrMatrix) -> Self {
         assert_eq!(lu_c.dim(), g.nrows(), "dimension mismatch");
-        StandardOp { lu_c, g, par: None }
+        StandardOp {
+            lu_c,
+            g,
+            par: None,
+            smw: None,
+        }
     }
 
     /// Runs this operator's mat-vec and substitutions on a pool
     /// (`par.sched` must come from `lu_c`).
     pub fn with_parallelism(mut self, par: ParApply<'a>) -> Self {
         self.par = Some(par);
+        self
+    }
+
+    /// Applies a Sherman–Morrison–Woodbury correction (built against
+    /// `lu_c`) after every substitution pair: the operator then acts
+    /// for the *edited* `C` without refactoring (what-if fast path).
+    pub fn with_correction(mut self, smw: &'a SmwUpdate) -> Self {
+        assert_eq!(smw.dim(), self.lu_c.dim(), "correction dimension mismatch");
+        self.smw = Some(smw);
         self
     }
 }
@@ -110,6 +127,9 @@ impl KrylovOp for StandardOp<'_> {
                     .solve_into_par(&gv, out, &mut work, p.sched, p.pool);
             }
         }
+        if let Some(smw) = self.smw {
+            smw.correct_in_place(out);
+        }
         for x in out.iter_mut() {
             *x = -*x;
         }
@@ -132,6 +152,7 @@ pub struct InvertedOp<'a> {
     lu_g: &'a SparseLu,
     c: &'a CsrMatrix,
     par: Option<ParApply<'a>>,
+    smw: Option<&'a SmwUpdate>,
 }
 
 impl<'a> InvertedOp<'a> {
@@ -142,13 +163,27 @@ impl<'a> InvertedOp<'a> {
     /// Panics if dimensions disagree.
     pub fn new(lu_g: &'a SparseLu, c: &'a CsrMatrix) -> Self {
         assert_eq!(lu_g.dim(), c.nrows(), "dimension mismatch");
-        InvertedOp { lu_g, c, par: None }
+        InvertedOp {
+            lu_g,
+            c,
+            par: None,
+            smw: None,
+        }
     }
 
     /// Runs this operator's mat-vec and substitutions on a pool
     /// (`par.sched` must come from `lu_g`).
     pub fn with_parallelism(mut self, par: ParApply<'a>) -> Self {
         self.par = Some(par);
+        self
+    }
+
+    /// Applies a Sherman–Morrison–Woodbury correction (built against
+    /// `lu_g`) after every substitution pair: the operator then acts
+    /// for the *edited* `G` without refactoring (what-if fast path).
+    pub fn with_correction(mut self, smw: &'a SmwUpdate) -> Self {
+        assert_eq!(smw.dim(), self.lu_g.dim(), "correction dimension mismatch");
+        self.smw = Some(smw);
         self
     }
 }
@@ -171,6 +206,9 @@ impl KrylovOp for InvertedOp<'_> {
                 self.lu_g
                     .solve_into_par(&cv, out, &mut work, p.sched, p.pool);
             }
+        }
+        if let Some(smw) = self.smw {
+            smw.correct_in_place(out);
         }
         for x in out.iter_mut() {
             *x = -*x;
@@ -196,6 +234,7 @@ pub struct RationalOp<'a> {
     c: &'a CsrMatrix,
     gamma: f64,
     par: Option<ParApply<'a>>,
+    smw: Option<&'a SmwUpdate>,
 }
 
 impl<'a> RationalOp<'a> {
@@ -216,6 +255,7 @@ impl<'a> RationalOp<'a> {
             c,
             gamma,
             par: None,
+            smw: None,
         }
     }
 
@@ -223,6 +263,21 @@ impl<'a> RationalOp<'a> {
     /// (`par.sched` must come from `lu_shift`).
     pub fn with_parallelism(mut self, par: ParApply<'a>) -> Self {
         self.par = Some(par);
+        self
+    }
+
+    /// Applies a Sherman–Morrison–Woodbury correction (built against
+    /// `lu_shift`) after every substitution pair: the operator then
+    /// acts for the *edited* `C + γG` without refactoring — the
+    /// rational-Krylov inner solves of the what-if fast path. `C` must
+    /// already be the edited system's `C`.
+    pub fn with_correction(mut self, smw: &'a SmwUpdate) -> Self {
+        assert_eq!(
+            smw.dim(),
+            self.lu_shift.dim(),
+            "correction dimension mismatch"
+        );
+        self.smw = Some(smw);
         self
     }
 }
@@ -281,6 +336,9 @@ impl KrylovOp for RationalOp<'_> {
                 self.lu_shift
                     .solve_into_par(&cv, out, &mut work, p.sched, p.pool);
             }
+        }
+        if let Some(smw) = self.smw {
+            smw.correct_in_place(out);
         }
     }
 

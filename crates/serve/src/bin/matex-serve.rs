@@ -3,13 +3,18 @@
 //! ```text
 //! matex-serve serve [--addr 127.0.0.1:7171] [--threads N] [--executors N]
 //! matex-serve load  --addr HOST:PORT [--clients 4] [--jobs 5] [--grids 2]
+//!                   [--mode scale|whatif]
 //! ```
 //!
 //! `serve` prints `listening on <addr>` once bound (port 0 picks a free
 //! port) and runs until killed. `load` drives `--clients` concurrent
 //! connections through `--jobs` repetitions over `--grids` distinct
 //! synthetic PDN circuits and prints throughput, latency percentiles,
-//! cache hit-rate, and the cross-client determinism verdict.
+//! cache hit-rate, and the cross-client determinism verdict. With
+//! `--mode whatif`, each grid's sequence is a base job followed by a
+//! burst of small cap-edit variants (each client finishes its base job
+//! before submitting the variants, so the edits find a cached base to
+//! correct against) and the what-if hit rate is printed too.
 
 use matex_serve::{
     run_load, serve, EngineOptions, LoadJob, LoadSpec, ScenarioEngine, ServiceOptions,
@@ -87,12 +92,14 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut clients = 4usize;
     let mut jobs_per_grid = 5usize;
     let mut grids = 2usize;
+    let mut mode = "scale".to_string();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = Some(take(&mut args, "--addr")),
             "--clients" => clients = take(&mut args, "--clients").parse().expect("--clients N"),
             "--jobs" => jobs_per_grid = take(&mut args, "--jobs").parse().expect("--jobs N"),
             "--grids" => grids = take(&mut args, "--grids").parse().expect("--grids N"),
+            "--mode" => mode = take(&mut args, "--mode"),
             other => {
                 eprintln!("unknown load argument {other}");
                 return ExitCode::from(2);
@@ -103,8 +110,15 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
         eprintln!("load requires --addr HOST:PORT");
         return ExitCode::from(2);
     };
+    if mode != "scale" && mode != "whatif" {
+        eprintln!("--mode must be scale or whatif, got {mode:?}");
+        return ExitCode::from(2);
+    }
     // `grids` distinct structures, `jobs_per_grid` scenario variations
-    // each — the repeated-structure workload the cache exists for.
+    // each — the repeated-structure workload the cache exists for. In
+    // whatif mode, the variations are small cap edits instead of source
+    // scales: same pattern, few changed matrix values, so the engine
+    // serves them by low-rank correction of the base factorization.
     let mut jobs = Vec::new();
     for g in 0..grids.max(1) {
         let dim = 6 + 2 * g;
@@ -112,6 +126,8 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
             let job = LoadJob::pdn(dim, dim, 8 + 2 * g, 3, 100 + g as u64);
             jobs.push(if j == 0 {
                 job
+            } else if mode == "whatif" {
+                job.cap_scaled(2 + j, 1.0 + 0.5 * j as f64)
             } else {
                 job.scaled(0.75 + 0.125 * j as f64)
             });
@@ -136,6 +152,9 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
                 r.p99.as_secs_f64() * 1e3,
                 r.deterministic
             );
+            if mode == "whatif" {
+                println!("whatif hits {}  rate {:.2}", r.whatif_hits, r.whatif_rate());
+            }
             if r.deterministic && r.failed == 0 {
                 ExitCode::SUCCESS
             } else {

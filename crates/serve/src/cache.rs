@@ -26,6 +26,7 @@
 //! Whole circuit entries are evicted least-recently-used beyond
 //! `max_circuits`.
 
+use matex_circuit::MnaSystem;
 use matex_core::{KrylovKind, MatexSetup, MatexSymbolic};
 use matex_dist::GroupPlan;
 use std::collections::HashMap;
@@ -77,6 +78,12 @@ struct CircuitEntry {
     setups: HashMap<SetupKey, Arc<MatexSetup>>,
     dcs: HashMap<DcKey, Arc<Vec<f64>>>,
     plans: HashMap<PlanKey, Arc<GroupPlan>>,
+    /// What-if base candidates: the systems whose setups were *fully*
+    /// prepared (never corrected), keyed by value fingerprint,
+    /// insertion-ordered and bounded. A later same-pattern job diffs
+    /// against these to find a small edit it can serve by SMW
+    /// correction instead of refactoring.
+    bases: Vec<(u64, Arc<MnaSystem>)>,
     /// LRU stamp (monotonic touch counter).
     touched: u64,
 }
@@ -125,6 +132,8 @@ struct CacheInner {
     entries: HashMap<u64, CircuitEntry>,
     max_circuits: usize,
     clock: u64,
+    /// Whole-circuit LRU evictions performed.
+    evictions: u64,
 }
 
 impl ArtifactCache {
@@ -134,6 +143,7 @@ impl ArtifactCache {
                 entries: HashMap::new(),
                 max_circuits: max_circuits.max(1),
                 clock: 0,
+                evictions: 0,
             }),
         }
     }
@@ -226,6 +236,37 @@ impl ArtifactCache {
         inner.entry(pattern).plans.entry(key).or_insert(plan);
     }
 
+    /// Records a fully-prepared system as a what-if base candidate
+    /// (deduplicated by value fingerprint; oldest dropped beyond `max`).
+    pub fn record_base(&self, pattern: u64, value_fp: u64, sys: Arc<MnaSystem>, max: usize) {
+        if max == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        let bases = &mut inner.entry(pattern).bases;
+        if bases.iter().any(|(fp, _)| *fp == value_fp) {
+            return;
+        }
+        bases.push((value_fp, sys));
+        while bases.len() > max {
+            bases.remove(0);
+        }
+    }
+
+    /// The retained what-if base candidates for `pattern`.
+    pub fn bases(&self, pattern: u64) -> Vec<(u64, Arc<MnaSystem>)> {
+        self.lock()
+            .entries
+            .get(&pattern)
+            .map(|e| e.bases.clone())
+            .unwrap_or_default()
+    }
+
+    /// Whole-circuit LRU evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.lock().evictions
+    }
+
     /// Current artifact counts.
     pub fn sizes(&self) -> CacheSizes {
         let inner = self.lock();
@@ -257,6 +298,7 @@ impl CacheInner {
                 .map(|(&k, _)| k);
             if let Some(k) = oldest {
                 self.entries.remove(&k);
+                self.evictions += 1;
             }
         }
         let entry = self.entries.entry(pattern).or_default();

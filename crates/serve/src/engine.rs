@@ -5,7 +5,7 @@ use crate::job::{CacheReport, ExecutionMode, Hit, JobId, JobOutcome, JobSpec, Jo
 use crate::ServeError;
 use matex_circuit::MnaSystem;
 use matex_core::{
-    KrylovKind, MatexOptions, MatexSetup, MatexSolver, MatexSymbolic, TransientEngine,
+    KrylovKind, MatexOptions, MatexSetup, MatexSolver, MatexSymbolic, SmwOptions, TransientEngine,
 };
 use matex_dist::{plan_groups, run_distributed, DistributedOptions};
 use matex_par::{ParOptions, ParPool, ThreadBudget};
@@ -45,6 +45,13 @@ pub struct EngineOptions {
     /// How many γ decades away a symbolic anchor may be reused
     /// (`0` = exact decade only).
     pub anchor_span: i32,
+    /// Maximum touched-row rank a value edit may have to be served by
+    /// the what-if fast path (Sherman–Morrison–Woodbury correction of a
+    /// cached base factorization). `0` disables the fast path.
+    pub whatif_max_rank: usize,
+    /// Fully-prepared systems retained per pattern as what-if base
+    /// candidates. `0` disables the fast path.
+    pub whatif_bases: usize,
 }
 
 impl Default for EngineOptions {
@@ -57,6 +64,8 @@ impl Default for EngineOptions {
             max_circuits: 32,
             max_retained: 1024,
             anchor_span: 1,
+            whatif_max_rank: 16,
+            whatif_bases: 4,
         }
     }
 }
@@ -86,6 +95,20 @@ pub struct EngineStats {
     pub dc_hits: u64,
     /// Group-plan cache hits.
     pub plan_hits: u64,
+    /// Jobs served by the what-if fast path (low-rank correction of a
+    /// cached base setup instead of refactoring).
+    pub whatif_hits: u64,
+    /// Cumulative touched-row rank across what-if hits (average edit
+    /// rank = `whatif_rank / whatif_hits`).
+    pub whatif_rank: u64,
+    /// What-if candidates that fell back to a full preparation (edit
+    /// rank above the cap, or an ill-conditioned capture matrix).
+    pub whatif_fallbacks: u64,
+    /// Fresh symbolic anchors replanted after a cached anchor's pivots
+    /// stopped surviving replay.
+    pub anchor_plants: u64,
+    /// Whole-circuit LRU evictions from the artifact cache.
+    pub evictions: u64,
     /// Artifact counts currently cached.
     pub cache: CacheSizes,
 }
@@ -110,6 +133,10 @@ struct Counters {
     setup_misses: AtomicU64,
     dc_hits: AtomicU64,
     plan_hits: AtomicU64,
+    whatif_hits: AtomicU64,
+    whatif_rank: AtomicU64,
+    whatif_fallbacks: AtomicU64,
+    anchor_plants: AtomicU64,
 }
 
 struct JobRecord {
@@ -309,6 +336,11 @@ impl ScenarioEngine {
             setup_misses: c.setup_misses.load(Ordering::Relaxed),
             dc_hits: c.dc_hits.load(Ordering::Relaxed),
             plan_hits: c.plan_hits.load(Ordering::Relaxed),
+            whatif_hits: c.whatif_hits.load(Ordering::Relaxed),
+            whatif_rank: c.whatif_rank.load(Ordering::Relaxed),
+            whatif_fallbacks: c.whatif_fallbacks.load(Ordering::Relaxed),
+            anchor_plants: c.anchor_plants.load(Ordering::Relaxed),
+            evictions: self.inner.cache.evictions(),
             cache: self.inner.cache.sizes(),
         }
     }
@@ -470,8 +502,9 @@ impl Inner {
                 let (x0, dc_hit) = match self.cache.dc(pattern, &dc_key) {
                     Some(x0) => (x0, Hit::Hit),
                     None => {
-                        // The exact solve the solver would perform.
-                        let x0 = Arc::new(setup.lu_g().solve(&sys.bu_at(job.spec.t_start())));
+                        // The exact solve the solver would perform
+                        // (SMW-corrected for what-if setups).
+                        let x0 = Arc::new(setup.solve_g(&sys.bu_at(job.spec.t_start())));
                         self.cache.store_dc(pattern, dc_key, x0.clone());
                         (x0, Hit::Miss)
                     }
@@ -540,11 +573,13 @@ impl Inner {
         }
     }
 
-    /// Resolves (or builds) the numeric setup for `(sys, opts)`,
-    /// consulting the γ-decade symbolic anchors underneath.
+    /// Resolves (or builds) the numeric setup for `(sys, opts)`:
+    /// exact-value cache hit, else the what-if fast path (a low-rank
+    /// correction of a retained base's factors), else a full
+    /// preparation consulting the γ-decade symbolic anchors.
     fn setup_for(
         &self,
-        sys: &MnaSystem,
+        sys: &Arc<MnaSystem>,
         opts: &MatexOptions,
         pattern: u64,
         value_fp: u64,
@@ -561,6 +596,10 @@ impl Inner {
             self.counters.setup_hits.fetch_add(1, Ordering::Relaxed);
             // The symbolic layer was not even consulted.
             return Ok((setup, Hit::Skipped, Hit::Hit));
+        }
+        if let Some(setup) = self.try_whatif(sys, pattern, value_fp, &key) {
+            self.cache.store_setup(pattern, key, setup.clone());
+            return Ok((setup, Hit::Skipped, Hit::Whatif));
         }
         let (symbolic, mut sym_hit) =
             match self
@@ -597,6 +636,7 @@ impl Inner {
                 self.counters
                     .symbolic_misses
                     .fetch_add(1, Ordering::Relaxed);
+                self.counters.anchor_plants.fetch_add(1, Ordering::Relaxed);
                 sym_hit = Hit::Miss;
             } else {
                 self.counters.symbolic_hits.fetch_add(1, Ordering::Relaxed);
@@ -605,7 +645,95 @@ impl Inner {
         let setup = Arc::new(setup);
         self.cache.store_setup(pattern, key, setup.clone());
         self.counters.setup_misses.fetch_add(1, Ordering::Relaxed);
+        // A fully-prepared (uncorrected) system is a base other
+        // same-pattern jobs can correct against.
+        if self.opts.whatif_max_rank > 0 {
+            self.cache
+                .record_base(pattern, value_fp, sys.clone(), self.opts.whatif_bases);
+        }
         Ok((setup, sym_hit, Hit::Miss))
+    }
+
+    /// The what-if fast path: finds the retained base whose values are
+    /// closest to `sys` (minimal touched-row rank, value fingerprint as
+    /// the deterministic tiebreak — independent of arrival order) and
+    /// wraps its cached setup with SMW corrections. `None` sends the
+    /// job to a full preparation.
+    fn try_whatif(
+        &self,
+        sys: &Arc<MnaSystem>,
+        pattern: u64,
+        value_fp: u64,
+        key: &SetupKey,
+    ) -> Option<Arc<MatexSetup>> {
+        if self.opts.whatif_max_rank == 0 || self.opts.whatif_bases == 0 {
+            return None;
+        }
+        let mut best: Option<(usize, u64, matex_circuit::ValueDiff, Arc<MatexSetup>)> = None;
+        let mut rejected = false;
+        for (base_fp, base_sys) in self.cache.bases(pattern) {
+            if base_fp == value_fp {
+                continue;
+            }
+            let Some(diff) = sys.value_diff(&base_sys) else {
+                continue;
+            };
+            let rank = diff.rank();
+            if rank > self.opts.whatif_max_rank {
+                rejected = true;
+                continue;
+            }
+            let base_key = SetupKey {
+                value_fp: base_fp,
+                ..*key
+            };
+            // The base's factors must still be cached — and uncorrected
+            // (corrections never chain).
+            let Some(base_setup) = self.cache.setup(pattern, &base_key) else {
+                continue;
+            };
+            if base_setup.is_corrected() {
+                continue;
+            }
+            if best
+                .as_ref()
+                .is_none_or(|(r, fp, _, _)| (rank, base_fp) < (*r, *fp))
+            {
+                best = Some((rank, base_fp, diff, base_setup));
+            }
+        }
+        let Some((rank, _, diff, base_setup)) = best else {
+            if rejected {
+                self.counters
+                    .whatif_fallbacks
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            return None;
+        };
+        match MatexSetup::correct(base_setup, &diff, &self.smw_options()) {
+            Ok(corrected) => {
+                self.counters.whatif_hits.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .whatif_rank
+                    .fetch_add(rank as u64, Ordering::Relaxed);
+                Some(Arc::new(corrected))
+            }
+            Err(_) => {
+                // Ill-conditioned capture (or over-rank per-matrix
+                // update): refactor instead — bitwise the cold path.
+                self.counters
+                    .whatif_fallbacks
+                    .fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn smw_options(&self) -> SmwOptions {
+        SmwOptions {
+            max_rank: self.opts.whatif_max_rank,
+            ..SmwOptions::default()
+        }
     }
 }
 
@@ -815,6 +943,78 @@ mod tests {
         // width-invariant so the repeat is still bitwise identical.
         assert_eq!(engine.inner.idle_pools.lock().unwrap().len(), 1);
         assert_eq!(a.result.series(), b.result.series());
+    }
+
+    #[test]
+    fn whatif_edit_corrects_instead_of_refactoring() {
+        let engine = ScenarioEngine::new(EngineOptions::default());
+        let sys = grid(9);
+        let base = JobSpec::new(sys.clone(), spec());
+        engine.run(&base).unwrap();
+        // A small cap edit: same pattern, one changed value row. The
+        // engine serves it by correcting the cached base factors.
+        let edit = base.clone().cap_scale(7, 3.0);
+        let fast = engine.run(&edit).unwrap();
+        assert_eq!(fast.cache.setup, Hit::Whatif);
+        assert!(fast.cache.is_whatif() && !fast.cache.is_warm());
+        // Accuracy vs the full-refactor standalone run.
+        let edited_sys = edit.effective_circuit().unwrap();
+        let standalone = MatexSolver::new(edit.effective_options())
+            .run(&edited_sys, &edit.spec)
+            .unwrap();
+        let (max_dev, _) = fast.result.error_vs(&standalone).unwrap();
+        assert!(max_dev <= 1e-8, "what-if deviates by {max_dev:e}");
+        // The corrected setup is cached: repeats are direct hits, and
+        // bitwise identical (fixed-order SMW evaluation).
+        let again = engine.run(&edit).unwrap();
+        assert_eq!(again.cache.setup, Hit::Hit);
+        assert_eq!(fast.result.series(), again.result.series());
+        let stats = engine.stats();
+        assert_eq!(stats.whatif_hits, 1);
+        assert!(stats.whatif_rank >= 1);
+        assert_eq!(stats.whatif_fallbacks, 0);
+    }
+
+    #[test]
+    fn over_rank_edit_falls_back_to_full_preparation() {
+        let engine = ScenarioEngine::new(EngineOptions {
+            whatif_max_rank: 1,
+            ..EngineOptions::default()
+        });
+        let sys = grid(10);
+        engine.run(&JobSpec::new(sys.clone(), spec())).unwrap();
+        // Two touched rows > max_rank 1: full preparation, counted as a
+        // fallback — and still the exact standalone waveform.
+        let edited = Arc::new(
+            sys.with_cap_scaled(3, 2.0)
+                .unwrap()
+                .with_cap_scaled(11, 2.0)
+                .unwrap(),
+        );
+        let job = JobSpec::new(edited.clone(), spec());
+        let out = engine.run(&job).unwrap();
+        assert_eq!(out.cache.setup, Hit::Miss);
+        let standalone = MatexSolver::new(job.effective_options())
+            .run(&edited, &job.spec)
+            .unwrap();
+        assert_eq!(standalone.series(), out.result.series());
+        let stats = engine.stats();
+        assert_eq!(stats.whatif_hits, 0);
+        assert_eq!(stats.whatif_fallbacks, 1);
+    }
+
+    #[test]
+    fn whatif_disabled_always_refactors() {
+        let engine = ScenarioEngine::new(EngineOptions {
+            whatif_max_rank: 0,
+            ..EngineOptions::default()
+        });
+        let sys = grid(11);
+        let base = JobSpec::new(sys, spec());
+        engine.run(&base).unwrap();
+        let out = engine.run(&base.clone().cap_scale(7, 3.0)).unwrap();
+        assert_eq!(out.cache.setup, Hit::Miss);
+        assert_eq!(engine.stats().whatif_hits, 0);
     }
 
     #[test]

@@ -43,12 +43,21 @@ pub struct ScenarioOverrides {
     /// ([`MnaSystem::with_scaled_sources`]). Matrix fingerprints are
     /// unchanged, so scaled jobs still hit the factorization cache.
     pub source_scale: Option<f64>,
+    /// Scale one node's ground capacitance (`(row, factor)`,
+    /// [`MnaSystem::with_cap_scaled`]) — a what-if edit: same pattern,
+    /// few changed values, so the engine can serve it by low-rank
+    /// correction of a cached base factorization instead of
+    /// refactoring.
+    pub cap_scale: Option<(usize, f64)>,
 }
 
 impl ScenarioOverrides {
     /// `true` when no override is set (the job runs the base scenario).
     pub fn is_empty(&self) -> bool {
-        self.gamma.is_none() && self.tol.is_none() && self.source_scale.is_none()
+        self.gamma.is_none()
+            && self.tol.is_none()
+            && self.source_scale.is_none()
+            && self.cap_scale.is_none()
     }
 }
 
@@ -122,6 +131,13 @@ impl JobSpec {
         self
     }
 
+    /// Scales one node's ground capacitance — a what-if edit (builder
+    /// style).
+    pub fn cap_scale(mut self, row: usize, factor: f64) -> JobSpec {
+        self.overrides.cap_scale = Some((row, factor));
+        self
+    }
+
     /// The solver options with overrides folded in.
     pub fn effective_options(&self) -> MatexOptions {
         let mut opts = self.matex.clone();
@@ -141,10 +157,14 @@ impl JobSpec {
     ///
     /// Returns [`ServeError::Circuit`] when the scale is not finite.
     pub fn effective_circuit(&self) -> Result<Arc<MnaSystem>, ServeError> {
-        match self.overrides.source_scale {
-            None => Ok(self.circuit.clone()),
-            Some(k) => Ok(Arc::new(self.circuit.with_scaled_sources(k)?)),
+        let mut sys = match self.overrides.source_scale {
+            None => self.circuit.clone(),
+            Some(k) => Arc::new(self.circuit.with_scaled_sources(k)?),
+        };
+        if let Some((row, factor)) = self.overrides.cap_scale {
+            sys = Arc::new(sys.with_cap_scaled(row, factor)?);
         }
+        Ok(sys)
     }
 }
 
@@ -159,14 +179,17 @@ pub enum Hit {
     Hit,
     /// Found via a neighbouring γ-decade anchor (symbolic only).
     Neighbor,
+    /// Served by low-rank correction of a cached base setup (the
+    /// what-if fast path, setup only): no sparse factorization ran.
+    Whatif,
     /// Built fresh (and inserted for the next job).
     Miss,
 }
 
 impl Hit {
-    /// `true` for any flavor of reuse (`Hit` or `Neighbor`).
+    /// `true` for any flavor of reuse (`Hit`, `Neighbor`, or `Whatif`).
     pub fn is_hit(self) -> bool {
-        matches!(self, Hit::Hit | Hit::Neighbor)
+        matches!(self, Hit::Hit | Hit::Neighbor | Hit::Whatif)
     }
 }
 
@@ -188,6 +211,11 @@ impl CacheReport {
     /// cache-hit fast path: straight to the numeric march).
     pub fn is_warm(&self) -> bool {
         self.setup == Hit::Hit
+    }
+
+    /// `true` when the setup was served by the what-if fast path.
+    pub fn is_whatif(&self) -> bool {
+        self.setup == Hit::Whatif
     }
 }
 

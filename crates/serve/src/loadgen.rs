@@ -28,6 +28,9 @@ pub struct LoadJob {
     pub dt_out: f64,
     /// Optional uniform source scale.
     pub scale: Option<f64>,
+    /// Optional what-if edit: scale one node's ground capacitance
+    /// (`cap_row` / `cap_scale` submit fields).
+    pub cap: Option<(usize, f64)>,
 }
 
 impl LoadJob {
@@ -41,6 +44,7 @@ impl LoadJob {
             t_stop: 1e-9,
             dt_out: 2e-11,
             scale: None,
+            cap: None,
         }
     }
 
@@ -51,6 +55,7 @@ impl LoadJob {
             t_stop: 1e-9,
             dt_out: 2e-11,
             scale: None,
+            cap: None,
         }
     }
 
@@ -67,6 +72,12 @@ impl LoadJob {
         self
     }
 
+    /// Sets a what-if cap edit (builder style).
+    pub fn cap_scaled(mut self, row: usize, factor: f64) -> LoadJob {
+        self.cap = Some((row, factor));
+        self
+    }
+
     fn submit_line(&self) -> String {
         let mut line = format!(
             "{{\"cmd\": \"submit\", {}, \"t_stop\": {:e}, \"dt_out\": {:e}",
@@ -74,6 +85,9 @@ impl LoadJob {
         );
         if let Some(k) = self.scale {
             line.push_str(&format!(", \"scale\": {k:e}"));
+        }
+        if let Some((row, factor)) = self.cap {
+            line.push_str(&format!(", \"cap_row\": {row}, \"cap_scale\": {factor:e}"));
         }
         line.push('}');
         line
@@ -111,6 +125,16 @@ pub struct LoadReport {
     pub stream_hashes: Vec<u64>,
     /// `true` when every client saw byte-identical streams.
     pub deterministic: bool,
+    /// Jobs whose setup was served by the what-if fast path (from the
+    /// per-job `wait` status lines).
+    pub whatif_hits: usize,
+}
+
+impl LoadReport {
+    /// Fraction of completed jobs served by the what-if fast path.
+    pub fn whatif_rate(&self) -> f64 {
+        self.whatif_hits as f64 / self.completed.max(1) as f64
+    }
 }
 
 /// Runs the load: spawns the clients, drives the sequences, aggregates.
@@ -131,12 +155,14 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ServeError> {
     let mut stream_hashes = Vec::new();
     let mut completed = 0usize;
     let mut failed = 0usize;
+    let mut whatif_hits = 0usize;
     for h in handles {
         let outcome = h
             .join()
             .map_err(|_| ServeError::Io("load client panicked".into()))??;
         completed += outcome.completed;
         failed += outcome.failed;
+        whatif_hits += outcome.whatif_hits;
         latencies.extend(outcome.latencies);
         stream_hashes.push(outcome.stream_hash);
     }
@@ -160,6 +186,7 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ServeError> {
         p99: pick(0.99),
         stream_hashes,
         deterministic,
+        whatif_hits,
     })
 }
 
@@ -168,6 +195,7 @@ struct ClientOutcome {
     failed: usize,
     latencies: Vec<Duration>,
     stream_hash: u64,
+    whatif_hits: usize,
 }
 
 fn client_run(addr: &str, jobs: &[LoadJob]) -> Result<ClientOutcome, ServeError> {
@@ -178,6 +206,7 @@ fn client_run(addr: &str, jobs: &[LoadJob]) -> Result<ClientOutcome, ServeError>
     let mut latencies = Vec::with_capacity(jobs.len());
     let mut completed = 0usize;
     let mut failed = 0usize;
+    let mut whatif_hits = 0usize;
     let read_line = |reader: &mut BufReader<TcpStream>| -> Result<String, ServeError> {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -194,6 +223,15 @@ fn client_run(addr: &str, jobs: &[LoadJob]) -> Result<ClientOutcome, ServeError>
             failed += 1;
             continue;
         };
+        // Resolve through `wait` first: its status line reports whether
+        // the setup came off the what-if fast path. (Status lines are
+        // not part of the determinism hash — they carry wall times.)
+        writeln!(writer, "{{\"cmd\": \"wait\", \"job\": {id}}}")?;
+        writer.flush()?;
+        let status = read_line(&mut reader)?;
+        if status.contains("\"whatif\": true") {
+            whatif_hits += 1;
+        }
         writeln!(writer, "{{\"cmd\": \"stream\", \"job\": {id}}}")?;
         writer.flush()?;
         let meta = read_line(&mut reader)?;
@@ -220,6 +258,7 @@ fn client_run(addr: &str, jobs: &[LoadJob]) -> Result<ClientOutcome, ServeError>
         failed,
         latencies,
         stream_hash: hash.finish(),
+        whatif_hits,
     })
 }
 
@@ -268,6 +307,49 @@ mod tests {
         );
         assert!(report.p99 >= report.p50);
         assert!(report.jobs_per_s > 0.0);
+        handle.stop();
+    }
+
+    #[test]
+    fn whatif_burst_hits_fast_path_and_stays_deterministic() {
+        let engine = Arc::new(ScenarioEngine::new(EngineOptions {
+            executors: 3,
+            threads: Some(3),
+            ..EngineOptions::default()
+        }));
+        let handle = serve(engine.clone(), &ServiceOptions::default()).unwrap();
+        // Base job first, then a burst of small cap edits. Each client
+        // resolves its base before submitting the variants, so every
+        // variant finds a cached base setup to correct against.
+        let jobs = vec![
+            LoadJob::pdn(6, 6, 8, 3, 5),
+            LoadJob::pdn(6, 6, 8, 3, 5).cap_scaled(3, 1.5),
+            LoadJob::pdn(6, 6, 8, 3, 5).cap_scaled(7, 2.0),
+            LoadJob::pdn(6, 6, 8, 3, 5).cap_scaled(11, 2.5),
+        ];
+        let report = run_load(&LoadSpec {
+            addr: handle.addr().to_string(),
+            clients: 3,
+            jobs,
+        })
+        .unwrap();
+        assert_eq!(report.completed, 12);
+        assert_eq!(report.failed, 0);
+        assert!(
+            report.deterministic,
+            "clients saw different bytes: {:x?}",
+            report.stream_hashes
+        );
+        // Every edit variant is corrected once; the repeats across
+        // clients are direct setup hits. At least the first client's
+        // burst rode the fast path.
+        assert!(report.whatif_hits >= 3, "hits {}", report.whatif_hits);
+        assert!(report.whatif_rate() > 0.0);
+        let stats = engine.stats();
+        // Exactly 3 corrections unless clients raced the same edit
+        // (both miss, both correct; the duplicate insert is dropped).
+        assert!(stats.whatif_hits >= 3);
+        assert_eq!(stats.whatif_fallbacks, 0);
         handle.stop();
     }
 

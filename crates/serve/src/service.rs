@@ -15,8 +15,11 @@
 //! newlines escaped) or synthetically (`"pdn_nx"`/`"pdn_ny"` plus
 //! optional `pdn_loads`, `pdn_features`, `pdn_seed`, `pdn_window`), and
 //! the window via `t_stop` + `dt_out` (+ optional `t_start`). Optional
-//! scenario fields: `gamma`, `tol`, `scale`, `mode` (`"mono"` /
-//! `"dist"`), `workers`, `rows` (comma-separated state rows to record).
+//! scenario fields: `gamma`, `tol`, `scale`, `cap_row` + `cap_scale`
+//! (a what-if edit: scale one node's ground capacitance — served by
+//! low-rank correction of the cached base factorization when the base
+//! job ran first), `mode` (`"mono"` / `"dist"`), `workers`, `rows`
+//! (comma-separated state rows to record).
 //! Parsed/built circuits are cached by content hash, so a fleet of
 //! submissions of one circuit assembles it once — and hits the engine's
 //! artifact cache underneath.
@@ -261,8 +264,9 @@ fn status_line(id: JobId, state: &ServiceState) -> Result<String, ServeError> {
         }
         JobStatus::Done(out) => {
             line.push_str(&format!(
-                ", \"warm\": {}, \"wall_us\": {}, \"points\": {}",
+                ", \"warm\": {}, \"whatif\": {}, \"wall_us\": {}, \"points\": {}",
                 out.cache.is_warm(),
+                out.cache.is_whatif(),
                 out.wall.as_micros(),
                 out.result.times().len()
             ));
@@ -282,6 +286,8 @@ fn stats_line(state: &ServiceState) -> String {
         "{{\"ok\": true, \"submitted\": {}, \"completed\": {}, \"failed\": {}, \
          \"warm_jobs\": {}, \"setup_hits\": {}, \"setup_misses\": {}, \
          \"symbolic_hits\": {}, \"dc_hits\": {}, \"plan_hits\": {}, \
+         \"whatif_hits\": {}, \"whatif_rank\": {}, \"whatif_fallbacks\": {}, \
+         \"anchor_plants\": {}, \"evictions\": {}, \
          \"circuits_cached\": {}, \"setups_cached\": {}}}",
         s.submitted,
         s.completed,
@@ -292,6 +298,11 @@ fn stats_line(state: &ServiceState) -> String {
         s.symbolic_hits,
         s.dc_hits,
         s.plan_hits,
+        s.whatif_hits,
+        s.whatif_rank,
+        s.whatif_fallbacks,
+        s.anchor_plants,
+        s.evictions,
         s.cache.circuits,
         s.cache.setups,
     )
@@ -394,6 +405,25 @@ fn build_job(
     }
     if let Some(k) = num(req, "scale") {
         job = job.source_scale(k);
+    }
+    match (num(req, "cap_row"), num(req, "cap_scale")) {
+        (Some(row), Some(factor)) => {
+            // Validate the row at the protocol boundary, like "rows".
+            let row = row as usize;
+            if row >= job.circuit.num_nodes() {
+                return Err(ServeError::Protocol(format!(
+                    "cap_row {row} out of range for a {}-node circuit",
+                    job.circuit.num_nodes()
+                )));
+            }
+            job = job.cap_scale(row, factor);
+        }
+        (None, None) => {}
+        _ => {
+            return Err(ServeError::Protocol(
+                "\"cap_row\" and \"cap_scale\" must be given together".into(),
+            ));
+        }
     }
     match req.get("mode").and_then(JsonValue::as_str) {
         None | Some("mono") => {}

@@ -51,6 +51,7 @@ mod lu;
 mod options;
 mod perm;
 mod scaling;
+mod smw;
 mod symbolic;
 
 pub mod ordering;
@@ -64,6 +65,7 @@ pub use options::LuOptions;
 pub use ordering::OrderingKind;
 pub use perm::Permutation;
 pub use scaling::equilibrate;
+pub use smw::{SmwOptions, SmwRejection, SmwUpdate, SparseCol};
 pub use symbolic::{SolveSchedule, SymbolicLu};
 
 // Compile the crate README's code blocks as doctests so the documented

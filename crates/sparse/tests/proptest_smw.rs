@@ -1,0 +1,222 @@
+//! Property-based contract of the Sherman–Morrison–Woodbury what-if
+//! path: for random diagonally-dominant systems and random low-rank
+//! edits, corrected solves must agree with a full refactorization of
+//! the edited matrix to tight tolerance, be **bitwise** reproducible
+//! across repeat solves and worker-pool widths, and reject exactly the
+//! edits the fallback contract sends to a refactorization (over-rank
+//! and singular/ill-conditioned captures).
+
+use matex_par::ParPool;
+use matex_sparse::{
+    CooMatrix, CsrMatrix, LuOptions, SmwOptions, SmwRejection, SmwUpdate, SparseCol, SparseLu,
+};
+use proptest::prelude::*;
+
+/// Random diagonally-dominant sparse matrix (guaranteed nonsingular),
+/// with dominance slack > 1 so the small edits below cannot destroy it.
+fn dd_matrix(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    let mut row_sum = vec![0.0_f64; n];
+    for &(r, c, v) in entries {
+        let (r, c) = (r % n, c % n);
+        if r != c {
+            coo.push(r, c, v);
+            row_sum[r] += v.abs();
+        }
+    }
+    for (i, &rs) in row_sum.iter().enumerate() {
+        coo.push(i, i, rs + 1.5 + i as f64 * 0.01);
+    }
+    coo.to_csr()
+}
+
+/// Builds a stamp-structured edit from raw proptest input: `k` distinct
+/// touched rows, each with a few bounded deltas (U = unit columns,
+/// V = delta rows). Total |delta| per row stays below the dominance
+/// slack, so the edited matrix is still nonsingular.
+fn stamp_edit(n: usize, raw: &[(usize, Vec<(usize, f64)>)]) -> (Vec<SparseCol>, Vec<SparseCol>) {
+    let mut u_cols: Vec<SparseCol> = Vec::new();
+    let mut v_cols: Vec<SparseCol> = Vec::new();
+    let mut used_rows = Vec::new();
+    for (row_pick, cols) in raw {
+        let row = row_pick % n;
+        if used_rows.contains(&row) {
+            continue;
+        }
+        let mut v: SparseCol = Vec::new();
+        for (col_pick, delta) in cols {
+            let col = col_pick % n;
+            if v.iter().any(|&(c, _)| c == col) || *delta == 0.0 {
+                continue;
+            }
+            v.push((col, *delta));
+        }
+        if v.is_empty() {
+            continue;
+        }
+        v.sort_by_key(|&(c, _)| c);
+        used_rows.push(row);
+        u_cols.push(vec![(row, 1.0)]);
+        v_cols.push(v);
+    }
+    (u_cols, v_cols)
+}
+
+/// The edited matrix `A + U Vᵀ` assembled entry-by-entry.
+fn apply_edit(a: &CsrMatrix, u_cols: &[SparseCol], v_cols: &[SparseCol]) -> CsrMatrix {
+    let n = a.nrows();
+    let mut coo = CooMatrix::new(n, n);
+    for r in 0..n {
+        for (&c, &v) in a.row_indices(r).iter().zip(a.row_values(r)) {
+            coo.push(r, c, v);
+        }
+    }
+    for (u, v) in u_cols.iter().zip(v_cols) {
+        for &(r, uv) in u {
+            for &(c, vv) in v {
+                coo.push(r, c, uv * vv);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+fn rhs(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 29 % 13) as f64) * 0.5 - 3.0).collect()
+}
+
+/// A raw edit strategy: up to `rows` touched rows, up to 3 deltas each,
+/// each delta bounded by 0.4 (total < 1.2 < the 1.5 dominance slack).
+fn edit_strategy(rows: usize) -> impl Strategy<Value = Vec<(usize, Vec<(usize, f64)>)>> {
+    prop::collection::vec(
+        (
+            0usize..1000,
+            prop::collection::vec((0usize..1000, -0.4..0.4_f64), 1..4),
+        ),
+        1..rows + 1,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn smw_matches_full_refactorization(
+        n in 3usize..28,
+        entries in prop::collection::vec(
+            (0usize..1000, 0usize..1000, -4.0..4.0_f64), 0..90),
+        raw_edit in edit_strategy(4),
+    ) {
+        let a = dd_matrix(n, &entries);
+        let (u_cols, v_cols) = stamp_edit(n, &raw_edit);
+        if u_cols.is_empty() {
+            return; // all candidate deltas degenerated to zero — nothing to test
+        }
+        let lu = SparseLu::factor(&a, &LuOptions::default()).unwrap();
+        let smw = SmwUpdate::build(&lu, &u_cols, &v_cols, &SmwOptions::default())
+            .expect("small dominance-preserving edits are accepted");
+        prop_assert_eq!(smw.rank(), u_cols.len());
+        let edited = apply_edit(&a, &u_cols, &v_cols);
+        let lu_edited = SparseLu::factor(&edited, &LuOptions::default()).unwrap();
+        let b = rhs(n);
+        let corrected = smw.solve_smw(&lu, &b);
+        let exact = lu_edited.solve(&b);
+        for (p, q) in corrected.iter().zip(&exact) {
+            prop_assert!(
+                (p - q).abs() <= 1e-10 * q.abs().max(1.0),
+                "corrected {p} vs refactored {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrected_solves_are_bitwise_across_repeats_and_pool_widths(
+        n in 3usize..24,
+        entries in prop::collection::vec(
+            (0usize..1000, 0usize..1000, -4.0..4.0_f64), 0..70),
+        raw_edit in edit_strategy(3),
+    ) {
+        let a = dd_matrix(n, &entries);
+        let (u_cols, v_cols) = stamp_edit(n, &raw_edit);
+        if u_cols.is_empty() {
+            return;
+        }
+        let lu = SparseLu::factor(&a, &LuOptions::default()).unwrap();
+        let smw = SmwUpdate::build(&lu, &u_cols, &v_cols, &SmwOptions::default()).unwrap();
+        let b = rhs(n);
+        // Serial reference: base substitution pair + correction.
+        let reference = smw.solve_smw(&lu, &b);
+        let again = smw.solve_smw(&lu, &b);
+        prop_assert_eq!(&reference, &again, "repeat solves must be bitwise identical");
+        // Pooled base solves are bitwise pool-width-invariant, and the
+        // correction is a fixed-order post-pass — so the corrected
+        // solve is too, at every width.
+        let sched = lu.solve_schedule();
+        for width in [1usize, 2, 4] {
+            let pool = ParPool::new(width);
+            let mut out = vec![0.0; n];
+            let mut work = vec![0.0; n];
+            lu.solve_into_par(&b, &mut out, &mut work, &sched, &pool);
+            smw.correct_in_place(&mut out);
+            prop_assert_eq!(&reference, &out, "pool width {} diverged", width);
+        }
+    }
+
+    #[test]
+    fn over_rank_edits_are_rejected_and_refactor_is_reproducible(
+        n in 6usize..24,
+        entries in prop::collection::vec(
+            (0usize..1000, 0usize..1000, -4.0..4.0_f64), 0..70),
+        raw_edit in edit_strategy(5),
+    ) {
+        let a = dd_matrix(n, &entries);
+        let (u_cols, v_cols) = stamp_edit(n, &raw_edit);
+        if u_cols.len() < 2 {
+            return;
+        }
+        let lu = SparseLu::factor(&a, &LuOptions::default()).unwrap();
+        let tight = SmwOptions { max_rank: u_cols.len() - 1, ..SmwOptions::default() };
+        let err = SmwUpdate::build(&lu, &u_cols, &v_cols, &tight).err();
+        prop_assert_eq!(
+            err,
+            Some(SmwRejection::RankExceeded {
+                rank: u_cols.len(),
+                max_rank: u_cols.len() - 1,
+            })
+        );
+        // The fallback contract: a rejected edit is served by a full
+        // factorization of the edited matrix, which is the bitwise
+        // same result the never-corrected path produces.
+        let edited = apply_edit(&a, &u_cols, &v_cols);
+        let b = rhs(n);
+        let first = SparseLu::factor(&edited, &LuOptions::default()).unwrap().solve(&b);
+        let second = SparseLu::factor(&edited, &LuOptions::default()).unwrap().solve(&b);
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn singular_captures_are_rejected(
+        n in 2usize..20,
+        entries in prop::collection::vec(
+            (0usize..1000, 0usize..1000, -4.0..4.0_f64), 0..60),
+        row_pick in 0usize..1000,
+    ) {
+        // A rank-1 edit that zeroes an entire row makes the edited
+        // matrix singular; the capture determinant detects it
+        // (det(A + UVᵀ) = det A · det S) and the build must reject.
+        let a = dd_matrix(n, &entries);
+        let row = row_pick % n;
+        let v: SparseCol = a
+            .row_indices(row)
+            .iter()
+            .zip(a.row_values(row))
+            .map(|(&c, &val)| (c, -val))
+            .collect();
+        let lu = SparseLu::factor(&a, &LuOptions::default()).unwrap();
+        let err = SmwUpdate::build(&lu, &[vec![(row, 1.0)]], &[v], &SmwOptions::default());
+        prop_assert!(
+            matches!(err, Err(SmwRejection::IllConditioned { .. })),
+            "singular edit accepted: {err:?}"
+        );
+    }
+}
