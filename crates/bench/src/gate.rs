@@ -6,7 +6,9 @@
 //! batched snapshot evaluation, `spdp4`/`spdp5` for the distributed
 //! framework, `hit_speedup` for the scenario engine's cold-vs-warm
 //! amortization, `whatif_speedup` for the SMW-corrected what-if path
-//! vs the refactoring warm path) — ratios of times measured in the same
+//! vs the refactoring warm path, `p99_guard` for the margin by which
+//! admission keeps the admitted-job p99 inside 2× the uncontended p99
+//! under a 4× overload burst) — ratios of times measured in the same
 //! process, so they stay comparable across runner generations where
 //! absolute seconds would not. A metric regresses when the fresh value
 //! drops more than the tolerance below its baseline (default
@@ -147,6 +149,7 @@ pub fn parse_metrics(text: &str) -> Result<(String, Vec<Metric>), String> {
         "eval_batch" => &["speedup"],
         "serve_throughput" => &["hit_speedup"],
         "whatif" => &["whatif_speedup"],
+        "overload" => &["p99_guard"],
         other => return Err(format!("no tracked metrics for bench kind {other:?}")),
     };
     let rows_start = text
@@ -276,6 +279,15 @@ mod tests {
   ]
 }"#;
 
+    const OVERLOAD_SAMPLE: &str = r#"{
+  "bench": "overload",
+  "scale": "ci",
+  "deterministic": true,
+  "rows": [
+    {"design": "burst4x", "n": 256, "offered": 96, "admitted": 41, "rejected": 55, "shed_frac": 0.573, "uncontended_p99_ms": 4.1, "admitted_p99_ms": 5.2, "p99_guard": 1.58}
+  ]
+}"#;
+
     const TABLE3_SAMPLE: &str = r#"{
   "bench": "table3_distributed",
   "scale": "ci",
@@ -316,6 +328,41 @@ mod tests {
         // Likewise the whatif summary object is skipped by the scanner.
         assert_eq!(wi.len(), 2);
         assert!(wi.iter().any(|m| m.design == "pg1w" && m.value == 3.29));
+        let (bench, ov) = parse_metrics(OVERLOAD_SAMPLE).unwrap();
+        assert_eq!(bench, "overload");
+        assert_eq!(ov.len(), 1); // p99_guard only
+        assert!(ov.iter().any(|m| m.design == "burst4x" && m.value == 1.58));
+    }
+
+    #[test]
+    fn overload_p99_guard_regression_fails_the_gate() {
+        let (bench, base) = parse_metrics(OVERLOAD_SAMPLE).unwrap();
+        // 1.58 → 1.10: the admitted tail creeping toward the 2x bound
+        // must trip the gate while still inside the hard floor — the
+        // gate fires before the acceptance criterion is violated.
+        let slipped = reinject(
+            OVERLOAD_SAMPLE,
+            "\"p99_guard\": 1.58",
+            "\"p99_guard\": 1.10",
+        );
+        let (_, fresh) = parse_metrics(&slipped).unwrap();
+        let report = compare(&bench, &base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(report.regressions(), 1);
+        assert_eq!(
+            report.rows.iter().find(|r| r.regressed).unwrap().metric,
+            "p99_guard"
+        );
+        // A within-tolerance wobble passes.
+        let wobbled = reinject(
+            OVERLOAD_SAMPLE,
+            "\"p99_guard\": 1.58",
+            "\"p99_guard\": 1.40",
+        );
+        let (_, fresh) = parse_metrics(&wobbled).unwrap();
+        assert_eq!(
+            compare(&bench, &base, &fresh, DEFAULT_TOLERANCE).regressions(),
+            0
+        );
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Cooperative cancellation for in-flight transient runs.
+//!
+//! A scenario engine that admits work must also be able to take it
+//! back: a client disconnects, a deadline passes, an operator sheds
+//! load. Preemption is off the table — a solver mid-factorization owns
+//! scratch buffers and shared caches — so cancellation is cooperative:
+//! the engine hands the solver a [`CancelToken`] and the solver polls
+//! it at safe boundaries (between transient steps in
+//! [`MatexSolver`](crate::MatexSolver)'s march; between node runs in
+//! `matex-dist`'s worker loop). A tripped token makes the run return
+//! [`CoreError::Cancelled`](crate::CoreError::Cancelled) promptly —
+//! within one transient-step boundary — with every resource released
+//! by ordinary drop order, and never poisons any cached artifact: the
+//! boundaries sit strictly after a setup/factorization is complete or
+//! strictly before one begins.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared flag that asks a running job to stop at its next safe
+/// boundary. Cloning is cheap and every clone observes the same flag.
+///
+/// # Example
+///
+/// ```
+/// use matex_core::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let observer = token.clone();
+/// assert!(!observer.is_cancelled());
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trips the token. Idempotent; there is no way to un-cancel.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        a.cancel();
+        assert!(b.is_cancelled());
+        // Idempotent.
+        b.cancel();
+        assert!(a.is_cancelled());
+    }
+}

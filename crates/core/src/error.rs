@@ -19,6 +19,9 @@ pub enum CoreError {
     },
     /// Two results could not be compared (different grids/rows).
     Incomparable(String),
+    /// The run's [`CancelToken`](crate::CancelToken) was tripped; the
+    /// solver stopped at the next transient-step boundary.
+    Cancelled,
     /// Circuit-level failure (DC, assembly, regularization).
     Circuit(matex_circuit::CircuitError),
     /// Sparse-solver failure.
@@ -36,6 +39,7 @@ impl fmt::Display for CoreError {
                 write!(f, "adaptive step underflow at t = {at:.3e} (h = {h:.3e})")
             }
             CoreError::Incomparable(m) => write!(f, "results are not comparable: {m}"),
+            CoreError::Cancelled => write!(f, "run cancelled"),
             CoreError::Circuit(e) => write!(f, "circuit error: {e}"),
             CoreError::Sparse(e) => write!(f, "sparse error: {e}"),
             CoreError::Krylov(e) => write!(f, "krylov error: {e}"),

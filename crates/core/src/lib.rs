@@ -35,6 +35,7 @@
 //! ```
 
 mod be;
+mod cancel;
 mod engine;
 mod error;
 mod fp_terms;
@@ -50,6 +51,7 @@ mod tr;
 mod tr_adaptive;
 
 pub use be::BackwardEuler;
+pub use cancel::CancelToken;
 pub use engine::{InputEval, Recorder, TransientEngine};
 pub use error::CoreError;
 pub use fp_terms::IntervalTerms;

@@ -20,7 +20,9 @@
 
 use crate::engine::{InputEval, Recorder, TransientEngine};
 use crate::fp_terms::IntervalTerms;
-use crate::{CoreError, MatexSetup, MatexSymbolic, SolveStats, TransientResult, TransientSpec};
+use crate::{
+    CancelToken, CoreError, MatexSetup, MatexSymbolic, SolveStats, TransientResult, TransientSpec,
+};
 use matex_circuit::MnaSystem;
 use matex_dense::norm2;
 use matex_krylov::{
@@ -125,6 +127,7 @@ pub struct MatexSolver {
     setup: Option<Arc<MatexSetup>>,
     dc: Option<Arc<Vec<f64>>>,
     pool: Option<Arc<ParPool>>,
+    cancel: Option<CancelToken>,
 }
 
 impl MatexSolver {
@@ -138,6 +141,7 @@ impl MatexSolver {
             setup: None,
             dc: None,
             pool: None,
+            cancel: None,
         }
     }
 
@@ -203,6 +207,19 @@ impl MatexSolver {
     /// Without a pool the historical serial code paths run unchanged.
     pub fn with_parallelism(mut self, pool: Arc<ParPool>) -> Self {
         self.pool = Some(pool);
+        self
+    }
+
+    /// Makes the run observe a cooperative [`CancelToken`]: the march
+    /// polls it between transient steps and returns
+    /// [`CoreError::Cancelled`] — abandoning the remaining eval grid —
+    /// within one step boundary of the token tripping. Work completed
+    /// before the trip (factorizations, the DC solve, accepted points)
+    /// is simply dropped; no shared or cached artifact is left
+    /// half-written, because the poll sites never interrupt a
+    /// factorization or a cache store.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -424,6 +441,11 @@ impl TransientEngine for MatexSolver {
         // evaluated prefix on to-be-discarded weight columns.
         let mut chunk_size = 1usize;
         while idx < times.len() {
+            // Cooperative cancellation: give up between steps, never
+            // inside one, so leases and caches unwind cleanly.
+            if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                return Err(CoreError::Cancelled);
+            }
             let te = times[idx];
             if te <= anchor_t + 1e-30 || te <= t_start {
                 idx += 1;

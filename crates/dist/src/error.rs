@@ -21,6 +21,9 @@ pub enum DistError {
     /// An injected pre-built group plan does not match this run's
     /// system, spec, or grouping strategy.
     Plan(String),
+    /// The run's cancel token was tripped; workers stopped between node
+    /// runs and in-flight nodes gave up at a transient-step boundary.
+    Cancelled,
 }
 
 impl fmt::Display for DistError {
@@ -32,6 +35,7 @@ impl fmt::Display for DistError {
             DistError::Superposition(e) => write!(f, "superposition failed: {e}"),
             DistError::Analyze(e) => write!(f, "symbolic analysis failed: {e}"),
             DistError::Plan(msg) => write!(f, "injected plan mismatch: {msg}"),
+            DistError::Cancelled => write!(f, "distributed run cancelled"),
         }
     }
 }
@@ -42,7 +46,7 @@ impl std::error::Error for DistError {
             DistError::Node { source, .. } => Some(source),
             DistError::Superposition(e) => Some(e),
             DistError::Analyze(e) => Some(e),
-            DistError::Plan(_) => None,
+            DistError::Plan(_) | DistError::Cancelled => None,
         }
     }
 }

@@ -1,5 +1,5 @@
 use crate::GroupPlan;
-use matex_core::{MatexOptions, MatexSetup, MatexSymbolic};
+use matex_core::{CancelToken, MatexOptions, MatexSetup, MatexSymbolic};
 use matex_par::ParOptions;
 use matex_waveform::GroupingStrategy;
 use std::sync::Arc;
@@ -55,6 +55,13 @@ pub struct DistributedOptions {
     /// `strategy` ([`GroupPlan::check`]) or the run fails with
     /// [`crate::DistError::Plan`].
     pub plan: Option<Arc<GroupPlan>>,
+    /// A cooperative cancellation token. `None` (default) runs to
+    /// completion. When tripped, workers stop dispatching further nodes
+    /// and every in-flight node solver gives up at its next
+    /// transient-step boundary; the run returns
+    /// [`crate::DistError::Cancelled`]. Tokens never corrupt shared
+    /// artifacts — nodes only read the shared symbolic/setup.
+    pub cancel: Option<CancelToken>,
 }
 
 #[cfg(test)]

@@ -245,7 +245,12 @@ pub fn run_distributed(
             scope.spawn(move || {
                 let pool = kernel_budget.map(|b| Arc::new(ParPool::new(b)));
                 loop {
-                    if abort.load(Ordering::Relaxed) {
+                    // Cooperative cancellation: stop dispatching nodes
+                    // the moment the token trips (running nodes give up
+                    // at their own step boundaries via `with_cancel`).
+                    if abort.load(Ordering::Relaxed)
+                        || opts.cancel.as_ref().is_some_and(|c| c.is_cancelled())
+                    {
                         break;
                     }
                     let k = cursor.fetch_add(1, Ordering::Relaxed);
@@ -279,8 +284,10 @@ pub fn run_distributed(
 
     if let Some((j, source)) = failures.into_iter().min_by_key(|&(j, _)| j) {
         // First completed failure in group order. Distinguish internal
-        // superposition mismatches from node solver failures.
+        // superposition mismatches from node solver failures, and fold
+        // per-node cancellations into the run-level verdict.
         return Err(match source {
+            CoreError::Cancelled => DistError::Cancelled,
             CoreError::Incomparable(_) => DistError::Superposition(source),
             _ => DistError::Node {
                 group: jobs[j].group,
@@ -288,10 +295,15 @@ pub fn run_distributed(
             },
         });
     }
-    assert!(
-        sup.next == jobs.len(),
-        "worker pool left a job unran without reporting a failure"
-    );
+    if sup.next != jobs.len() {
+        // No node failed, yet jobs went unran: the only path is the
+        // cancel token tripping before every node was dispatched.
+        assert!(
+            opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()),
+            "worker pool left a job unran without a failure or cancellation"
+        );
+        return Err(DistError::Cancelled);
+    }
     let Superposer {
         mut nodes,
         stats,
@@ -363,6 +375,9 @@ fn run_node(
     }
     if let Some(pool) = pool {
         solver = solver.with_parallelism(pool);
+    }
+    if let Some(token) = &opts.cancel {
+        solver = solver.with_cancel(token.clone());
     }
     let result = solver.run(sys, spec)?;
     Ok((

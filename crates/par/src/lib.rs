@@ -49,7 +49,7 @@ mod kernels;
 mod options;
 mod pool;
 
-pub use budget::{BudgetLease, ThreadBudget};
+pub use budget::{AdmitError, AdmitRequest, BudgetLease, Priority, ThreadBudget};
 pub use kernels::{
     combine_columns, div_in_place, dot, multi_dot, norm2, subtract_combination, tile_span, tiles,
     RawVec, PAR_MIN, TILE,

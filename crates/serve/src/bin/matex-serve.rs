@@ -3,24 +3,37 @@
 //! ```text
 //! matex-serve serve [--addr 127.0.0.1:7171] [--threads N] [--executors N]
 //! matex-serve load  --addr HOST:PORT [--clients 4] [--jobs 5] [--grids 2]
-//!                   [--mode scale|whatif]
+//!                   [--mode scale|whatif|burst|heavytail|slowreader]
+//!                   [--deadline-ms MS] [--frame-delay-ms MS]
 //! ```
 //!
 //! `serve` prints `listening on <addr>` once bound (port 0 picks a free
 //! port) and runs until killed. `load` drives `--clients` concurrent
 //! connections through `--jobs` repetitions over `--grids` distinct
 //! synthetic PDN circuits and prints throughput, latency percentiles,
-//! cache hit-rate, and the cross-client determinism verdict. With
-//! `--mode whatif`, each grid's sequence is a base job followed by a
-//! burst of small cap-edit variants (each client finishes its base job
-//! before submitting the variants, so the edits find a cached base to
-//! correct against) and the what-if hit rate is printed too.
+//! rejection rate, and the cross-client determinism verdict. Modes:
+//!
+//! * `scale` — each grid's sequence is a base job plus source-scale
+//!   variants (the cache-friendly fleet workload).
+//! * `whatif` — the variants are small cap edits served by low-rank
+//!   correction of the cached base; the what-if hit rate is printed.
+//! * `burst` — adversarial overload: every client rendezvouses before
+//!   each submit so waves hit the admission queue simultaneously.
+//!   Combine with `--deadline-ms` to watch admission shed the excess
+//!   (rejections are reported, not failures).
+//! * `heavytail` — a Pareto-ish job-size mix (mostly small grids, a
+//!   few much larger ones from the `pdn_*` parameters), the workload
+//!   where one elephant job can wreck everyone's p99.
+//! * `slowreader` — clients drain stream frames slowly
+//!   (`--frame-delay-ms` per frame), exercising the service's
+//!   slow-peer write-timeout defenses.
 
 use matex_serve::{
-    run_load, serve, EngineOptions, LoadJob, LoadSpec, ScenarioEngine, ServiceOptions,
+    run_load, serve, EngineOptions, LoadJob, LoadMode, LoadSpec, ScenarioEngine, ServiceOptions,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -93,6 +106,8 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut jobs_per_grid = 5usize;
     let mut grids = 2usize;
     let mut mode = "scale".to_string();
+    let mut deadline_ms: Option<f64> = None;
+    let mut frame_delay_ms = 5.0f64;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = Some(take(&mut args, "--addr")),
@@ -100,6 +115,18 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
             "--jobs" => jobs_per_grid = take(&mut args, "--jobs").parse().expect("--jobs N"),
             "--grids" => grids = take(&mut args, "--grids").parse().expect("--grids N"),
             "--mode" => mode = take(&mut args, "--mode"),
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    take(&mut args, "--deadline-ms")
+                        .parse()
+                        .expect("--deadline-ms MS"),
+                )
+            }
+            "--frame-delay-ms" => {
+                frame_delay_ms = take(&mut args, "--frame-delay-ms")
+                    .parse()
+                    .expect("--frame-delay-ms MS")
+            }
             other => {
                 eprintln!("unknown load argument {other}");
                 return ExitCode::from(2);
@@ -110,39 +137,68 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
         eprintln!("load requires --addr HOST:PORT");
         return ExitCode::from(2);
     };
-    if mode != "scale" && mode != "whatif" {
-        eprintln!("--mode must be scale or whatif, got {mode:?}");
+    if !["scale", "whatif", "burst", "heavytail", "slowreader"].contains(&mode.as_str()) {
+        eprintln!("--mode must be scale, whatif, burst, heavytail, or slowreader, got {mode:?}");
         return ExitCode::from(2);
     }
     // `grids` distinct structures, `jobs_per_grid` scenario variations
     // each — the repeated-structure workload the cache exists for. In
     // whatif mode, the variations are small cap edits instead of source
     // scales: same pattern, few changed matrix values, so the engine
-    // serves them by low-rank correction of the base factorization.
+    // serves them by low-rank correction of the base factorization. In
+    // heavytail mode the sizes themselves are the adversary: mostly
+    // small grids with sparse much-larger elephants (a Pareto-ish mix
+    // over the pdn_* parameters).
     let mut jobs = Vec::new();
-    for g in 0..grids.max(1) {
-        let dim = 6 + 2 * g;
-        for j in 0..jobs_per_grid.max(1) {
-            let job = LoadJob::pdn(dim, dim, 8 + 2 * g, 3, 100 + g as u64);
-            jobs.push(if j == 0 {
+    if mode == "heavytail" {
+        let total = (grids.max(1) * jobs_per_grid.max(1)).max(1);
+        for i in 0..total {
+            // ~80% small, ~15% medium, ~5% elephants — deterministic.
+            let dim = match i % 20 {
+                19 => 20,
+                15..=18 => 12,
+                _ => 6,
+            };
+            let job = LoadJob::pdn(dim, dim, dim * dim / 8, 3, 100 + (i % grids.max(1)) as u64);
+            jobs.push(if i % 4 == 0 {
                 job
-            } else if mode == "whatif" {
-                job.cap_scaled(2 + j, 1.0 + 0.5 * j as f64)
             } else {
-                job.scaled(0.75 + 0.125 * j as f64)
+                job.scaled(0.75 + 0.125 * (i % 4) as f64)
             });
         }
+    } else {
+        for g in 0..grids.max(1) {
+            let dim = 6 + 2 * g;
+            for j in 0..jobs_per_grid.max(1) {
+                let job = LoadJob::pdn(dim, dim, 8 + 2 * g, 3, 100 + g as u64);
+                jobs.push(if j == 0 {
+                    job
+                } else if mode == "whatif" {
+                    job.cap_scaled(2 + j, 1.0 + 0.5 * j as f64)
+                } else {
+                    job.scaled(0.75 + 0.125 * j as f64)
+                });
+            }
+        }
     }
-    match run_load(&LoadSpec {
-        addr,
-        clients,
-        jobs,
-    }) {
+    if let Some(ms) = deadline_ms {
+        jobs = jobs.into_iter().map(|j| j.deadline_ms(ms)).collect();
+    }
+    let load_mode = match mode.as_str() {
+        "burst" => LoadMode::Burst,
+        "slowreader" => LoadMode::SlowReader {
+            frame_delay: Duration::from_secs_f64(frame_delay_ms.max(0.0) / 1e3),
+        },
+        _ => LoadMode::Steady,
+    };
+    match run_load(&LoadSpec::new(addr, clients, jobs).mode(load_mode)) {
         Ok(r) => {
             println!(
-                "clients {clients}  jobs {}  failed {}  wall {:.3}s  {:.1} jobs/s",
+                "clients {clients}  jobs {}  failed {}  rejected {} ({:.0}%)  wall {:.3}s  {:.1} jobs/s",
                 r.completed,
                 r.failed,
+                r.rejected,
+                r.rejection_rate() * 1e2,
                 r.wall.as_secs_f64(),
                 r.jobs_per_s
             );
@@ -155,6 +211,8 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
             if mode == "whatif" {
                 println!("whatif hits {}  rate {:.2}", r.whatif_hits, r.whatif_rate());
             }
+            // Rejections are shed load — expected under overload, not a
+            // failure of the run.
             if r.deterministic && r.failed == 0 {
                 ExitCode::SUCCESS
             } else {

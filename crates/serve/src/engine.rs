@@ -5,11 +5,13 @@ use crate::job::{CacheReport, ExecutionMode, Hit, JobId, JobOutcome, JobSpec, Jo
 use crate::ServeError;
 use matex_circuit::MnaSystem;
 use matex_core::{
-    KrylovKind, MatexOptions, MatexSetup, MatexSolver, MatexSymbolic, SmwOptions, TransientEngine,
+    CancelToken, KrylovKind, MatexOptions, MatexSetup, MatexSolver, MatexSymbolic, SmwOptions,
+    TransientEngine,
 };
-use matex_dist::{plan_groups, run_distributed, DistributedOptions};
-use matex_par::{ParOptions, ParPool, ThreadBudget};
+use matex_dist::{list_schedule_makespan, plan_groups, run_distributed, DistributedOptions};
+use matex_par::{AdmitError, AdmitRequest, ParOptions, ParPool, ThreadBudget};
 use matex_waveform::GroupingStrategy;
+use matex_waveform::SpotSet;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -52,6 +54,13 @@ pub struct EngineOptions {
     /// Fully-prepared systems retained per pattern as what-if base
     /// candidates. `0` disables the fast path.
     pub whatif_bases: usize,
+    /// Maximum jobs waiting in the engine queue. Beyond this,
+    /// [`ScenarioEngine::submit`] rejects immediately with
+    /// [`ServeError::Rejected`] and a `retry_after` hint instead of
+    /// queueing without bound — the overload-safety valve: admitted
+    /// jobs' latency stays bounded by `max_queue` service times, and
+    /// excess offered load is shed at the door.
+    pub max_queue: usize,
 }
 
 impl Default for EngineOptions {
@@ -66,6 +75,7 @@ impl Default for EngineOptions {
             anchor_span: 1,
             whatif_max_rank: 16,
             whatif_bases: 4,
+            max_queue: 256,
         }
     }
 }
@@ -107,6 +117,18 @@ pub struct EngineStats {
     /// Fresh symbolic anchors replanted after a cached anchor's pivots
     /// stopped surviving replay.
     pub anchor_plants: u64,
+    /// Jobs refused at submit time (queue full or deadline provably
+    /// unmeetable).
+    pub rejected: u64,
+    /// Jobs cancelled (queued or running).
+    pub cancelled: u64,
+    /// Deadlines missed: jobs dropped unstarted past their deadline,
+    /// jobs that gave up waiting for threads, and jobs that completed
+    /// late.
+    pub deadline_misses: u64,
+    /// Jobs currently waiting in the engine queue (a gauge, not a
+    /// counter).
+    pub queue_depth: u64,
     /// Whole-circuit LRU evictions from the artifact cache.
     pub evictions: u64,
     /// Artifact counts currently cached.
@@ -137,12 +159,38 @@ struct Counters {
     whatif_rank: AtomicU64,
     whatif_fallbacks: AtomicU64,
     anchor_plants: AtomicU64,
+    rejected: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_misses: AtomicU64,
+    /// Calibration: completed-job predicted units (scaled ×1024) and
+    /// measured execution nanoseconds, so admission converts LTS-count
+    /// cost estimates into seconds using observed service times.
+    calib_units: AtomicU64,
+    calib_nanos: AtomicU64,
 }
 
 struct JobRecord {
     spec: JobSpec,
     status: JobStatus,
     submitted_at: Instant,
+    /// Absolute deadline (submission time + the spec's relative one).
+    deadline_at: Option<Instant>,
+    /// Predicted service cost in LTS units (the `GroupPlan` makespan
+    /// proxy), fixed at submission.
+    units: f64,
+    /// Cooperative cancel token observed by the running solver.
+    cancel: CancelToken,
+}
+
+impl JobRecord {
+    /// Queue rank: strict priority class, then EDF (deadline-less jobs
+    /// rank infinitely late and fall back to FIFO among themselves).
+    fn rank(&self, id: JobId) -> (u8, u8, Instant, JobId) {
+        match self.deadline_at {
+            Some(d) => (self.spec.priority.class(), 0, d, id),
+            None => (self.spec.priority.class(), 1, self.submitted_at, id),
+        }
+    }
 }
 
 #[derive(Default)]
@@ -241,22 +289,86 @@ impl ScenarioEngine {
         &self.inner.opts
     }
 
-    /// Queues a job; returns its id immediately.
+    /// Queues a job; returns its id immediately. Queued jobs run in
+    /// strict priority order, EDF within a class (see
+    /// [`JobSpec::priority`] / [`JobSpec::deadline`]); the order never
+    /// changes any admitted job's waveform, only when it runs.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::ShuttingDown`] after the engine began
-    /// shutting down.
+    /// shutting down, or [`ServeError::Rejected`] — with a
+    /// `retry_after` hint computed from the queued predicted cost —
+    /// when the queue is at `max_queue` or the job's deadline is
+    /// already unmeetable under the calibrated cost estimates.
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, ServeError> {
         if self.inner.shutdown.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
+        let now = Instant::now();
+        let units = self.inner.predicted_units(&spec);
+        let deadline_at = spec.deadline.map(|d| now + d);
         let mut table = self.inner.lock_table();
+        if table.queue.len() >= self.inner.opts.max_queue {
+            let retry_after = self.inner.drain_estimate(&table);
+            drop(table);
+            self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Rejected {
+                reason: format!("queue full ({} jobs)", self.inner.opts.max_queue),
+                retry_after,
+            });
+        }
         let id = table.records.len() as JobId;
+        // Deadline triage: predicted completion = everything queued at
+        // or ahead of this job's rank (drained by `executors` threads in
+        // parallel) plus its own service time, converted to seconds via
+        // the calibrated per-unit cost. A deadline the estimate already
+        // rules out is refused now — cheaper for everyone than queueing
+        // a job that will be dropped at its deadline later.
+        if let (Some(d), unit_secs) = (spec.deadline, self.inner.unit_secs()) {
+            let probe = JobRecord {
+                spec: spec.clone(),
+                status: JobStatus::Queued,
+                submitted_at: now,
+                deadline_at,
+                units,
+                cancel: CancelToken::new(),
+            };
+            let my_rank = probe.rank(id);
+            let ahead: f64 = table
+                .queue
+                .iter()
+                .map(|&q| &table.records[q as usize])
+                .filter(|r| {
+                    // Rank against the queued job's own id (any id <
+                    // ours preserves its ordering vs our probe rank).
+                    r.rank(0) <= my_rank
+                })
+                .map(|r| r.units)
+                .sum();
+            let executors = self.inner.opts.executors.max(1) as f64;
+            let eta = (ahead / executors + units) * unit_secs;
+            if eta > d.as_secs_f64() {
+                let retry_after = self.inner.drain_estimate(&table);
+                drop(table);
+                self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Rejected {
+                    reason: format!(
+                        "deadline unmeetable (predicted {:.1}ms > deadline {:.1}ms)",
+                        eta * 1e3,
+                        d.as_secs_f64() * 1e3
+                    ),
+                    retry_after,
+                });
+            }
+        }
         table.records.push(JobRecord {
             spec,
             status: JobStatus::Queued,
-            submitted_at: Instant::now(),
+            submitted_at: now,
+            deadline_at,
+            units,
+            cancel: CancelToken::new(),
         });
         table.queue.push_back(id);
         drop(table);
@@ -266,6 +378,43 @@ impl ScenarioEngine {
             .fetch_add(1, Ordering::Relaxed);
         self.inner.queue_cv.notify_one();
         Ok(id)
+    }
+
+    /// Cancels a job. A queued job is removed from the queue and
+    /// resolves to [`JobStatus::Cancelled`] immediately; a running job
+    /// has its cooperative token tripped and resolves to `Cancelled` at
+    /// the solver's next transient-step (or distributed node) boundary,
+    /// returning its thread lease with it. Jobs already resolved are
+    /// left untouched.
+    ///
+    /// Returns the job's status as observed *after* the cancellation
+    /// attempt, or `None` for an unknown id. Cancelling never perturbs
+    /// other jobs' results or the artifact cache.
+    pub fn cancel(&self, id: JobId) -> Option<JobStatus> {
+        let mut table = self.inner.lock_table();
+        let status = table.records.get(id as usize)?.status.clone();
+        match status {
+            JobStatus::Queued => {
+                table.queue.retain(|&q| q != id);
+                let rec = &mut table.records[id as usize];
+                rec.status = JobStatus::Cancelled;
+                // Trip the token too: an executor that popped the id
+                // concurrently must not start the solve.
+                rec.cancel.cancel();
+                drop(table);
+                self.inner
+                    .counters
+                    .cancelled
+                    .fetch_add(1, Ordering::Relaxed);
+                self.inner.done_cv.notify_all();
+                Some(JobStatus::Cancelled)
+            }
+            JobStatus::Running => {
+                table.records[id as usize].cancel.cancel();
+                Some(JobStatus::Running)
+            }
+            other => Some(other),
+        }
     }
 
     /// The job's current status, or `None` for an unknown id.
@@ -288,6 +437,7 @@ impl ScenarioEngine {
                 Some(r) => match &r.status {
                     JobStatus::Done(out) => return Ok(out.clone()),
                     JobStatus::Failed(msg) => return Err(ServeError::InvalidJob(msg.clone())),
+                    JobStatus::Cancelled => return Err(ServeError::Cancelled(id)),
                     JobStatus::Expired => {
                         return Err(ServeError::InvalidJob(format!(
                             "job {id} resolved but its outcome expired (retention limit)"
@@ -340,6 +490,10 @@ impl ScenarioEngine {
             whatif_rank: c.whatif_rank.load(Ordering::Relaxed),
             whatif_fallbacks: c.whatif_fallbacks.load(Ordering::Relaxed),
             anchor_plants: c.anchor_plants.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            deadline_misses: c.deadline_misses.load(Ordering::Relaxed),
+            queue_depth: self.inner.lock_table().queue.len() as u64,
             evictions: self.inner.cache.evictions(),
             cache: self.inner.cache.sizes(),
         }
@@ -358,13 +512,31 @@ impl Drop for ScenarioEngine {
 
 fn executor_loop(inner: &Inner) {
     loop {
-        let (id, spec, submitted_at) = {
+        let (id, spec, submitted_at, deadline_at, units, cancel) = {
             let mut table = inner.lock_table();
             loop {
-                if let Some(id) = table.queue.pop_front() {
+                // Pop the best-ranked queued job: strict priority class
+                // first, EDF within a class, FIFO among deadline-less
+                // peers. The queue is bounded (`max_queue`), so the
+                // linear scan stays cheap.
+                let best = table
+                    .queue
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &q)| table.records[q as usize].rank(q))
+                    .map(|(pos, _)| pos);
+                if let Some(pos) = best {
+                    let id = table.queue.remove(pos).expect("position just observed");
                     let rec = &mut table.records[id as usize];
                     rec.status = JobStatus::Running;
-                    break (id, rec.spec.clone(), rec.submitted_at);
+                    break (
+                        id,
+                        rec.spec.clone(),
+                        rec.submitted_at,
+                        rec.deadline_at,
+                        rec.units,
+                        rec.cancel.clone(),
+                    );
                 }
                 if inner.shutdown.load(Ordering::Acquire) {
                     return;
@@ -376,30 +548,71 @@ fn executor_loop(inner: &Inner) {
             }
         };
         let queue_wait = submitted_at.elapsed();
+        // A job already past its deadline is dropped unstarted: running
+        // it would burn capacity on an answer nobody is waiting for.
+        let dead_on_arrival = deadline_at.is_some_and(|d| Instant::now() >= d);
+        let exec_started = Instant::now();
         // Panic isolation: a job that panics must resolve to Failed —
         // never leave its record stuck in Running (wedging every waiter)
         // or kill this executor thread. The budget lease is RAII, so it
         // is returned during the unwind.
-        let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            inner.admit_and_execute(&spec)
-        })) {
-            Ok(out) => out,
-            Err(payload) => {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".into());
-                Err(ServeError::InvalidJob(format!("job panicked: {msg}")))
+        let outcome = if dead_on_arrival {
+            Err(ServeError::DeadlineMissed(
+                "deadline passed while queued".into(),
+            ))
+        } else if cancel.is_cancelled() {
+            Err(ServeError::Cancelled(id))
+        } else {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                inner.admit_and_execute_cancellable(&spec, deadline_at, Some(&cancel))
+            })) {
+                Ok(out) => out,
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    Err(ServeError::InvalidJob(format!("job panicked: {msg}")))
+                }
             }
         };
-        inner.note_result(&outcome);
+        // Accounting: cancellations are neither completions nor
+        // failures; deadline givenups count as misses; completed jobs
+        // calibrate the admission cost model and count as late when they
+        // resolve past their deadline.
+        match &outcome {
+            Ok(_) => {
+                if let Some(d) = deadline_at {
+                    if Instant::now() > d {
+                        inner
+                            .counters
+                            .deadline_misses
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                inner.calibrate(units, exec_started.elapsed());
+                inner.note_result(&outcome);
+            }
+            Err(e) if e.is_cancelled() => {
+                inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ServeError::DeadlineMissed(_)) => {
+                inner
+                    .counters
+                    .deadline_misses
+                    .fetch_add(1, Ordering::Relaxed);
+                inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => inner.note_result(&outcome),
+        }
         let mut table = inner.lock_table();
         table.records[id as usize].status = match outcome {
             Ok(mut out) => {
                 out.queue_wait = queue_wait;
                 JobStatus::Done(Arc::new(out))
             }
+            Err(e) if e.is_cancelled() => JobStatus::Cancelled,
             Err(e) => JobStatus::Failed(e.to_string()),
         };
         // Outcome retention: a long-running service must not accumulate
@@ -448,12 +661,121 @@ impl Inner {
     }
 
     fn admit_and_execute(&self, spec: &JobSpec) -> Result<JobOutcome, ServeError> {
+        let deadline_at = spec.deadline.map(|d| Instant::now() + d);
+        self.admit_and_execute_cancellable(spec, deadline_at, None)
+    }
+
+    fn admit_and_execute_cancellable(
+        &self,
+        spec: &JobSpec,
+        deadline_at: Option<Instant>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<JobOutcome, ServeError> {
         let t0 = Instant::now();
-        let lease = self.budget.acquire(self.demand(spec));
-        let mut out = self.execute(spec)?;
+        // Thread admission inherits the job's class and deadline: a
+        // high-priority job outranks queued normal acquirers, and a job
+        // whose deadline passes while waiting for threads gives up
+        // instead of running uselessly late.
+        let mut req = AdmitRequest::new(self.demand(spec)).priority(spec.priority);
+        if let Some(d) = deadline_at {
+            req = req.deadline(d);
+        }
+        let lease = match self.budget.acquire_admit(req) {
+            Ok(l) => l,
+            Err(AdmitError::DeadlineExpired) => {
+                return Err(ServeError::DeadlineMissed(
+                    "deadline passed while waiting for threads".into(),
+                ))
+            }
+            Err(e) => {
+                return Err(ServeError::Rejected {
+                    reason: e.to_string(),
+                    retry_after: Duration::from_millis(
+                        (self.unit_secs() * 1e3).clamp(1.0, 60_000.0) as u64,
+                    ),
+                })
+            }
+        };
+        let mut out = self.execute(spec, cancel)?;
         drop(lease);
         out.wall = t0.elapsed();
         Ok(out)
+    }
+
+    /// Predicted service cost of a job in LTS units — the scheduling
+    /// currency the `GroupPlan` makespan model uses. Monolithic jobs
+    /// cost the union of their sources' transition spots (the number of
+    /// fresh Krylov subspaces the march must build); distributed jobs
+    /// cost the LPT makespan over the cached plan's group LTS counts
+    /// when the plan is cached, else an equal-split estimate. Pure
+    /// waveform arithmetic on the base circuit — never assembles or
+    /// factors anything, so `submit` stays cheap.
+    fn predicted_units(&self, job: &JobSpec) -> f64 {
+        let t0 = job.spec.t_start();
+        let t1 = job.spec.t_stop();
+        let spots: Vec<SpotSet> = job
+            .circuit
+            .sources()
+            .iter()
+            .map(|s| SpotSet::from_times(s.waveform.transition_spots(t1)))
+            .collect();
+        let total = SpotSet::union(&spots).clip(t0, t1).len().max(1) as f64;
+        match &job.mode {
+            ExecutionMode::Monolithic => total,
+            ExecutionMode::Distributed { strategy, workers } => {
+                let w = workers.unwrap_or(self.opts.dist_workers).max(1);
+                let pattern = job.circuit.pattern_fingerprint();
+                let plan_key = PlanKey {
+                    source_fp: job.circuit.source_fingerprint(),
+                    strategy: strategy_tag(*strategy),
+                    t_start_bits: t0.to_bits(),
+                    t_stop_bits: t1.to_bits(),
+                };
+                match self.cache.plan(pattern, &plan_key) {
+                    Some(plan) => {
+                        let costs: Vec<f64> =
+                            plan.jobs().iter().map(|j| j.lts.len() as f64).collect();
+                        list_schedule_makespan(plan.order(), &costs, w).max(1.0)
+                    }
+                    None => (total / w as f64).max(1.0),
+                }
+            }
+        }
+    }
+
+    /// Calibrated seconds per LTS unit, from completed-job measurements
+    /// (a conservative 1 ms/unit prior before any job completes).
+    fn unit_secs(&self) -> f64 {
+        let units = self.counters.calib_units.load(Ordering::Relaxed);
+        if units == 0 {
+            return 1e-3;
+        }
+        let nanos = self.counters.calib_nanos.load(Ordering::Relaxed);
+        (nanos as f64 / 1e9) / (units as f64 / 1024.0)
+    }
+
+    fn calibrate(&self, units: f64, wall: Duration) {
+        self.counters
+            .calib_units
+            .fetch_add((units * 1024.0) as u64, Ordering::Relaxed);
+        self.counters
+            .calib_nanos
+            .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Estimated time for the current queue to drain — the structured
+    /// `retry_after` hint attached to rejections: total queued predicted
+    /// cost divided across the executor threads.
+    fn drain_estimate(&self, table: &JobTable) -> Duration {
+        let queued: f64 = table
+            .queue
+            .iter()
+            .map(|&q| table.records[q as usize].units)
+            .sum();
+        let secs = (queued / self.opts.executors.max(1) as f64) * self.unit_secs();
+        // Clamp to a sane hint window: at least 1ms (a plain busy signal
+        // still means "back off"), at most a minute.
+        Duration::from_secs_f64(secs.clamp(1e-3, 60.0))
     }
 
     /// Takes an idle kernel pool (or spawns one) when kernel threads
@@ -480,8 +802,16 @@ impl Inner {
         }
     }
 
-    /// Resolves cached artifacts and runs the job.
-    fn execute(&self, job: &JobSpec) -> Result<JobOutcome, ServeError> {
+    /// Resolves cached artifacts and runs the job. The cancel token, if
+    /// any, is observed by the solver between transient steps (and by
+    /// distributed workers between node runs) — never inside a
+    /// factorization or cache store, so cancellation cannot leave a
+    /// half-written artifact behind.
+    fn execute(
+        &self,
+        job: &JobSpec,
+        cancel: Option<&CancelToken>,
+    ) -> Result<JobOutcome, ServeError> {
         let sys = job.effective_circuit()?;
         let opts = job.effective_options();
         let pattern = sys.pattern_fingerprint();
@@ -514,6 +844,9 @@ impl Inner {
                 }
                 report.dc = dc_hit;
                 let mut solver = MatexSolver::new(opts).with_setup(setup).with_dc(x0);
+                if let Some(token) = cancel {
+                    solver = solver.with_cancel(token.clone());
+                }
                 let pool = self.take_pool();
                 if let Some(p) = &pool {
                     solver = solver.with_parallelism(p.clone());
@@ -560,6 +893,7 @@ impl Inner {
                     symbolic: None,
                     setup: Some(setup),
                     plan: Some(plan),
+                    cancel: cancel.cloned(),
                 };
                 let run = run_distributed(&sys, &job.spec, &dist_opts)?;
                 Ok(JobOutcome {

@@ -25,6 +25,21 @@ pub enum ServeError {
     UnknownJob(u64),
     /// The engine is shutting down and no longer accepts work.
     ShuttingDown,
+    /// Admission refused the job at submit time (queue full or deadline
+    /// provably unmeetable). `retry_after` estimates when the queued
+    /// predicted cost will have drained enough for a resubmit to stand
+    /// a chance.
+    Rejected {
+        /// Why admission refused the job.
+        reason: String,
+        /// Suggested back-off before resubmitting.
+        retry_after: std::time::Duration,
+    },
+    /// The job was cancelled (while queued, or cooperatively while
+    /// running).
+    Cancelled(u64),
+    /// The job's deadline passed before it could run to completion.
+    DeadlineMissed(String),
 }
 
 impl fmt::Display for ServeError {
@@ -38,7 +53,30 @@ impl fmt::Display for ServeError {
             ServeError::Io(m) => write!(f, "i/o error: {m}"),
             ServeError::UnknownJob(id) => write!(f, "unknown job id {id}"),
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::Rejected {
+                reason,
+                retry_after,
+            } => write!(
+                f,
+                "rejected: {reason} (retry after {}ms)",
+                retry_after.as_millis()
+            ),
+            ServeError::Cancelled(id) => write!(f, "job {id} cancelled"),
+            ServeError::DeadlineMissed(m) => write!(f, "deadline missed: {m}"),
         }
+    }
+}
+
+impl ServeError {
+    /// `true` when the error is any flavor of cooperative cancellation
+    /// (engine-level, solver-level, or distributed-run-level).
+    pub fn is_cancelled(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Cancelled(_)
+                | ServeError::Core(CoreError::Cancelled)
+                | ServeError::Dist(DistError::Cancelled)
+        )
     }
 }
 

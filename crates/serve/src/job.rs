@@ -3,6 +3,7 @@
 use crate::ServeError;
 use matex_circuit::MnaSystem;
 use matex_core::{MatexOptions, TransientResult, TransientSpec};
+use matex_par::Priority;
 use matex_waveform::GroupingStrategy;
 use std::sync::Arc;
 use std::time::Duration;
@@ -93,6 +94,16 @@ pub struct JobSpec {
     pub mode: ExecutionMode,
     /// Scenario overrides applied on top of `circuit` / `matex`.
     pub overrides: ScenarioOverrides,
+    /// Admission priority class (strict: queued high jobs always run
+    /// before queued normal ones). Never affects the numerics — only
+    /// *when* the job runs, so admitted waveforms are bitwise-invariant
+    /// in it.
+    pub priority: Priority,
+    /// Optional deadline, relative to submission. A deadline orders the
+    /// job EDF within its priority class, lets `submit` reject it when
+    /// provably unmeetable, and makes the engine give up on it (counted
+    /// as a deadline miss) rather than run it uselessly late.
+    pub deadline: Option<Duration>,
 }
 
 impl JobSpec {
@@ -104,12 +115,26 @@ impl JobSpec {
             matex: MatexOptions::default(),
             mode: ExecutionMode::Monolithic,
             overrides: ScenarioOverrides::default(),
+            priority: Priority::Normal,
+            deadline: None,
         }
     }
 
     /// Sets the execution mode (builder style).
     pub fn mode(mut self, mode: ExecutionMode) -> JobSpec {
         self.mode = mode;
+        self
+    }
+
+    /// Sets the admission priority class (builder style).
+    pub fn priority(mut self, p: Priority) -> JobSpec {
+        self.priority = p;
+        self
+    }
+
+    /// Sets a deadline relative to submission (builder style).
+    pub fn deadline(mut self, d: Duration) -> JobSpec {
+        self.deadline = Some(d);
         self
     }
 
@@ -247,6 +272,10 @@ pub enum JobStatus {
     Done(Arc<JobOutcome>),
     /// Failed; carries the error text.
     Failed(String),
+    /// Cancelled — removed from the queue, or stopped cooperatively at
+    /// a transient-step boundary while running. Cancelled jobs never
+    /// poison the artifact cache: partial results are dropped whole.
+    Cancelled,
     /// Resolved long ago; the outcome was dropped under the engine's
     /// retention limit (`EngineOptions::max_retained`) so a long-running
     /// service's memory stays bounded by its recent traffic.
@@ -255,13 +284,14 @@ pub enum JobStatus {
 
 impl JobStatus {
     /// Short state label (`queued` / `running` / `done` / `failed` /
-    /// `expired`).
+    /// `cancelled` / `expired`).
     pub fn label(&self) -> &'static str {
         match self {
             JobStatus::Queued => "queued",
             JobStatus::Running => "running",
             JobStatus::Done(_) => "done",
             JobStatus::Failed(_) => "failed",
+            JobStatus::Cancelled => "cancelled",
             JobStatus::Expired => "expired",
         }
     }

@@ -67,8 +67,13 @@ pub use job::{
     CacheReport, ExecutionMode, Hit, JobId, JobOutcome, JobSpec, JobStatus, ScenarioOverrides,
 };
 pub use json::{parse_flat_json, JsonValue};
-pub use loadgen::{run_load, LoadJob, LoadReport, LoadSpec};
+pub use loadgen::{run_load, LoadJob, LoadMode, LoadReport, LoadSpec};
 pub use service::{serve, ServiceHandle, ServiceOptions};
+
+// Admission vocabulary shared with the parallel layer: jobs carry a
+// `Priority`, and the engine's thread budget speaks `AdmitRequest`.
+pub use matex_core::CancelToken;
+pub use matex_par::{AdmitError, AdmitRequest, Priority};
 
 // Compile the crate README's code blocks as doctests so the documented
 // quickstart can never rot.

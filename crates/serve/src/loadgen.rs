@@ -2,17 +2,30 @@
 //!
 //! Drives N concurrent clients through identical job sequences and
 //! measures what a serving system is judged on: throughput (jobs/s),
-//! latency percentiles (p50/p99 of submit→stream-complete), and
-//! **determinism** — every client hashes the exact bytes of its
-//! streamed waveform frames, and the hashes must agree across clients
+//! latency percentiles (p50/p99 of submit→stream-complete), overload
+//! behavior (admission rejections are counted separately from
+//! failures), and **determinism** — every client hashes the exact
+//! bytes of each job's streamed waveform frames, and for every job
+//! index the hashes must agree across all clients that completed it
 //! (the engine's bitwise-replay contract, observed end to end through
-//! the wire).
+//! the wire, robust to per-client shed load).
+//!
+//! Adversarial client behaviors are modeled by [`LoadMode`]:
+//! synchronized [`LoadMode::Burst`] waves that hit the service's
+//! admission queue all at once, and [`LoadMode::SlowReader`] clients
+//! that drain stream frames with a per-frame delay (exercising the
+//! service's write-timeout defenses). Heavy-tailed job-size mixes are
+//! a property of the job *list*, not the client loop — build one from
+//! spread-out `pdn_*` parameters (see the `matex-serve load` binary's
+//! `heavytail` mode).
 
 use crate::json::escape;
 use crate::ServeError;
+use matex_par::Priority;
 use matex_waveform::Fnv64;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 /// One client-side job template of a load run.
@@ -31,6 +44,12 @@ pub struct LoadJob {
     /// Optional what-if edit: scale one node's ground capacitance
     /// (`cap_row` / `cap_scale` submit fields).
     pub cap: Option<(usize, f64)>,
+    /// Optional admission priority (the `priority` submit field).
+    pub priority: Option<Priority>,
+    /// Optional relative deadline in milliseconds (the `deadline_ms`
+    /// submit field). Deadlined jobs may be rejected at submit under
+    /// overload — that is the point: shed instead of queued late.
+    pub deadline_ms: Option<f64>,
 }
 
 impl LoadJob {
@@ -45,6 +64,8 @@ impl LoadJob {
             dt_out: 2e-11,
             scale: None,
             cap: None,
+            priority: None,
+            deadline_ms: None,
         }
     }
 
@@ -56,6 +77,8 @@ impl LoadJob {
             dt_out: 2e-11,
             scale: None,
             cap: None,
+            priority: None,
+            deadline_ms: None,
         }
     }
 
@@ -78,6 +101,18 @@ impl LoadJob {
         self
     }
 
+    /// Sets the admission priority (builder style).
+    pub fn priority(mut self, p: Priority) -> LoadJob {
+        self.priority = Some(p);
+        self
+    }
+
+    /// Sets a relative deadline in milliseconds (builder style).
+    pub fn deadline_ms(mut self, ms: f64) -> LoadJob {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
     fn submit_line(&self) -> String {
         let mut line = format!(
             "{{\"cmd\": \"submit\", {}, \"t_stop\": {:e}, \"dt_out\": {:e}",
@@ -89,9 +124,36 @@ impl LoadJob {
         if let Some((row, factor)) = self.cap {
             line.push_str(&format!(", \"cap_row\": {row}, \"cap_scale\": {factor:e}"));
         }
+        if let Some(p) = self.priority {
+            line.push_str(&format!(", \"priority\": \"{}\"", p.as_str()));
+        }
+        if let Some(ms) = self.deadline_ms {
+            line.push_str(&format!(", \"deadline_ms\": {ms:e}"));
+        }
         line.push('}');
         line
     }
+}
+
+/// How the clients drive their sequences.
+#[derive(Debug, Clone, Default)]
+pub enum LoadMode {
+    /// Each client runs straight through its sequence at full speed.
+    #[default]
+    Steady,
+    /// Synchronized waves: every client rendezvouses at a barrier
+    /// before each job, so submissions hit the admission queue
+    /// simultaneously — the adversarial overload pattern the engine's
+    /// bounded queue and deadline triage exist for.
+    Burst,
+    /// Clients drain stream frames slowly, sleeping between frame
+    /// reads. Exercises the service's slow-peer defenses (a delay
+    /// beyond the service's `io_timeout` gets the connection dropped,
+    /// which the report surfaces as failures).
+    SlowReader {
+        /// Sleep inserted after each received frame line.
+        frame_delay: Duration,
+    },
 }
 
 /// A load-generation request: `clients` concurrent connections each
@@ -104,6 +166,26 @@ pub struct LoadSpec {
     pub clients: usize,
     /// The job sequence every client runs.
     pub jobs: Vec<LoadJob>,
+    /// Client pacing/draining behavior.
+    pub mode: LoadMode,
+}
+
+impl LoadSpec {
+    /// A steady-mode spec (the common case).
+    pub fn new(addr: String, clients: usize, jobs: Vec<LoadJob>) -> LoadSpec {
+        LoadSpec {
+            addr,
+            clients,
+            jobs,
+            mode: LoadMode::Steady,
+        }
+    }
+
+    /// Sets the client mode (builder style).
+    pub fn mode(mut self, mode: LoadMode) -> LoadSpec {
+        self.mode = mode;
+        self
+    }
 }
 
 /// What a load run measured.
@@ -111,19 +193,25 @@ pub struct LoadSpec {
 pub struct LoadReport {
     /// Jobs completed successfully (across all clients).
     pub completed: usize,
-    /// Jobs that failed.
+    /// Jobs that failed (protocol/solve errors, dropped connections).
     pub failed: usize,
+    /// Jobs admission rejected at submit (queue full / deadline
+    /// unmeetable) — shed load, counted apart from failures.
+    pub rejected: usize,
     /// Wall time of the whole run.
     pub wall: Duration,
     /// Throughput over the whole run.
     pub jobs_per_s: f64,
-    /// Median submit→stream-complete latency.
+    /// Median submit→stream-complete latency (completed jobs only).
     pub p50: Duration,
     /// 99th-percentile latency (max for small samples).
     pub p99: Duration,
     /// Per-client hash over all streamed frame bytes, in client order.
+    /// Only comparable across clients when no load was shed.
     pub stream_hashes: Vec<u64>,
-    /// `true` when every client saw byte-identical streams.
+    /// `true` when, for every job index, all clients that completed it
+    /// streamed byte-identical frames. Robust to per-client shed load:
+    /// rejected/failed jobs simply don't vote.
     pub deterministic: bool,
     /// Jobs whose setup was served by the what-if fast path (from the
     /// per-job `wait` status lines).
@@ -135,6 +223,12 @@ impl LoadReport {
     pub fn whatif_rate(&self) -> f64 {
         self.whatif_hits as f64 / self.completed.max(1) as f64
     }
+
+    /// Fraction of offered jobs admission shed.
+    pub fn rejection_rate(&self) -> f64 {
+        let offered = self.completed + self.failed + self.rejected;
+        self.rejected as f64 / offered.max(1) as f64
+    }
 }
 
 /// Runs the load: spawns the clients, drives the sequences, aggregates.
@@ -142,19 +236,32 @@ impl LoadReport {
 /// # Errors
 ///
 /// Returns [`ServeError::Io`] when a client cannot connect; per-job
-/// failures are counted, not fatal.
+/// failures and rejections are counted, not fatal.
 pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ServeError> {
     let t0 = Instant::now();
+    let clients = spec.clients.max(1);
+    // Burst mode synchronizes every client's submits through one
+    // barrier — one wave per job index.
+    let barrier = match spec.mode {
+        LoadMode::Burst => Some(Arc::new(Barrier::new(clients))),
+        _ => None,
+    };
     let mut handles = Vec::new();
-    for _ in 0..spec.clients.max(1) {
+    for _ in 0..clients {
         let addr = spec.addr.clone();
         let jobs = spec.jobs.clone();
-        handles.push(std::thread::spawn(move || client_run(&addr, &jobs)));
+        let mode = spec.mode.clone();
+        let barrier = barrier.clone();
+        handles.push(std::thread::spawn(move || {
+            client_run(&addr, &jobs, &mode, barrier)
+        }));
     }
     let mut latencies: Vec<Duration> = Vec::new();
     let mut stream_hashes = Vec::new();
+    let mut job_hashes: Vec<Vec<Option<u64>>> = Vec::new();
     let mut completed = 0usize;
     let mut failed = 0usize;
+    let mut rejected = 0usize;
     let mut whatif_hits = 0usize;
     for h in handles {
         let outcome = h
@@ -162,9 +269,11 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ServeError> {
             .map_err(|_| ServeError::Io("load client panicked".into()))??;
         completed += outcome.completed;
         failed += outcome.failed;
+        rejected += outcome.rejected;
         whatif_hits += outcome.whatif_hits;
         latencies.extend(outcome.latencies);
         stream_hashes.push(outcome.stream_hash);
+        job_hashes.push(outcome.job_hashes);
     }
     let wall = t0.elapsed();
     latencies.sort();
@@ -176,10 +285,19 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ServeError> {
             latencies[idx]
         }
     };
-    let deterministic = stream_hashes.windows(2).all(|w| w[0] == w[1]);
+    // Per-job-index agreement among the clients that completed that
+    // job: the determinism verdict must survive partial shed.
+    let deterministic = (0..spec.jobs.len()).all(|j| {
+        let mut seen: Option<u64> = None;
+        job_hashes
+            .iter()
+            .filter_map(|client| client.get(j).copied().flatten())
+            .all(|h| *seen.get_or_insert(h) == h)
+    });
     Ok(LoadReport {
         completed,
         failed,
+        rejected,
         jobs_per_s: completed as f64 / wall.as_secs_f64().max(1e-9),
         wall,
         p50: pick(0.5),
@@ -193,20 +311,35 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ServeError> {
 struct ClientOutcome {
     completed: usize,
     failed: usize,
+    rejected: usize,
     latencies: Vec<Duration>,
     stream_hash: u64,
+    /// Per job index: the hash of that job's frame bytes, `None` when
+    /// the job was rejected or failed for this client.
+    job_hashes: Vec<Option<u64>>,
     whatif_hits: usize,
 }
 
-fn client_run(addr: &str, jobs: &[LoadJob]) -> Result<ClientOutcome, ServeError> {
+fn client_run(
+    addr: &str,
+    jobs: &[LoadJob],
+    mode: &LoadMode,
+    barrier: Option<Arc<Barrier>>,
+) -> Result<ClientOutcome, ServeError> {
     let stream = TcpStream::connect(addr)?;
     let mut writer = BufWriter::new(stream.try_clone()?);
     let mut reader = BufReader::new(stream);
     let mut hash = Fnv64::new();
     let mut latencies = Vec::with_capacity(jobs.len());
+    let mut job_hashes: Vec<Option<u64>> = Vec::with_capacity(jobs.len());
     let mut completed = 0usize;
     let mut failed = 0usize;
+    let mut rejected = 0usize;
     let mut whatif_hits = 0usize;
+    let frame_delay = match mode {
+        LoadMode::SlowReader { frame_delay } => Some(*frame_delay),
+        _ => None,
+    };
     let read_line = |reader: &mut BufReader<TcpStream>| -> Result<String, ServeError> {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -215,12 +348,23 @@ fn client_run(addr: &str, jobs: &[LoadJob]) -> Result<ClientOutcome, ServeError>
         Ok(line.trim_end().to_string())
     };
     for job in jobs {
+        // Burst: rendezvous so every client's submit lands in the same
+        // instant — a synchronized wave against the admission queue.
+        if let Some(b) = &barrier {
+            b.wait();
+        }
         let t0 = Instant::now();
         writeln!(writer, "{}", job.submit_line())?;
         writer.flush()?;
         let submitted = read_line(&mut reader)?;
+        if submitted.contains("\"rejected\": true") {
+            rejected += 1;
+            job_hashes.push(None);
+            continue;
+        }
         let Some(id) = extract_uint(&submitted, "\"job\": ") else {
             failed += 1;
+            job_hashes.push(None);
             continue;
         };
         // Resolve through `wait` first: its status line reports whether
@@ -237,27 +381,37 @@ fn client_run(addr: &str, jobs: &[LoadJob]) -> Result<ClientOutcome, ServeError>
         let meta = read_line(&mut reader)?;
         let Some(frames) = extract_uint(&meta, "\"frames\": ") else {
             failed += 1;
+            job_hashes.push(None);
             continue;
         };
         let mut ok = true;
+        let mut job_hash = Fnv64::new();
         for _ in 0..frames {
             let frame = read_line(&mut reader)?;
             ok &= frame.contains("\"ok\": true");
             // Hash the exact frame bytes: the determinism witness.
             hash.write_bytes(frame.as_bytes());
+            job_hash.write_bytes(frame.as_bytes());
+            if let Some(d) = frame_delay {
+                std::thread::sleep(d);
+            }
         }
         if ok {
             completed += 1;
             latencies.push(t0.elapsed());
+            job_hashes.push(Some(job_hash.finish()));
         } else {
             failed += 1;
+            job_hashes.push(None);
         }
     }
     Ok(ClientOutcome {
         completed,
         failed,
+        rejected,
         latencies,
         stream_hash: hash.finish(),
+        job_hashes,
         whatif_hits,
     })
 }
@@ -291,14 +445,11 @@ mod tests {
             LoadJob::pdn(6, 6, 8, 3, 1).scaled(1.25),
             LoadJob::pdn(5, 7, 6, 2, 2),
         ];
-        let report = run_load(&LoadSpec {
-            addr: handle.addr().to_string(),
-            clients: 4,
-            jobs,
-        })
-        .unwrap();
+        let report = run_load(&LoadSpec::new(handle.addr().to_string(), 4, jobs)).unwrap();
         assert_eq!(report.completed, 12);
         assert_eq!(report.failed, 0);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.rejection_rate(), 0.0);
         assert_eq!(report.stream_hashes.len(), 4);
         assert!(
             report.deterministic,
@@ -327,12 +478,7 @@ mod tests {
             LoadJob::pdn(6, 6, 8, 3, 5).cap_scaled(7, 2.0),
             LoadJob::pdn(6, 6, 8, 3, 5).cap_scaled(11, 2.5),
         ];
-        let report = run_load(&LoadSpec {
-            addr: handle.addr().to_string(),
-            clients: 3,
-            jobs,
-        })
-        .unwrap();
+        let report = run_load(&LoadSpec::new(handle.addr().to_string(), 3, jobs)).unwrap();
         assert_eq!(report.completed, 12);
         assert_eq!(report.failed, 0);
         assert!(
@@ -350,6 +496,37 @@ mod tests {
         // (both miss, both correct; the duplicate insert is dropped).
         assert!(stats.whatif_hits >= 3);
         assert_eq!(stats.whatif_fallbacks, 0);
+        handle.stop();
+    }
+
+    #[test]
+    fn burst_waves_stay_deterministic_and_slow_readers_finish() {
+        let engine = Arc::new(ScenarioEngine::new(EngineOptions {
+            executors: 2,
+            threads: Some(2),
+            ..EngineOptions::default()
+        }));
+        let handle = serve(engine, &ServiceOptions::default()).unwrap();
+        let jobs = vec![
+            LoadJob::pdn(6, 6, 8, 3, 9),
+            LoadJob::pdn(6, 6, 8, 3, 9).scaled(1.5),
+        ];
+        let burst = run_load(
+            &LoadSpec::new(handle.addr().to_string(), 3, jobs.clone()).mode(LoadMode::Burst),
+        )
+        .unwrap();
+        assert_eq!(burst.completed, 6, "burst: {burst:?}");
+        assert!(burst.deterministic);
+        // A slow reader drains the same bytes, just later — it must
+        // neither fail (delay ≪ io_timeout) nor diverge.
+        let slow = run_load(&LoadSpec::new(handle.addr().to_string(), 2, jobs).mode(
+            LoadMode::SlowReader {
+                frame_delay: Duration::from_millis(2),
+            },
+        ))
+        .unwrap();
+        assert_eq!(slow.completed, 4, "slow: {slow:?}");
+        assert!(slow.deterministic);
         handle.stop();
     }
 

@@ -5,11 +5,12 @@
 //!
 //! | request | response |
 //! |---|---|
-//! | `{"cmd":"submit", ...}` | `{"ok":true,"job":N}` |
-//! | `{"cmd":"poll","job":N}` | `{"ok":true,"job":N,"state":"queued\|running\|done\|failed",...}` |
+//! | `{"cmd":"submit", ...}` | `{"ok":true,"job":N}` — or a rejection (below) |
+//! | `{"cmd":"poll","job":N}` | `{"ok":true,"job":N,"state":"queued\|running\|done\|failed\|cancelled",...}` |
 //! | `{"cmd":"wait","job":N}` | as `poll`, but blocks until resolved |
+//! | `{"cmd":"cancel","job":N}` | `{"ok":true,"job":N,"state":...}` — queued jobs drop, running jobs stop at the next step |
 //! | `{"cmd":"stream","job":N}` | a meta line, then `frames` chunked waveform lines |
-//! | `{"cmd":"stats"}` | engine counters and cache sizes |
+//! | `{"cmd":"stats"}` | engine counters (including overload: `rejected`, `cancelled`, `deadline_misses`, `queue_depth`) and cache sizes |
 //!
 //! A `submit` names its circuit either inline (`"netlist"`: SPICE text,
 //! newlines escaped) or synthetically (`"pdn_nx"`/`"pdn_ny"` plus
@@ -19,10 +20,24 @@
 //! (a what-if edit: scale one node's ground capacitance — served by
 //! low-rank correction of the cached base factorization when the base
 //! job ran first), `mode` (`"mono"` / `"dist"`), `workers`, `rows`
-//! (comma-separated state rows to record).
+//! (comma-separated state rows to record). Admission fields:
+//! `priority` (`"high"` / `"normal"` / `"low"`, strict classes) and
+//! `deadline_ms` (relative deadline; orders the job EDF within its
+//! class). When admission refuses a job — queue full, or the deadline
+//! provably unmeetable under the engine's calibrated cost model — the
+//! submit answers `{"ok": false, "rejected": true, "retry_after_ms": N,
+//! "error": ...}` and the client should back off `retry_after_ms`
+//! before resubmitting.
 //! Parsed/built circuits are cached by content hash, so a fleet of
 //! submissions of one circuit assembles it once — and hits the engine's
 //! artifact cache underneath.
+//!
+//! The service defends itself against slow or stuck peers: accepted
+//! sockets carry read/write timeouts ([`ServiceOptions::io_timeout`]),
+//! so a connection that goes silent, or a client that stops draining
+//! its receive window mid-stream, is dropped instead of pinning a
+//! handler thread forever. Multi-line responses are flushed every few
+//! lines, bounding the per-connection write buffer.
 //!
 //! Responses to distinct requests never interleave on one connection;
 //! `stream` waveform frames are chunked so a client can process arrival
@@ -35,6 +50,7 @@ use crate::json::{escape, parse_flat_json, JsonValue};
 use crate::{JobId, ScenarioEngine, ServeError};
 use matex_circuit::{parse_netlist, MnaSystem, PdnBuilder};
 use matex_core::TransientSpec;
+use matex_par::Priority;
 use matex_waveform::{Fnv64, GroupingStrategy};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -52,6 +68,12 @@ pub struct ServiceOptions {
     pub addr: String,
     /// Output samples per streamed waveform frame.
     pub stream_chunk: usize,
+    /// Read/write timeout applied to every accepted socket. A peer that
+    /// sends nothing for this long, or stalls mid-frame without
+    /// draining its receive window, has its connection dropped — the
+    /// handler thread is returned instead of pinned forever. `None`
+    /// disables the guard (trusted local clients only).
+    pub io_timeout: Option<Duration>,
 }
 
 impl Default for ServiceOptions {
@@ -59,6 +81,7 @@ impl Default for ServiceOptions {
         ServiceOptions {
             addr: "127.0.0.1:0".into(),
             stream_chunk: 32,
+            io_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -129,6 +152,12 @@ pub fn serve(
                 while !shutdown.load(Ordering::Acquire) {
                     match listener.accept() {
                         Ok((stream, _)) => {
+                            // Slow-peer guard: a socket that stays
+                            // silent or stops draining for io_timeout
+                            // errors out of its blocking read/write,
+                            // and the handler thread exits.
+                            let _ = stream.set_read_timeout(opts.io_timeout);
+                            let _ = stream.set_write_timeout(opts.io_timeout);
                             let state = state.clone();
                             let _ = std::thread::Builder::new()
                                 .name("matex-serve-conn".into())
@@ -183,6 +212,12 @@ impl ServiceState {
     }
 }
 
+/// Flush cadence for multi-line responses: bounds the per-connection
+/// write buffer to a handful of frame lines, and surfaces a stalled
+/// peer (blocked flush + write timeout) early instead of after the
+/// whole response was materialized into the writer.
+const FLUSH_EVERY_LINES: usize = 8;
+
 fn handle_connection(stream: TcpStream, state: &ServiceState) {
     let reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
@@ -196,19 +231,39 @@ fn handle_connection(stream: TcpStream, state: &ServiceState) {
         }
         let responses = match handle_request(&line, state) {
             Ok(lines) => lines,
-            Err(e) => vec![format!(
-                "{{\"ok\": false, \"error\": \"{}\"}}",
-                escape(&e.to_string())
-            )],
+            Err(e) => vec![error_line(&e)],
         };
-        for r in responses {
+        for (i, r) in responses.iter().enumerate() {
             if writeln!(writer, "{r}").is_err() {
+                return;
+            }
+            if (i + 1) % FLUSH_EVERY_LINES == 0 && writer.flush().is_err() {
                 return;
             }
         }
         if writer.flush().is_err() {
             return;
         }
+    }
+}
+
+/// Serializes an error response. Admission rejections carry structure
+/// (`"rejected": true` plus the back-off hint) so clients can
+/// distinguish "resubmit later" from a hard failure.
+fn error_line(e: &ServeError) -> String {
+    match e {
+        ServeError::Rejected {
+            reason,
+            retry_after,
+        } => format!(
+            "{{\"ok\": false, \"rejected\": true, \"retry_after_ms\": {}, \"error\": \"{}\"}}",
+            retry_after.as_millis().max(1),
+            escape(reason)
+        ),
+        _ => format!(
+            "{{\"ok\": false, \"error\": \"{}\"}}",
+            escape(&e.to_string())
+        ),
     }
 }
 
@@ -233,6 +288,15 @@ fn handle_request(line: &str, state: &ServiceState) -> Result<Vec<String>, Serve
             // Resolve (ignoring the job's own failure — reported by the
             // status line), then report.
             let _ = state.engine.wait(id);
+            Ok(vec![status_line(id, state)?])
+        }
+        "cancel" => {
+            let id = job_id(&req)?;
+            // Queued jobs drop immediately; running jobs get their
+            // token tripped and stop at the next transient-step
+            // boundary. The response reports the state as of the
+            // cancel — poll again to observe a running job wind down.
+            state.engine.cancel(id).ok_or(ServeError::UnknownJob(id))?;
             Ok(vec![status_line(id, state)?])
         }
         "stream" => stream_lines(&req, state),
@@ -284,6 +348,8 @@ fn stats_line(state: &ServiceState) -> String {
     let s = state.engine.stats();
     format!(
         "{{\"ok\": true, \"submitted\": {}, \"completed\": {}, \"failed\": {}, \
+         \"rejected\": {}, \"cancelled\": {}, \"deadline_misses\": {}, \
+         \"queue_depth\": {}, \
          \"warm_jobs\": {}, \"setup_hits\": {}, \"setup_misses\": {}, \
          \"symbolic_hits\": {}, \"dc_hits\": {}, \"plan_hits\": {}, \
          \"whatif_hits\": {}, \"whatif_rank\": {}, \"whatif_fallbacks\": {}, \
@@ -292,6 +358,10 @@ fn stats_line(state: &ServiceState) -> String {
         s.submitted,
         s.completed,
         s.failed,
+        s.rejected,
+        s.cancelled,
+        s.deadline_misses,
+        s.queue_depth,
         s.warm_jobs,
         s.setup_hits,
         s.setup_misses,
@@ -424,6 +494,19 @@ fn build_job(
                 "\"cap_row\" and \"cap_scale\" must be given together".into(),
             ));
         }
+    }
+    if let Some(p) = req.get("priority").and_then(JsonValue::as_str) {
+        let p = Priority::parse(p)
+            .ok_or_else(|| ServeError::Protocol(format!("unknown priority {p:?}")))?;
+        job = job.priority(p);
+    }
+    if let Some(ms) = num(req, "deadline_ms") {
+        if !ms.is_finite() || ms <= 0.0 {
+            return Err(ServeError::Protocol(format!(
+                "\"deadline_ms\" must be a positive number, got {ms}"
+            )));
+        }
+        job = job.deadline(Duration::from_secs_f64(ms / 1e3));
     }
     match req.get("mode").and_then(JsonValue::as_str) {
         None | Some("mono") => {}

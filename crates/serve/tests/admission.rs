@@ -1,0 +1,309 @@
+//! Overload-robust admission: priority ordering, EDF within a class,
+//! bounded-queue rejection, cancellation of queued and running jobs —
+//! and the contract that none of it ever changes an admitted job's
+//! bits.
+//!
+//! The scheduler may only decide *when* a job runs. These tests pin
+//! the observable consequences: no class is starved, tighter deadlines
+//! run first among equals, shed load is rejected with a back-off hint
+//! instead of queued unboundedly, cancellation returns the thread
+//! lease promptly and leaves the engine's counters and artifact cache
+//! consistent, and admitted waveforms are bitwise-invariant to queue
+//! pressure, priorities, and concurrent cancellations of other jobs.
+
+use matex_circuit::PdnBuilder;
+use matex_core::TransientSpec;
+use matex_serve::{EngineOptions, JobSpec, JobStatus, Priority, ScenarioEngine, ServeError};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A small PDN job: `dim`×`dim` grid, distinct `seed` per distinct
+/// circuit, ~41 output points.
+fn job(dim: usize, seed: u64) -> JobSpec {
+    let grid = Arc::new(
+        PdnBuilder::new(dim, dim)
+            .num_loads(dim)
+            .num_features(2)
+            .window(1e-9)
+            .seed(seed)
+            .build()
+            .expect("grid builds"),
+    );
+    let spec = TransientSpec::new(0.0, 1e-9, 2.5e-11).expect("spec");
+    JobSpec::new(grid, spec)
+}
+
+/// Polls until the job leaves `Queued` (i.e. an executor picked it
+/// up), so later submissions are guaranteed to queue behind it.
+fn wait_until_running(engine: &ScenarioEngine, id: u64) {
+    let t0 = Instant::now();
+    loop {
+        match engine.status(id) {
+            Some(JobStatus::Queued) => {}
+            Some(_) => return,
+            None => panic!("job {id} unknown"),
+        }
+        assert!(t0.elapsed() < Duration::from_secs(30), "job {id} never ran");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn no_priority_class_is_starved() {
+    // One executor, an interleaved mix of classes. Strict priority
+    // reorders the queue but never drops anyone: every job completes.
+    let engine = ScenarioEngine::new(EngineOptions {
+        executors: 1,
+        threads: Some(2),
+        ..EngineOptions::default()
+    });
+    let mut ids = Vec::new();
+    for i in 0..12u64 {
+        let p = match i % 3 {
+            0 => Priority::High,
+            1 => Priority::Normal,
+            _ => Priority::Low,
+        };
+        ids.push(engine.submit(job(5, 7).priority(p)).expect("submit"));
+    }
+    for id in ids {
+        engine.wait(id).expect("every class completes");
+    }
+    let s = engine.stats();
+    assert_eq!(s.completed, 12);
+    assert_eq!(s.failed, 0);
+    assert_eq!(s.cancelled, 0);
+    assert_eq!(s.queue_depth, 0);
+}
+
+#[test]
+fn edf_runs_the_tighter_deadline_first_within_a_class() {
+    let engine = ScenarioEngine::new(EngineOptions {
+        executors: 1,
+        threads: Some(2),
+        ..EngineOptions::default()
+    });
+    // Occupy the single executor so the next two submissions queue.
+    let blocker = engine.submit(job(7, 1)).expect("blocker");
+    wait_until_running(&engine, blocker);
+    // Far deadline submitted first, near deadline second: EDF must run
+    // the near one first even though FIFO would not. Distinct seeds
+    // keep both runs cold (non-trivial), so the order is observable.
+    let far = engine
+        .submit(job(7, 2).deadline(Duration::from_secs(60)))
+        .expect("far submit");
+    let near = engine
+        .submit(job(7, 3).deadline(Duration::from_secs(30)))
+        .expect("near submit");
+    engine.wait(near).expect("near-deadline job completes");
+    // The moment the near job resolved, the far one cannot already be
+    // done — the lone executor runs them one at a time, near first.
+    assert!(
+        !matches!(engine.status(far), Some(JobStatus::Done(_))),
+        "far-deadline job finished before the tighter one"
+    );
+    engine.wait(far).expect("far-deadline job completes too");
+    assert!(engine.wait(blocker).is_ok());
+}
+
+#[test]
+fn full_queue_and_unmeetable_deadlines_are_rejected_with_retry_hints() {
+    let engine = ScenarioEngine::new(EngineOptions {
+        executors: 1,
+        threads: Some(2),
+        max_queue: 2,
+        ..EngineOptions::default()
+    });
+    let blocker = engine.submit(job(7, 11)).expect("blocker");
+    wait_until_running(&engine, blocker);
+    // A deadline no schedule can meet is refused at submit, not queued
+    // and dropped later: even an empty queue predicts more than a
+    // nanosecond of service time.
+    match engine.submit(job(5, 12).deadline(Duration::from_nanos(1))) {
+        Err(ServeError::Rejected { reason, .. }) => {
+            assert!(reason.contains("unmeetable"), "reason: {reason}");
+        }
+        other => panic!("expected deadline rejection, got {other:?}"),
+    }
+    let a = engine.submit(job(5, 12)).expect("fits");
+    let b = engine.submit(job(5, 13)).expect("fits");
+    // Queue is at max_queue: the next offer is shed at the door.
+    match engine.submit(job(5, 14)) {
+        Err(ServeError::Rejected {
+            reason,
+            retry_after,
+        }) => {
+            assert!(reason.contains("queue full"), "reason: {reason}");
+            assert!(retry_after > Duration::ZERO);
+        }
+        other => panic!("expected queue-full rejection, got {other:?}"),
+    }
+    let s = engine.stats();
+    assert_eq!(s.rejected, 2);
+    for id in [blocker, a, b] {
+        engine.wait(id).expect("admitted jobs still complete");
+    }
+    assert_eq!(engine.stats().failed, 0);
+}
+
+#[test]
+fn cancelling_a_queued_job_resolves_it_and_leaves_the_engine_consistent() {
+    let engine = ScenarioEngine::new(EngineOptions {
+        executors: 1,
+        threads: Some(2),
+        ..EngineOptions::default()
+    });
+    let blocker = engine.submit(job(7, 21)).expect("blocker");
+    wait_until_running(&engine, blocker);
+    let victim = engine.submit(job(6, 22)).expect("victim queues");
+    let survivor = engine.submit(job(6, 23)).expect("survivor queues");
+    assert!(matches!(engine.cancel(victim), Some(JobStatus::Cancelled)));
+    match engine.wait(victim) {
+        Err(e) => assert!(e.is_cancelled(), "unexpected error: {e}"),
+        Ok(_) => panic!("cancelled job produced an outcome"),
+    }
+    // Everyone else is untouched.
+    engine.wait(blocker).expect("blocker completes");
+    let survived = engine.wait(survivor).expect("survivor completes");
+    let s = engine.stats();
+    assert_eq!(s.cancelled, 1);
+    assert_eq!(s.completed, 2);
+    assert_eq!(s.failed, 0);
+    assert_eq!(s.queue_depth, 0);
+    // The cache the cancelled job never touched still serves the same
+    // bits a pristine engine computes.
+    let pristine = ScenarioEngine::new(EngineOptions {
+        executors: 1,
+        ..EngineOptions::default()
+    });
+    let fresh = pristine.run(&job(6, 23)).expect("pristine run");
+    assert_eq!(survived.result.series(), fresh.result.series());
+    // Resubmitting the cancelled job's spec runs it normally.
+    let retry = engine.submit(job(6, 22)).expect("resubmit");
+    let out = engine.wait(retry).expect("resubmitted job completes");
+    let fresh = pristine.run(&job(6, 22)).expect("pristine run");
+    assert_eq!(out.result.series(), fresh.result.series());
+}
+
+#[test]
+fn cancelling_a_running_job_frees_the_budget_within_a_step_boundary() {
+    // threads = 1: the whole budget belongs to the running job, so the
+    // follow-up run() below can only succeed if cancellation returned
+    // the lease.
+    let engine = ScenarioEngine::new(EngineOptions {
+        executors: 1,
+        threads: Some(1),
+        ..EngineOptions::default()
+    });
+    // A deliberately long march: 400 output steps on a 12×12 grid.
+    let grid = Arc::new(
+        PdnBuilder::new(12, 12)
+            .num_loads(18)
+            .num_features(3)
+            .window(4e-9)
+            .seed(31)
+            .build()
+            .expect("grid builds"),
+    );
+    let spec = TransientSpec::new(0.0, 4e-9, 1e-11).expect("spec");
+    let long = engine
+        .submit(JobSpec::new(grid, spec))
+        .expect("long job submits");
+    wait_until_running(&engine, long);
+    assert!(matches!(engine.cancel(long), Some(JobStatus::Running)));
+    let t0 = Instant::now();
+    match engine.wait(long) {
+        Err(e) => assert!(e.is_cancelled(), "unexpected error: {e}"),
+        Ok(_) => panic!("cancelled running job produced an outcome"),
+    }
+    // Cooperative, but prompt: the solver polls between transient
+    // steps, each far shorter than this bound.
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "cancellation took {:?}",
+        t0.elapsed()
+    );
+    let s = engine.stats();
+    assert_eq!(s.cancelled, 1);
+    assert_eq!(s.failed, 0);
+    // The budget lease came back: a fresh job can acquire the single
+    // thread and run to completion, with bits matching a pristine
+    // engine (the aborted march poisoned nothing).
+    let out = engine.run(&job(5, 32)).expect("engine still serves");
+    let pristine = ScenarioEngine::new(EngineOptions {
+        executors: 1,
+        threads: Some(1),
+        ..EngineOptions::default()
+    });
+    let fresh = pristine.run(&job(5, 32)).expect("pristine run");
+    assert_eq!(out.result.series(), fresh.result.series());
+    assert_eq!(out.result.final_state(), fresh.result.final_state());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Admitted jobs are bitwise-invariant to everything the scheduler
+    /// does: queue pressure, their own priority class, deadlines, and
+    /// concurrent cancellations of unrelated jobs. (The what-if fast
+    /// path is disabled — it is an approximate correction, excluded
+    /// from the bitwise contract by design.)
+    #[test]
+    fn admitted_waveforms_ignore_pressure_priority_and_cancellations(
+        dim in 4usize..6,
+        seed in 0usize..500,
+        scale in 0.5..2.0_f64,
+        prio in 0usize..3,
+        crowd in 3usize..6,
+        with_deadline in 0usize..2,
+    ) {
+        let target = job(dim, seed as u64).source_scale(scale);
+        let quiet = ScenarioEngine::new(EngineOptions {
+            executors: 1,
+            whatif_max_rank: 0,
+            whatif_bases: 0,
+            ..EngineOptions::default()
+        });
+        let baseline = quiet.run(&target).expect("uncontended run");
+
+        let busy = ScenarioEngine::new(EngineOptions {
+            executors: 2,
+            threads: Some(2),
+            whatif_max_rank: 0,
+            whatif_bases: 0,
+            ..EngineOptions::default()
+        });
+        // A crowd of unrelated jobs around the target, some of which
+        // get cancelled while the queue drains.
+        let mut crowd_ids = Vec::new();
+        for c in 0..crowd {
+            let crowd_job = job(4 + (c % 2), 1000 + c as u64).source_scale(0.8 + 0.1 * c as f64);
+            crowd_ids.push(busy.submit(crowd_job).expect("crowd submit"));
+        }
+        let mut pressured = target.clone().priority(match prio {
+            0 => matex_serve::Priority::High,
+            1 => matex_serve::Priority::Normal,
+            _ => matex_serve::Priority::Low,
+        });
+        if with_deadline == 1 {
+            pressured = pressured.deadline(Duration::from_secs(120));
+        }
+        let id = busy.submit(pressured).expect("target submit");
+        for &c in crowd_ids.iter().skip(1).step_by(2) {
+            busy.cancel(c);
+        }
+        let out = busy.wait(id).expect("target completes under pressure");
+        prop_assert_eq!(out.result.series(), baseline.result.series());
+        prop_assert_eq!(out.result.final_state(), baseline.result.final_state());
+        // The crowd resolves too — completed or cleanly cancelled,
+        // never wedged or failed.
+        for c in crowd_ids {
+            match busy.wait(c) {
+                Ok(_) => {}
+                Err(e) => prop_assert!(e.is_cancelled(), "crowd job failed: {}", e),
+            }
+        }
+        prop_assert_eq!(busy.stats().failed, 0);
+    }
+}
