@@ -17,13 +17,14 @@ use matex_bench::gate::{compare, parse_metrics, GateReport, DEFAULT_TOLERANCE};
 use std::path::Path;
 use std::process::ExitCode;
 
-const ARTIFACTS: [&str; 6] = [
+const ARTIFACTS: [&str; 7] = [
     "BENCH_table3.json",
     "BENCH_lu.json",
     "BENCH_eval.json",
     "BENCH_serve.json",
     "BENCH_whatif.json",
     "BENCH_overload.json",
+    "BENCH_store.json",
 ];
 
 fn gate_one(

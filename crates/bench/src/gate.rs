@@ -8,7 +8,9 @@
 //! amortization, `whatif_speedup` for the SMW-corrected what-if path
 //! vs the refactoring warm path, `p99_guard` for the margin by which
 //! admission keeps the admitted-job p99 inside 2× the uncontended p99
-//! under a 4× overload burst) — ratios of times measured in the same
+//! under a 4× overload burst, `restart_speedup`/`bytes_ratio` for the
+//! artifact store's warm restart and the binary frame encoding's wire
+//! saving) — ratios of times measured in the same
 //! process, so they stay comparable across runner generations where
 //! absolute seconds would not. A metric regresses when the fresh value
 //! drops more than the tolerance below its baseline (default
@@ -150,6 +152,7 @@ pub fn parse_metrics(text: &str) -> Result<(String, Vec<Metric>), String> {
         "serve_throughput" => &["hit_speedup"],
         "whatif" => &["whatif_speedup"],
         "overload" => &["p99_guard"],
+        "store_restart" => &["restart_speedup", "bytes_ratio"],
         other => return Err(format!("no tracked metrics for bench kind {other:?}")),
     };
     let rows_start = text
@@ -288,6 +291,16 @@ mod tests {
   ]
 }"#;
 
+    const STORE_SAMPLE: &str = r#"{
+  "bench": "store_restart",
+  "scale": "ci",
+  "store": {"writes": 6, "hits": 6, "bitwise": true},
+  "rows": [
+    {"design": "pg1r", "n": 4097, "cold_s": 0.0151, "restart_s": 0.0032, "restart_speedup": 4.72, "json_bytes": 118342, "binary_bytes": 42100, "bytes_ratio": 2.81},
+    {"design": "pg2r", "n": 5185, "cold_s": 0.0371, "restart_s": 0.0068, "restart_speedup": 5.46, "json_bytes": 151200, "binary_bytes": 53460, "bytes_ratio": 2.83}
+  ]
+}"#;
+
     const TABLE3_SAMPLE: &str = r#"{
   "bench": "table3_distributed",
   "scale": "ci",
@@ -332,6 +345,61 @@ mod tests {
         assert_eq!(bench, "overload");
         assert_eq!(ov.len(), 1); // p99_guard only
         assert!(ov.iter().any(|m| m.design == "burst4x" && m.value == 1.58));
+        let (bench, st) = parse_metrics(STORE_SAMPLE).unwrap();
+        assert_eq!(bench, "store_restart");
+        // Two tracked metrics per design; the store summary object
+        // before "rows" is not a row.
+        assert_eq!(st.len(), 4);
+        assert!(st
+            .iter()
+            .any(|m| m.design == "pg1r" && m.name == "restart_speedup" && m.value == 4.72));
+        assert!(st
+            .iter()
+            .any(|m| m.design == "pg2r" && m.name == "bytes_ratio" && m.value == 2.83));
+    }
+
+    #[test]
+    fn store_restart_regressions_fail_the_gate() {
+        let (bench, base) = parse_metrics(STORE_SAMPLE).unwrap();
+        // 4.72 → 3.20: the hydrated restart losing a third of its edge
+        // must trip, even though 3.20 still clears the 3X acceptance
+        // floor — the gate fires before the criterion is violated.
+        let slowed = reinject(
+            STORE_SAMPLE,
+            "\"restart_speedup\": 4.72",
+            "\"restart_speedup\": 3.20",
+        );
+        let (_, fresh) = parse_metrics(&slowed).unwrap();
+        let report = compare(&bench, &base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(report.regressions(), 1);
+        assert_eq!(
+            report.rows.iter().find(|r| r.regressed).unwrap().metric,
+            "restart_speedup"
+        );
+        // A fattened wire encoding trips the bytes metric independently.
+        let fattened = reinject(
+            STORE_SAMPLE,
+            "\"bytes_ratio\": 2.83",
+            "\"bytes_ratio\": 1.90",
+        );
+        let (_, fresh) = parse_metrics(&fattened).unwrap();
+        let report = compare(&bench, &base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(report.regressions(), 1);
+        assert_eq!(
+            report.rows.iter().find(|r| r.regressed).unwrap().metric,
+            "bytes_ratio"
+        );
+        // Within-tolerance wobble passes.
+        let wobbled = reinject(
+            STORE_SAMPLE,
+            "\"restart_speedup\": 5.46",
+            "\"restart_speedup\": 5.00",
+        );
+        let (_, fresh) = parse_metrics(&wobbled).unwrap();
+        assert_eq!(
+            compare(&bench, &base, &fresh, DEFAULT_TOLERANCE).regressions(),
+            0
+        );
     }
 
     #[test]

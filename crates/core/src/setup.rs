@@ -29,6 +29,7 @@ use matex_krylov::{shifted_system, KrylovKind};
 use matex_sparse::{
     CsrMatrix, LuOptions, SmwOptions, SmwRejection, SmwUpdate, SolveSchedule, SparseLu,
 };
+use matex_sparse::{WireError, WireReader, WireWriter};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -404,6 +405,110 @@ impl MatexSetup {
     /// Wall time of the preparation.
     pub fn factor_time(&self) -> Duration {
         self.factor_time
+    }
+
+    /// Appends the setup's factors to `w` for the artifact store.
+    ///
+    /// Only *uncorrected* setups persist: a corrected (what-if) setup's
+    /// waveforms approximate the edited system to ~1e-8 rather than
+    /// bitwise, so persisting one would silently weaken the store's
+    /// bitwise-restart guarantee.
+    ///
+    /// Schedules are not serialized — only presence flags. A decode
+    /// rebuilds them with [`SparseLu::solve_schedule`], which is a pure
+    /// function of the factors, so the rebuilt schedules drive the same
+    /// substitutions bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Invalid`] when the setup is corrected.
+    pub fn wire_encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        if self.is_corrected() {
+            return Err(WireError::Invalid(
+                "corrected (what-if) setups are not persisted".into(),
+            ));
+        }
+        w.u8(kind_tag(self.kind));
+        w.f64(self.gamma);
+        w.f64(self.regularize_eps);
+        w.usize(self.dim);
+        let lu_g = self.lu_g.as_ref().expect("uncorrected setup holds lu_g");
+        lu_g.wire_encode(w);
+        w.u8(self.lu_x1.is_some() as u8);
+        if let Some(lu) = &self.lu_x1 {
+            lu.wire_encode(w);
+        }
+        w.u8(self.sched_g.is_some() as u8);
+        w.u8(self.sched_x1.is_some() as u8);
+        Ok(())
+    }
+
+    /// Decodes a setup previously written by
+    /// [`MatexSetup::wire_encode`].
+    ///
+    /// The decoded setup is uncorrected, reports zero factorizations
+    /// (nothing was factored — that is the point of the store) and a
+    /// zero preparation time; its factors and rebuilt schedules are
+    /// bitwise the ones that were encoded.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation or structurally invalid factors.
+    pub fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let kind = kind_from_tag(r.u8()?)?;
+        let gamma = r.f64()?;
+        let regularize_eps = r.f64()?;
+        let dim = r.usize()?;
+        let lu_g = SparseLu::wire_decode(r)?;
+        let lu_x1 = match r.u8()? {
+            0 => None,
+            _ => Some(SparseLu::wire_decode(r)?),
+        };
+        let with_sched_g = r.u8()? != 0;
+        let with_sched_x1 = r.u8()? != 0;
+        let sched_g = with_sched_g.then(|| lu_g.solve_schedule());
+        let sched_x1 = match (&lu_x1, with_sched_x1) {
+            (Some(lu), true) => Some(lu.solve_schedule()),
+            _ => None,
+        };
+        Ok(MatexSetup {
+            kind,
+            gamma,
+            regularize_eps,
+            dim,
+            lu_g: Some(lu_g),
+            lu_x1,
+            c_reg: None,
+            shifted: None,
+            sched_g,
+            sched_x1,
+            base: None,
+            smw_g: None,
+            smw_x1: None,
+            whatif_rank: 0,
+            factorizations: 0,
+            refactorizations: 0,
+            factor_time: Duration::ZERO,
+        })
+    }
+}
+
+/// Stable wire tag for a Krylov variant.
+fn kind_tag(kind: KrylovKind) -> u8 {
+    match kind {
+        KrylovKind::Standard => 0,
+        KrylovKind::Inverted => 1,
+        KrylovKind::Rational => 2,
+    }
+}
+
+/// Inverse of [`kind_tag`].
+fn kind_from_tag(tag: u8) -> Result<KrylovKind, WireError> {
+    match tag {
+        0 => Ok(KrylovKind::Standard),
+        1 => Ok(KrylovKind::Inverted),
+        2 => Ok(KrylovKind::Rational),
+        t => Err(WireError::Invalid(format!("unknown variant tag {t}"))),
     }
 }
 

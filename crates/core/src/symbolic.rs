@@ -18,6 +18,7 @@ use crate::{CoreError, SolveStats};
 use matex_circuit::MnaSystem;
 use matex_krylov::KrylovKind;
 use matex_sparse::{CsrMatrix, LuOptions, SparseLu, SymbolicLu};
+use matex_sparse::{WireError, WireReader, WireWriter};
 
 /// One system's reusable symbolic factorizations.
 ///
@@ -91,6 +92,38 @@ impl MatexSymbolic {
     /// The LU options the analyses were performed with.
     pub fn lu_options(&self) -> &LuOptions {
         &self.lu_opts
+    }
+
+    /// Appends the full analysis bundle to `w` for the artifact store.
+    /// A decoded bundle drives the same bitwise numeric replays as the
+    /// one that was encoded.
+    pub fn wire_encode(&self, w: &mut WireWriter) {
+        self.lu_opts.wire_encode(w);
+        self.g.wire_encode(w);
+        w.u8(self.shifted.is_some() as u8);
+        if let Some(sh) = &self.shifted {
+            sh.wire_encode(w);
+        }
+    }
+
+    /// Decodes a bundle previously written by
+    /// [`MatexSymbolic::wire_encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation or structurally invalid analyses.
+    pub fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let lu_opts = LuOptions::wire_decode(r)?;
+        let g = SymbolicLu::wire_decode(r)?;
+        let shifted = match r.u8()? {
+            0 => None,
+            _ => Some(SymbolicLu::wire_decode(r)?),
+        };
+        Ok(MatexSymbolic {
+            lu_opts,
+            g,
+            shifted,
+        })
     }
 
     /// Factors `g` by numeric replay, falling back to a full

@@ -13,6 +13,7 @@
 use crate::schedule::lpt_order;
 use matex_circuit::MnaSystem;
 use matex_core::TransientSpec;
+use matex_sparse::{WireError, WireReader, WireWriter};
 use matex_waveform::{group_sources, GroupingStrategy, SpotSet};
 
 /// One schedulable subtask of a plan: a source group and its LTS.
@@ -123,6 +124,97 @@ impl GroupPlan {
             ));
         }
         Ok(())
+    }
+
+    /// Appends the plan to `w` for the artifact store. A decoded plan
+    /// dispatches the same jobs in the same LPT order over the same
+    /// transition spots, so an injected decoded plan is numerically
+    /// invisible — exactly like an injected fresh one.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Invalid`] for a strategy this codec revision does
+    /// not know a stable tag for.
+    pub fn wire_encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        let (tag, k) = match self.strategy {
+            GroupingStrategy::ByBumpFeature => (0u8, 0usize),
+            GroupingStrategy::BySource => (1, 0),
+            GroupingStrategy::Single => (2, 0),
+            GroupingStrategy::MaxGroups(k) => (3, k),
+            other => {
+                return Err(WireError::Invalid(format!(
+                    "strategy {other:?} has no wire tag"
+                )))
+            }
+        };
+        w.u8(tag);
+        w.usize(k);
+        w.f64(self.t_start);
+        w.f64(self.t_stop);
+        w.usize(self.num_sources);
+        w.u64(self.jobs.len() as u64);
+        for job in &self.jobs {
+            w.usize(job.group);
+            w.usizes(&job.members);
+            w.f64s(job.lts.as_slice());
+        }
+        w.f64s(self.gts.as_slice());
+        w.usizes(&self.order);
+        Ok(())
+    }
+
+    /// Decodes a plan previously written by [`GroupPlan::wire_encode`].
+    ///
+    /// Spot sets rebuild through [`SpotSet::from_times`], whose
+    /// sort-and-dedup is the identity on the already-canonical encoded
+    /// data — the decoded spots are bitwise the encoded ones.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation or an inconsistent schedule order.
+    pub fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let tag = r.u8()?;
+        let k = r.usize()?;
+        let strategy = match tag {
+            0 => GroupingStrategy::ByBumpFeature,
+            1 => GroupingStrategy::BySource,
+            2 => GroupingStrategy::Single,
+            3 => GroupingStrategy::MaxGroups(k),
+            t => return Err(WireError::Invalid(format!("unknown strategy tag {t}"))),
+        };
+        let t_start = r.f64()?;
+        let t_stop = r.f64()?;
+        let num_sources = r.usize()?;
+        let num_jobs = r.u64()?;
+        if num_jobs > r.remaining() as u64 {
+            return Err(WireError::Invalid(format!(
+                "job count {num_jobs} exceeds the record"
+            )));
+        }
+        let mut jobs = Vec::with_capacity(num_jobs as usize);
+        for _ in 0..num_jobs {
+            jobs.push(PlanJob {
+                group: r.usize()?,
+                members: r.usizes()?,
+                lts: SpotSet::from_times(r.f64s()?),
+            });
+        }
+        let gts = SpotSet::from_times(r.f64s()?);
+        let order = r.usizes()?;
+        if order.len() != jobs.len() || order.iter().any(|&i| i >= jobs.len()) {
+            return Err(WireError::Invalid(
+                "schedule order does not index the jobs".into(),
+            ));
+        }
+        Ok(GroupPlan {
+            strategy,
+            t_start,
+            t_stop,
+            num_sources,
+            jobs,
+            gts,
+            order,
+        })
     }
 }
 

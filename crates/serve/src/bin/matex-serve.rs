@@ -2,16 +2,26 @@
 //!
 //! ```text
 //! matex-serve serve [--addr 127.0.0.1:7171] [--threads N] [--executors N]
+//!                   [--store-dir PATH]
 //! matex-serve load  --addr HOST:PORT [--clients 4] [--jobs 5] [--grids 2]
 //!                   [--mode scale|whatif|burst|heavytail|slowreader]
+//!                   [--frames json|binary|mixed]
 //!                   [--deadline-ms MS] [--frame-delay-ms MS]
 //! ```
 //!
 //! `serve` prints `listening on <addr>` once bound (port 0 picks a free
-//! port) and runs until killed. `load` drives `--clients` concurrent
-//! connections through `--jobs` repetitions over `--grids` distinct
-//! synthetic PDN circuits and prints throughput, latency percentiles,
-//! rejection rate, and the cross-client determinism verdict. Modes:
+//! port) and runs until killed. `--store-dir` opens (or creates) a
+//! disk-backed artifact store there: computed symbolic analyses,
+//! setups, DC solutions, and group plans persist across restarts, so a
+//! relaunched service serves its first jobs warm — bitwise identical to
+//! the run that populated the store. `load` drives `--clients`
+//! concurrent connections through `--jobs` repetitions over `--grids`
+//! distinct synthetic PDN circuits and prints throughput, latency
+//! percentiles, rejection rate, bytes on the wire per frame encoding,
+//! and the cross-client determinism verdict. `--frames` picks the frame
+//! encoding clients negotiate: `json` (protocol v1, the default),
+//! `binary` (protocol v2 `hello` handshake), or `mixed` (clients
+//! alternate — the cross-encoding determinism check). Modes:
 //!
 //! * `scale` — each grid's sequence is a base job plus source-scale
 //!   variants (the cache-friendly fleet workload).
@@ -29,8 +39,10 @@
 //!   slow-peer write-timeout defenses.
 
 use matex_serve::{
-    run_load, serve, EngineOptions, LoadJob, LoadMode, LoadSpec, ScenarioEngine, ServiceOptions,
+    run_load, serve, EngineOptions, FrameMode, LoadJob, LoadMode, LoadSpec, ScenarioEngine,
+    ServiceOptions,
 };
+use matex_store::ArtifactStore;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -73,6 +85,16 @@ fn cmd_serve(mut args: impl Iterator<Item = String>) -> ExitCode {
                     .parse()
                     .expect("--kernel-threads N")
             }
+            "--store-dir" => {
+                let dir = take(&mut args, "--store-dir");
+                match ArtifactStore::open(&dir) {
+                    Ok(store) => opts.store = Some(Arc::new(store)),
+                    Err(e) => {
+                        eprintln!("matex-serve: cannot open store {dir}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown serve argument {other}");
                 return ExitCode::from(2);
@@ -80,13 +102,7 @@ fn cmd_serve(mut args: impl Iterator<Item = String>) -> ExitCode {
         }
     }
     let engine = Arc::new(ScenarioEngine::new(opts));
-    let handle = match serve(
-        engine,
-        &ServiceOptions {
-            addr,
-            ..ServiceOptions::default()
-        },
-    ) {
+    let handle = match serve(engine, &ServiceOptions::builder().addr(addr).build()) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("matex-serve: {e}");
@@ -106,6 +122,7 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut jobs_per_grid = 5usize;
     let mut grids = 2usize;
     let mut mode = "scale".to_string();
+    let mut frames = "json".to_string();
     let mut deadline_ms: Option<f64> = None;
     let mut frame_delay_ms = 5.0f64;
     while let Some(arg) = args.next() {
@@ -115,6 +132,7 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
             "--jobs" => jobs_per_grid = take(&mut args, "--jobs").parse().expect("--jobs N"),
             "--grids" => grids = take(&mut args, "--grids").parse().expect("--grids N"),
             "--mode" => mode = take(&mut args, "--mode"),
+            "--frames" => frames = take(&mut args, "--frames"),
             "--deadline-ms" => {
                 deadline_ms = Some(
                     take(&mut args, "--deadline-ms")
@@ -141,6 +159,15 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
         eprintln!("--mode must be scale, whatif, burst, heavytail, or slowreader, got {mode:?}");
         return ExitCode::from(2);
     }
+    let frame_modes = match frames.as_str() {
+        "json" => vec![FrameMode::Json],
+        "binary" => vec![FrameMode::Binary],
+        "mixed" => vec![FrameMode::Json, FrameMode::Binary],
+        other => {
+            eprintln!("--frames must be json, binary, or mixed, got {other:?}");
+            return ExitCode::from(2);
+        }
+    };
     // `grids` distinct structures, `jobs_per_grid` scenario variations
     // each — the repeated-structure workload the cache exists for. In
     // whatif mode, the variations are small cap edits instead of source
@@ -191,7 +218,11 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
         },
         _ => LoadMode::Steady,
     };
-    match run_load(&LoadSpec::new(addr, clients, jobs).mode(load_mode)) {
+    match run_load(
+        &LoadSpec::new(addr, clients, jobs)
+            .mode(load_mode)
+            .frames(frame_modes),
+    ) {
         Ok(r) => {
             println!(
                 "clients {clients}  jobs {}  failed {}  rejected {} ({:.0}%)  wall {:.3}s  {:.1} jobs/s",
@@ -207,6 +238,19 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
                 r.p50.as_secs_f64() * 1e3,
                 r.p99.as_secs_f64() * 1e3,
                 r.deterministic
+            );
+            println!(
+                "stream bytes  json {}  binary {}{}",
+                r.json_bytes,
+                r.binary_bytes,
+                if r.json_bytes > 0 && r.binary_bytes > 0 {
+                    format!(
+                        "  (binary saves {:.1}x)",
+                        r.json_bytes as f64 / r.binary_bytes as f64
+                    )
+                } else {
+                    String::new()
+                }
             );
             if mode == "whatif" {
                 println!("whatif hits {}  rate {:.2}", r.whatif_hits, r.whatif_rate());

@@ -1,6 +1,6 @@
 //! The scenario engine: cached, admission-controlled job execution.
 
-use crate::cache::{ArtifactCache, CacheSizes, DcKey, PlanKey, SetupKey};
+use crate::cache::{gamma_decade, ArtifactCache, CacheSizes, DcKey, PlanKey, SetupKey};
 use crate::job::{CacheReport, ExecutionMode, Hit, JobId, JobOutcome, JobSpec, JobStatus};
 use crate::ServeError;
 use matex_circuit::MnaSystem;
@@ -10,6 +10,7 @@ use matex_core::{
 };
 use matex_dist::{list_schedule_makespan, plan_groups, run_distributed, DistributedOptions};
 use matex_par::{AdmitError, AdmitRequest, ParOptions, ParPool, ThreadBudget};
+use matex_store::{ArtifactStore, DcStoreKey, PlanStoreKey, SetupStoreKey, SymbolicStoreKey};
 use matex_waveform::GroupingStrategy;
 use matex_waveform::SpotSet;
 use std::collections::VecDeque;
@@ -61,6 +62,13 @@ pub struct EngineOptions {
     /// jobs' latency stays bounded by `max_queue` service times, and
     /// excess offered load is shed at the door.
     pub max_queue: usize,
+    /// Disk-backed artifact store shared by the fleet. When set, every
+    /// in-memory cache miss consults the store before computing, and
+    /// every computed artifact is written back — so a restarted (or
+    /// newly joined) engine pointed at the same directory hydrates its
+    /// cache from disk and skips the cold path, bitwise. `None`
+    /// (default) keeps the engine purely in-memory.
+    pub store: Option<Arc<ArtifactStore>>,
 }
 
 impl Default for EngineOptions {
@@ -76,6 +84,7 @@ impl Default for EngineOptions {
             whatif_max_rank: 16,
             whatif_bases: 4,
             max_queue: 256,
+            store: None,
         }
     }
 }
@@ -131,6 +140,11 @@ pub struct EngineStats {
     pub queue_depth: u64,
     /// Whole-circuit LRU evictions from the artifact cache.
     pub evictions: u64,
+    /// Artifacts hydrated from the disk-backed store (cache misses
+    /// served without recomputation).
+    pub store_hits: u64,
+    /// Artifacts persisted to the disk-backed store.
+    pub store_writes: u64,
     /// Artifact counts currently cached.
     pub cache: CacheSizes,
 }
@@ -162,6 +176,8 @@ struct Counters {
     rejected: AtomicU64,
     cancelled: AtomicU64,
     deadline_misses: AtomicU64,
+    store_hits: AtomicU64,
+    store_writes: AtomicU64,
     /// Calibration: completed-job predicted units (scaled ×1024) and
     /// measured execution nanoseconds, so admission converts LTS-count
     /// cost estimates into seconds using observed service times.
@@ -495,6 +511,8 @@ impl ScenarioEngine {
             deadline_misses: c.deadline_misses.load(Ordering::Relaxed),
             queue_depth: self.inner.lock_table().queue.len() as u64,
             evictions: self.inner.cache.evictions(),
+            store_hits: c.store_hits.load(Ordering::Relaxed),
+            store_writes: c.store_writes.load(Ordering::Relaxed),
             cache: self.inner.cache.sizes(),
         }
     }
@@ -829,15 +847,38 @@ impl Inner {
                     source_fp,
                     t_start_bits: job.spec.t_start().to_bits(),
                 };
+                let dc_store_key = DcStoreKey {
+                    value_fp,
+                    source_fp,
+                    t_start_bits: dc_key.t_start_bits,
+                };
                 let (x0, dc_hit) = match self.cache.dc(pattern, &dc_key) {
                     Some(x0) => (x0, Hit::Hit),
-                    None => {
-                        // The exact solve the solver would perform
-                        // (SMW-corrected for what-if setups).
-                        let x0 = Arc::new(setup.solve_g(&sys.bu_at(job.spec.t_start())));
-                        self.cache.store_dc(pattern, dc_key, x0.clone());
-                        (x0, Hit::Miss)
-                    }
+                    None => match self
+                        .opts
+                        .store
+                        .as_ref()
+                        .and_then(|st| st.load_dc(&dc_store_key))
+                    {
+                        Some(dc) => {
+                            let x0 = Arc::new(dc);
+                            self.cache.store_dc(pattern, dc_key, x0.clone());
+                            self.counters.store_hits.fetch_add(1, Ordering::Relaxed);
+                            (x0, Hit::Hit)
+                        }
+                        None => {
+                            // The exact solve the solver would perform
+                            // (SMW-corrected for what-if setups).
+                            let x0 = Arc::new(setup.solve_g(&sys.bu_at(job.spec.t_start())));
+                            self.cache.store_dc(pattern, dc_key, x0.clone());
+                            if let Some(store) = &self.opts.store {
+                                if store.save_dc(&dc_store_key, &x0).is_ok() {
+                                    self.counters.store_writes.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            (x0, Hit::Miss)
+                        }
+                    },
                 };
                 if dc_hit == Hit::Hit {
                     self.counters.dc_hits.fetch_add(1, Ordering::Relaxed);
@@ -872,13 +913,37 @@ impl Inner {
                     t_start_bits: job.spec.t_start().to_bits(),
                     t_stop_bits: job.spec.t_stop().to_bits(),
                 };
+                let plan_store_key = PlanStoreKey {
+                    source_fp,
+                    strategy: plan_key.strategy,
+                    t_start_bits: plan_key.t_start_bits,
+                    t_stop_bits: plan_key.t_stop_bits,
+                };
                 let (plan, plan_hit) = match self.cache.plan(pattern, &plan_key) {
                     Some(p) => (p, Hit::Hit),
-                    None => {
-                        let p = Arc::new(plan_groups(&sys, &job.spec, *strategy));
-                        self.cache.store_plan(pattern, plan_key, p.clone());
-                        (p, Hit::Miss)
-                    }
+                    None => match self
+                        .opts
+                        .store
+                        .as_ref()
+                        .and_then(|st| st.load_plan(&plan_store_key))
+                    {
+                        Some(p) => {
+                            let p = Arc::new(p);
+                            self.cache.store_plan(pattern, plan_key, p.clone());
+                            self.counters.store_hits.fetch_add(1, Ordering::Relaxed);
+                            (p, Hit::Hit)
+                        }
+                        None => {
+                            let p = Arc::new(plan_groups(&sys, &job.spec, *strategy));
+                            self.cache.store_plan(pattern, plan_key, p.clone());
+                            if let Some(store) = &self.opts.store {
+                                if store.save_plan(&plan_store_key, &p).is_ok() {
+                                    self.counters.store_writes.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            (p, Hit::Miss)
+                        }
+                    },
                 };
                 if plan_hit == Hit::Hit {
                     self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
@@ -931,10 +996,34 @@ impl Inner {
             // The symbolic layer was not even consulted.
             return Ok((setup, Hit::Skipped, Hit::Hit));
         }
+        // An exact persisted setup beats the approximate what-if path:
+        // hydrating it replays the original factors bitwise.
+        if let Some(setup) = self
+            .opts
+            .store
+            .as_ref()
+            .and_then(|s| s.load_setup(&store_setup_key(&key)))
+        {
+            let setup = Arc::new(setup);
+            self.cache.store_setup(pattern, key, setup.clone());
+            self.counters.store_hits.fetch_add(1, Ordering::Relaxed);
+            // Persisted setups are uncorrected by construction, so the
+            // hydrated system is a valid what-if base too.
+            if self.opts.whatif_max_rank > 0 {
+                self.cache
+                    .record_base(pattern, value_fp, sys.clone(), self.opts.whatif_bases);
+            }
+            return Ok((setup, Hit::Skipped, Hit::Hit));
+        }
         if let Some(setup) = self.try_whatif(sys, pattern, value_fp, &key) {
             self.cache.store_setup(pattern, key, setup.clone());
             return Ok((setup, Hit::Skipped, Hit::Whatif));
         }
+        let sym_store_key = SymbolicStoreKey {
+            pattern_fp: pattern,
+            kind_tag: kind_wire_tag(opts.kind),
+            gamma_decade: gamma_decade(opts.gamma),
+        };
         let (symbolic, mut sym_hit) =
             match self
                 .cache
@@ -943,13 +1032,30 @@ impl Inner {
                 Some((s, false)) => (s, Hit::Hit),
                 Some((s, true)) => (s, Hit::Neighbor),
                 None => {
-                    let s = Arc::new(MatexSymbolic::analyze(sys, opts)?);
+                    // Disk anchor before fresh analysis: a persisted
+                    // exact-decade anchor replays like a cache hit.
+                    let (s, hit) = match self
+                        .opts
+                        .store
+                        .as_ref()
+                        .and_then(|st| st.load_symbolic(&sym_store_key))
+                    {
+                        Some(s) => {
+                            self.counters.store_hits.fetch_add(1, Ordering::Relaxed);
+                            (Arc::new(s), Hit::Hit)
+                        }
+                        None => {
+                            let s = Arc::new(MatexSymbolic::analyze(sys, opts)?);
+                            self.persist_symbolic(&sym_store_key, &s);
+                            self.counters
+                                .symbolic_misses
+                                .fetch_add(1, Ordering::Relaxed);
+                            (s, Hit::Miss)
+                        }
+                    };
                     self.cache
                         .store_symbolic(pattern, opts.kind, opts.gamma, s.clone());
-                    self.counters
-                        .symbolic_misses
-                        .fetch_add(1, Ordering::Relaxed);
-                    (s, Hit::Miss)
+                    (s, hit)
                 }
             };
         let setup = MatexSetup::prepare(sys, opts, Some(&symbolic), scheduled)?;
@@ -965,6 +1071,7 @@ impl Inner {
         if sym_hit.is_hit() {
             if setup.refactorizations() < expected {
                 let fresh = Arc::new(MatexSymbolic::analyze(sys, opts)?);
+                self.persist_symbolic(&sym_store_key, &fresh);
                 self.cache
                     .store_symbolic(pattern, opts.kind, opts.gamma, fresh);
                 self.counters
@@ -979,6 +1086,11 @@ impl Inner {
         let setup = Arc::new(setup);
         self.cache.store_setup(pattern, key, setup.clone());
         self.counters.setup_misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.opts.store {
+            if store.save_setup(&store_setup_key(&key), &setup).is_ok() {
+                self.counters.store_writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         // A fully-prepared (uncorrected) system is a base other
         // same-pattern jobs can correct against.
         if self.opts.whatif_max_rank > 0 {
@@ -1068,6 +1180,38 @@ impl Inner {
             max_rank: self.opts.whatif_max_rank,
             ..SmwOptions::default()
         }
+    }
+
+    /// Best-effort write-back of a symbolic anchor (store failures are
+    /// silent: the store is an accelerator, never a correctness
+    /// dependency).
+    fn persist_symbolic(&self, key: &SymbolicStoreKey, sym: &MatexSymbolic) {
+        if let Some(store) = &self.opts.store {
+            if store.save_symbolic(key, sym).is_ok() {
+                self.counters.store_writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Stable wire tag for a Krylov variant, shared with the store's key
+/// encoding.
+fn kind_wire_tag(kind: KrylovKind) -> u8 {
+    match kind {
+        KrylovKind::Standard => 0,
+        KrylovKind::Inverted => 1,
+        KrylovKind::Rational => 2,
+    }
+}
+
+/// The store-side mirror of an in-memory [`SetupKey`].
+fn store_setup_key(key: &SetupKey) -> SetupStoreKey {
+    SetupStoreKey {
+        value_fp: key.value_fp,
+        kind_tag: kind_wire_tag(key.kind),
+        gamma_bits: key.gamma_bits,
+        regularize_bits: key.regularize_bits,
+        scheduled: key.scheduled,
     }
 }
 
@@ -1349,6 +1493,87 @@ mod tests {
         let out = engine.run(&base.clone().cap_scale(7, 3.0)).unwrap();
         assert_eq!(out.cache.setup, Hit::Miss);
         assert_eq!(engine.stats().whatif_hits, 0);
+    }
+
+    #[test]
+    fn warm_store_restart_skips_all_analyses_bitwise() {
+        let dir = std::env::temp_dir().join(format!(
+            "matex-engine-restart-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sys = grid(12);
+        let mono = JobSpec::new(sys.clone(), spec());
+        let dist = JobSpec::new(sys.clone(), spec()).mode(ExecutionMode::Distributed {
+            strategy: GroupingStrategy::ByBumpFeature,
+            workers: Some(2),
+        });
+        let a = ScenarioEngine::new(EngineOptions {
+            store: Some(Arc::new(ArtifactStore::open(&dir).unwrap())),
+            ..EngineOptions::default()
+        });
+        let cold_mono = a.run(&mono).unwrap();
+        let cold_dist = a.run(&dist).unwrap();
+        let stats_a = a.stats();
+        assert_eq!(stats_a.store_hits, 0);
+        assert!(
+            stats_a.store_writes >= 4,
+            "symbolic+setup+dc+plan persisted, got {}",
+            stats_a.store_writes
+        );
+        drop(a);
+
+        // "Restart": a fresh engine — empty in-memory cache — pointed
+        // at the same directory must serve the same jobs without a
+        // single symbolic analysis, factorization, or DC solve.
+        let b = ScenarioEngine::new(EngineOptions {
+            store: Some(Arc::new(ArtifactStore::open(&dir).unwrap())),
+            ..EngineOptions::default()
+        });
+        let warm_mono = b.run(&mono).unwrap();
+        let warm_dist = b.run(&dist).unwrap();
+        assert_eq!(warm_mono.cache.setup, Hit::Hit);
+        assert_eq!(warm_mono.cache.dc, Hit::Hit);
+        assert_eq!(warm_dist.cache.plan, Hit::Hit);
+        let stats_b = b.stats();
+        assert_eq!(stats_b.setup_misses, 0, "restart must not prepare a setup");
+        assert_eq!(stats_b.symbolic_misses, 0, "restart must not re-analyze");
+        assert!(stats_b.store_hits >= 3, "got {}", stats_b.store_hits);
+        assert_eq!(stats_b.store_writes, 0);
+        assert_eq!(cold_mono.result.series(), warm_mono.result.series());
+        assert_eq!(cold_dist.result.series(), warm_dist.result.series());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_hydrated_setups_serve_as_whatif_bases() {
+        let dir = std::env::temp_dir().join(format!(
+            "matex-engine-whatif-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sys = grid(13);
+        let base = JobSpec::new(sys.clone(), spec());
+        {
+            let a = ScenarioEngine::new(EngineOptions {
+                store: Some(Arc::new(ArtifactStore::open(&dir).unwrap())),
+                ..EngineOptions::default()
+            });
+            a.run(&base).unwrap();
+        }
+        let b = ScenarioEngine::new(EngineOptions {
+            store: Some(Arc::new(ArtifactStore::open(&dir).unwrap())),
+            ..EngineOptions::default()
+        });
+        b.run(&base).unwrap();
+        // A small edit against the hydrated base takes the what-if
+        // fast path — the restart preserved the base candidates too.
+        let fast = b.run(&base.clone().cap_scale(7, 3.0)).unwrap();
+        assert_eq!(fast.cache.setup, Hit::Whatif);
+        assert_eq!(b.stats().whatif_hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -68,6 +68,27 @@ impl fmt::Display for ServeError {
 }
 
 impl ServeError {
+    /// The stable machine-readable code of this error — the `"code"`
+    /// field of every wire response envelope. This is the single place
+    /// the `ServeError → code` mapping lives; clients branch on these
+    /// strings, so they are part of the protocol contract and never
+    /// change meaning.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Circuit(_) => "circuit",
+            ServeError::Core(_) => "solver",
+            ServeError::Dist(_) => "dist",
+            ServeError::InvalidJob(_) => "invalid_job",
+            ServeError::Protocol(_) => "protocol",
+            ServeError::Io(_) => "io",
+            ServeError::UnknownJob(_) => "unknown_job",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::Rejected { .. } => "rejected",
+            ServeError::Cancelled(_) => "cancelled",
+            ServeError::DeadlineMissed(_) => "deadline_missed",
+        }
+    }
+
     /// `true` when the error is any flavor of cooperative cancellation
     /// (engine-level, solver-level, or distributed-run-level).
     pub fn is_cancelled(&self) -> bool {
@@ -118,6 +139,33 @@ impl From<std::io::Error> for ServeError {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn every_variant_has_a_stable_code() {
+        let cases: Vec<(ServeError, &str)> = vec![
+            (ServeError::InvalidJob("x".into()), "invalid_job"),
+            (ServeError::Protocol("x".into()), "protocol"),
+            (ServeError::Io("x".into()), "io"),
+            (ServeError::UnknownJob(1), "unknown_job"),
+            (ServeError::ShuttingDown, "shutting_down"),
+            (
+                ServeError::Rejected {
+                    reason: "full".into(),
+                    retry_after: std::time::Duration::from_millis(5),
+                },
+                "rejected",
+            ),
+            (ServeError::Cancelled(2), "cancelled"),
+            (ServeError::DeadlineMissed("late".into()), "deadline_missed"),
+            (
+                ServeError::Core(CoreError::InvalidSpec("x".into())),
+                "solver",
+            ),
+        ];
+        for (e, code) in cases {
+            assert_eq!(e.code(), code, "{e}");
+        }
+    }
 
     #[test]
     fn display_and_source() {

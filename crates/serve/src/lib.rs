@@ -16,11 +16,20 @@
 //!   group plans per source fingerprint), admission-controlled over a
 //!   fixed thread budget ([`matex_par::ThreadBudget`]) so concurrent
 //!   jobs never oversubscribe the host,
-//! * [`serve`] / [`ServiceHandle`] — a JSON-lines TCP front end
-//!   (submit / poll / wait / stream / stats) over
-//!   [`std::net::TcpListener`],
+//! * [`serve`] / [`ServiceHandle`] — a versioned TCP front end
+//!   (hello / submit / poll / wait / stream / stats) over
+//!   [`std::net::TcpListener`]: JSON-lines protocol v1 by default, with
+//!   a `hello` capability handshake upgrading a connection to protocol
+//!   v2's length-prefixed binary waveform frames
+//!   ([`matex_waveform::WaveFrame`]),
 //! * [`run_load`] — a load generator measuring throughput, latency
-//!   percentiles, and cross-client determinism.
+//!   percentiles, bytes-on-wire per frame encoding, and cross-client
+//!   (and cross-encoding) determinism.
+//!
+//! Pointing [`EngineOptions::store`] at a [`matex_store::ArtifactStore`]
+//! directory persists every computed artifact: a restarted engine
+//! hydrates its cache from disk and serves its first jobs warm, bitwise
+//! identical to the run that populated it.
 //!
 //! **Determinism contract:** a job's waveform is bitwise identical to a
 //! standalone [`matex_core::MatexSolver`] /
@@ -64,11 +73,12 @@ pub use cache::CacheSizes;
 pub use engine::{EngineOptions, EngineStats, ScenarioEngine};
 pub use error::ServeError;
 pub use job::{
-    CacheReport, ExecutionMode, Hit, JobId, JobOutcome, JobSpec, JobStatus, ScenarioOverrides,
+    CacheReport, ExecutionMode, Hit, JobId, JobOutcome, JobSpec, JobSpecBuilder, JobStatus,
+    ScenarioOverrides, ScenarioOverridesBuilder,
 };
 pub use json::{parse_flat_json, JsonValue};
-pub use loadgen::{run_load, LoadJob, LoadMode, LoadReport, LoadSpec};
-pub use service::{serve, ServiceHandle, ServiceOptions};
+pub use loadgen::{run_load, FrameMode, LoadJob, LoadMode, LoadReport, LoadSpec};
+pub use service::{serve, ServiceHandle, ServiceOptions, ServiceOptionsBuilder};
 
 // Admission vocabulary shared with the parallel layer: jobs carry a
 // `Priority`, and the engine's thread budget speaks `AdmitRequest`.

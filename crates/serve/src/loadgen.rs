@@ -4,11 +4,20 @@
 //! measures what a serving system is judged on: throughput (jobs/s),
 //! latency percentiles (p50/p99 of submit→stream-complete), overload
 //! behavior (admission rejections are counted separately from
-//! failures), and **determinism** — every client hashes the exact
-//! bytes of each job's streamed waveform frames, and for every job
+//! failures), and **determinism** — every client decodes each job's
+//! streamed waveform frames and hashes their *canonical content* (the
+//! encoding-independent [`WaveFrame`] fingerprint), and for every job
 //! index the hashes must agree across all clients that completed it
 //! (the engine's bitwise-replay contract, observed end to end through
-//! the wire, robust to per-client shed load).
+//! the wire, robust to per-client shed load). Because the per-job hash
+//! is canonical, the vote spans frame encodings: a mixed fleet of
+//! protocol-v1 JSON clients and protocol-v2 binary clients (see
+//! [`FrameMode`]) must agree bit for bit, which is exactly the
+//! cross-encoding guarantee the wire protocol promises. Each client's
+//! whole-run hash is additionally seeded with its negotiated frame
+//! mode, so the hash domain records *how* the bytes arrived; the
+//! report also totals stream bytes per mode (JSON vs binary), the
+//! wire-size comparison the binary encoding exists for.
 //!
 //! Adversarial client behaviors are modeled by [`LoadMode`]:
 //! synchronized [`LoadMode::Burst`] waves that hit the service's
@@ -22,8 +31,8 @@
 use crate::json::escape;
 use crate::ServeError;
 use matex_par::Priority;
-use matex_waveform::Fnv64;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use matex_waveform::{Fnv64, WaveFrame};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -156,6 +165,37 @@ pub enum LoadMode {
     },
 }
 
+/// Which frame encoding a load client negotiates for its connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrameMode {
+    /// Protocol v1 JSON text frames — no handshake, the wire default.
+    #[default]
+    Json,
+    /// Protocol v2 binary frames: the client sends a
+    /// `{"cmd": "hello", "proto": 2, "frames": "binary"}` handshake at
+    /// connect and verifies the server's grant before submitting.
+    Binary,
+}
+
+impl FrameMode {
+    /// Stable wire-ish tag seeded into each client's whole-run stream
+    /// hash, tying the hash domain to the negotiated encoding.
+    fn tag(self) -> u8 {
+        match self {
+            FrameMode::Json => 0,
+            FrameMode::Binary => 1,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FrameMode::Json => "json",
+            FrameMode::Binary => "binary",
+        }
+    }
+}
+
 /// A load-generation request: `clients` concurrent connections each
 /// running the whole `jobs` sequence, in order.
 #[derive(Debug, Clone)]
@@ -168,6 +208,12 @@ pub struct LoadSpec {
     pub jobs: Vec<LoadJob>,
     /// Client pacing/draining behavior.
     pub mode: LoadMode,
+    /// Frame encodings, cycled over client index (client `i` uses
+    /// `frames[i % frames.len()]`). Empty means every client speaks
+    /// protocol v1 JSON. Mixing modes turns the determinism vote into
+    /// a cross-encoding check: JSON and binary clients must decode to
+    /// identical canonical frames.
+    pub frames: Vec<FrameMode>,
 }
 
 impl LoadSpec {
@@ -178,6 +224,7 @@ impl LoadSpec {
             clients,
             jobs,
             mode: LoadMode::Steady,
+            frames: Vec::new(),
         }
     }
 
@@ -185,6 +232,20 @@ impl LoadSpec {
     pub fn mode(mut self, mode: LoadMode) -> LoadSpec {
         self.mode = mode;
         self
+    }
+
+    /// Sets the per-client frame encoding cycle (builder style).
+    pub fn frames(mut self, frames: Vec<FrameMode>) -> LoadSpec {
+        self.frames = frames;
+        self
+    }
+
+    fn frame_mode(&self, client: usize) -> FrameMode {
+        if self.frames.is_empty() {
+            FrameMode::Json
+        } else {
+            self.frames[client % self.frames.len()]
+        }
     }
 }
 
@@ -206,16 +267,28 @@ pub struct LoadReport {
     pub p50: Duration,
     /// 99th-percentile latency (max for small samples).
     pub p99: Duration,
-    /// Per-client hash over all streamed frame bytes, in client order.
-    /// Only comparable across clients when no load was shed.
+    /// Per-client whole-run hash, in client order: seeded with the
+    /// client's negotiated [`FrameMode`] tag, then fed every streamed
+    /// frame's canonical content. Only comparable across clients of
+    /// the same mode, and only when no load was shed.
     pub stream_hashes: Vec<u64>,
     /// `true` when, for every job index, all clients that completed it
-    /// streamed byte-identical frames. Robust to per-client shed load:
-    /// rejected/failed jobs simply don't vote.
+    /// streamed canonically identical frames — across frame encodings
+    /// (the per-job vote hashes decoded [`WaveFrame`] content, not wire
+    /// bytes). Robust to per-client shed load: rejected/failed jobs
+    /// simply don't vote.
     pub deterministic: bool,
     /// Jobs whose setup was served by the what-if fast path (from the
     /// per-job `wait` status lines).
     pub whatif_hits: usize,
+    /// Stream frame bytes received by [`FrameMode::Json`] clients
+    /// (text lines, newline included).
+    pub json_bytes: u64,
+    /// Stream frame bytes received by [`FrameMode::Binary`] clients
+    /// (length prefix included). With a mixed-mode fleet the
+    /// `json_bytes / binary_bytes` ratio is the binary encoding's
+    /// wire saving, measured end to end.
+    pub binary_bytes: u64,
 }
 
 impl LoadReport {
@@ -247,13 +320,14 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ServeError> {
         _ => None,
     };
     let mut handles = Vec::new();
-    for _ in 0..clients {
+    for i in 0..clients {
         let addr = spec.addr.clone();
         let jobs = spec.jobs.clone();
         let mode = spec.mode.clone();
+        let fmode = spec.frame_mode(i);
         let barrier = barrier.clone();
         handles.push(std::thread::spawn(move || {
-            client_run(&addr, &jobs, &mode, barrier)
+            client_run(&addr, &jobs, &mode, fmode, barrier)
         }));
     }
     let mut latencies: Vec<Duration> = Vec::new();
@@ -263,6 +337,8 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ServeError> {
     let mut failed = 0usize;
     let mut rejected = 0usize;
     let mut whatif_hits = 0usize;
+    let mut json_bytes = 0u64;
+    let mut binary_bytes = 0u64;
     for h in handles {
         let outcome = h
             .join()
@@ -271,6 +347,10 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ServeError> {
         failed += outcome.failed;
         rejected += outcome.rejected;
         whatif_hits += outcome.whatif_hits;
+        match outcome.mode {
+            FrameMode::Json => json_bytes += outcome.stream_bytes,
+            FrameMode::Binary => binary_bytes += outcome.stream_bytes,
+        }
         latencies.extend(outcome.latencies);
         stream_hashes.push(outcome.stream_hash);
         job_hashes.push(outcome.job_hashes);
@@ -305,6 +385,8 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ServeError> {
         stream_hashes,
         deterministic,
         whatif_hits,
+        json_bytes,
+        binary_bytes,
     })
 }
 
@@ -314,28 +396,38 @@ struct ClientOutcome {
     rejected: usize,
     latencies: Vec<Duration>,
     stream_hash: u64,
-    /// Per job index: the hash of that job's frame bytes, `None` when
-    /// the job was rejected or failed for this client.
+    /// Per job index: the canonical content hash of that job's decoded
+    /// frames, `None` when the job was rejected or failed for this
+    /// client.
     job_hashes: Vec<Option<u64>>,
     whatif_hits: usize,
+    /// Negotiated frame encoding of this connection.
+    mode: FrameMode,
+    /// Stream frame bytes this client received off the wire.
+    stream_bytes: u64,
 }
 
 fn client_run(
     addr: &str,
     jobs: &[LoadJob],
     mode: &LoadMode,
+    fmode: FrameMode,
     barrier: Option<Arc<Barrier>>,
 ) -> Result<ClientOutcome, ServeError> {
     let stream = TcpStream::connect(addr)?;
     let mut writer = BufWriter::new(stream.try_clone()?);
     let mut reader = BufReader::new(stream);
     let mut hash = Fnv64::new();
+    // The whole-run hash domain is keyed by the negotiated encoding:
+    // same canonical frames through a different wire format hash apart.
+    hash.write_u8(fmode.tag());
     let mut latencies = Vec::with_capacity(jobs.len());
     let mut job_hashes: Vec<Option<u64>> = Vec::with_capacity(jobs.len());
     let mut completed = 0usize;
     let mut failed = 0usize;
     let mut rejected = 0usize;
     let mut whatif_hits = 0usize;
+    let mut stream_bytes = 0u64;
     let frame_delay = match mode {
         LoadMode::SlowReader { frame_delay } => Some(*frame_delay),
         _ => None,
@@ -347,6 +439,22 @@ fn client_run(
         }
         Ok(line.trim_end().to_string())
     };
+    if fmode == FrameMode::Binary {
+        // Upgrade the connection before any job traffic; a server that
+        // does not grant binary frames would desynchronize every
+        // stream read below, so the grant is verified, not assumed.
+        writeln!(
+            writer,
+            "{{\"cmd\": \"hello\", \"proto\": 2, \"frames\": \"binary\"}}"
+        )?;
+        writer.flush()?;
+        let ack = read_line(&mut reader)?;
+        if !ack.contains("\"frames\": \"binary\"") {
+            return Err(ServeError::Protocol(format!(
+                "server refused binary frames: {ack}"
+            )));
+        }
+    }
     for job in jobs {
         // Burst: rendezvous so every client's submit lands in the same
         // instant — a synchronized wave against the admission queue.
@@ -357,7 +465,7 @@ fn client_run(
         writeln!(writer, "{}", job.submit_line())?;
         writer.flush()?;
         let submitted = read_line(&mut reader)?;
-        if submitted.contains("\"rejected\": true") {
+        if submitted.contains("\"code\": \"rejected\"") {
             rejected += 1;
             job_hashes.push(None);
             continue;
@@ -387,11 +495,28 @@ fn client_run(
         let mut ok = true;
         let mut job_hash = Fnv64::new();
         for _ in 0..frames {
-            let frame = read_line(&mut reader)?;
-            ok &= frame.contains("\"ok\": true");
-            // Hash the exact frame bytes: the determinism witness.
-            hash.write_bytes(frame.as_bytes());
-            job_hash.write_bytes(frame.as_bytes());
+            // Decode the frame in whichever encoding this connection
+            // negotiated, then hash its canonical content — the
+            // determinism witness, independent of the wire format.
+            let wf = match fmode {
+                FrameMode::Json => {
+                    let frame = read_line(&mut reader)?;
+                    stream_bytes += frame.len() as u64 + 1;
+                    if !frame.contains("\"ok\": true") {
+                        ok = false;
+                        continue;
+                    }
+                    parse_json_frame(&frame)
+                }
+                FrameMode::Binary => read_binary_frame(&mut reader, &mut stream_bytes)?,
+            };
+            match wf {
+                Some(wf) => {
+                    wf.feed(&mut hash);
+                    wf.feed(&mut job_hash);
+                }
+                None => ok = false,
+            }
             if let Some(d) = frame_delay {
                 std::thread::sleep(d);
             }
@@ -413,7 +538,65 @@ fn client_run(
         stream_hash: hash.finish(),
         job_hashes,
         whatif_hits,
+        mode: fmode,
+        stream_bytes,
     })
+}
+
+/// Reads one length-prefixed binary [`WaveFrame`] record off the
+/// connection. I/O failures are fatal (the stream is desynchronized);
+/// a malformed payload decodes to `None` (counted as a job failure).
+fn read_binary_frame(
+    reader: &mut BufReader<TcpStream>,
+    stream_bytes: &mut u64,
+) -> Result<Option<WaveFrame>, ServeError> {
+    let mut prefix = [0u8; 8];
+    reader.read_exact(&mut prefix)?;
+    let Ok((len, _)) = WaveFrame::decode_len(&prefix) else {
+        return Ok(None);
+    };
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    *stream_bytes += 8 + len as u64;
+    Ok(WaveFrame::decode_payload(&payload).ok())
+}
+
+/// Parses a protocol-v1 JSON frame line back into its canonical
+/// [`WaveFrame`]. The server prints floats with round-trip precision,
+/// so the decoded values are bit-exact.
+pub(crate) fn parse_json_frame(line: &str) -> Option<WaveFrame> {
+    let frame = extract_uint(line, "\"frame\": ")?;
+    let start = extract_uint(line, "\"start\": ")?;
+    let pat = "\"times\": [";
+    let rest = &line[line.find(pat)? + pat.len()..];
+    let (times, rest) = parse_floats(rest)?;
+    let mut rest = rest.strip_prefix(", \"series\": [")?;
+    let mut series = Vec::new();
+    while !rest.starts_with(']') {
+        let (row, after) = parse_floats(rest.strip_prefix('[')?)?;
+        series.push(row);
+        rest = after.strip_prefix(',').unwrap_or(after);
+    }
+    Some(WaveFrame {
+        frame,
+        start,
+        times,
+        series,
+    })
+}
+
+/// Parses a comma-separated float list up to its closing `]`; returns
+/// the values and the remainder after the bracket.
+fn parse_floats(s: &str) -> Option<(Vec<f64>, &str)> {
+    let end = s.find(']')?;
+    let mut vals = Vec::new();
+    for tok in s[..end].split(',') {
+        let tok = tok.trim();
+        if !tok.is_empty() {
+            vals.push(tok.parse().ok()?);
+        }
+    }
+    Some((vals, &s[end + 1..]))
 }
 
 /// Pulls the unsigned integer following `pat` out of a response line.
@@ -459,6 +642,66 @@ mod tests {
         assert!(report.p99 >= report.p50);
         assert!(report.jobs_per_s > 0.0);
         handle.stop();
+    }
+
+    #[test]
+    fn mixed_frame_modes_vote_together_and_binary_halves_the_wire() {
+        let engine = Arc::new(ScenarioEngine::new(EngineOptions {
+            executors: 4,
+            threads: Some(4),
+            ..EngineOptions::default()
+        }));
+        let handle = serve(engine, &ServiceOptions::default()).unwrap();
+        let jobs = vec![
+            LoadJob::pdn(6, 6, 8, 3, 1),
+            LoadJob::pdn(6, 6, 8, 3, 1).scaled(1.25),
+        ];
+        // Clients alternate JSON / binary: 0 and 2 speak v1 text, 1 and
+        // 3 negotiate v2 binary frames. The determinism vote is over
+        // canonical frame content, so it spans the two encodings.
+        let spec = LoadSpec::new(handle.addr().to_string(), 4, jobs)
+            .frames(vec![FrameMode::Json, FrameMode::Binary]);
+        let report = run_load(&spec).unwrap();
+        assert_eq!(report.completed, 8, "{report:?}");
+        assert_eq!(report.failed, 0);
+        assert!(
+            report.deterministic,
+            "encodings decoded different content: {:x?}",
+            report.stream_hashes
+        );
+        // Same-mode clients agree on the whole-run hash; the mode seed
+        // separates the two encodings' hash domains.
+        assert_eq!(report.stream_hashes[0], report.stream_hashes[2]);
+        assert_eq!(report.stream_hashes[1], report.stream_hashes[3]);
+        assert_ne!(report.stream_hashes[0], report.stream_hashes[1]);
+        // Binary frames must at least halve the bytes on the wire
+        // (equal client counts per mode, identical job sequences).
+        assert!(report.json_bytes > 0 && report.binary_bytes > 0);
+        assert!(
+            report.binary_bytes * 2 <= report.json_bytes,
+            "json {} vs binary {}",
+            report.json_bytes,
+            report.binary_bytes
+        );
+        handle.stop();
+    }
+
+    #[test]
+    fn json_frames_parse_back_to_canonical_waveframes() {
+        let line = "{\"ok\": true, \"frame\": 1, \"start\": 20, \"count\": 2, \
+                    \"times\": [1e-11,2e-11], \"series\": [[1.5e0,-2.25e0],[0e0,3e0]]}";
+        let wf = parse_json_frame(line).unwrap();
+        assert_eq!(wf.frame, 1);
+        assert_eq!(wf.start, 20);
+        assert_eq!(wf.times, vec![1e-11, 2e-11]);
+        assert_eq!(wf.series, vec![vec![1.5, -2.25], vec![0.0, 3.0]]);
+        // Canonical hash matches the binary path's decode of the same
+        // content.
+        let encoded = wf.encode();
+        let (len, _) = WaveFrame::decode_len(&encoded[..8]).unwrap();
+        let back = WaveFrame::decode_payload(&encoded[8..8 + len]).unwrap();
+        assert_eq!(back.content_hash(), wf.content_hash());
+        assert!(parse_json_frame("{\"ok\": true}").is_none());
     }
 
     #[test]

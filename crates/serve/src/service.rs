@@ -1,16 +1,36 @@
-//! The JSON-lines TCP front end.
+//! The TCP front end: JSON-lines requests, versioned responses.
 //!
-//! One request per line, one-or-more response lines per request, every
-//! line a JSON object. Commands:
+//! One request per line, one-or-more responses per request, every
+//! response carrying the unified envelope fields `"ok"` (bool) and
+//! `"code"` (a stable machine string: `"ok"` on success, else a
+//! [`ServeError::code`] such as `"rejected"` or `"protocol"`); error
+//! envelopes add `"error"` (human text) and — for admission rejections
+//! — `"retry_after_ms"`. Commands:
 //!
 //! | request | response |
 //! |---|---|
-//! | `{"cmd":"submit", ...}` | `{"ok":true,"job":N}` — or a rejection (below) |
-//! | `{"cmd":"poll","job":N}` | `{"ok":true,"job":N,"state":"queued\|running\|done\|failed\|cancelled",...}` |
+//! | `{"cmd":"hello","proto":2,"frames":"binary"\|"json"}` | `{"ok":true,"code":"ok","proto":P,"max_proto":2,"frames":...}` — negotiates the connection's protocol and frame encoding |
+//! | `{"cmd":"submit", ...}` | `{"ok":true,"code":"ok","job":N}` — or a rejection (below) |
+//! | `{"cmd":"poll","job":N}` | `{"ok":true,"code":"ok","job":N,"state":"queued\|running\|done\|failed\|cancelled",...}` |
 //! | `{"cmd":"wait","job":N}` | as `poll`, but blocks until resolved |
-//! | `{"cmd":"cancel","job":N}` | `{"ok":true,"job":N,"state":...}` — queued jobs drop, running jobs stop at the next step |
-//! | `{"cmd":"stream","job":N}` | a meta line, then `frames` chunked waveform lines |
-//! | `{"cmd":"stats"}` | engine counters (including overload: `rejected`, `cancelled`, `deadline_misses`, `queue_depth`) and cache sizes |
+//! | `{"cmd":"cancel","job":N}` | `{"ok":true,"code":"ok","job":N,"state":...}` — queued jobs drop, running jobs stop at the next step |
+//! | `{"cmd":"stream","job":N}` | a meta line, then `frames` waveform chunks in the negotiated encoding |
+//! | `{"cmd":"stats"}` | engine counters (overload: `rejected`, `cancelled`, `deadline_misses`, `queue_depth`; store: `store_hits`, `store_writes`) and cache sizes |
+//!
+//! # Protocol versions and frame encodings
+//!
+//! Every connection starts in **protocol v1**: streamed waveform chunks
+//! are JSON text lines, exactly as older clients expect (v1 clients
+//! never send `hello` and notice nothing). A client that sends
+//! `{"cmd":"hello","proto":2,"frames":"binary"}` switches the
+//! connection to **binary frames**: each `stream` response is still a
+//! JSON meta line (with `"encoding": "binary"`), followed by `frames`
+//! length-prefixed [`matex_waveform::WaveFrame`] records carrying raw
+//! little-endian `f64` bit patterns — the same values the JSON `{v:e}`
+//! formatting round-trips, at a fraction of the bytes. The decoded
+//! content of both encodings is identical (the canonical
+//! [`matex_waveform::WaveFrame::content_hash`] is encoding-independent),
+//! so mixed v1/v2 fleets can compare waveforms hash for hash.
 //!
 //! A `submit` names its circuit either inline (`"netlist"`: SPICE text,
 //! newlines escaped) or synthetically (`"pdn_nx"`/`"pdn_ny"` plus
@@ -25,8 +45,8 @@
 //! `deadline_ms` (relative deadline; orders the job EDF within its
 //! class). When admission refuses a job — queue full, or the deadline
 //! provably unmeetable under the engine's calibrated cost model — the
-//! submit answers `{"ok": false, "rejected": true, "retry_after_ms": N,
-//! "error": ...}` and the client should back off `retry_after_ms`
+//! submit answers `{"ok": false, "code": "rejected", "retry_after_ms":
+//! N, "error": ...}` and the client should back off `retry_after_ms`
 //! before resubmitting.
 //! Parsed/built circuits are cached by content hash, so a fleet of
 //! submissions of one circuit assembles it once — and hits the engine's
@@ -51,7 +71,7 @@ use crate::{JobId, ScenarioEngine, ServeError};
 use matex_circuit::{parse_netlist, MnaSystem, PdnBuilder};
 use matex_core::TransientSpec;
 use matex_par::Priority;
-use matex_waveform::{Fnv64, GroupingStrategy};
+use matex_waveform::{Fnv64, GroupingStrategy, WaveFrame};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -76,6 +96,18 @@ pub struct ServiceOptions {
     pub io_timeout: Option<Duration>,
 }
 
+impl ServiceOptions {
+    /// A builder starting from the defaults — the preferred way to
+    /// configure a service (field-struct literals are deprecated in
+    /// favor of it: the builder stays source-compatible as options
+    /// grow).
+    pub fn builder() -> ServiceOptionsBuilder {
+        ServiceOptionsBuilder {
+            opts: ServiceOptions::default(),
+        }
+    }
+}
+
 impl Default for ServiceOptions {
     fn default() -> Self {
         ServiceOptions {
@@ -83,6 +115,37 @@ impl Default for ServiceOptions {
             stream_chunk: 32,
             io_timeout: Some(Duration::from_secs(30)),
         }
+    }
+}
+
+/// Builder for [`ServiceOptions`] (see [`ServiceOptions::builder`]).
+#[derive(Debug, Clone)]
+pub struct ServiceOptionsBuilder {
+    opts: ServiceOptions,
+}
+
+impl ServiceOptionsBuilder {
+    /// Sets the bind address (port 0 picks a free port).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.opts.addr = addr.into();
+        self
+    }
+
+    /// Sets the output samples per streamed waveform frame.
+    pub fn stream_chunk(mut self, chunk: usize) -> Self {
+        self.opts.stream_chunk = chunk;
+        self
+    }
+
+    /// Sets (or disables, with `None`) the per-socket I/O timeout.
+    pub fn io_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.opts.io_timeout = timeout;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ServiceOptions {
+        self.opts
     }
 }
 
@@ -218,23 +281,47 @@ impl ServiceState {
 /// whole response was materialized into the writer.
 const FLUSH_EVERY_LINES: usize = 8;
 
+/// The highest protocol version this server speaks.
+const MAX_PROTO: u32 = 2;
+
+/// One response unit: a JSON text line, or (protocol v2, binary frames
+/// negotiated) a length-prefixed binary record written verbatim.
+enum Payload {
+    Line(String),
+    Bytes(Vec<u8>),
+}
+
+/// Per-connection negotiated state (the `hello` handshake mutates it;
+/// everything else reads it).
+#[derive(Default)]
+struct ConnState {
+    /// Stream waveform chunks as binary [`WaveFrame`] records instead
+    /// of JSON text lines.
+    frames_binary: bool,
+}
+
 fn handle_connection(stream: TcpStream, state: &ServiceState) {
     let reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let mut writer = BufWriter::new(stream);
+    let mut conn = ConnState::default();
     for line in reader.lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
             continue;
         }
-        let responses = match handle_request(&line, state) {
-            Ok(lines) => lines,
-            Err(e) => vec![error_line(&e)],
+        let responses = match handle_request(&line, state, &mut conn) {
+            Ok(payloads) => payloads,
+            Err(e) => vec![Payload::Line(error_line(&e))],
         };
         for (i, r) in responses.iter().enumerate() {
-            if writeln!(writer, "{r}").is_err() {
+            let wrote = match r {
+                Payload::Line(l) => writeln!(writer, "{l}"),
+                Payload::Bytes(b) => writer.write_all(b),
+            };
+            if wrote.is_err() {
                 return;
             }
             if (i + 1) % FLUSH_EVERY_LINES == 0 && writer.flush().is_err() {
@@ -247,48 +334,57 @@ fn handle_connection(stream: TcpStream, state: &ServiceState) {
     }
 }
 
-/// Serializes an error response. Admission rejections carry structure
-/// (`"rejected": true` plus the back-off hint) so clients can
-/// distinguish "resubmit later" from a hard failure.
+/// Serializes an error envelope: `ok`, the stable [`ServeError::code`],
+/// the human-readable `error` text, and — for admission rejections —
+/// the `retry_after_ms` back-off hint, so clients can distinguish
+/// "resubmit later" from a hard failure by `code` alone.
 fn error_line(e: &ServeError) -> String {
     match e {
         ServeError::Rejected {
             reason,
             retry_after,
         } => format!(
-            "{{\"ok\": false, \"rejected\": true, \"retry_after_ms\": {}, \"error\": \"{}\"}}",
+            "{{\"ok\": false, \"code\": \"rejected\", \"retry_after_ms\": {}, \"error\": \"{}\"}}",
             retry_after.as_millis().max(1),
             escape(reason)
         ),
         _ => format!(
-            "{{\"ok\": false, \"error\": \"{}\"}}",
+            "{{\"ok\": false, \"code\": \"{}\", \"error\": \"{}\"}}",
+            e.code(),
             escape(&e.to_string())
         ),
     }
 }
 
-fn handle_request(line: &str, state: &ServiceState) -> Result<Vec<String>, ServeError> {
+fn handle_request(
+    line: &str,
+    state: &ServiceState,
+    conn: &mut ConnState,
+) -> Result<Vec<Payload>, ServeError> {
     let req = parse_flat_json(line).map_err(ServeError::Protocol)?;
     let cmd = req
         .get("cmd")
         .and_then(JsonValue::as_str)
         .ok_or_else(|| ServeError::Protocol("request has no \"cmd\"".into()))?;
     match cmd {
+        "hello" => Ok(vec![Payload::Line(hello_line(&req, conn)?)]),
         "submit" => {
             let spec = build_job(&req, state)?;
             let id = state.engine.submit(spec)?;
-            Ok(vec![format!("{{\"ok\": true, \"job\": {id}}}")])
+            Ok(vec![Payload::Line(format!(
+                "{{\"ok\": true, \"code\": \"ok\", \"job\": {id}}}"
+            ))])
         }
         "poll" => {
             let id = job_id(&req)?;
-            Ok(vec![status_line(id, state)?])
+            Ok(vec![Payload::Line(status_line(id, state)?)])
         }
         "wait" => {
             let id = job_id(&req)?;
             // Resolve (ignoring the job's own failure — reported by the
             // status line), then report.
             let _ = state.engine.wait(id);
-            Ok(vec![status_line(id, state)?])
+            Ok(vec![Payload::Line(status_line(id, state)?)])
         }
         "cancel" => {
             let id = job_id(&req)?;
@@ -297,12 +393,50 @@ fn handle_request(line: &str, state: &ServiceState) -> Result<Vec<String>, Serve
             // boundary. The response reports the state as of the
             // cancel — poll again to observe a running job wind down.
             state.engine.cancel(id).ok_or(ServeError::UnknownJob(id))?;
-            Ok(vec![status_line(id, state)?])
+            Ok(vec![Payload::Line(status_line(id, state)?)])
         }
-        "stream" => stream_lines(&req, state),
-        "stats" => Ok(vec![stats_line(state)]),
+        "stream" => stream_payloads(&req, state, conn),
+        "stats" => Ok(vec![Payload::Line(stats_line(state))]),
         other => Err(ServeError::Protocol(format!("unknown cmd {other:?}"))),
     }
+}
+
+/// The capability handshake: the client announces the protocol version
+/// and frame encoding it wants; the server answers with what it
+/// granted. Binary frames require protocol ≥ 2; unknown encodings are
+/// protocol errors (the connection stays on its current negotiation).
+fn hello_line(
+    req: &HashMap<String, JsonValue>,
+    conn: &mut ConnState,
+) -> Result<String, ServeError> {
+    let proto = num(req, "proto").unwrap_or(1.0) as u32;
+    if proto == 0 {
+        return Err(ServeError::Protocol("\"proto\" must be >= 1".into()));
+    }
+    let frames = req
+        .get("frames")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("json");
+    let binary = match frames {
+        "json" => false,
+        "binary" if proto >= 2 => true,
+        "binary" => {
+            return Err(ServeError::Protocol(
+                "binary frames require \"proto\": 2".into(),
+            ))
+        }
+        other => {
+            return Err(ServeError::Protocol(format!(
+                "unknown frame encoding {other:?}"
+            )))
+        }
+    };
+    conn.frames_binary = binary;
+    Ok(format!(
+        "{{\"ok\": true, \"code\": \"ok\", \"proto\": {}, \"max_proto\": {MAX_PROTO}, \"frames\": \"{}\"}}",
+        proto.min(MAX_PROTO),
+        if binary { "binary" } else { "json" }
+    ))
 }
 
 fn job_id(req: &HashMap<String, JsonValue>) -> Result<JobId, ServeError> {
@@ -319,7 +453,7 @@ fn num(req: &HashMap<String, JsonValue>, key: &str) -> Option<f64> {
 fn status_line(id: JobId, state: &ServiceState) -> Result<String, ServeError> {
     let status = state.engine.status(id).ok_or(ServeError::UnknownJob(id))?;
     let mut line = format!(
-        "{{\"ok\": true, \"job\": {id}, \"state\": \"{}\"",
+        "{{\"ok\": true, \"code\": \"ok\", \"job\": {id}, \"state\": \"{}\"",
         status.label()
     );
     match &status {
@@ -347,13 +481,15 @@ fn status_line(id: JobId, state: &ServiceState) -> Result<String, ServeError> {
 fn stats_line(state: &ServiceState) -> String {
     let s = state.engine.stats();
     format!(
-        "{{\"ok\": true, \"submitted\": {}, \"completed\": {}, \"failed\": {}, \
+        "{{\"ok\": true, \"code\": \"ok\", \
+         \"submitted\": {}, \"completed\": {}, \"failed\": {}, \
          \"rejected\": {}, \"cancelled\": {}, \"deadline_misses\": {}, \
          \"queue_depth\": {}, \
          \"warm_jobs\": {}, \"setup_hits\": {}, \"setup_misses\": {}, \
          \"symbolic_hits\": {}, \"dc_hits\": {}, \"plan_hits\": {}, \
          \"whatif_hits\": {}, \"whatif_rank\": {}, \"whatif_fallbacks\": {}, \
          \"anchor_plants\": {}, \"evictions\": {}, \
+         \"store_hits\": {}, \"store_writes\": {}, \
          \"circuits_cached\": {}, \"setups_cached\": {}}}",
         s.submitted,
         s.completed,
@@ -373,17 +509,22 @@ fn stats_line(state: &ServiceState) -> String {
         s.whatif_fallbacks,
         s.anchor_plants,
         s.evictions,
+        s.store_hits,
+        s.store_writes,
         s.cache.circuits,
         s.cache.setups,
     )
 }
 
 /// Emits a stream response: one meta line, then chunked waveform frames
-/// covering the whole sampled window.
-fn stream_lines(
+/// covering the whole sampled window — JSON text lines (protocol v1,
+/// the default) or length-prefixed binary [`WaveFrame`] records when
+/// the connection negotiated them.
+fn stream_payloads(
     req: &HashMap<String, JsonValue>,
     state: &ServiceState,
-) -> Result<Vec<String>, ServeError> {
+    conn: &ConnState,
+) -> Result<Vec<Payload>, ServeError> {
     let id = job_id(req)?;
     let out = state.engine.wait(id)?;
     let times = out.result.times();
@@ -391,12 +532,14 @@ fn stream_lines(
         .map(|c| (c as usize).max(1))
         .unwrap_or(state.stream_chunk);
     let frames = times.len().div_ceil(chunk);
-    let mut lines = Vec::with_capacity(frames + 1);
-    lines.push(format!(
-        "{{\"ok\": true, \"job\": {id}, \"frames\": {frames}, \"rows\": {}, \"points\": {}}}",
+    let mut payloads = Vec::with_capacity(frames + 1);
+    payloads.push(Payload::Line(format!(
+        "{{\"ok\": true, \"code\": \"ok\", \"job\": {id}, \"frames\": {frames}, \
+         \"rows\": {}, \"points\": {}, \"encoding\": \"{}\"}}",
         out.result.rows().len(),
         times.len(),
-    ));
+        if conn.frames_binary { "binary" } else { "json" },
+    )));
     for f in 0..frames {
         let start = f * chunk;
         let end = (start + chunk).min(times.len());
@@ -405,6 +548,21 @@ fn stream_lines(
         // makes frame bytes comparable across clients (two clients
         // running the same job sequence receive identical frames even
         // though their engine-assigned ids differ).
+        if conn.frames_binary {
+            let wf = WaveFrame {
+                frame: f as u64,
+                start: start as u64,
+                times: times[start..end].to_vec(),
+                series: out
+                    .result
+                    .series()
+                    .iter()
+                    .map(|s| s[start..end].to_vec())
+                    .collect(),
+            };
+            payloads.push(Payload::Bytes(wf.encode()));
+            continue;
+        }
         let mut line = format!(
             "{{\"ok\": true, \"frame\": {f}, \"start\": {start}, \"count\": {}, \"times\": [",
             end - start,
@@ -420,9 +578,9 @@ fn stream_lines(
             line.push(']');
         }
         line.push_str("]}");
-        lines.push(line);
+        payloads.push(Payload::Line(line));
     }
-    Ok(lines)
+    Ok(payloads)
 }
 
 /// Appends comma-separated floats with round-trip precision (the exact
@@ -594,12 +752,14 @@ mod tests {
         let mut first = String::new();
         reader.read_line(&mut first).unwrap();
         let mut lines = vec![first.trim_end().to_string()];
-        // Stream responses announce their frame count up front.
+        // Stream responses announce their frame count up front. (A
+        // hello ack also has a "frames" field, but a non-numeric one.)
         if let Some(at) = lines[0].find("\"frames\": ") {
             let rest = &lines[0][at + 10..];
-            let n: usize = rest[..rest.find(|c: char| !c.is_ascii_digit()).unwrap()]
-                .parse()
-                .unwrap();
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            let n: usize = rest[..end].parse().unwrap_or(0);
             for _ in 0..n {
                 let mut line = String::new();
                 reader.read_line(&mut line).unwrap();
@@ -661,8 +821,110 @@ mod tests {
         assert!(err[0].contains("out of range"), "{err:?}");
         let err = roundtrip(&mut conn, r#"{"cmd": "nonsense"}"#);
         assert!(err[0].contains("unknown cmd"));
+        assert!(err[0].contains("\"code\": \"protocol\""), "{err:?}");
         let err = roundtrip(&mut conn, "not json at all");
         assert!(err[0].contains("\"ok\": false"));
+        // Unknown job ids carry their own stable code.
+        let err = roundtrip(&mut conn, r#"{"cmd": "wait", "job": 999}"#);
+        assert!(err[0].contains("\"code\": \"unknown_job\""), "{err:?}");
+        handle.stop();
+    }
+
+    #[test]
+    fn hello_negotiates_binary_frames_bitwise_equal_to_json() {
+        use matex_waveform::Fnv64;
+        use std::io::Read;
+        let (_engine, handle) = start();
+
+        // Protocol v1 client (no hello): JSON frames, as always.
+        let mut v1 = TcpStream::connect(handle.addr()).unwrap();
+        let sub = roundtrip(
+            &mut v1,
+            r#"{"cmd": "submit", "pdn_nx": 6, "pdn_ny": 6, "t_stop": 1e-9, "dt_out": 2e-11, "rows": "0,1,2"}"#,
+        );
+        assert!(sub[0].contains("\"code\": \"ok\""), "{sub:?}");
+        roundtrip(&mut v1, r#"{"cmd": "wait", "job": 0}"#);
+        let json_stream = roundtrip(&mut v1, r#"{"cmd": "stream", "job": 0, "chunk": 20}"#);
+        assert!(
+            json_stream[0].contains("\"encoding\": \"json\""),
+            "{}",
+            json_stream[0]
+        );
+        let json_bytes: usize = json_stream[1..].iter().map(|l| l.len() + 1).sum();
+        // Decode the text frames back to canonical content: the floats
+        // are printed with round-trip precision, so this is bit-exact.
+        let mut json_hash = Fnv64::new();
+        for line in &json_stream[1..] {
+            crate::loadgen::parse_json_frame(line)
+                .unwrap_or_else(|| panic!("unparseable frame {line}"))
+                .feed(&mut json_hash);
+        }
+
+        // Protocol v2 client: hello upgrades the connection to binary.
+        let mut v2 = TcpStream::connect(handle.addr()).unwrap();
+        let ack = roundtrip(
+            &mut v2,
+            r#"{"cmd": "hello", "proto": 2, "frames": "binary"}"#,
+        );
+        assert!(
+            ack[0].contains("\"frames\": \"binary\"") && ack[0].contains("\"max_proto\": 2"),
+            "{ack:?}"
+        );
+        let mut w = v2.try_clone().unwrap();
+        writeln!(w, r#"{{"cmd": "stream", "job": 0, "chunk": 20}}"#).unwrap();
+        w.flush().unwrap();
+        let mut reader = BufReader::new(v2.try_clone().unwrap());
+        let mut meta = String::new();
+        reader.read_line(&mut meta).unwrap();
+        assert!(meta.contains("\"encoding\": \"binary\""), "{meta}");
+        let frames: usize = {
+            let at = meta.find("\"frames\": ").unwrap() + 10;
+            meta[at..at + 1].parse().unwrap()
+        };
+        let mut bin_bytes = 0usize;
+        let mut bin_hash = Fnv64::new();
+        for _ in 0..frames {
+            let mut prefix = [0u8; 8];
+            reader.read_exact(&mut prefix).unwrap();
+            let (len, _) = WaveFrame::decode_len(&prefix).unwrap();
+            let mut payload = vec![0u8; len];
+            reader.read_exact(&mut payload).unwrap();
+            bin_bytes += 8 + len;
+            WaveFrame::decode_payload(&payload)
+                .unwrap()
+                .feed(&mut bin_hash);
+        }
+        // Same floats bit for bit through either encoding, with binary
+        // at least halving the wire.
+        assert_eq!(json_hash.finish(), bin_hash.finish());
+        assert!(
+            bin_bytes * 2 <= json_bytes,
+            "json {json_bytes} vs binary {bin_bytes}"
+        );
+        // The upgraded connection still speaks JSON for control verbs.
+        let stats = roundtrip(&mut v2, r#"{"cmd": "stats"}"#);
+        assert!(stats[0].contains("\"store_hits\": 0"), "{stats:?}");
+
+        // Bad handshakes: binary needs proto >= 2; unknown encodings
+        // and proto 0 are refused. The connection survives all three.
+        let mut v3 = TcpStream::connect(handle.addr()).unwrap();
+        let err = roundtrip(
+            &mut v3,
+            r#"{"cmd": "hello", "proto": 1, "frames": "binary"}"#,
+        );
+        assert!(err[0].contains("\"code\": \"protocol\""), "{err:?}");
+        let err = roundtrip(
+            &mut v3,
+            r#"{"cmd": "hello", "proto": 2, "frames": "morse"}"#,
+        );
+        assert!(err[0].contains("\"code\": \"protocol\""), "{err:?}");
+        let err = roundtrip(&mut v3, r#"{"cmd": "hello", "proto": 0}"#);
+        assert!(err[0].contains("\"code\": \"protocol\""), "{err:?}");
+        let ok = roundtrip(&mut v3, r#"{"cmd": "hello", "proto": 1}"#);
+        assert!(
+            ok[0].contains("\"frames\": \"json\"") && ok[0].contains("\"proto\": 1"),
+            "{ok:?}"
+        );
         handle.stop();
     }
 }

@@ -53,6 +53,7 @@ mod perm;
 mod scaling;
 mod smw;
 mod symbolic;
+mod wire;
 
 pub mod ordering;
 
@@ -67,6 +68,7 @@ pub use perm::Permutation;
 pub use scaling::equilibrate;
 pub use smw::{SmwOptions, SmwRejection, SmwUpdate, SparseCol};
 pub use symbolic::{SolveSchedule, SymbolicLu};
+pub use wire::{WireError, WireReader, WireWriter};
 
 // Compile the crate README's code blocks as doctests so the documented
 // two-phase workflow can never rot.

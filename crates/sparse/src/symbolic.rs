@@ -55,6 +55,7 @@
 
 use crate::lu::UNPIVOTED;
 use crate::{equilibrate, CsrMatrix, LuOptions, Permutation, SparseError, SparseLu};
+use crate::{WireError, WireReader, WireWriter};
 use matex_par::{ParPool, RawVec};
 
 /// The reusable symbolic phase of a sparse LU factorization.
@@ -578,6 +579,88 @@ impl SymbolicLu {
             }
         }
         Ok(())
+    }
+
+    /// Appends the full analysis (ordering, pinned pivots, reach,
+    /// pattern, gather maps) to `w` for the artifact store. A decoded
+    /// analysis replays [`SymbolicLu::refactor`] bitwise-identically to
+    /// the one that was encoded.
+    pub fn wire_encode(&self, w: &mut WireWriter) {
+        w.usize(self.n);
+        self.opts.wire_encode(w);
+        self.q.wire_encode(w);
+        w.usizes(&self.pinv);
+        w.usizes(&self.pivot_row);
+        w.usizes(&self.piv_ptr);
+        w.usizes(&self.piv_rows);
+        w.usizes(&self.piv_cols);
+        w.usizes(&self.low_ptr);
+        w.usizes(&self.low_rows);
+        w.usize(self.lnnz);
+        w.usize(self.unnz);
+        w.usizes(&self.a_indptr);
+        w.usizes(&self.a_indices);
+        w.usizes(&self.csc_colptr);
+        w.usizes(&self.csc_rowidx);
+        w.usizes(&self.csr_to_csc);
+    }
+
+    /// Decodes an analysis previously written by
+    /// [`SymbolicLu::wire_encode`], re-validating the shapes the replay
+    /// kernels index through.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation or inconsistent shapes.
+    pub fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.usize()?;
+        let sym = SymbolicLu {
+            n,
+            opts: LuOptions::wire_decode(r)?,
+            q: Permutation::wire_decode(r)?,
+            pinv: r.usizes()?,
+            pivot_row: r.usizes()?,
+            piv_ptr: r.usizes()?,
+            piv_rows: r.usizes()?,
+            piv_cols: r.usizes()?,
+            low_ptr: r.usizes()?,
+            low_rows: r.usizes()?,
+            lnnz: r.usize()?,
+            unnz: r.usize()?,
+            a_indptr: r.usizes()?,
+            a_indices: r.usizes()?,
+            csc_colptr: r.usizes()?,
+            csc_rowidx: r.usizes()?,
+            csr_to_csc: r.usizes()?,
+        };
+        let bad = |m: &str| Err(WireError::Invalid(m.to_string()));
+        if sym.q.len() != n || sym.pinv.len() != n || sym.pivot_row.len() != n {
+            return bad("symbolic permutation vectors have the wrong length");
+        }
+        for (ptr, rows, name) in [
+            (&sym.piv_ptr, sym.piv_rows.len(), "pivotal reach"),
+            (&sym.low_ptr, sym.low_rows.len(), "unpivoted reach"),
+        ] {
+            if ptr.len() != n + 1 || ptr.windows(2).any(|p| p[0] > p[1]) || ptr[n] != rows {
+                return Err(WireError::Invalid(format!(
+                    "symbolic {name} pointers are inconsistent"
+                )));
+            }
+        }
+        if sym.piv_cols.len() != sym.piv_rows.len() {
+            return bad("symbolic reach row/column lengths disagree");
+        }
+        let nnz = sym.a_indices.len();
+        if sym.a_indptr.len() != n + 1
+            || sym.a_indptr[n] != nnz
+            || sym.csc_colptr.len() != n + 1
+            || sym.csc_rowidx.len() != nnz
+            || sym.csr_to_csc.len() != nnz
+            || sym.csr_to_csc.iter().any(|&p| p >= nnz.max(1))
+        {
+            return bad("symbolic pattern/gather maps are inconsistent");
+        }
+        Ok(sym)
     }
 }
 

@@ -1,0 +1,279 @@
+//! Binary waveform stream frames (wire protocol v2).
+//!
+//! Protocol v1 streams waveform chunks as JSON text lines; the `{v:e}`
+//! float formatting round-trips every `f64` bit pattern but costs ~3x
+//! the bytes of the raw values. A [`WaveFrame`] is the shared frame
+//! model for both encodings, and this module's binary codec is the v2
+//! alternative a client negotiates with the `hello` handshake:
+//! a little-endian length prefix followed by a fixed header and the raw
+//! `f64` bit patterns of the chunk.
+//!
+//! Frames deliberately carry no job id (matching the v1 JSON frames),
+//! so two clients streaming the same waveform can compare frame hashes
+//! byte for byte. [`WaveFrame::content_hash`] feeds the *decoded*
+//! content — header fields and value bits — into an [`Fnv64`], so the
+//! hash is a pure function of the waveform chunk, identical across the
+//! JSON and binary encodings.
+//!
+//! ```text
+//! [payload_len: u64 LE]
+//!   [frame: u64] [start: u64] [rows: u64] [count: u64]
+//!   [times: count × f64 LE]
+//!   [series: rows × count × f64 LE]
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use matex_waveform::WaveFrame;
+//!
+//! let frame = WaveFrame {
+//!     frame: 0,
+//!     start: 0,
+//!     times: vec![0.0, 1e-11],
+//!     series: vec![vec![1.5, 2.5], vec![-0.5, 0.25]],
+//! };
+//! let bytes = frame.encode();
+//! let (len, rest) = WaveFrame::decode_len(&bytes[..8]).unwrap();
+//! assert_eq!(rest, 0);
+//! let back = WaveFrame::decode_payload(&bytes[8..8 + len]).unwrap();
+//! assert_eq!(back.content_hash(), frame.content_hash());
+//! ```
+
+use crate::Fnv64;
+
+/// A frame decode failure (truncated or inconsistent bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError(pub String);
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One streamed waveform chunk: `count` output points starting at
+/// global point index `start`, for `rows` observed nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveFrame {
+    /// Frame index within the stream (0-based).
+    pub frame: u64,
+    /// Global index of the first point in this chunk.
+    pub start: u64,
+    /// Output times of the chunk (`count` entries).
+    pub times: Vec<f64>,
+    /// Per-row values, `rows × count`.
+    pub series: Vec<Vec<f64>>,
+}
+
+impl WaveFrame {
+    /// Points in this chunk.
+    pub fn count(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Observed rows in this chunk.
+    pub fn rows(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Encodes the frame as one length-prefixed binary record.
+    pub fn encode(&self) -> Vec<u8> {
+        let (rows, count) = (self.rows(), self.count());
+        let payload_len = 8 * 4 + 8 * count + 8 * rows * count;
+        let mut out = Vec::with_capacity(8 + payload_len);
+        out.extend_from_slice(&(payload_len as u64).to_le_bytes());
+        out.extend_from_slice(&self.frame.to_le_bytes());
+        out.extend_from_slice(&self.start.to_le_bytes());
+        out.extend_from_slice(&(rows as u64).to_le_bytes());
+        out.extend_from_slice(&(count as u64).to_le_bytes());
+        for &t in &self.times {
+            out.extend_from_slice(&t.to_bits().to_le_bytes());
+        }
+        for row in &self.series {
+            debug_assert_eq!(row.len(), count, "ragged frame row");
+            for &v in row {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Reads the 8-byte length prefix, returning the payload length and
+    /// the leftover byte count of the input (0 when exactly a prefix was
+    /// passed).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] when fewer than 8 bytes are available or the
+    /// length is implausibly large (> 1 GiB — a corrupt prefix must not
+    /// trigger a giant read).
+    pub fn decode_len(buf: &[u8]) -> Result<(usize, usize), FrameError> {
+        if buf.len() < 8 {
+            return Err(FrameError("length prefix truncated".into()));
+        }
+        let len = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+        if len > 1 << 30 {
+            return Err(FrameError(format!("implausible frame length {len}")));
+        }
+        Ok((len as usize, buf.len() - 8))
+    }
+
+    /// Decodes a frame payload (the bytes *after* the length prefix).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] when the payload size disagrees with its header.
+    pub fn decode_payload(buf: &[u8]) -> Result<WaveFrame, FrameError> {
+        if buf.len() < 32 {
+            return Err(FrameError("frame header truncated".into()));
+        }
+        let u64_at =
+            |i: usize| u64::from_le_bytes(buf[8 * i..8 * i + 8].try_into().expect("8 bytes"));
+        let frame = u64_at(0);
+        let start = u64_at(1);
+        let rows = u64_at(2) as usize;
+        let count = u64_at(3) as usize;
+        let expect = 8 * (4 + count + rows.checked_mul(count).unwrap_or(usize::MAX / 16));
+        if buf.len() != expect {
+            return Err(FrameError(format!(
+                "frame payload is {} bytes, header promises {expect}",
+                buf.len()
+            )));
+        }
+        let f64_at = |i: usize| f64::from_bits(u64_at(i));
+        let times: Vec<f64> = (4..4 + count).map(f64_at).collect();
+        let series: Vec<Vec<f64>> = (0..rows)
+            .map(|r| {
+                let base = 4 + count + r * count;
+                (base..base + count).map(f64_at).collect()
+            })
+            .collect();
+        Ok(WaveFrame {
+            frame,
+            start,
+            times,
+            series,
+        })
+    }
+
+    /// The canonical FNV-1a content hash of the decoded frame: header
+    /// fields, then time and value bit patterns. Both wire encodings of
+    /// one chunk hash identically.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.feed(&mut h);
+        h.finish()
+    }
+
+    /// Feeds the canonical content into an existing hasher (for
+    /// stream-wide running hashes).
+    pub fn feed(&self, h: &mut Fnv64) {
+        h.write_u64(self.frame);
+        h.write_u64(self.start);
+        h.write_usize(self.rows());
+        h.write_usize(self.count());
+        h.write_f64s(&self.times);
+        for row in &self.series {
+            h.write_f64s(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WaveFrame {
+        WaveFrame {
+            frame: 3,
+            start: 96,
+            times: vec![0.0, -0.0, 1.5e-10],
+            series: vec![vec![1.0, 2.0, 3.0], vec![-1.0, f64::MIN_POSITIVE, 0.25]],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bitwise() {
+        let f = sample();
+        let bytes = f.encode();
+        let (len, _) = WaveFrame::decode_len(&bytes[..8]).unwrap();
+        assert_eq!(8 + len, bytes.len());
+        let back = WaveFrame::decode_payload(&bytes[8..]).unwrap();
+        assert_eq!(back.frame, f.frame);
+        assert_eq!(back.start, f.start);
+        assert!(back
+            .times
+            .iter()
+            .zip(&f.times)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        for (br, fr) in back.series.iter().zip(&f.series) {
+            assert!(br.iter().zip(fr).all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+        assert_eq!(back.content_hash(), f.content_hash());
+    }
+
+    #[test]
+    fn binary_is_at_least_2x_smaller_than_json_e_format() {
+        // The acceptance criterion in miniature: the `{v:e}` text form
+        // of a typical waveform chunk is ≥ 2x the binary bytes.
+        let f = WaveFrame {
+            frame: 0,
+            start: 0,
+            times: (0..32).map(|i| i as f64 * 2.4e-11).collect(),
+            // Full-precision doubles, as a solve produces them — not
+            // short decimal literals that happen to format compactly.
+            series: vec![
+                (0..32)
+                    .map(|i| 1.8 * (0.3 + i as f64 * 0.07).sin())
+                    .collect();
+                4
+            ],
+        };
+        let binary = f.encode().len();
+        let mut json = String::from("{\"ok\": true, \"frame\": 0, \"start\": 0, \"times\": [");
+        for t in &f.times {
+            json.push_str(&format!("{t:e},"));
+        }
+        json.push_str("], \"series\": [");
+        for row in &f.series {
+            json.push('[');
+            for v in row {
+                json.push_str(&format!("{v:e},"));
+            }
+            json.push_str("],");
+        }
+        json.push_str("]}");
+        assert!(
+            json.len() >= 2 * binary,
+            "json {} vs binary {binary}",
+            json.len()
+        );
+    }
+
+    #[test]
+    fn truncation_and_size_lies_are_errors() {
+        let bytes = sample().encode();
+        assert!(WaveFrame::decode_len(&bytes[..4]).is_err());
+        assert!(WaveFrame::decode_payload(&bytes[8..bytes.len() - 1]).is_err());
+        assert!(WaveFrame::decode_payload(&bytes[8..16]).is_err());
+        // An absurd length prefix is rejected before any read.
+        let huge = (u64::MAX / 2).to_le_bytes();
+        assert!(WaveFrame::decode_len(&huge).is_err());
+    }
+
+    #[test]
+    fn content_hash_is_encoding_independent_but_content_sensitive() {
+        let f = sample();
+        let same = WaveFrame::decode_payload(&f.encode()[8..]).unwrap();
+        assert_eq!(f.content_hash(), same.content_hash());
+        let mut other = f.clone();
+        other.series[1][2] = 0.250000001;
+        assert_ne!(f.content_hash(), other.content_hash());
+        let mut moved = f.clone();
+        moved.start += 1;
+        assert_ne!(f.content_hash(), moved.content_hash());
+    }
+}

@@ -35,6 +35,7 @@
 mod error;
 mod features;
 mod fingerprint;
+mod frame;
 mod grouping;
 mod pulse;
 mod pwl;
@@ -44,6 +45,7 @@ mod waveform;
 pub use error::WaveformError;
 pub use features::FeatureKey;
 pub use fingerprint::Fnv64;
+pub use frame::{FrameError, WaveFrame};
 pub use grouping::{group_sources, Grouping, GroupingStrategy, SourceGroup};
 pub use pulse::Pulse;
 pub use pwl::Pwl;

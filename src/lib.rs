@@ -13,6 +13,7 @@
 //! * [`par`] — std-only worker pool + deterministic tiled kernels
 //! * [`core`] — transient engines (BE, TR, TR-adaptive, MATEX solver)
 //! * [`dist`] — the distributed scheduler / superposition framework
+//! * [`store`] — the disk-backed artifact store (versioned records)
 //! * [`serve`] — the service layer: scenario engine + TCP job service
 //!
 //! ## Quickstart
@@ -64,4 +65,5 @@ pub use matex_krylov as krylov;
 pub use matex_par as par;
 pub use matex_serve as serve;
 pub use matex_sparse as sparse;
+pub use matex_store as store;
 pub use matex_waveform as waveform;
