@@ -17,7 +17,7 @@ use matex_bench::gate::{compare, parse_metrics, GateReport, DEFAULT_TOLERANCE};
 use std::path::Path;
 use std::process::ExitCode;
 
-const ARTIFACTS: [&str; 7] = [
+const ARTIFACTS: [&str; 8] = [
     "BENCH_table3.json",
     "BENCH_lu.json",
     "BENCH_eval.json",
@@ -25,6 +25,7 @@ const ARTIFACTS: [&str; 7] = [
     "BENCH_whatif.json",
     "BENCH_overload.json",
     "BENCH_store.json",
+    "BENCH_faults.json",
 ];
 
 fn gate_one(

@@ -153,6 +153,7 @@ pub fn parse_metrics(text: &str) -> Result<(String, Vec<Metric>), String> {
         "whatif" => &["whatif_speedup"],
         "overload" => &["p99_guard"],
         "store_restart" => &["restart_speedup", "bytes_ratio"],
+        "faultbench" => &["recovery_determinism"],
         other => return Err(format!("no tracked metrics for bench kind {other:?}")),
     };
     let rows_start = text
@@ -310,6 +311,15 @@ mod tests {
   ]
 }"#;
 
+    const FAULTS_SAMPLE: &str = r#"{
+  "bench": "faultbench",
+  "scale": "ci",
+  "rows": [
+    {"design": "dist", "n": 117, "faults": 3, "node_retries": 3, "engine_retries": 2, "store_errors": 8, "reconnects": 0, "recovery_determinism": 1},
+    {"design": "fleet", "n": 117, "faults": 4, "node_retries": 0, "engine_retries": 3, "store_errors": 12, "reconnects": 2, "recovery_determinism": 1}
+  ]
+}"#;
+
     fn reinject(text: &str, from: &str, to: &str) -> String {
         assert!(text.contains(from), "sample must contain {from}");
         text.replace(from, to)
@@ -356,6 +366,37 @@ mod tests {
         assert!(st
             .iter()
             .any(|m| m.design == "pg2r" && m.name == "bytes_ratio" && m.value == 2.83));
+    }
+
+    #[test]
+    fn lost_recovery_determinism_fails_the_gate() {
+        let (bench, base) = parse_metrics(FAULTS_SAMPLE).unwrap();
+        assert_eq!(bench, "faultbench");
+        // recovery_determinism is binary: tracked per design, both 1.
+        assert_eq!(base.len(), 2);
+        assert!(base
+            .iter()
+            .all(|m| m.name == "recovery_determinism" && m.value == 1.0));
+        // Either phase dropping to 0 — a recovered waveform diverging
+        // from its fault-free reference — trips the gate: 0 is a 100%
+        // drop, far outside any tolerance.
+        let broken = reinject(
+            FAULTS_SAMPLE,
+            "\"reconnects\": 2, \"recovery_determinism\": 1",
+            "\"reconnects\": 2, \"recovery_determinism\": 0",
+        );
+        let (_, fresh) = parse_metrics(&broken).unwrap();
+        let report = compare(&bench, &base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(report.regressions(), 1);
+        let bad = report.rows.iter().find(|r| r.regressed).unwrap();
+        assert_eq!(bad.design, "fleet");
+        assert_eq!(bad.metric, "recovery_determinism");
+        // An intact run passes exactly.
+        let (_, same) = parse_metrics(FAULTS_SAMPLE).unwrap();
+        assert_eq!(
+            compare(&bench, &base, &same, DEFAULT_TOLERANCE).regressions(),
+            0
+        );
     }
 
     #[test]

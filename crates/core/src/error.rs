@@ -28,6 +28,16 @@ pub enum CoreError {
     Sparse(matex_sparse::SparseError),
     /// Krylov kernel failure.
     Krylov(matex_krylov::KrylovError),
+    /// A worker panicked; the payload message is preserved so supervisors
+    /// can report *what* unwound instead of a generic failure.
+    Panicked(String),
+    /// A fault injected by an armed [`FaultHook`](crate::FaultHook) at
+    /// the named site (test/bench-only by construction: disarmed hooks
+    /// never produce this).
+    Injected {
+        /// The fault site that fired (`"dist.node"`, ...).
+        site: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -43,6 +53,8 @@ impl fmt::Display for CoreError {
             CoreError::Circuit(e) => write!(f, "circuit error: {e}"),
             CoreError::Sparse(e) => write!(f, "sparse error: {e}"),
             CoreError::Krylov(e) => write!(f, "krylov error: {e}"),
+            CoreError::Panicked(m) => write!(f, "worker panicked: {m}"),
+            CoreError::Injected { site } => write!(f, "injected fault at {site}"),
         }
     }
 }

@@ -38,6 +38,7 @@ mod be;
 mod cancel;
 mod engine;
 mod error;
+mod faults;
 mod fp_terms;
 mod matex_solver;
 mod reference;
@@ -54,6 +55,7 @@ pub use be::BackwardEuler;
 pub use cancel::CancelToken;
 pub use engine::{InputEval, Recorder, TransientEngine};
 pub use error::CoreError;
+pub use faults::{FaultHook, FaultKind, FaultPlan};
 pub use fp_terms::IntervalTerms;
 pub use matex_solver::{MatexOptions, MatexSolver};
 pub use reference::{reference_solution, ReferenceMethod};

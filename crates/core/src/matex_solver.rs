@@ -21,7 +21,8 @@
 use crate::engine::{InputEval, Recorder, TransientEngine};
 use crate::fp_terms::IntervalTerms;
 use crate::{
-    CancelToken, CoreError, MatexSetup, MatexSymbolic, SolveStats, TransientResult, TransientSpec,
+    CancelToken, CoreError, FaultHook, FaultKind, MatexSetup, MatexSymbolic, SolveStats,
+    TransientResult, TransientSpec,
 };
 use matex_circuit::MnaSystem;
 use matex_dense::norm2;
@@ -56,6 +57,9 @@ pub struct MatexOptions {
     /// Maximum sub-step insertions per evaluation before accepting the
     /// best-effort value.
     pub max_substeps: usize,
+    /// Fault-injection hook consulted at `"core.solver.run"` on entry to
+    /// each run. Disarmed by default: production runs pay one branch.
+    pub faults: FaultHook,
 }
 
 impl MatexOptions {
@@ -78,6 +82,7 @@ impl MatexOptions {
             },
             regularize_eps: 1e-3,
             max_substeps: 30,
+            faults: FaultHook::default(),
         }
     }
 
@@ -248,6 +253,19 @@ impl OpHolder<'_> {
 
 impl TransientEngine for MatexSolver {
     fn run(&self, sys: &MnaSystem, spec: &TransientSpec) -> Result<TransientResult, CoreError> {
+        // Injected faults fire before any work so a retried run replays
+        // the identical computation from scratch. `Error` takes the
+        // solver's natural numeric-breakdown exit (`NotFinite`);
+        // `Panic` unwinds to exercise supervision layers above.
+        match self.opts.faults.check("core.solver.run") {
+            Some(FaultKind::Panic) => panic!("injected fault: core.solver.run"),
+            Some(FaultKind::Error) => {
+                return Err(CoreError::Krylov(matex_krylov::KrylovError::Dense(
+                    matex_dense::DenseError::NotFinite,
+                )))
+            }
+            None => {}
+        }
         let mut stats = SolveStats::default();
         let input = match &self.mask {
             None => InputEval::new(sys),

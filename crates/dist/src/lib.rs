@@ -45,6 +45,12 @@
 //! # }
 //! ```
 
+// Compile the README's examples as doctests so the documented recovery
+// workflow can never drift from the code.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;
+
 mod error;
 mod options;
 mod plan;

@@ -1,5 +1,5 @@
 use crate::GroupPlan;
-use matex_core::{CancelToken, MatexOptions, MatexSetup, MatexSymbolic};
+use matex_core::{CancelToken, FaultHook, MatexOptions, MatexSetup, MatexSymbolic};
 use matex_par::ParOptions;
 use matex_waveform::GroupingStrategy;
 use std::sync::Arc;
@@ -18,7 +18,7 @@ use std::sync::Arc;
 /// };
 /// assert_eq!(opts.workers, None); // None -> all available cores
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DistributedOptions {
     /// Solver options handed to every node (the paper runs R-MATEX nodes;
     /// that is [`MatexOptions::default`]).
@@ -62,6 +62,35 @@ pub struct DistributedOptions {
     /// [`crate::DistError::Cancelled`]. Tokens never corrupt shared
     /// artifacts — nodes only read the shared symbolic/setup.
     pub cancel: Option<CancelToken>,
+    /// Per-node retry budget: a node group whose solver fails or panics
+    /// is re-dispatched to a surviving worker up to this many times
+    /// before the run aborts with [`crate::DistError::Node`]. Retried
+    /// nodes replay the identical pure computation against the shared
+    /// read-only artifacts and superpose at their original schedule
+    /// position, so recovery never changes the waveform. Default 1.
+    /// Cancellations are never retried.
+    pub max_node_retries: usize,
+    /// Fault-injection hook consulted at `"dist.node"` once per node
+    /// dispatch (including retries). Disarmed by default. Solver-level
+    /// sites fire through `matex.faults` instead.
+    pub faults: FaultHook,
+}
+
+impl Default for DistributedOptions {
+    fn default() -> Self {
+        DistributedOptions {
+            matex: MatexOptions::default(),
+            strategy: GroupingStrategy::default(),
+            workers: None,
+            par: ParOptions::default(),
+            symbolic: None,
+            setup: None,
+            plan: None,
+            cancel: None,
+            max_node_retries: 1,
+            faults: FaultHook::default(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -74,5 +103,7 @@ mod tests {
         assert_eq!(o.strategy, GroupingStrategy::ByBumpFeature);
         assert!(o.workers.is_none());
         assert!(matches!(o.matex.kind, matex_core::KrylovKind::Rational));
+        assert_eq!(o.max_node_retries, 1);
+        assert!(!o.faults.is_armed());
     }
 }

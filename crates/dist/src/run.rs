@@ -5,13 +5,13 @@ use crate::schedule::{NodeMeasurement, RunStats};
 use crate::{DistError, DistributedOptions};
 use matex_circuit::MnaSystem;
 use matex_core::{
-    CoreError, MatexSolver, MatexSymbolic, SolveStats, TransientEngine, TransientResult,
+    CoreError, FaultKind, MatexSolver, MatexSymbolic, SolveStats, TransientEngine, TransientResult,
     TransientSpec,
 };
 use matex_par::ParPool;
 use matex_waveform::SpotSet;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// One slave node's completed subtask (accounting only — the node's
@@ -59,6 +59,10 @@ pub struct DistributedRun {
     /// Actual wall time of the whole distributed run on this machine
     /// (contended when several workers share cores).
     pub wall_time: Duration,
+    /// Node re-dispatches performed after solver failures or panics
+    /// (0 on a healthy run). Each retry replays the identical pure
+    /// computation, so a non-zero count never changes the waveform.
+    pub node_retries: usize,
 }
 
 impl DistributedRun {
@@ -70,6 +74,27 @@ impl DistributedRun {
 
 /// What a worker hands the master per finished node.
 type NodeOutcome = Result<(NodeRun, TransientResult), CoreError>;
+
+/// Shared dispatch state: the LPT cursor plus the master's retry queue.
+/// Workers drain retries before fresh schedule positions so a recovered
+/// group lands while its superposition slot is still the drain frontier.
+struct WorkQueue {
+    next: usize,
+    retry: Vec<usize>,
+    done: bool,
+}
+
+/// Best-effort extraction of a panic payload's message (`&str` and
+/// `String` payloads cover `panic!`/`assert!`/`unwrap` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Streaming accumulator: superposes node results **in ascending group
 /// order** as they arrive, buffering only out-of-order completions, so
@@ -151,12 +176,21 @@ impl Superposer {
 /// while peak memory stays at one full series plus the in-flight
 /// stragglers.
 ///
+/// Workers are **supervised**: a node that panics or fails is
+/// re-dispatched to a surviving worker up to `opts.max_node_retries`
+/// times before the run aborts. A retried node replays the identical
+/// pure computation against the shared read-only artifacts and
+/// superposes at its original schedule position, so recovered runs are
+/// bitwise-identical to fault-free ones ([`DistributedRun::node_retries`]
+/// counts the re-dispatches).
+///
 /// # Errors
 ///
 /// Returns [`DistError::Analyze`] when the shared symbolic analysis
-/// fails, [`DistError::Node`] carrying the first node failure in group
-/// order, or [`DistError::Superposition`] if result grids mismatch
-/// (internal invariant violation).
+/// fails, [`DistError::Node`] carrying the first terminal node failure
+/// (retry budget exhausted; panics arrive as
+/// [`CoreError::Panicked`]), or [`DistError::Superposition`] if result
+/// grids mismatch (internal invariant violation).
 pub fn run_distributed(
     sys: &MnaSystem,
     spec: &TransientSpec,
@@ -229,37 +263,81 @@ pub fn run_distributed(
     // the division (and the worker count) never changes the waveform.
     let kernel_budget = opts.par.resolve().map(|t| (t / workers).max(1));
 
-    // Worker pool: a shared cursor over the LPT order; finished subtasks
-    // stream back to the master, which superposes them in group order. A
-    // failed node trips the abort flag so idle workers stop draining the
-    // queue instead of simulating groups whose results will be discarded.
-    let cursor = AtomicUsize::new(0);
-    let abort = AtomicBool::new(false);
+    // Worker pool: a shared queue draining the LPT order (retries first);
+    // finished subtasks stream back to the master, which superposes them
+    // in group order and is the sole arbiter of failure: a failed or
+    // panicked node is pushed back onto the queue for a surviving worker
+    // (its retry replays the identical pure computation and superposes at
+    // the original schedule position, so recovery is bitwise-invisible)
+    // until its attempt budget runs out, at which point `done` stops the
+    // pool from simulating groups whose results would be discarded.
+    let work = (
+        Mutex::new(WorkQueue {
+            next: 0,
+            retry: Vec::new(),
+            done: false,
+        }),
+        Condvar::new(),
+    );
     let (tx, rx) = mpsc::channel::<(usize, NodeOutcome)>();
     let mut sup = Superposer::new(jobs.len());
     let mut failures: Vec<(usize, CoreError)> = Vec::new();
+    let mut attempts = vec![0usize; jobs.len()];
+    let mut node_retries = 0usize;
     std::thread::scope(|scope| {
-        let (cursor, abort, symbolic) = (&cursor, &abort, &symbolic);
+        let (work, symbolic) = (&work, &symbolic);
         for _ in 0..workers {
             let tx = tx.clone();
             scope.spawn(move || {
                 let pool = kernel_budget.map(|b| Arc::new(ParPool::new(b)));
+                let (queue, available) = work;
                 loop {
-                    // Cooperative cancellation: stop dispatching nodes
-                    // the moment the token trips (running nodes give up
-                    // at their own step boundaries via `with_cancel`).
-                    if abort.load(Ordering::Relaxed)
-                        || opts.cancel.as_ref().is_some_and(|c| c.is_cancelled())
-                    {
-                        break;
-                    }
-                    let k = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&j) = order.get(k) else { break };
-                    let outcome =
-                        run_node(sys, spec, opts, &jobs[j], symbolic.clone(), pool.clone());
-                    if outcome.is_err() {
-                        abort.store(true, Ordering::Relaxed);
-                    }
+                    // Take a retry if one is queued, else advance the LPT
+                    // cursor, else wait for the master to queue a retry or
+                    // declare the run over. Cooperative cancellation:
+                    // stop dispatching the moment the token trips
+                    // (running nodes give up at their own step boundaries
+                    // via `with_cancel`).
+                    let j = {
+                        let mut q = queue.lock().expect("work queue poisoned");
+                        loop {
+                            if q.done || opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                                break None;
+                            }
+                            if let Some(j) = q.retry.pop() {
+                                break Some(j);
+                            }
+                            if let Some(&j) = order.get(q.next) {
+                                q.next += 1;
+                                break Some(j);
+                            }
+                            // Short timeout: the condvar has no waker for
+                            // an externally tripped cancel token.
+                            q = available
+                                .wait_timeout(q, Duration::from_millis(5))
+                                .expect("work queue poisoned")
+                                .0;
+                        }
+                    };
+                    let Some(j) = j else { break };
+                    // Supervision: a panicking node unwinds into a node
+                    // error (payload message preserved) instead of
+                    // poisoning the scope and aborting the process.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        match opts.faults.check("dist.node") {
+                            Some(FaultKind::Panic) => {
+                                panic!("injected fault: dist.node (group {})", jobs[j].group)
+                            }
+                            Some(FaultKind::Error) => {
+                                return Err(CoreError::Injected {
+                                    site: "dist.node".to_string(),
+                                })
+                            }
+                            None => {}
+                        }
+                        run_node(sys, spec, opts, &jobs[j], symbolic.clone(), pool.clone())
+                    }))
+                    .unwrap_or_else(|payload| Err(CoreError::Panicked(panic_message(&*payload))));
                     if tx.send((j, outcome)).is_err() {
                         break; // master gone (superposition error): stop
                     }
@@ -267,19 +345,40 @@ pub fn run_distributed(
             });
         }
         drop(tx);
-        // The master thread superposes while workers keep producing.
+        // The master thread superposes while workers keep producing, and
+        // decides per failure: re-queue (budget remaining) or abort.
         while let Ok((j, outcome)) = rx.recv() {
             match outcome {
                 Ok(payload) => {
                     if let Err(e) = sup.push(rank[j], payload) {
-                        abort.store(true, Ordering::Relaxed);
                         failures.push((j, e));
-                        break; // dropping rx unblocks senders
+                        break;
+                    }
+                    if sup.next == jobs.len() {
+                        break; // all drained; idle workers hold senders
                     }
                 }
-                Err(e) => failures.push((j, e)),
+                Err(e) => {
+                    let retryable =
+                        !matches!(e, CoreError::Cancelled) && attempts[j] < opts.max_node_retries;
+                    if retryable {
+                        attempts[j] += 1;
+                        node_retries += 1;
+                        let (queue, available) = &work;
+                        queue.lock().expect("work queue poisoned").retry.push(j);
+                        available.notify_all();
+                    } else {
+                        failures.push((j, e));
+                        break;
+                    }
+                }
             }
         }
+        // Whatever ended the drain — completion, terminal failure or a
+        // superposition mismatch — wake every waiting worker to exit.
+        let (queue, available) = &work;
+        queue.lock().expect("work queue poisoned").done = true;
+        available.notify_all();
     });
 
     if let Some((j, source)) = failures.into_iter().min_by_key(|&(j, _)| j) {
@@ -351,6 +450,7 @@ pub fn run_distributed(
         emulated_total,
         superposition_time,
         wall_time: wall0.elapsed(),
+        node_retries,
     })
 }
 
@@ -602,6 +702,112 @@ mod tests {
             },
         );
         assert!(matches!(err, Err(DistError::Plan(_))));
+    }
+
+    #[test]
+    fn panicked_and_failed_nodes_recover_bitwise() {
+        // Two injected faults — one panic, one error — on different node
+        // dispatches: both groups are re-dispatched and the recovered
+        // waveform must be bitwise-identical to the fault-free run.
+        use matex_core::{FaultHook, FaultKind, FaultPlan};
+        let sys = small_grid();
+        let spec = TransientSpec::new(0.0, 1e-9, 2e-11).unwrap();
+        let reference = run_distributed(&sys, &spec, &DistributedOptions::default()).unwrap();
+        assert_eq!(reference.node_retries, 0);
+        let plan = FaultPlan::new()
+            .fail_at("dist.node", 1, FaultKind::Panic)
+            .fail_at("dist.node", 3, FaultKind::Error);
+        for workers in [Some(1), Some(3)] {
+            let opts = DistributedOptions {
+                workers,
+                // Budget 2: with retries interleaving into the occurrence
+                // stream, both entries may land on the same group.
+                max_node_retries: 2,
+                faults: FaultHook::new(plan.clone()),
+                ..DistributedOptions::default()
+            };
+            let run = run_distributed(&sys, &spec, &opts).unwrap();
+            assert_eq!(run.node_retries, 2, "workers {workers:?}");
+            assert_eq!(
+                reference.result.series(),
+                run.result.series(),
+                "recovery changed the waveform (workers {workers:?})"
+            );
+            assert_eq!(reference.result.final_state(), run.result.final_state());
+            assert_eq!(opts.faults.injected(), 2);
+        }
+    }
+
+    #[test]
+    fn solver_level_faults_recover_through_node_retry() {
+        // Faults injected *inside* the node's solver (via MatexOptions)
+        // surface as node failures and heal through the same re-dispatch.
+        use matex_core::{FaultHook, FaultKind, FaultPlan};
+        let sys = small_grid();
+        let spec = TransientSpec::new(0.0, 1e-9, 2e-11).unwrap();
+        let reference = run_distributed(&sys, &spec, &DistributedOptions::default()).unwrap();
+        let matex = MatexOptions {
+            faults: FaultHook::new(FaultPlan::new().fail_at(
+                "core.solver.run",
+                0,
+                FaultKind::Error,
+            )),
+            ..MatexOptions::default()
+        };
+        let opts = DistributedOptions {
+            matex,
+            workers: Some(2),
+            ..DistributedOptions::default()
+        };
+        let run = run_distributed(&sys, &spec, &opts).unwrap();
+        assert_eq!(run.node_retries, 1);
+        assert_eq!(reference.result.series(), run.result.series());
+    }
+
+    #[test]
+    fn exhausted_retry_budget_aborts_with_the_node_error() {
+        use matex_core::{FaultHook, FaultKind, FaultPlan};
+        let sys = small_grid();
+        let spec = TransientSpec::new(0.0, 1e-9, 2e-11).unwrap();
+        // Every dispatch fails: the budget runs out and the run reports
+        // the injected fault as a node error instead of panicking or
+        // hanging.
+        let opts = DistributedOptions {
+            workers: Some(2),
+            max_node_retries: 1,
+            faults: FaultHook::new(
+                FaultPlan::new()
+                    .seeded(9, 1000, FaultKind::Error)
+                    .on_sites(&["dist.node"]),
+            ),
+            ..DistributedOptions::default()
+        };
+        match run_distributed(&sys, &spec, &opts) {
+            Err(DistError::Node { source, .. }) => {
+                assert!(matches!(source, CoreError::Injected { .. }), "{source}");
+            }
+            other => panic!("expected node error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_panic_is_contained_and_reported() {
+        use matex_core::{FaultHook, FaultKind, FaultPlan};
+        let sys = small_grid();
+        let spec = TransientSpec::new(0.0, 1e-9, 2e-11).unwrap();
+        let opts = DistributedOptions {
+            workers: Some(1),
+            max_node_retries: 0,
+            faults: FaultHook::new(FaultPlan::new().fail_at("dist.node", 0, FaultKind::Panic)),
+            ..DistributedOptions::default()
+        };
+        match run_distributed(&sys, &spec, &opts) {
+            Err(DistError::Node { source, .. }) => match source {
+                CoreError::Panicked(msg) => assert!(msg.contains("injected fault"), "{msg}"),
+                other => panic!("expected preserved panic payload, got {other}"),
+            },
+            other => panic!("expected node error, got {other:?}"),
+        }
     }
 
     #[test]

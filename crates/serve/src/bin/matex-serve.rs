@@ -125,10 +125,12 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut frames = "json".to_string();
     let mut deadline_ms: Option<f64> = None;
     let mut frame_delay_ms = 5.0f64;
+    let mut retries = 0usize;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = Some(take(&mut args, "--addr")),
             "--clients" => clients = take(&mut args, "--clients").parse().expect("--clients N"),
+            "--retries" => retries = take(&mut args, "--retries").parse().expect("--retries N"),
             "--jobs" => jobs_per_grid = take(&mut args, "--jobs").parse().expect("--jobs N"),
             "--grids" => grids = take(&mut args, "--grids").parse().expect("--grids N"),
             "--mode" => mode = take(&mut args, "--mode"),
@@ -221,7 +223,8 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
     match run_load(
         &LoadSpec::new(addr, clients, jobs)
             .mode(load_mode)
-            .frames(frame_modes),
+            .frames(frame_modes)
+            .retries(retries),
     ) {
         Ok(r) => {
             println!(
@@ -239,6 +242,9 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
                 r.p99.as_secs_f64() * 1e3,
                 r.deterministic
             );
+            if r.retries > 0 || r.reconnects > 0 {
+                println!("retries {}  reconnects {}", r.retries, r.reconnects);
+            }
             println!(
                 "stream bytes  json {}  binary {}{}",
                 r.json_bytes,

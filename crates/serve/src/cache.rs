@@ -218,6 +218,30 @@ impl ArtifactCache {
         inner.entry(pattern).setups.entry(key).or_insert(setup);
     }
 
+    /// Quarantine eviction: drops the setup under `key` so the next job
+    /// recomputes it instead of re-hitting an entry that just served a
+    /// failed execution. Returns whether anything was evicted. Base
+    /// candidates keep the *system* (pure input data), so what-if bases
+    /// need no eviction — their corrected setups are keyed here too and
+    /// leave with the setup.
+    pub fn remove_setup(&self, pattern: u64, key: &SetupKey) -> bool {
+        let mut inner = self.lock();
+        inner
+            .entries
+            .get_mut(&pattern)
+            .is_some_and(|e| e.setups.remove(key).is_some())
+    }
+
+    /// Quarantine eviction of a DC operating point; see
+    /// [`ArtifactCache::remove_setup`].
+    pub fn remove_dc(&self, pattern: u64, key: &DcKey) -> bool {
+        let mut inner = self.lock();
+        inner
+            .entries
+            .get_mut(&pattern)
+            .is_some_and(|e| e.dcs.remove(key).is_some())
+    }
+
     pub fn dc(&self, pattern: u64, key: &DcKey) -> Option<Arc<Vec<f64>>> {
         self.lock().entries.get(&pattern)?.dcs.get(key).cloned()
     }

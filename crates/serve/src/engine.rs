@@ -5,8 +5,8 @@ use crate::job::{CacheReport, ExecutionMode, Hit, JobId, JobOutcome, JobSpec, Jo
 use crate::ServeError;
 use matex_circuit::MnaSystem;
 use matex_core::{
-    CancelToken, KrylovKind, MatexOptions, MatexSetup, MatexSolver, MatexSymbolic, SmwOptions,
-    TransientEngine,
+    CancelToken, FaultHook, KrylovKind, MatexOptions, MatexSetup, MatexSolver, MatexSymbolic,
+    SmwOptions, TransientEngine,
 };
 use matex_dist::{list_schedule_makespan, plan_groups, run_distributed, DistributedOptions};
 use matex_par::{AdmitError, AdmitRequest, ParOptions, ParPool, ThreadBudget};
@@ -69,6 +69,26 @@ pub struct EngineOptions {
     /// cache from disk and skips the cold path, bitwise. `None`
     /// (default) keeps the engine purely in-memory.
     pub store: Option<Arc<ArtifactStore>>,
+    /// Compute-failure retry budget: a job whose execution fails or
+    /// panics is retried (after quarantining the cached artifacts it
+    /// ran against and sleeping `retry_backoff`) up to this many times
+    /// before the failure surfaces. Cancellations and missed deadlines
+    /// are never retried. Default 1.
+    pub max_compute_retries: usize,
+    /// Base backoff slept before each compute retry (doubled per
+    /// attempt).
+    pub retry_backoff: Duration,
+    /// Per-node retry budget forwarded to distributed runs (see
+    /// [`matex_dist::DistributedOptions::max_node_retries`]).
+    pub max_node_retries: usize,
+    /// Ceiling on every `retry_after` hint the engine emits (rejections
+    /// and drain estimates). A miscalibrated cost model can otherwise
+    /// tell clients to back off for minutes. Default 60 s.
+    pub retry_after_cap: Duration,
+    /// Fault-injection hook threaded into every job's solver options,
+    /// distributed runs, and (via [`matex_store::StoreOptions`]) the
+    /// artifact store the caller opens. Disarmed by default.
+    pub faults: FaultHook,
 }
 
 impl Default for EngineOptions {
@@ -85,6 +105,11 @@ impl Default for EngineOptions {
             whatif_bases: 4,
             max_queue: 256,
             store: None,
+            max_compute_retries: 1,
+            retry_backoff: Duration::from_millis(10),
+            max_node_retries: 1,
+            retry_after_cap: Duration::from_secs(60),
+            faults: FaultHook::default(),
         }
     }
 }
@@ -145,6 +170,17 @@ pub struct EngineStats {
     pub store_hits: u64,
     /// Artifacts persisted to the disk-backed store.
     pub store_writes: u64,
+    /// Store I/O failures absorbed by computing through (never
+    /// surfaced to jobs).
+    pub store_errors: u64,
+    /// Job panics contained by the engine's supervision (executor- or
+    /// compute-level), payload message preserved in the job error.
+    pub panics: u64,
+    /// Compute retries performed after a failed or panicked execution.
+    pub retries: u64,
+    /// Cached artifacts quarantined (evicted for recompute) after the
+    /// execution they served failed.
+    pub quarantined: u64,
     /// Artifact counts currently cached.
     pub cache: CacheSizes,
 }
@@ -178,6 +214,9 @@ struct Counters {
     deadline_misses: AtomicU64,
     store_hits: AtomicU64,
     store_writes: AtomicU64,
+    panics: AtomicU64,
+    retries: AtomicU64,
+    quarantined: AtomicU64,
     /// Calibration: completed-job predicted units (scaled ×1024) and
     /// measured execution nanoseconds, so admission converts LTS-count
     /// cost estimates into seconds using observed service times.
@@ -513,6 +552,10 @@ impl ScenarioEngine {
             evictions: self.inner.cache.evictions(),
             store_hits: c.store_hits.load(Ordering::Relaxed),
             store_writes: c.store_writes.load(Ordering::Relaxed),
+            store_errors: self.inner.opts.store.as_ref().map_or(0, |s| s.io_errors()),
+            panics: c.panics.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            quarantined: c.quarantined.load(Ordering::Relaxed),
             cache: self.inner.cache.sizes(),
         }
     }
@@ -586,6 +629,9 @@ fn executor_loop(inner: &Inner) {
             })) {
                 Ok(out) => out,
                 Err(payload) => {
+                    // Panics escaping the compute retry loop (admission,
+                    // bookkeeping): still contained, payload preserved.
+                    inner.counters.panics.fetch_add(1, Ordering::Relaxed);
                     let msg = payload
                         .downcast_ref::<&str>()
                         .map(|s| s.to_string())
@@ -708,16 +754,93 @@ impl Inner {
             Err(e) => {
                 return Err(ServeError::Rejected {
                     reason: e.to_string(),
-                    retry_after: Duration::from_millis(
-                        (self.unit_secs() * 1e3).clamp(1.0, 60_000.0) as u64,
-                    ),
+                    retry_after: Duration::from_millis((self.unit_secs() * 1e3).clamp(
+                        1.0,
+                        (self.opts.retry_after_cap.as_secs_f64() * 1e3).max(1.0),
+                    ) as u64),
                 })
             }
         };
-        let mut out = self.execute(spec, cancel)?;
+        // Transient-failure recovery: each attempt runs under its own
+        // catch_unwind so solver panics are retryable too. A failed
+        // attempt quarantines the cached artifacts it executed against
+        // (evict + recompute) so one corrupted cache entry cannot poison
+        // every subsequent hit, then backs off and recomputes.
+        // Cancellations and missed deadlines are terminal.
+        let mut attempt = 0usize;
+        let mut out = loop {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.execute(spec, cancel)
+            }))
+            .unwrap_or_else(|payload| {
+                self.counters.panics.fetch_add(1, Ordering::Relaxed);
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                Err(ServeError::InvalidJob(format!("job panicked: {msg}")))
+            });
+            match result {
+                Ok(out) => break out,
+                Err(e) => {
+                    let terminal = e.is_cancelled()
+                        || matches!(e, ServeError::DeadlineMissed(_))
+                        || cancel.is_some_and(|c| c.is_cancelled())
+                        || deadline_at.is_some_and(|d| Instant::now() >= d)
+                        || attempt >= self.opts.max_compute_retries;
+                    if terminal {
+                        return Err(e);
+                    }
+                    self.quarantine(spec);
+                    self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff = self.opts.retry_backoff.saturating_mul(1 << attempt.min(16));
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    attempt += 1;
+                }
+            }
+        };
         drop(lease);
         out.wall = t0.elapsed();
         Ok(out)
+    }
+
+    /// Evicts the cached numeric artifacts a failed execution ran
+    /// against — the setup and the DC solution for the job's exact keys
+    /// — so the retry (and every later job) recomputes them instead of
+    /// re-hitting a possibly corrupted entry. Disk-store records are
+    /// checksummed, so hydration after the eviction is safe.
+    fn quarantine(&self, job: &JobSpec) {
+        let Ok(sys) = job.effective_circuit() else {
+            return;
+        };
+        let opts = job.effective_options();
+        let pattern = sys.pattern_fingerprint();
+        let value_fp = sys.value_fingerprint();
+        let key = SetupKey {
+            value_fp,
+            kind: opts.kind,
+            gamma_bits: opts.gamma.to_bits(),
+            regularize_bits: opts.regularize_eps.to_bits(),
+            scheduled: self.opts.kernel_threads > 0,
+        };
+        let dc_key = DcKey {
+            value_fp,
+            source_fp: sys.source_fingerprint(),
+            t_start_bits: job.spec.t_start().to_bits(),
+        };
+        let mut evicted = 0;
+        if self.cache.remove_setup(pattern, &key) {
+            evicted += 1;
+        }
+        if self.cache.remove_dc(pattern, &dc_key) {
+            evicted += 1;
+        }
+        self.counters
+            .quarantined
+            .fetch_add(evicted, Ordering::Relaxed);
     }
 
     /// Predicted service cost of a job in LTS units — the scheduling
@@ -792,8 +915,11 @@ impl Inner {
             .sum();
         let secs = (queued / self.opts.executors.max(1) as f64) * self.unit_secs();
         // Clamp to a sane hint window: at least 1ms (a plain busy signal
-        // still means "back off"), at most a minute.
-        Duration::from_secs_f64(secs.clamp(1e-3, 60.0))
+        // still means "back off"), at most the configured ceiling — a
+        // miscalibrated cost model must not tell clients to disappear
+        // for minutes.
+        let cap = self.opts.retry_after_cap.as_secs_f64().max(1e-3);
+        Duration::from_secs_f64(secs.clamp(1e-3, cap))
     }
 
     /// Takes an idle kernel pool (or spawns one) when kernel threads
@@ -831,7 +957,10 @@ impl Inner {
         cancel: Option<&CancelToken>,
     ) -> Result<JobOutcome, ServeError> {
         let sys = job.effective_circuit()?;
-        let opts = job.effective_options();
+        let mut opts = job.effective_options();
+        // The engine's hook reaches the solver ("core.solver.run") of
+        // every job it executes; disarmed hooks are free.
+        opts.faults = self.opts.faults.clone();
         let pattern = sys.pattern_fingerprint();
         let value_fp = sys.value_fingerprint();
         let mut report = CacheReport::default();
@@ -959,6 +1088,8 @@ impl Inner {
                     setup: Some(setup),
                     plan: Some(plan),
                     cancel: cancel.cloned(),
+                    max_node_retries: self.opts.max_node_retries,
+                    faults: self.opts.faults.clone(),
                 };
                 let run = run_distributed(&sys, &job.spec, &dist_opts)?;
                 Ok(JobOutcome {
@@ -1588,5 +1719,130 @@ mod tests {
         assert!(matches!(err, ServeError::InvalidJob(_)));
         assert!(matches!(engine.status(id), Some(JobStatus::Failed(_))));
         assert_eq!(engine.stats().failed, 1);
+    }
+
+    #[test]
+    fn solver_fault_is_retried_with_quarantine_and_recovers_bitwise() {
+        use matex_core::{FaultKind, FaultPlan};
+        let sys = grid(31);
+        let job = JobSpec::new(sys.clone(), spec());
+        let clean = ScenarioEngine::new(EngineOptions::default())
+            .run(&job)
+            .unwrap();
+        // Occurrence 0 of "core.solver.run" warms the cache cleanly;
+        // occurrence 1 (the warm repeat) fails, forcing the retry to
+        // quarantine the warm artifacts and recompute them.
+        let engine = ScenarioEngine::new(EngineOptions {
+            faults: FaultHook::new(FaultPlan::new().fail_at(
+                "core.solver.run",
+                1,
+                FaultKind::Error,
+            )),
+            retry_backoff: Duration::ZERO,
+            ..EngineOptions::default()
+        });
+        engine.run(&job).unwrap();
+        let recovered = engine.run(&job).unwrap();
+        // Recovery never changes a bit of the waveform.
+        assert_eq!(recovered.result.series(), clean.result.series());
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.retries, 1);
+        assert!(stats.quarantined >= 1, "warm artifacts were quarantined");
+    }
+
+    #[test]
+    fn solver_panic_is_contained_counted_and_retried() {
+        use matex_core::{FaultKind, FaultPlan};
+        let sys = grid(32);
+        let job = JobSpec::new(sys.clone(), spec());
+        let engine = ScenarioEngine::new(EngineOptions {
+            faults: FaultHook::new(FaultPlan::new().fail_at(
+                "core.solver.run",
+                0,
+                FaultKind::Panic,
+            )),
+            retry_backoff: Duration::ZERO,
+            ..EngineOptions::default()
+        });
+        // The first attempt panics inside the solver; the engine
+        // contains it, counts it, and the retry completes the job.
+        let out = engine.run(&job).unwrap();
+        let standalone = MatexSolver::new(job.effective_options())
+            .run(&sys, &job.spec)
+            .unwrap();
+        assert_eq!(out.result.series(), standalone.series());
+        let stats = engine.stats();
+        assert_eq!(stats.panics, 1);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_fails_the_job_cleanly() {
+        use matex_core::{FaultKind, FaultPlan};
+        let sys = grid(33);
+        let job = JobSpec::new(sys, spec());
+        let engine = ScenarioEngine::new(EngineOptions {
+            faults: FaultHook::new(
+                FaultPlan::new()
+                    .fail_at("core.solver.run", 0, FaultKind::Error)
+                    .fail_at("core.solver.run", 1, FaultKind::Error),
+            ),
+            max_compute_retries: 1,
+            retry_backoff: Duration::ZERO,
+            ..EngineOptions::default()
+        });
+        let err = engine.run(&job).unwrap_err();
+        assert!(!err.is_cancelled());
+        let stats = engine.stats();
+        assert_eq!(stats.retries, 1, "one retry was attempted");
+        assert_eq!(stats.failed, 1);
+        // The engine survives: the same job (occurrence 2+) now runs.
+        let job2 = JobSpec::new(grid(33), spec());
+        engine.run(&job2).unwrap();
+        assert_eq!(engine.stats().completed, 1);
+    }
+
+    #[test]
+    fn store_faults_degrade_to_compute_through_and_are_counted() {
+        use matex_core::{FaultKind, FaultPlan};
+        use matex_store::StoreOptions;
+        let dir = std::env::temp_dir().join(format!(
+            "matex-engine-store-faults-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Every store read and write fails: the store degrades to a
+        // pure compute-through layer and the jobs never notice.
+        let store = ArtifactStore::open_with(
+            &dir,
+            StoreOptions {
+                faults: FaultHook::new(
+                    FaultPlan::new()
+                        .seeded(7, 1000, FaultKind::Error)
+                        .on_sites(&["store.read", "store.write"]),
+                ),
+            },
+        )
+        .unwrap();
+        let engine = ScenarioEngine::new(EngineOptions {
+            store: Some(Arc::new(store)),
+            ..EngineOptions::default()
+        });
+        let sys = grid(34);
+        let job = JobSpec::new(sys.clone(), spec());
+        let out = engine.run(&job).unwrap();
+        let standalone = MatexSolver::new(job.effective_options())
+            .run(&sys, &job.spec)
+            .unwrap();
+        assert_eq!(out.result.series(), standalone.series());
+        let stats = engine.stats();
+        assert_eq!(stats.failed, 0);
+        assert!(stats.store_errors > 0, "store faults were tallied");
+        assert_eq!(stats.store_hits, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

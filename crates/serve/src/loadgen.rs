@@ -30,10 +30,11 @@
 
 use crate::json::escape;
 use crate::ServeError;
+use matex_core::FaultHook;
 use matex_par::Priority;
 use matex_waveform::{Fnv64, WaveFrame};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpStream};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -214,6 +215,19 @@ pub struct LoadSpec {
     /// a cross-encoding check: JSON and binary clients must decode to
     /// identical canonical frames.
     pub frames: Vec<FrameMode>,
+    /// Per-job retry budget (default 0: shed load is final). A rejected
+    /// submit sleeps the server's `retry_after_ms` hint and resubmits;
+    /// a dropped connection reconnects (redoing the frame handshake)
+    /// and resubmits the in-flight job. Retried jobs vote in the
+    /// determinism check with the hash of their *successful* attempt
+    /// only, so recovery must reproduce the fault-free bytes.
+    pub max_retries: usize,
+    /// Fault-injection hook consulted at `"loadgen.conn"` once per
+    /// stream drain: a firing kills the TCP connection mid-stream, the
+    /// failure mode `max_retries` exists to absorb. Disarmed by
+    /// default. Shared by every client, so one seeded plan schedules
+    /// faults fleet-wide.
+    pub faults: FaultHook,
 }
 
 impl LoadSpec {
@@ -225,6 +239,8 @@ impl LoadSpec {
             jobs,
             mode: LoadMode::Steady,
             frames: Vec::new(),
+            max_retries: 0,
+            faults: FaultHook::default(),
         }
     }
 
@@ -237,6 +253,18 @@ impl LoadSpec {
     /// Sets the per-client frame encoding cycle (builder style).
     pub fn frames(mut self, frames: Vec<FrameMode>) -> LoadSpec {
         self.frames = frames;
+        self
+    }
+
+    /// Sets the per-job retry budget (builder style).
+    pub fn retries(mut self, max_retries: usize) -> LoadSpec {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Arms the connection-fault hook (builder style).
+    pub fn faults(mut self, faults: FaultHook) -> LoadSpec {
+        self.faults = faults;
         self
     }
 
@@ -289,6 +317,13 @@ pub struct LoadReport {
     /// `json_bytes / binary_bytes` ratio is the binary encoding's
     /// wire saving, measured end to end.
     pub binary_bytes: u64,
+    /// Resubmissions after a `retry_after_ms` rejection hint (jobs
+    /// that eventually completed count under `completed`, not
+    /// `rejected`).
+    pub retries: usize,
+    /// Reconnections after a dropped connection, each followed by a
+    /// resubmit of the in-flight job.
+    pub reconnects: usize,
 }
 
 impl LoadReport {
@@ -326,8 +361,11 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ServeError> {
         let mode = spec.mode.clone();
         let fmode = spec.frame_mode(i);
         let barrier = barrier.clone();
+        let max_retries = spec.max_retries;
+        // Clones share occurrence counters: one plan schedules the fleet.
+        let faults = spec.faults.clone();
         handles.push(std::thread::spawn(move || {
-            client_run(&addr, &jobs, &mode, fmode, barrier)
+            client_run(&addr, &jobs, &mode, fmode, barrier, max_retries, &faults)
         }));
     }
     let mut latencies: Vec<Duration> = Vec::new();
@@ -339,6 +377,8 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ServeError> {
     let mut whatif_hits = 0usize;
     let mut json_bytes = 0u64;
     let mut binary_bytes = 0u64;
+    let mut retries = 0usize;
+    let mut reconnects = 0usize;
     for h in handles {
         let outcome = h
             .join()
@@ -347,6 +387,8 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ServeError> {
         failed += outcome.failed;
         rejected += outcome.rejected;
         whatif_hits += outcome.whatif_hits;
+        retries += outcome.retries;
+        reconnects += outcome.reconnects;
         match outcome.mode {
             FrameMode::Json => json_bytes += outcome.stream_bytes,
             FrameMode::Binary => binary_bytes += outcome.stream_bytes,
@@ -387,6 +429,8 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ServeError> {
         whatif_hits,
         json_bytes,
         binary_bytes,
+        retries,
+        reconnects,
     })
 }
 
@@ -405,6 +449,146 @@ struct ClientOutcome {
     mode: FrameMode,
     /// Stream frame bytes this client received off the wire.
     stream_bytes: u64,
+    retries: usize,
+    reconnects: usize,
+}
+
+/// One client connection, re-establishable after a drop: `connect`
+/// redoes the TCP dial *and* the frame-mode handshake, so a reconnected
+/// client speaks exactly the encoding it spoke before the fault.
+struct Conn {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn connect(addr: &str, fmode: FrameMode) -> Result<Conn, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        let mut conn = Conn {
+            writer: BufWriter::new(stream.try_clone()?),
+            reader: BufReader::new(stream),
+        };
+        if fmode == FrameMode::Binary {
+            // Upgrade the connection before any job traffic; a server
+            // that does not grant binary frames would desynchronize
+            // every stream read below, so the grant is verified, not
+            // assumed.
+            writeln!(
+                conn.writer,
+                "{{\"cmd\": \"hello\", \"proto\": 2, \"frames\": \"binary\"}}"
+            )?;
+            conn.writer.flush()?;
+            let ack = conn.read_line()?;
+            if !ack.contains("\"frames\": \"binary\"") {
+                return Err(ServeError::Protocol(format!(
+                    "server refused binary frames: {ack}"
+                )));
+            }
+        }
+        Ok(conn)
+    }
+
+    fn read_line(&mut self) -> Result<String, ServeError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ServeError::Io("server closed the connection".into()));
+        }
+        Ok(line.trim_end().to_string())
+    }
+}
+
+/// How one submit→wait→stream transaction ended. Connection-level
+/// failures surface as `Err` from [`run_one_job`] instead — those are
+/// the cases where the connection is dead and must be re-dialed.
+enum JobTry {
+    /// Completed: the canonical content hash of the streamed frames.
+    Completed { job_hash: u64, whatif: bool },
+    /// Admission shed the job; the server's back-off hint, when present.
+    Rejected { retry_after_ms: Option<u64> },
+    /// The server answered but the job failed (protocol/solve error).
+    Failed,
+}
+
+/// Drives one job through submit→wait→stream on a live connection.
+/// `Err` means the connection itself died (the injected
+/// `"loadgen.conn"` fault severs it mid-stream, exactly like a crashed
+/// network path) — the caller reconnects and resubmits.
+#[allow(clippy::too_many_arguments)]
+fn run_one_job(
+    conn: &mut Conn,
+    job: &LoadJob,
+    fmode: FrameMode,
+    frame_delay: Option<Duration>,
+    faults: &FaultHook,
+    run_hash: &mut Fnv64,
+    stream_bytes: &mut u64,
+) -> Result<JobTry, ServeError> {
+    writeln!(conn.writer, "{}", job.submit_line())?;
+    conn.writer.flush()?;
+    let submitted = conn.read_line()?;
+    if submitted.contains("\"code\": \"rejected\"") {
+        return Ok(JobTry::Rejected {
+            retry_after_ms: extract_uint(&submitted, "\"retry_after_ms\": "),
+        });
+    }
+    let Some(id) = extract_uint(&submitted, "\"job\": ") else {
+        return Ok(JobTry::Failed);
+    };
+    // Resolve through `wait` first: its status line reports whether
+    // the setup came off the what-if fast path. (Status lines are
+    // not part of the determinism hash — they carry wall times.)
+    writeln!(conn.writer, "{{\"cmd\": \"wait\", \"job\": {id}}}")?;
+    conn.writer.flush()?;
+    let status = conn.read_line()?;
+    let whatif = status.contains("\"whatif\": true");
+    writeln!(conn.writer, "{{\"cmd\": \"stream\", \"job\": {id}}}")?;
+    conn.writer.flush()?;
+    let meta = conn.read_line()?;
+    let Some(frames) = extract_uint(&meta, "\"frames\": ") else {
+        return Ok(JobTry::Failed);
+    };
+    if faults.check("loadgen.conn").is_some() {
+        // Sever the socket mid-stream: the reads below fail like a
+        // killed network path, and recovery must reconnect + resubmit.
+        conn.reader.get_ref().shutdown(Shutdown::Both).ok();
+    }
+    let mut ok = true;
+    let mut job_hash = Fnv64::new();
+    for _ in 0..frames {
+        // Decode the frame in whichever encoding this connection
+        // negotiated, then hash its canonical content — the
+        // determinism witness, independent of the wire format.
+        let wf = match fmode {
+            FrameMode::Json => {
+                let frame = conn.read_line()?;
+                *stream_bytes += frame.len() as u64 + 1;
+                if !frame.contains("\"ok\": true") {
+                    ok = false;
+                    continue;
+                }
+                parse_json_frame(&frame)
+            }
+            FrameMode::Binary => read_binary_frame(&mut conn.reader, stream_bytes)?,
+        };
+        match wf {
+            Some(wf) => {
+                wf.feed(run_hash);
+                wf.feed(&mut job_hash);
+            }
+            None => ok = false,
+        }
+        if let Some(d) = frame_delay {
+            std::thread::sleep(d);
+        }
+    }
+    Ok(if ok {
+        JobTry::Completed {
+            job_hash: job_hash.finish(),
+            whatif,
+        }
+    } else {
+        JobTry::Failed
+    })
 }
 
 fn client_run(
@@ -413,13 +597,16 @@ fn client_run(
     mode: &LoadMode,
     fmode: FrameMode,
     barrier: Option<Arc<Barrier>>,
+    max_retries: usize,
+    faults: &FaultHook,
 ) -> Result<ClientOutcome, ServeError> {
-    let stream = TcpStream::connect(addr)?;
-    let mut writer = BufWriter::new(stream.try_clone()?);
-    let mut reader = BufReader::new(stream);
+    let mut conn = Conn::connect(addr, fmode)?;
     let mut hash = Fnv64::new();
     // The whole-run hash domain is keyed by the negotiated encoding:
     // same canonical frames through a different wire format hash apart.
+    // (Under injected faults it also absorbs partial attempts, so only
+    // the per-job hashes — successful attempts only — vote on
+    // determinism.)
     hash.write_u8(fmode.tag());
     let mut latencies = Vec::with_capacity(jobs.len());
     let mut job_hashes: Vec<Option<u64>> = Vec::with_capacity(jobs.len());
@@ -428,33 +615,12 @@ fn client_run(
     let mut rejected = 0usize;
     let mut whatif_hits = 0usize;
     let mut stream_bytes = 0u64;
+    let mut retries = 0usize;
+    let mut reconnects = 0usize;
     let frame_delay = match mode {
         LoadMode::SlowReader { frame_delay } => Some(*frame_delay),
         _ => None,
     };
-    let read_line = |reader: &mut BufReader<TcpStream>| -> Result<String, ServeError> {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            return Err(ServeError::Io("server closed the connection".into()));
-        }
-        Ok(line.trim_end().to_string())
-    };
-    if fmode == FrameMode::Binary {
-        // Upgrade the connection before any job traffic; a server that
-        // does not grant binary frames would desynchronize every
-        // stream read below, so the grant is verified, not assumed.
-        writeln!(
-            writer,
-            "{{\"cmd\": \"hello\", \"proto\": 2, \"frames\": \"binary\"}}"
-        )?;
-        writer.flush()?;
-        let ack = read_line(&mut reader)?;
-        if !ack.contains("\"frames\": \"binary\"") {
-            return Err(ServeError::Protocol(format!(
-                "server refused binary frames: {ack}"
-            )));
-        }
-    }
     for job in jobs {
         // Burst: rendezvous so every client's submit lands in the same
         // instant — a synchronized wave against the admission queue.
@@ -462,73 +628,61 @@ fn client_run(
             b.wait();
         }
         let t0 = Instant::now();
-        writeln!(writer, "{}", job.submit_line())?;
-        writer.flush()?;
-        let submitted = read_line(&mut reader)?;
-        if submitted.contains("\"code\": \"rejected\"") {
-            rejected += 1;
-            job_hashes.push(None);
-            continue;
-        }
-        let Some(id) = extract_uint(&submitted, "\"job\": ") else {
-            failed += 1;
-            job_hashes.push(None);
-            continue;
-        };
-        // Resolve through `wait` first: its status line reports whether
-        // the setup came off the what-if fast path. (Status lines are
-        // not part of the determinism hash — they carry wall times.)
-        writeln!(writer, "{{\"cmd\": \"wait\", \"job\": {id}}}")?;
-        writer.flush()?;
-        let status = read_line(&mut reader)?;
-        if status.contains("\"whatif\": true") {
-            whatif_hits += 1;
-        }
-        writeln!(writer, "{{\"cmd\": \"stream\", \"job\": {id}}}")?;
-        writer.flush()?;
-        let meta = read_line(&mut reader)?;
-        let Some(frames) = extract_uint(&meta, "\"frames\": ") else {
-            failed += 1;
-            job_hashes.push(None);
-            continue;
-        };
-        let mut ok = true;
-        let mut job_hash = Fnv64::new();
-        for _ in 0..frames {
-            // Decode the frame in whichever encoding this connection
-            // negotiated, then hash its canonical content — the
-            // determinism witness, independent of the wire format.
-            let wf = match fmode {
-                FrameMode::Json => {
-                    let frame = read_line(&mut reader)?;
-                    stream_bytes += frame.len() as u64 + 1;
-                    if !frame.contains("\"ok\": true") {
-                        ok = false;
-                        continue;
+        // Bounded per-job recovery: rejections sleep the server's hint
+        // and resubmit; dead connections re-dial and resubmit. Either
+        // way the job's determinism vote comes from the attempt that
+        // completed.
+        let mut attempts = 0usize;
+        let vote = loop {
+            match run_one_job(
+                &mut conn,
+                job,
+                fmode,
+                frame_delay,
+                faults,
+                &mut hash,
+                &mut stream_bytes,
+            ) {
+                Ok(JobTry::Completed { job_hash, whatif }) => {
+                    if whatif {
+                        whatif_hits += 1;
                     }
-                    parse_json_frame(&frame)
+                    completed += 1;
+                    latencies.push(t0.elapsed());
+                    break Some(job_hash);
                 }
-                FrameMode::Binary => read_binary_frame(&mut reader, &mut stream_bytes)?,
-            };
-            match wf {
-                Some(wf) => {
-                    wf.feed(&mut hash);
-                    wf.feed(&mut job_hash);
+                Ok(JobTry::Rejected { retry_after_ms }) => {
+                    if attempts >= max_retries {
+                        rejected += 1;
+                        break None;
+                    }
+                    attempts += 1;
+                    retries += 1;
+                    // Honor the hint, but never sleep unboundedly on a
+                    // hostile or confused server.
+                    let ms = retry_after_ms.unwrap_or(1).clamp(1, 1_000);
+                    std::thread::sleep(Duration::from_millis(ms));
                 }
-                None => ok = false,
+                Ok(JobTry::Failed) => {
+                    failed += 1;
+                    break None;
+                }
+                Err(_) => {
+                    // The connection died (dropped, or the injected
+                    // mid-stream kill). Re-dial — the handshake is part
+                    // of `connect` — and resubmit unless the budget is
+                    // spent. A failed re-dial is fatal for the client.
+                    conn = Conn::connect(addr, fmode)?;
+                    reconnects += 1;
+                    if attempts >= max_retries {
+                        failed += 1;
+                        break None;
+                    }
+                    attempts += 1;
+                }
             }
-            if let Some(d) = frame_delay {
-                std::thread::sleep(d);
-            }
-        }
-        if ok {
-            completed += 1;
-            latencies.push(t0.elapsed());
-            job_hashes.push(Some(job_hash.finish()));
-        } else {
-            failed += 1;
-            job_hashes.push(None);
-        }
+        };
+        job_hashes.push(vote);
     }
     Ok(ClientOutcome {
         completed,
@@ -540,6 +694,8 @@ fn client_run(
         whatif_hits,
         mode: fmode,
         stream_bytes,
+        retries,
+        reconnects,
     })
 }
 
@@ -777,5 +933,71 @@ mod tests {
     fn extract_uint_parses_fields() {
         assert_eq!(extract_uint("{\"job\": 42}", "\"job\": "), Some(42));
         assert_eq!(extract_uint("{\"x\": 1}", "\"job\": "), None);
+    }
+
+    #[test]
+    fn killed_connections_reconnect_resubmit_and_recover_bitwise() {
+        use matex_core::{FaultKind, FaultPlan};
+        let engine = Arc::new(ScenarioEngine::new(EngineOptions {
+            executors: 3,
+            threads: Some(3),
+            ..EngineOptions::default()
+        }));
+        let handle = serve(engine, &ServiceOptions::default()).unwrap();
+        let jobs = vec![
+            LoadJob::pdn(6, 6, 8, 3, 1),
+            LoadJob::pdn(6, 6, 8, 3, 1).scaled(1.25),
+            LoadJob::pdn(5, 7, 6, 2, 2),
+        ];
+        // Two stream drains (fleet-wide occurrence indices 1 and 4) get
+        // their sockets killed mid-stream. The victims reconnect, redo
+        // the handshake, resubmit — and their recovered jobs must vote
+        // identically to the clients that never faulted: that vote IS
+        // the bitwise-equal-to-fault-free check, observed end to end
+        // through the wire.
+        let spec = LoadSpec::new(handle.addr().to_string(), 3, jobs)
+            .retries(2)
+            .faults(FaultHook::new(
+                FaultPlan::new()
+                    .fail_at("loadgen.conn", 1, FaultKind::Error)
+                    .fail_at("loadgen.conn", 4, FaultKind::Error),
+            ));
+        let report = run_load(&spec).unwrap();
+        assert_eq!(report.completed, 9, "{report:?}");
+        assert_eq!(report.failed, 0, "{report:?}");
+        assert_eq!(report.rejected, 0);
+        assert!(report.reconnects >= 2, "{report:?}");
+        assert!(
+            report.deterministic,
+            "recovered waveforms diverged: {:x?}",
+            report.stream_hashes
+        );
+        handle.stop();
+    }
+
+    #[test]
+    fn rejected_jobs_honor_the_retry_hint_and_eventually_complete() {
+        let engine = Arc::new(ScenarioEngine::new(EngineOptions {
+            executors: 1,
+            threads: Some(2),
+            max_queue: 1,
+            retry_after_cap: Duration::from_millis(50),
+            ..EngineOptions::default()
+        }));
+        let handle = serve(engine, &ServiceOptions::default()).unwrap();
+        // A synchronized wave of 4 against a queue of 1: most of the
+        // wave is shed with a back-off hint. Polite clients sleep the
+        // hint and resubmit until the queue drains.
+        let jobs = vec![LoadJob::pdn(6, 6, 8, 3, 4)];
+        let spec = LoadSpec::new(handle.addr().to_string(), 4, jobs)
+            .mode(LoadMode::Burst)
+            .retries(50);
+        let report = run_load(&spec).unwrap();
+        assert_eq!(report.completed, 4, "{report:?}");
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.rejected, 0, "budget was generous: {report:?}");
+        assert!(report.retries > 0, "queue pressure never shed: {report:?}");
+        assert!(report.deterministic);
+        handle.stop();
     }
 }

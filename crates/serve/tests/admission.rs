@@ -148,6 +148,39 @@ fn full_queue_and_unmeetable_deadlines_are_rejected_with_retry_hints() {
 }
 
 #[test]
+fn retry_after_hints_are_clamped_to_the_configured_cap() {
+    // A deep backlog predicts a long drain, but the hint handed to shed
+    // clients never exceeds the configured ceiling — a polite client
+    // must not be told to go away for minutes.
+    let engine = ScenarioEngine::new(EngineOptions {
+        executors: 1,
+        threads: Some(2),
+        max_queue: 1,
+        retry_after_cap: Duration::from_millis(5),
+        ..EngineOptions::default()
+    });
+    let blocker = engine.submit(job(7, 31)).expect("blocker");
+    wait_until_running(&engine, blocker);
+    let queued = engine.submit(job(7, 32)).expect("fits the queue");
+    match engine.submit(job(7, 33)) {
+        Err(ServeError::Rejected { retry_after, .. }) => {
+            assert!(
+                retry_after <= Duration::from_millis(5),
+                "hint {retry_after:?} exceeds the 5ms cap"
+            );
+            assert!(
+                retry_after >= Duration::from_millis(1),
+                "hint stays nonzero"
+            );
+        }
+        other => panic!("expected queue-full rejection, got {other:?}"),
+    }
+    for id in [blocker, queued] {
+        engine.wait(id).expect("admitted jobs complete");
+    }
+}
+
+#[test]
 fn cancelling_a_queued_job_resolves_it_and_leaves_the_engine_consistent() {
     let engine = ScenarioEngine::new(EngineOptions {
         executors: 1,

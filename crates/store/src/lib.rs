@@ -58,7 +58,7 @@
 //! # }
 //! ```
 
-use matex_core::{MatexSetup, MatexSymbolic};
+use matex_core::{FaultHook, FaultKind, MatexSetup, MatexSymbolic};
 use matex_dist::GroupPlan;
 use matex_sparse::{WireReader, WireWriter};
 use matex_waveform::Fnv64;
@@ -188,15 +188,36 @@ impl PlanStoreKey {
     }
 }
 
+/// Behavioural options of an [`ArtifactStore`].
+#[derive(Debug, Clone, Default)]
+pub struct StoreOptions {
+    /// Fault-injection hook consulted at `"store.write"` (once per
+    /// record save, before the temp file publishes) and `"store.read"`
+    /// (once per record load). Disarmed by default. Both kinds degrade
+    /// identically — an injected write dies mid-write like a full disk
+    /// or crash, an injected read is a miss like a corrupted record —
+    /// so faults exercise exactly the store's real failure contract.
+    pub faults: FaultHook,
+}
+
 /// A disk-backed artifact store rooted at one directory.
 ///
 /// Cheap to clone behind an `Arc`; safe to share between processes —
 /// all publication is temp-file + atomic rename.
+///
+/// The store is an accelerator, never a correctness dependency: every
+/// I/O failure (real or injected) degrades to compute-through — saves
+/// report the error for the caller to ignore, loads miss — and is
+/// tallied in [`ArtifactStore::io_errors`].
 #[derive(Debug)]
 pub struct ArtifactStore {
     dir: PathBuf,
     /// Disambiguates temp names within one process.
     temp_seq: AtomicU64,
+    /// I/O failures observed (save errors + non-`NotFound` read errors,
+    /// real and injected).
+    errors: AtomicU64,
+    opts: StoreOptions,
 }
 
 impl ArtifactStore {
@@ -206,17 +227,34 @@ impl ArtifactStore {
     ///
     /// Propagates directory-creation failures.
     pub fn open(dir: impl AsRef<Path>) -> io::Result<ArtifactStore> {
+        Self::open_with(dir, StoreOptions::default())
+    }
+
+    /// Opens a store with explicit [`StoreOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open_with(dir: impl AsRef<Path>, opts: StoreOptions) -> io::Result<ArtifactStore> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         Ok(ArtifactStore {
             dir,
             temp_seq: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            opts,
         })
     }
 
     /// The store's root directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// I/O failures absorbed so far (failed saves and unreadable — not
+    /// merely absent — records, real and injected).
+    pub fn io_errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
     }
 
     /// Persists a symbolic analysis bundle.
@@ -334,12 +372,26 @@ impl ArtifactStore {
             std::process::id(),
             self.temp_seq.fetch_add(1, Ordering::Relaxed)
         ));
-        std::fs::write(&temp, &record)?;
+        let write = match self.opts.faults.check("store.write") {
+            // An injected fault dies after a partial write, like a full
+            // disk or a crash mid-flush — the worst case the atomic
+            // publish path must absorb.
+            Some(_) => std::fs::write(&temp, &record[..record.len() / 2])
+                .and_then(|()| Err(io::Error::other("injected fault: store.write"))),
+            None => std::fs::write(&temp, &record),
+        };
+        if let Err(e) = write {
+            // A failed write must never leave temp debris behind.
+            std::fs::remove_file(&temp).ok();
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
         let dest = self.record_path(class, key);
         match std::fs::rename(&temp, &dest) {
             Ok(()) => Ok(()),
             Err(e) => {
                 std::fs::remove_file(&temp).ok();
+                self.errors.fetch_add(1, Ordering::Relaxed);
                 Err(e)
             }
         }
@@ -349,7 +401,24 @@ impl ArtifactStore {
     /// failure mode — absent file, bad magic, foreign schema, class or
     /// key mismatch, truncation, checksum mismatch — is a miss.
     fn load_raw(&self, class: ArtifactClass, key: &[u64]) -> Option<Vec<u8>> {
-        let record = std::fs::read(self.record_path(class, key)).ok()?;
+        if matches!(
+            self.opts.faults.check("store.read"),
+            Some(FaultKind::Panic | FaultKind::Error)
+        ) {
+            // An injected read fault is indistinguishable from an
+            // unreadable record: a counted, clean miss.
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let record = match std::fs::read(self.record_path(class, key)) {
+            Ok(r) => r,
+            Err(e) => {
+                if e.kind() != io::ErrorKind::NotFound {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                return None;
+            }
+        };
         // Checksum first: everything else is only meaningful on an
         // intact record.
         if record.len() < MAGIC.len() + 4 + 2 + 8 + 8 {
@@ -589,6 +658,80 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
             .collect();
         assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_write_fault_leaves_no_debris_and_reads_as_clean_miss() {
+        use matex_core::FaultPlan;
+        let dir = scratch("wfault");
+        let store = ArtifactStore::open_with(
+            &dir,
+            StoreOptions {
+                faults: FaultHook::new(FaultPlan::new().fail_at(
+                    "store.write",
+                    0,
+                    FaultKind::Error,
+                )),
+            },
+        )
+        .unwrap();
+        let key = DcStoreKey {
+            value_fp: 3,
+            source_fp: 4,
+            t_start_bits: 5,
+        };
+        // The first save dies mid-write (a partial temp record)...
+        let err = store.save_dc(&key, &[1.0, 2.0]).unwrap_err();
+        assert!(err.to_string().contains("store.write"));
+        assert_eq!(store.io_errors(), 1);
+        // ...but leaves no temp debris behind...
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "write fault left debris: {leftovers:?}"
+        );
+        // ...and the key decodes as a clean miss, not a torn record.
+        assert!(store.load_dc(&key).is_none());
+        // The fault was one-shot: the retried save publishes and hits.
+        store.save_dc(&key, &[1.0, 2.0]).unwrap();
+        let got = store.load_dc(&key).expect("hit after retry");
+        assert_eq!(got, vec![1.0, 2.0]);
+        assert_eq!(store.io_errors(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_read_fault_is_a_counted_miss_then_recovers() {
+        use matex_core::FaultPlan;
+        let dir = scratch("rfault");
+        let key = DcStoreKey {
+            value_fp: 6,
+            source_fp: 7,
+            t_start_bits: 8,
+        };
+        // Publish through a clean store, then reopen with a read fault
+        // armed on the first load only.
+        ArtifactStore::open(&dir)
+            .unwrap()
+            .save_dc(&key, &[9.0])
+            .unwrap();
+        let store = ArtifactStore::open_with(
+            &dir,
+            StoreOptions {
+                faults: FaultHook::new(FaultPlan::new().fail_at("store.read", 0, FaultKind::Error)),
+            },
+        )
+        .unwrap();
+        assert!(store.load_dc(&key).is_none(), "injected read must miss");
+        assert_eq!(store.io_errors(), 1);
+        // The record itself was never harmed: the next read hits.
+        assert_eq!(store.load_dc(&key).expect("hit"), vec![9.0]);
+        assert_eq!(store.io_errors(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 
