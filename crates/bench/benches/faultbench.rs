@@ -176,6 +176,7 @@ fn main() {
                     .seeded(0xFA17, 500, FaultKind::Error)
                     .on_sites(&["store.read", "store.write"]),
             ),
+            ..StoreOptions::default()
         },
     )
     .expect("store opens");
@@ -240,6 +241,7 @@ fn main() {
                     .seeded(0xBEEF, 500, FaultKind::Error)
                     .on_sites(&["store.read", "store.write"]),
             ),
+            ..StoreOptions::default()
         },
     )
     .expect("fleet store opens");

@@ -17,7 +17,7 @@ use matex_bench::gate::{compare, parse_metrics, GateReport, DEFAULT_TOLERANCE};
 use std::path::Path;
 use std::process::ExitCode;
 
-const ARTIFACTS: [&str; 8] = [
+const ARTIFACTS: [&str; 9] = [
     "BENCH_table3.json",
     "BENCH_lu.json",
     "BENCH_eval.json",
@@ -26,6 +26,7 @@ const ARTIFACTS: [&str; 8] = [
     "BENCH_overload.json",
     "BENCH_store.json",
     "BENCH_faults.json",
+    "BENCH_obs.json",
 ];
 
 fn gate_one(

@@ -154,6 +154,7 @@ pub fn parse_metrics(text: &str) -> Result<(String, Vec<Metric>), String> {
         "overload" => &["p99_guard"],
         "store_restart" => &["restart_speedup", "bytes_ratio"],
         "faultbench" => &["recovery_determinism"],
+        "obsbench" => &["overhead_guard"],
         other => return Err(format!("no tracked metrics for bench kind {other:?}")),
     };
     let rows_start = text
@@ -320,6 +321,15 @@ mod tests {
   ]
 }"#;
 
+    const OBS_SAMPLE: &str = r#"{
+  "bench": "obsbench",
+  "scale": "ci",
+  "rows": [
+    {"design": "solver", "n": 117, "runs": 20, "disabled_ms": 112.4, "enabled_ms": 113.1, "overhead_pct": 0.62, "spans": 4210, "overhead_guard": 1.000},
+    {"design": "engine", "n": 117, "runs": 40, "disabled_ms": 96.3, "enabled_ms": 97.0, "overhead_pct": 0.73, "spans": 1680, "overhead_guard": 1.000}
+  ]
+}"#;
+
     fn reinject(text: &str, from: &str, to: &str) -> String {
         assert!(text.contains(from), "sample must contain {from}");
         text.replace(from, to)
@@ -366,6 +376,37 @@ mod tests {
         assert!(st
             .iter()
             .any(|m| m.design == "pg2r" && m.name == "bytes_ratio" && m.value == 2.83));
+    }
+
+    #[test]
+    fn blown_observability_overhead_fails_the_gate() {
+        let (bench, base) = parse_metrics(OBS_SAMPLE).unwrap();
+        assert_eq!(bench, "obsbench");
+        // overhead_guard is the only tracked metric: 1 per design.
+        assert_eq!(base.len(), 2);
+        assert!(base
+            .iter()
+            .all(|m| m.name == "overhead_guard" && m.value == 1.0));
+        // An enabled run that blew its 2% budget reports the
+        // disabled/enabled ratio instead of 1 — e.g. 0.8 for a 25%
+        // overhead — which is a 20% slide, outside the 15% tolerance.
+        let slow = reinject(
+            OBS_SAMPLE,
+            "\"spans\": 1680, \"overhead_guard\": 1.000",
+            "\"spans\": 1680, \"overhead_guard\": 0.800",
+        );
+        let (_, fresh) = parse_metrics(&slow).unwrap();
+        let report = compare(&bench, &base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(report.regressions(), 1);
+        let bad = report.rows.iter().find(|r| r.regressed).unwrap();
+        assert_eq!(bad.design, "engine");
+        assert_eq!(bad.metric, "overhead_guard");
+        // Within-budget runs pass exactly.
+        let (_, same) = parse_metrics(OBS_SAMPLE).unwrap();
+        assert_eq!(
+            compare(&bench, &base, &same, DEFAULT_TOLERANCE).regressions(),
+            0
+        );
     }
 
     #[test]

@@ -60,6 +60,12 @@ pub struct MatexOptions {
     /// Fault-injection hook consulted at `"core.solver.run"` on entry to
     /// each run. Disarmed by default: production runs pay one branch.
     pub faults: FaultHook,
+    /// Observability handle: spans and histograms for the run's phases
+    /// (factor, DC, Arnoldi, expm, combine — the paper's `T_H`/`T_e`
+    /// split). Disabled by default: every event is one branch, zero
+    /// allocations, and the waveforms are bitwise-unchanged either way
+    /// (instrumentation only reads clocks the solver already reads).
+    pub obs: matex_obs::Obs,
 }
 
 impl MatexOptions {
@@ -83,6 +89,7 @@ impl MatexOptions {
             regularize_eps: 1e-3,
             max_substeps: 30,
             faults: FaultHook::default(),
+            obs: matex_obs::Obs::disabled(),
         }
     }
 
@@ -301,6 +308,7 @@ impl TransientEngine for MatexSolver {
                 shared.as_ref()
             }
             None => {
+                let _sp = self.opts.obs.span("solver.factor");
                 prepared_storage = MatexSetup::prepare(
                     sys,
                     &self.opts,
@@ -313,6 +321,9 @@ impl TransientEngine for MatexSolver {
         stats.factorizations += setup.factorizations();
         stats.refactorizations += setup.refactorizations();
         stats.factor_time = setup.factor_time();
+        self.opts
+            .obs
+            .observe("solver_factor_seconds", stats.factor_time);
         let lu_g = setup.lu_g();
 
         // --- DC initial condition, unless a cached one was injected.
@@ -334,6 +345,13 @@ impl TransientEngine for MatexSolver {
             }
         };
         stats.dc_time = t0.elapsed();
+        if self.opts.obs.is_enabled() {
+            let job = self.opts.obs.job();
+            self.opts
+                .obs
+                .record_span("solver.dc", job, t0, stats.dc_time, &[]);
+            self.opts.obs.observe("solver_dc_seconds", stats.dc_time);
+        }
 
         // With a pool: every substitution of the run (operator applies
         // and input terms alike) replays a level-scheduled plan — taken
@@ -522,7 +540,10 @@ impl TransientEngine for MatexSolver {
                 // decayed) while mid-window it is still large.
                 let hw = (win_end - anchor_t).max(h);
                 let checks = [h, hw, hw / 8.0, hw / 64.0];
-                let outcome = match build_basis_multi(op, &v, &checks, &self.opts.expm) {
+                let arnoldi_span = self.opts.obs.span("solver.arnoldi");
+                let built = build_basis_multi(op, &v, &checks, &self.opts.expm);
+                drop(arnoldi_span);
+                let outcome = match built {
                     Ok(o) => o,
                     Err(KrylovError::ZeroStartVector) => {
                         terms.p_into(h, &mut pbuf);
@@ -649,7 +670,11 @@ impl TransientEngine for MatexSolver {
                         break;
                     }
                 }
-                t_expm += t0.elapsed();
+                let d = t0.elapsed();
+                t_expm += d;
+                self.opts
+                    .obs
+                    .record_span("solver.expm_ladder", self.opts.obs.job(), t0, d, &[]);
             }
             match rung {
                 Some(0) => {
@@ -738,6 +763,29 @@ impl TransientEngine for MatexSolver {
         stats.transient_time = tt.elapsed();
         stats.expm_time = t_expm;
         stats.combine_time = t_comb;
+        // Formalize the paper's cost split on the timeline and the
+        // metrics page: `T_H` (Krylov weights + ladder) vs `T_e`
+        // (snapshot combination) vs the one-time factorization. The
+        // synthetic spans anchor at the transient start so the trace
+        // shows the split nested under the march.
+        let obs = &self.opts.obs;
+        if obs.is_enabled() {
+            let job = obs.job();
+            obs.record_span(
+                "solver.transient",
+                job,
+                tt,
+                stats.transient_time,
+                &[("variant", self.opts.kind.label())],
+            );
+            obs.record_span("solver.expm", job, tt, t_expm, &[("phase", "T_H")]);
+            obs.record_span("solver.combine", job, tt, t_comb, &[("phase", "T_e")]);
+            obs.observe("solver_transient_seconds", stats.transient_time);
+            obs.observe("solver_expm_seconds", t_expm);
+            obs.observe("solver_combine_seconds", t_comb);
+            obs.add("solver_runs_total", 1);
+            obs.add("solver_krylov_bases_total", stats.krylov_bases as u64);
+        }
         let (times, rows, series) = rec.finish();
         Ok(TransientResult::new(
             self.name(),

@@ -200,3 +200,52 @@ fn masked_recompute_is_also_allocation_free() {
     }
     assert_eq!(allocations_so_far() - before, 0);
 }
+
+#[test]
+fn disabled_obs_emission_is_allocation_free() {
+    // The observability contract (ISSUE 10): a disabled `Obs` handle
+    // costs one branch per event and zero heap traffic, so threading it
+    // through solver hot paths cannot regress the allocation-free
+    // guarantees above.
+    use std::time::{Duration, Instant};
+    let obs = matex_obs::Obs::disabled();
+    // Warm-up (nothing to warm, but keep the shape of the other tests).
+    obs.add("warm", 1);
+
+    let before = allocations_so_far();
+    for k in 0..1000u64 {
+        let span = obs.span("solver.arnoldi");
+        drop(span);
+        let mut labeled = obs.span_for("solver.dc", k);
+        labeled.label("phase", "T_H");
+        drop(labeled);
+        obs.record_span(
+            "solver.expm_ladder",
+            k,
+            Instant::now(),
+            Duration::from_nanos(k),
+            &[],
+        );
+        obs.add("solver_runs_total", 1);
+        obs.add_labeled("dist_nodes_total", &[("outcome", "ok")], 1);
+        obs.gauge("engine_queue_depth", k as i64);
+        obs.observe("solver_transient_seconds", Duration::from_nanos(k));
+        obs.observe_labeled(
+            "engine_job_seconds",
+            &[("path", "cold")],
+            Duration::from_nanos(k),
+        );
+    }
+    let allocated = allocations_so_far() - before;
+    assert_eq!(
+        allocated, 0,
+        "disabled-obs emission allocated {allocated} times in 1000 rounds"
+    );
+    // A tagged clone of a disabled handle is itself free of heap use.
+    let before = allocations_so_far();
+    for k in 0..1000u64 {
+        let tagged = obs.tagged(k);
+        drop(tagged);
+    }
+    assert_eq!(allocations_so_far() - before, 0);
+}

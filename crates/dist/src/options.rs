@@ -74,6 +74,12 @@ pub struct DistributedOptions {
     /// dispatch (including retries). Disarmed by default. Solver-level
     /// sites fire through `matex.faults` instead.
     pub faults: FaultHook,
+    /// Observability handle for master-level events: the shared symbolic
+    /// analysis span and one `dist.node` span per dispatch, labeled with
+    /// group / worker / retry. Node-internal phases record through
+    /// `matex.obs`; point both at one recorder for a unified timeline.
+    /// Disabled by default (one branch per event).
+    pub obs: matex_obs::Obs,
 }
 
 impl Default for DistributedOptions {
@@ -89,6 +95,7 @@ impl Default for DistributedOptions {
             cancel: None,
             max_node_retries: 1,
             faults: FaultHook::default(),
+            obs: matex_obs::Obs::disabled(),
         }
     }
 }

@@ -234,6 +234,9 @@ pub fn run_distributed(
                 let s =
                     Arc::new(MatexSymbolic::analyze(sys, &opts.matex).map_err(DistError::Analyze)?);
                 analyze_time = ta.elapsed();
+                opts.obs
+                    .record_span("dist.analyze", opts.obs.job(), ta, analyze_time, &[]);
+                opts.obs.observe("dist_analyze_seconds", analyze_time);
                 Some(s)
             }
         }
@@ -286,7 +289,7 @@ pub fn run_distributed(
     let mut node_retries = 0usize;
     std::thread::scope(|scope| {
         let (work, symbolic) = (&work, &symbolic);
-        for _ in 0..workers {
+        for w in 0..workers {
             let tx = tx.clone();
             scope.spawn(move || {
                 let pool = kernel_budget.map(|b| Arc::new(ParPool::new(b)));
@@ -305,11 +308,11 @@ pub fn run_distributed(
                                 break None;
                             }
                             if let Some(j) = q.retry.pop() {
-                                break Some(j);
+                                break Some((j, true));
                             }
                             if let Some(&j) = order.get(q.next) {
                                 q.next += 1;
-                                break Some(j);
+                                break Some((j, false));
                             }
                             // Short timeout: the condvar has no waker for
                             // an externally tripped cancel token.
@@ -319,7 +322,16 @@ pub fn run_distributed(
                                 .0;
                         }
                     };
-                    let Some(j) = j else { break };
+                    let Some((j, was_retry)) = j else { break };
+                    // One span per dispatch: the timeline shows which
+                    // worker ran which group, and whether the dispatch
+                    // was a retry of a failed node.
+                    let mut node_span = opts.obs.span("dist.node");
+                    if node_span.is_armed() {
+                        node_span.label("group", jobs[j].group.to_string());
+                        node_span.label("worker", w.to_string());
+                        node_span.label("retry", if was_retry { "1" } else { "0" });
+                    }
                     // Supervision: a panicking node unwinds into a node
                     // error (payload message preserved) instead of
                     // poisoning the scope and aborting the process.
@@ -338,6 +350,13 @@ pub fn run_distributed(
                         run_node(sys, spec, opts, &jobs[j], symbolic.clone(), pool.clone())
                     }))
                     .unwrap_or_else(|payload| Err(CoreError::Panicked(panic_message(&*payload))));
+                    node_span.label("ok", if outcome.is_ok() { "1" } else { "0" });
+                    drop(node_span);
+                    opts.obs.add_labeled(
+                        "dist_nodes_total",
+                        &[("outcome", if outcome.is_ok() { "ok" } else { "err" })],
+                        1,
+                    );
                     if tx.send((j, outcome)).is_err() {
                         break; // master gone (superposition error): stop
                     }
@@ -364,6 +383,7 @@ pub fn run_distributed(
                     if retryable {
                         attempts[j] += 1;
                         node_retries += 1;
+                        opts.obs.add("dist_node_retries_total", 1);
                         let (queue, available) = &work;
                         queue.lock().expect("work queue poisoned").retry.push(j);
                         available.notify_all();

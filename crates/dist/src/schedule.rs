@@ -78,6 +78,13 @@ pub struct RunStats {
     /// Wall time of the master's one-off symbolic analysis that every
     /// node's refactorizations replay.
     pub analyze_time: Duration,
+    /// Sum of the nodes' `T_H` (small-expm) wall times. Together with
+    /// [`RunStats::combine_time_total`] this rolls the paper's
+    /// `T_H`/`T_e` split up to the run level — previously the per-node
+    /// splits were measured but dropped unless the Table 3 bench ran.
+    pub expm_time_total: Duration,
+    /// Sum of the nodes' `T_e` (combination) wall times.
+    pub combine_time_total: Duration,
 }
 
 /// One node's raw scheduling measurement, fed to
@@ -132,6 +139,8 @@ impl RunStats {
             groups,
             proxy_max_error,
             analyze_time,
+            expm_time_total: measurements.iter().map(|m| m.expm_time).sum(),
+            combine_time_total: measurements.iter().map(|m| m.combine_time).sum(),
         }
     }
 }
@@ -183,6 +192,34 @@ mod tests {
         assert!((p - 1.0).abs() < 1e-12);
         assert!((w - 1.0).abs() < 1e-12);
         assert!(stats.proxy_max_error <= 1.0);
+    }
+
+    #[test]
+    fn expm_and_combine_rollups_sum_per_node_splits() {
+        // Satellite: the per-node T_H/T_e measurements must survive into
+        // run-level totals. Pinned exactly — Duration sums are integral.
+        let m = [
+            NodeMeasurement {
+                group: 0,
+                num_lts: 2,
+                wall: Duration::from_millis(30),
+                expm_time: Duration::from_micros(1_500),
+                combine_time: Duration::from_micros(700),
+            },
+            NodeMeasurement {
+                group: 1,
+                num_lts: 4,
+                wall: Duration::from_millis(60),
+                expm_time: Duration::from_micros(2_500),
+                combine_time: Duration::from_micros(1_300),
+            },
+        ];
+        let stats = RunStats::from_measurements(&m, Duration::ZERO);
+        assert_eq!(stats.expm_time_total, Duration::from_micros(4_000));
+        assert_eq!(stats.combine_time_total, Duration::from_micros(2_000));
+        // The per-group records carry the same splits they were fed.
+        assert_eq!(stats.groups[0].expm_time, Duration::from_micros(1_500));
+        assert_eq!(stats.groups[1].combine_time, Duration::from_micros(1_300));
     }
 
     #[test]

@@ -1,0 +1,422 @@
+//! The two exporters: Prometheus-style text exposition and the
+//! Chrome-trace JSON timeline, plus a line-format linter the tests (and
+//! CI) run against every emitted page.
+//!
+//! Export order is deterministic: metrics render from ordered maps, so
+//! the same recorded values always produce the same bytes (modulo the
+//! measured numbers themselves).
+
+use crate::hist::{bucket_upper_ns, HistSnapshot};
+use crate::Recorder;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Every exported metric name carries this prefix on the page.
+pub(crate) const PREFIX: &str = "matex_";
+
+/// Renders the Prometheus text page: counters, gauges, then histograms,
+/// each name introduced by a `# TYPE` line.
+pub(crate) fn prometheus_text(rec: &Recorder) -> String {
+    let mut out = String::new();
+    let counters = rec.counters.lock().expect("obs counters").clone();
+    render_scalars(&mut out, &counters, "counter", |v| v.to_string());
+    let gauges = rec.gauges.lock().expect("obs gauges").clone();
+    render_scalars(&mut out, &gauges, "gauge", |v| v.to_string());
+
+    let hists: Vec<((&'static str, String), HistSnapshot)> = {
+        let h = rec.hists.lock().expect("obs hists");
+        h.iter()
+            .map(|(k, hist)| (k.clone(), hist.snapshot()))
+            .collect()
+    };
+    let mut last_name = "";
+    for ((name, labels), snap) in &hists {
+        if *name != last_name {
+            let _ = writeln!(out, "# TYPE {PREFIX}{name} histogram");
+            last_name = name;
+        }
+        let mut cumulative = 0u64;
+        for (i, &c) in snap.counts().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            let le = fmt_f64(bucket_upper_ns(i) as f64 / 1e9);
+            let _ = writeln!(
+                out,
+                "{PREFIX}{name}_bucket{{{}le=\"{le}\"}} {cumulative}",
+                join_labels(labels),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{PREFIX}{name}_bucket{{{}le=\"+Inf\"}} {}",
+            join_labels(labels),
+            snap.count(),
+        );
+        let _ = writeln!(
+            out,
+            "{PREFIX}{name}_sum{} {}",
+            braced(labels),
+            fmt_f64(snap.sum_seconds()),
+        );
+        let _ = writeln!(
+            out,
+            "{PREFIX}{name}_count{} {}",
+            braced(labels),
+            snap.count()
+        );
+    }
+    out
+}
+
+fn render_scalars<V: Copy>(
+    out: &mut String,
+    map: &BTreeMap<(&'static str, String), V>,
+    kind: &str,
+    fmt: impl Fn(V) -> String,
+) {
+    let mut last_name = "";
+    for ((name, labels), v) in map {
+        if *name != last_name {
+            let _ = writeln!(out, "# TYPE {PREFIX}{name} {kind}");
+            last_name = name;
+        }
+        let _ = writeln!(out, "{PREFIX}{name}{} {}", braced(labels), fmt(*v));
+    }
+}
+
+/// `{labels}` or nothing when the label set is empty.
+fn braced(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+/// The label fragment with a trailing comma, for splicing before `le=`.
+fn join_labels(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{labels},")
+    }
+}
+
+/// Finite f64 in plain decimal (Rust's shortest round-trip `Display`
+/// never emits scientific notation, which keeps the page trivially
+/// parseable).
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Renders the trace-event array: one Chrome `"ph": "X"` complete event
+/// per recorded span, timestamps in microseconds since the recorder
+/// epoch.
+pub(crate) fn chrome_trace_events(rec: &Recorder) -> String {
+    let spans = rec.spans.lock().expect("obs spans").clone();
+    let mut out = String::from("[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"matex\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"job\":{}",
+            escape_json(s.site),
+            fmt_f64(s.start_ns as f64 / 1e3),
+            fmt_f64(s.dur_ns as f64 / 1e3),
+            s.tid,
+            s.job,
+        );
+        for (k, v) in &s.labels {
+            let _ = write!(out, ",\"{}\":\"{}\"", escape_json(k), escape_json(v));
+        }
+        out.push_str("}}");
+    }
+    out.push(']');
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Lints a Prometheus text page: every line must be a well-formed
+/// comment, `# TYPE` declaration, or `name{labels} value` sample, and
+/// every histogram must expose non-decreasing cumulative buckets ending
+/// at `le="+Inf"` with a matching `_count`.
+///
+/// # Errors
+///
+/// Returns `Err` naming the first offending line.
+pub fn lint_prometheus(text: &str) -> Result<(), String> {
+    // (histogram base name, labels-without-le) -> cumulative bucket
+    // counts in page order, the +Inf value, and the _count value.
+    let mut buckets: BTreeMap<(String, String), Vec<(String, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            if !comment.starts_with(' ') {
+                return Err(format!("line {n}: comment must start with '# ': {line:?}"));
+            }
+            if let Some(decl) = comment.strip_prefix(" TYPE ") {
+                let mut parts = decl.split(' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !is_metric_name(name)
+                    || !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    )
+                    || parts.next().is_some()
+                {
+                    return Err(format!("line {n}: malformed TYPE declaration: {line:?}"));
+                }
+            }
+            continue;
+        }
+        let (name, labels, value) = parse_sample(line)
+            .ok_or_else(|| format!("line {n}: malformed sample line: {line:?}"))?;
+        if let Some(base) = name.strip_suffix("_bucket") {
+            let mut le = None;
+            let mut rest = Vec::new();
+            for (k, v) in &labels {
+                if k == "le" {
+                    le = Some(v.clone());
+                } else {
+                    rest.push(format!("{k}={v}"));
+                }
+            }
+            let le = le.ok_or_else(|| format!("line {n}: bucket sample without le label"))?;
+            buckets
+                .entry((base.to_string(), rest.join(",")))
+                .or_default()
+                .push((le, value));
+        } else if let Some(base) = name.strip_suffix("_count") {
+            let rest: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            counts.insert((base.to_string(), rest.join(",")), value);
+        }
+    }
+
+    for ((base, labels), series) in &buckets {
+        let mut prev = f64::NEG_INFINITY;
+        for (le, v) in series {
+            if *v < prev {
+                return Err(format!(
+                    "histogram {base}{{{labels}}}: bucket le={le} decreases ({v} < {prev})"
+                ));
+            }
+            prev = *v;
+        }
+        let (last_le, last_v) = series.last().expect("non-empty series");
+        if last_le != "+Inf" {
+            return Err(format!(
+                "histogram {base}{{{labels}}}: last bucket is le={last_le}, not +Inf"
+            ));
+        }
+        match counts.get(&(base.clone(), labels.clone())) {
+            Some(c) if c == last_v => {}
+            Some(c) => {
+                return Err(format!(
+                    "histogram {base}{{{labels}}}: _count {c} != +Inf bucket {last_v}"
+                ))
+            }
+            None => {
+                return Err(format!(
+                    "histogram {base}{{{labels}}}: missing _count sample"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn is_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// A parsed exposition sample: name, label pairs (values unescaped),
+/// and the numeric value.
+type Sample = (String, Vec<(String, String)>, f64);
+
+/// Parses `name{k="v",...} value` (labels optional).
+fn parse_sample(line: &str) -> Option<Sample> {
+    let (name_part, rest) = match line.find('{') {
+        Some(at) => (&line[..at], &line[at..]),
+        None => {
+            let sp = line.find(' ')?;
+            (&line[..sp], &line[sp..])
+        }
+    };
+    if !is_metric_name(name_part) {
+        return None;
+    }
+    let mut labels = Vec::new();
+    let mut rest = rest;
+    if let Some(body) = rest.strip_prefix('{') {
+        let mut chars = body.char_indices().peekable();
+        loop {
+            // key
+            let start = chars.peek()?.0;
+            let mut key_end = start;
+            for (i, c) in chars.by_ref() {
+                if c == '=' {
+                    key_end = i;
+                    break;
+                }
+            }
+            let key = &body[start..key_end];
+            if !is_metric_name(key) {
+                return None;
+            }
+            // value: opening quote
+            let (_, q) = chars.next()?;
+            if q != '"' {
+                return None;
+            }
+            let mut value = String::new();
+            loop {
+                let (_, c) = chars.next()?;
+                match c {
+                    '\\' => {
+                        let (_, esc) = chars.next()?;
+                        value.push(match esc {
+                            'n' => '\n',
+                            c => c,
+                        });
+                    }
+                    '"' => break,
+                    c => value.push(c),
+                }
+            }
+            labels.push((key.to_string(), value));
+            match chars.next()? {
+                (_, ',') => continue,
+                (end, '}') => {
+                    rest = &body[end + 1..];
+                    break;
+                }
+                _ => return None,
+            }
+        }
+    }
+    let value_str = rest.strip_prefix(' ')?;
+    if value_str.contains(' ') {
+        return None;
+    }
+    let value = if value_str == "+Inf" {
+        f64::INFINITY
+    } else {
+        value_str.parse().ok()?
+    };
+    Some((name_part.to_string(), labels, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+    use std::time::Duration;
+
+    /// The satellite-5 lint: a fully populated page — counters with and
+    /// without labels, gauges, multi-label-set histograms — passes the
+    /// line-format lint.
+    #[test]
+    fn emitted_page_passes_the_lint() {
+        let obs = Obs::enabled();
+        obs.add("engine_submitted_total", 3);
+        obs.add_labeled("engine_jobs_total", &[("hit", "warm")], 2);
+        obs.add_labeled("engine_jobs_total", &[("hit", "cold")], 1);
+        obs.add_labeled(
+            "engine_jobs_total",
+            &[("hit", "a\"b\\c"), ("mode", "dist")],
+            1,
+        );
+        obs.gauge("engine_queue_depth", 4);
+        for ns in [100u64, 1_000, 10_000, 1_000_000, 50_000_000] {
+            obs.observe_labeled(
+                "engine_job_seconds",
+                &[("hit", "warm")],
+                Duration::from_nanos(ns),
+            );
+            obs.observe_labeled(
+                "engine_job_seconds",
+                &[("hit", "cold")],
+                Duration::from_nanos(3 * ns),
+            );
+        }
+        obs.observe("store_read_seconds", Duration::from_micros(120));
+        let page = obs.prometheus_text();
+        lint_prometheus(&page).expect("page lints clean");
+        assert!(page.contains("# TYPE matex_engine_job_seconds histogram"));
+        assert!(page.contains("matex_engine_job_seconds_count{hit=\"warm\"} 5"));
+        assert!(page.contains("le=\"+Inf\""));
+    }
+
+    #[test]
+    fn disabled_page_is_lint_clean() {
+        lint_prometheus(&Obs::default().prometheus_text()).expect("comment-only page lints");
+    }
+
+    #[test]
+    fn lint_rejects_malformed_pages() {
+        assert!(lint_prometheus("metric value\n").is_err()); // non-numeric
+        assert!(lint_prometheus("9metric 1\n").is_err()); // bad name
+        assert!(lint_prometheus("#comment without space\n").is_err());
+        assert!(lint_prometheus("m{k=\"v\" 1\n").is_err()); // unclosed braces
+                                                            // Decreasing cumulative buckets.
+        let bad = "m_bucket{le=\"0.1\"} 5\nm_bucket{le=\"+Inf\"} 3\nm_count 3\n";
+        assert!(lint_prometheus(bad).is_err());
+        // Missing +Inf terminal bucket.
+        let bad = "m_bucket{le=\"0.1\"} 5\nm_count 5\n";
+        assert!(lint_prometheus(bad).is_err());
+        // _count disagreeing with +Inf.
+        let bad = "m_bucket{le=\"+Inf\"} 5\nm_count 4\n";
+        assert!(lint_prometheus(bad).is_err());
+    }
+
+    #[test]
+    fn trace_events_are_valid_json_shape() {
+        let obs = Obs::enabled();
+        {
+            let mut s = obs.span_for("solver.expm", 3);
+            s.label("step", "7");
+        }
+        let events = obs.chrome_trace_events();
+        assert!(events.starts_with('[') && events.ends_with(']'));
+        // Balanced braces (no raw braces appear in our escaped strings).
+        let opens = events.matches('{').count();
+        let closes = events.matches('}').count();
+        assert_eq!(opens, closes);
+        assert!(events.contains("\"ph\":\"X\""));
+        assert!(events.contains("\"cat\":\"matex\""));
+        let json = obs.chrome_trace_json();
+        assert!(json.contains("\"traceEvents\":["));
+    }
+}

@@ -1,0 +1,90 @@
+//! Satellite-3 property test: merging per-thread histograms in **any
+//! order** yields identical buckets and quantiles.
+//!
+//! Merging is element-wise addition over deterministic fixed buckets,
+//! so it must be commutative and associative; this test drives that
+//! claim with generated populations and generated merge permutations,
+//! comparing both the full bucket vectors and the derived quantiles
+//! bit for bit.
+
+use matex_obs::hist::{bucket_index, bucket_upper_ns, NUM_BUCKETS};
+use matex_obs::HistSnapshot;
+use proptest::prelude::*;
+
+/// Applies a permutation (encoded as selection indices) to merge order.
+fn merge_in_order(parts: &[HistSnapshot], order: &[usize]) -> HistSnapshot {
+    let mut acc = HistSnapshot::new();
+    for &i in order {
+        acc.merge(&parts[i]);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_order_invariant(
+        // 3–6 "threads", each with its own latency population.
+        populations in prop::collection::vec(
+            prop::collection::vec(0usize..200_000_000, 1..40),
+            3..7,
+        ),
+        shuffle_seed in 0usize..10_000,
+    ) {
+        let parts: Vec<HistSnapshot> = populations
+            .iter()
+            .map(|pop| {
+                let mut h = HistSnapshot::new();
+                for &ns in pop {
+                    h.record_ns(ns as u64);
+                }
+                h
+            })
+            .collect();
+
+        // Forward order vs a deterministically shuffled order.
+        let forward: Vec<usize> = (0..parts.len()).collect();
+        let mut shuffled = forward.clone();
+        let mut state = shuffle_seed as u64 | 1;
+        for i in (1..shuffled.len()).rev() {
+            // splitmix-ish step; determinism is all that matters here.
+            state = state
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(0x2545_f491_4f6c_dd1d);
+            shuffled.swap(i, (state as usize) % (i + 1));
+        }
+
+        let a = merge_in_order(&parts, &forward);
+        let b = merge_in_order(&parts, &shuffled);
+        // Buckets identical...
+        prop_assert_eq!(a.counts(), b.counts());
+        prop_assert_eq!(a.count(), b.count());
+        // ...and therefore every quantile is bitwise identical.
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(a.quantile(q).to_bits(), b.quantile(q).to_bits());
+        }
+
+        // The merged totals equal the single-histogram ground truth.
+        let mut all = HistSnapshot::new();
+        for pop in &populations {
+            for &ns in pop {
+                all.record_ns(ns as u64);
+            }
+        }
+        prop_assert_eq!(a, all);
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_every_value(raw in 0usize..usize::MAX, shift in 0usize..24) {
+        // Spread the generated values across the full u64 range: the
+        // shift reaches octaves a uniform draw would almost never hit.
+        let v = (raw as u64).wrapping_shl(shift as u32);
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(v <= bucket_upper_ns(i));
+        if i > 0 {
+            prop_assert!(bucket_upper_ns(i - 1) < v);
+        }
+    }
+}

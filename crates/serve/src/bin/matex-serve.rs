@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! matex-serve serve [--addr 127.0.0.1:7171] [--threads N] [--executors N]
-//!                   [--store-dir PATH]
+//!                   [--store-dir PATH] [--obs]
 //! matex-serve load  --addr HOST:PORT [--clients 4] [--jobs 5] [--grids 2]
 //!                   [--mode scale|whatif|burst|heavytail|slowreader]
 //!                   [--frames json|binary|mixed]
 //!                   [--deadline-ms MS] [--frame-delay-ms MS]
+//!                   [--trace-out PATH]
 //! ```
 //!
 //! `serve` prints `listening on <addr>` once bound (port 0 picks a free
@@ -37,6 +38,16 @@
 //! * `slowreader` — clients drain stream frames slowly
 //!   (`--frame-delay-ms` per frame), exercising the service's
 //!   slow-peer write-timeout defenses.
+//!
+//! `serve --obs` turns on the engine's observability recorder: the
+//! `metrics` verb then serves a live Prometheus page (job latency
+//! histograms split by cache-hit path, solver phase timings, admission
+//! counters) and the `trace` verb a Chrome-trace timeline. `load
+//! --trace-out PATH` enables client-side recording too and writes the
+//! merged trace (client job spans + server queue/solve phases) to
+//! `PATH` — open it in `chrome://tracing` or <https://ui.perfetto.dev>
+//! to read each job's T_H/T_e/factorization split next to the latency
+//! the client observed; client latency quantiles are also printed.
 
 use matex_serve::{
     run_load, serve, EngineOptions, FrameMode, LoadJob, LoadMode, LoadSpec, ScenarioEngine,
@@ -95,6 +106,7 @@ fn cmd_serve(mut args: impl Iterator<Item = String>) -> ExitCode {
                     }
                 }
             }
+            "--obs" => opts.obs = matex_obs::Obs::enabled(),
             other => {
                 eprintln!("unknown serve argument {other}");
                 return ExitCode::from(2);
@@ -126,6 +138,7 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut deadline_ms: Option<f64> = None;
     let mut frame_delay_ms = 5.0f64;
     let mut retries = 0usize;
+    let mut trace_out: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = Some(take(&mut args, "--addr")),
@@ -147,6 +160,7 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
                     .parse()
                     .expect("--frame-delay-ms MS")
             }
+            "--trace-out" => trace_out = Some(take(&mut args, "--trace-out")),
             other => {
                 eprintln!("unknown load argument {other}");
                 return ExitCode::from(2);
@@ -220,11 +234,19 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
         },
         _ => LoadMode::Steady,
     };
+    // --trace-out implies client-side recording: the report then
+    // carries the merged client+server Chrome trace to dump.
+    let client_obs = if trace_out.is_some() {
+        matex_obs::Obs::enabled()
+    } else {
+        matex_obs::Obs::disabled()
+    };
     match run_load(
         &LoadSpec::new(addr, clients, jobs)
             .mode(load_mode)
             .frames(frame_modes)
-            .retries(retries),
+            .retries(retries)
+            .obs(client_obs.clone()),
     ) {
         Ok(r) => {
             println!(
@@ -260,6 +282,24 @@ fn cmd_load(mut args: impl Iterator<Item = String>) -> ExitCode {
             );
             if mode == "whatif" {
                 println!("whatif hits {}  rate {:.2}", r.whatif_hits, r.whatif_rate());
+            }
+            if client_obs.is_enabled() {
+                let (p50, p90, p99) = client_obs.quantiles("loadgen_job_seconds");
+                println!(
+                    "client histogram p50 {:.1}ms  p90 {:.1}ms  p99 {:.1}ms",
+                    p50 * 1e3,
+                    p90 * 1e3,
+                    p99 * 1e3
+                );
+            }
+            if let (Some(path), Some(trace)) = (&trace_out, &r.trace_json) {
+                match std::fs::write(path, trace) {
+                    Ok(()) => println!("merged trace written to {path}"),
+                    Err(e) => {
+                        eprintln!("matex-serve load: cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             // Rejections are shed load — expected under overload, not a
             // failure of the run.

@@ -1,7 +1,7 @@
 //! The scenario engine: cached, admission-controlled job execution.
 
 use crate::cache::{gamma_decade, ArtifactCache, CacheSizes, DcKey, PlanKey, SetupKey};
-use crate::job::{CacheReport, ExecutionMode, Hit, JobId, JobOutcome, JobSpec, JobStatus};
+use crate::job::{CacheReport, ExecutionMode, Hit, HitPath, JobId, JobOutcome, JobSpec, JobStatus};
 use crate::ServeError;
 use matex_circuit::MnaSystem;
 use matex_core::{
@@ -89,6 +89,12 @@ pub struct EngineOptions {
     /// distributed runs, and (via [`matex_store::StoreOptions`]) the
     /// artifact store the caller opens. Disarmed by default.
     pub faults: FaultHook,
+    /// Observability handle threaded into every job's solver options
+    /// and distributed runs, plus the engine's own queue-wait / run
+    /// spans (hit-path labeled), admission counters, and latency
+    /// histograms. Disabled by default: one branch per event, and job
+    /// waveforms are bitwise-unchanged either way.
+    pub obs: matex_obs::Obs,
 }
 
 impl Default for EngineOptions {
@@ -110,6 +116,7 @@ impl Default for EngineOptions {
             max_node_retries: 1,
             retry_after_cap: Duration::from_secs(60),
             faults: FaultHook::default(),
+            obs: matex_obs::Obs::disabled(),
         }
     }
 }
@@ -368,6 +375,11 @@ impl ScenarioEngine {
             let retry_after = self.inner.drain_estimate(&table);
             drop(table);
             self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            self.inner.opts.obs.add_labeled(
+                "engine_rejected_total",
+                &[("reason", "queue_full")],
+                1,
+            );
             return Err(ServeError::Rejected {
                 reason: format!("queue full ({} jobs)", self.inner.opts.max_queue),
                 retry_after,
@@ -407,6 +419,11 @@ impl ScenarioEngine {
                 let retry_after = self.inner.drain_estimate(&table);
                 drop(table);
                 self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                self.inner.opts.obs.add_labeled(
+                    "engine_rejected_total",
+                    &[("reason", "deadline")],
+                    1,
+                );
                 return Err(ServeError::Rejected {
                     reason: format!(
                         "deadline unmeetable (predicted {:.1}ms > deadline {:.1}ms)",
@@ -426,11 +443,19 @@ impl ScenarioEngine {
             cancel: CancelToken::new(),
         });
         table.queue.push_back(id);
+        let depth = table.queue.len();
         drop(table);
         self.inner
             .counters
             .submitted
             .fetch_add(1, Ordering::Relaxed);
+        if self.inner.opts.obs.is_enabled() {
+            self.inner.opts.obs.add("engine_submitted_total", 1);
+            self.inner
+                .opts
+                .obs
+                .gauge("engine_queue_depth", depth as i64);
+        }
         self.inner.queue_cv.notify_one();
         Ok(id)
     }
@@ -461,6 +486,10 @@ impl ScenarioEngine {
                     .counters
                     .cancelled
                     .fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .opts
+                    .obs
+                    .add_labeled("engine_cancelled_total", &[("at", "queued")], 1);
                 self.inner.done_cv.notify_all();
                 Some(JobStatus::Cancelled)
             }
@@ -518,46 +547,34 @@ impl ScenarioEngine {
     ///
     /// Propagates circuit/solver/distributed failures.
     pub fn run(&self, spec: &JobSpec) -> Result<JobOutcome, ServeError> {
-        self.inner
+        let seq = self
+            .inner
             .counters
             .submitted
             .fetch_add(1, Ordering::Relaxed);
-        let out = self.inner.admit_and_execute(spec);
+        let out = self.inner.admit_and_execute(spec, seq);
         self.inner.note_result(&out);
         out
     }
 
-    /// A snapshot of the engine's counters and cache sizes.
+    /// A consistent snapshot of the engine's counters and cache sizes.
+    ///
+    /// Every field is an independent atomic, so a single read pass can
+    /// observe a torn state mid-flight (e.g. a job counted in
+    /// `completed` but not yet in `warm_jobs`). This method re-reads
+    /// until two consecutive passes agree (bounded retries), so the
+    /// returned struct is a state the engine actually passed through —
+    /// the one snapshot path shared by the TCP `stats`/`metrics` verbs
+    /// and the tests.
     pub fn stats(&self) -> EngineStats {
-        let c = &self.inner.counters;
-        EngineStats {
-            submitted: c.submitted.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
-            failed: c.failed.load(Ordering::Relaxed),
-            warm_jobs: c.warm_jobs.load(Ordering::Relaxed),
-            symbolic_hits: c.symbolic_hits.load(Ordering::Relaxed),
-            symbolic_misses: c.symbolic_misses.load(Ordering::Relaxed),
-            setup_hits: c.setup_hits.load(Ordering::Relaxed),
-            setup_misses: c.setup_misses.load(Ordering::Relaxed),
-            dc_hits: c.dc_hits.load(Ordering::Relaxed),
-            plan_hits: c.plan_hits.load(Ordering::Relaxed),
-            whatif_hits: c.whatif_hits.load(Ordering::Relaxed),
-            whatif_rank: c.whatif_rank.load(Ordering::Relaxed),
-            whatif_fallbacks: c.whatif_fallbacks.load(Ordering::Relaxed),
-            anchor_plants: c.anchor_plants.load(Ordering::Relaxed),
-            rejected: c.rejected.load(Ordering::Relaxed),
-            cancelled: c.cancelled.load(Ordering::Relaxed),
-            deadline_misses: c.deadline_misses.load(Ordering::Relaxed),
-            queue_depth: self.inner.lock_table().queue.len() as u64,
-            evictions: self.inner.cache.evictions(),
-            store_hits: c.store_hits.load(Ordering::Relaxed),
-            store_writes: c.store_writes.load(Ordering::Relaxed),
-            store_errors: self.inner.opts.store.as_ref().map_or(0, |s| s.io_errors()),
-            panics: c.panics.load(Ordering::Relaxed),
-            retries: c.retries.load(Ordering::Relaxed),
-            quarantined: c.quarantined.load(Ordering::Relaxed),
-            cache: self.inner.cache.sizes(),
-        }
+        self.inner.stats_snapshot()
+    }
+
+    /// The engine's observability handle ([`EngineOptions::obs`]) — the
+    /// TCP service exports its Prometheus page and Chrome trace, and
+    /// embedders can read quantiles directly. Disabled by default.
+    pub fn obs(&self) -> &matex_obs::Obs {
+        &self.inner.opts.obs
     }
 }
 
@@ -609,6 +626,16 @@ fn executor_loop(inner: &Inner) {
             }
         };
         let queue_wait = submitted_at.elapsed();
+        if inner.opts.obs.is_enabled() {
+            inner
+                .opts
+                .obs
+                .record_span("engine.queue_wait", id, submitted_at, queue_wait, &[]);
+            inner
+                .opts
+                .obs
+                .observe("engine_queue_wait_seconds", queue_wait);
+        }
         // A job already past its deadline is dropped unstarted: running
         // it would burn capacity on an answer nobody is waiting for.
         let dead_on_arrival = deadline_at.is_some_and(|d| Instant::now() >= d);
@@ -625,7 +652,7 @@ fn executor_loop(inner: &Inner) {
             Err(ServeError::Cancelled(id))
         } else {
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                inner.admit_and_execute_cancellable(&spec, deadline_at, Some(&cancel))
+                inner.admit_and_execute_cancellable(&spec, deadline_at, Some(&cancel), id)
             })) {
                 Ok(out) => out,
                 Err(payload) => {
@@ -660,6 +687,10 @@ fn executor_loop(inner: &Inner) {
             }
             Err(e) if e.is_cancelled() => {
                 inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .opts
+                    .obs
+                    .add_labeled("engine_cancelled_total", &[("at", "running")], 1);
             }
             Err(ServeError::DeadlineMissed(_)) => {
                 inner
@@ -667,6 +698,10 @@ fn executor_loop(inner: &Inner) {
                     .deadline_misses
                     .fetch_add(1, Ordering::Relaxed);
                 inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .opts
+                    .obs
+                    .add_labeled("engine_deadline_misses_total", &[("at", "queued")], 1);
             }
             Err(_) => inner.note_result(&outcome),
         }
@@ -698,6 +733,56 @@ impl Inner {
         self.table.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// One full read pass over every counter (torn when racing).
+    fn read_stats(&self) -> EngineStats {
+        let c = &self.counters;
+        EngineStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            warm_jobs: c.warm_jobs.load(Ordering::Relaxed),
+            symbolic_hits: c.symbolic_hits.load(Ordering::Relaxed),
+            symbolic_misses: c.symbolic_misses.load(Ordering::Relaxed),
+            setup_hits: c.setup_hits.load(Ordering::Relaxed),
+            setup_misses: c.setup_misses.load(Ordering::Relaxed),
+            dc_hits: c.dc_hits.load(Ordering::Relaxed),
+            plan_hits: c.plan_hits.load(Ordering::Relaxed),
+            whatif_hits: c.whatif_hits.load(Ordering::Relaxed),
+            whatif_rank: c.whatif_rank.load(Ordering::Relaxed),
+            whatif_fallbacks: c.whatif_fallbacks.load(Ordering::Relaxed),
+            anchor_plants: c.anchor_plants.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            deadline_misses: c.deadline_misses.load(Ordering::Relaxed),
+            queue_depth: self.lock_table().queue.len() as u64,
+            evictions: self.cache.evictions(),
+            store_hits: c.store_hits.load(Ordering::Relaxed),
+            store_writes: c.store_writes.load(Ordering::Relaxed),
+            store_errors: self.opts.store.as_ref().map_or(0, |s| s.io_errors()),
+            panics: c.panics.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            quarantined: c.quarantined.load(Ordering::Relaxed),
+            cache: self.cache.sizes(),
+        }
+    }
+
+    /// Double-read-until-stable snapshot: two identical consecutive
+    /// passes prove no counter moved mid-read, so the snapshot is
+    /// internally consistent. Under sustained churn the retry budget
+    /// runs out and the last pass is returned (best effort — identical
+    /// to the historical single-pass behaviour).
+    fn stats_snapshot(&self) -> EngineStats {
+        let mut prev = self.read_stats();
+        for _ in 0..8 {
+            let cur = self.read_stats();
+            if cur == prev {
+                return cur;
+            }
+            prev = cur;
+        }
+        prev
+    }
+
     fn note_result(&self, out: &Result<JobOutcome, ServeError>) {
         match out {
             Ok(o) => {
@@ -705,9 +790,11 @@ impl Inner {
                 if o.cache.is_warm() {
                     self.counters.warm_jobs.fetch_add(1, Ordering::Relaxed);
                 }
+                self.opts.obs.add("engine_completed_total", 1);
             }
             Err(_) => {
                 self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                self.opts.obs.add("engine_failed_total", 1);
             }
         }
     }
@@ -724,9 +811,9 @@ impl Inner {
         }
     }
 
-    fn admit_and_execute(&self, spec: &JobSpec) -> Result<JobOutcome, ServeError> {
+    fn admit_and_execute(&self, spec: &JobSpec, job_id: u64) -> Result<JobOutcome, ServeError> {
         let deadline_at = spec.deadline.map(|d| Instant::now() + d);
-        self.admit_and_execute_cancellable(spec, deadline_at, None)
+        self.admit_and_execute_cancellable(spec, deadline_at, None, job_id)
     }
 
     fn admit_and_execute_cancellable(
@@ -734,6 +821,7 @@ impl Inner {
         spec: &JobSpec,
         deadline_at: Option<Instant>,
         cancel: Option<&CancelToken>,
+        job_id: u64,
     ) -> Result<JobOutcome, ServeError> {
         let t0 = Instant::now();
         // Thread admission inherits the job's class and deadline: a
@@ -747,18 +835,26 @@ impl Inner {
         let lease = match self.budget.acquire_admit(req) {
             Ok(l) => l,
             Err(AdmitError::DeadlineExpired) => {
+                self.opts.obs.add_labeled(
+                    "engine_deadline_misses_total",
+                    &[("at", "admission")],
+                    1,
+                );
                 return Err(ServeError::DeadlineMissed(
                     "deadline passed while waiting for threads".into(),
-                ))
+                ));
             }
             Err(e) => {
+                self.opts
+                    .obs
+                    .add_labeled("engine_rejected_total", &[("reason", "admission")], 1);
                 return Err(ServeError::Rejected {
                     reason: e.to_string(),
                     retry_after: Duration::from_millis((self.unit_secs() * 1e3).clamp(
                         1.0,
                         (self.opts.retry_after_cap.as_secs_f64() * 1e3).max(1.0),
                     ) as u64),
-                })
+                });
             }
         };
         // Transient-failure recovery: each attempt runs under its own
@@ -770,7 +866,7 @@ impl Inner {
         let mut attempt = 0usize;
         let mut out = loop {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.execute(spec, cancel)
+                self.execute(spec, cancel, job_id)
             }))
             .unwrap_or_else(|payload| {
                 self.counters.panics.fetch_add(1, Ordering::Relaxed);
@@ -794,9 +890,14 @@ impl Inner {
                     }
                     self.quarantine(spec);
                     self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    self.opts.obs.add("engine_retries_total", 1);
                     let backoff = self.opts.retry_backoff.saturating_mul(1 << attempt.min(16));
                     if !backoff.is_zero() {
+                        let b0 = Instant::now();
                         std::thread::sleep(backoff);
+                        self.opts
+                            .obs
+                            .record_span("engine.backoff", job_id, b0, b0.elapsed(), &[]);
                     }
                     attempt += 1;
                 }
@@ -804,6 +905,20 @@ impl Inner {
         };
         drop(lease);
         out.wall = t0.elapsed();
+        // The job span: admission wait + every attempt, labeled with
+        // the hit path the (final) execution actually took.
+        if self.opts.obs.is_enabled() {
+            let path = out.cache.hit_path.label();
+            self.opts
+                .obs
+                .record_span("engine.run", job_id, t0, out.wall, &[("path", path)]);
+            self.opts
+                .obs
+                .observe_labeled("engine_job_seconds", &[("path", path)], out.wall);
+            self.opts
+                .obs
+                .add_labeled("engine_jobs_total", &[("path", path)], 1);
+        }
         Ok(out)
     }
 
@@ -841,6 +956,7 @@ impl Inner {
         self.counters
             .quarantined
             .fetch_add(evicted, Ordering::Relaxed);
+        self.opts.obs.add("engine_quarantined_total", evicted);
     }
 
     /// Predicted service cost of a job in LTS units — the scheduling
@@ -955,18 +1071,24 @@ impl Inner {
         &self,
         job: &JobSpec,
         cancel: Option<&CancelToken>,
+        job_id: u64,
     ) -> Result<JobOutcome, ServeError> {
         let sys = job.effective_circuit()?;
         let mut opts = job.effective_options();
         // The engine's hook reaches the solver ("core.solver.run") of
         // every job it executes; disarmed hooks are free.
         opts.faults = self.opts.faults.clone();
+        // So do its spans: the solver's phase spans carry this job's id
+        // on the shared timeline. Disabled handles clone for free.
+        opts.obs = self.opts.obs.tagged(job_id);
         let pattern = sys.pattern_fingerprint();
         let value_fp = sys.value_fingerprint();
         let mut report = CacheReport::default();
-        let (setup, symbolic_hit, setup_hit) = self.setup_for(&sys, &opts, pattern, value_fp)?;
+        let (setup, symbolic_hit, setup_hit, hit_path) =
+            self.setup_for(&sys, &opts, pattern, value_fp)?;
         report.symbolic = symbolic_hit;
         report.setup = setup_hit;
+        report.hit_path = hit_path;
 
         match &job.mode {
             ExecutionMode::Monolithic => {
@@ -1079,6 +1201,7 @@ impl Inner {
                 }
                 report.plan = plan_hit;
                 let groups = plan.num_jobs();
+                let job_obs = opts.obs.clone();
                 let dist_opts = DistributedOptions {
                     matex: opts,
                     strategy: *strategy,
@@ -1090,6 +1213,7 @@ impl Inner {
                     cancel: cancel.cloned(),
                     max_node_retries: self.opts.max_node_retries,
                     faults: self.opts.faults.clone(),
+                    obs: job_obs,
                 };
                 let run = run_distributed(&sys, &job.spec, &dist_opts)?;
                 Ok(JobOutcome {
@@ -1113,7 +1237,7 @@ impl Inner {
         opts: &MatexOptions,
         pattern: u64,
         value_fp: u64,
-    ) -> Result<(Arc<MatexSetup>, Hit, Hit), ServeError> {
+    ) -> Result<(Arc<MatexSetup>, Hit, Hit, HitPath), ServeError> {
         let scheduled = self.opts.kernel_threads > 0;
         let key = SetupKey {
             value_fp,
@@ -1125,7 +1249,7 @@ impl Inner {
         if let Some(setup) = self.cache.setup(pattern, &key) {
             self.counters.setup_hits.fetch_add(1, Ordering::Relaxed);
             // The symbolic layer was not even consulted.
-            return Ok((setup, Hit::Skipped, Hit::Hit));
+            return Ok((setup, Hit::Skipped, Hit::Hit, HitPath::Cache));
         }
         // An exact persisted setup beats the approximate what-if path:
         // hydrating it replays the original factors bitwise.
@@ -1144,11 +1268,11 @@ impl Inner {
                 self.cache
                     .record_base(pattern, value_fp, sys.clone(), self.opts.whatif_bases);
             }
-            return Ok((setup, Hit::Skipped, Hit::Hit));
+            return Ok((setup, Hit::Skipped, Hit::Hit, HitPath::Store));
         }
         if let Some(setup) = self.try_whatif(sys, pattern, value_fp, &key) {
             self.cache.store_setup(pattern, key, setup.clone());
-            return Ok((setup, Hit::Skipped, Hit::Whatif));
+            return Ok((setup, Hit::Skipped, Hit::Whatif, HitPath::Whatif));
         }
         let sym_store_key = SymbolicStoreKey {
             pattern_fp: pattern,
@@ -1189,7 +1313,17 @@ impl Inner {
                     (s, hit)
                 }
             };
+        // The engine factors here (the solver is handed the prepared
+        // setup), so the solver's own factor span never fires on this
+        // path — record the equivalent span at this site instead.
+        let factor_t0 = opts.obs.is_enabled().then(Instant::now);
         let setup = MatexSetup::prepare(sys, opts, Some(&symbolic), scheduled)?;
+        if let Some(t0) = factor_t0 {
+            let d = t0.elapsed();
+            opts.obs
+                .record_span("solver.factor", opts.obs.job(), t0, d, &[]);
+            opts.obs.observe("solver_factor_seconds", d);
+        }
         // Survival check: a replay that fell back to full factorization
         // means the anchor's pinned pivots no longer apply at this γ (or
         // these values). The run is still bitwise-correct — the fallback
@@ -1228,7 +1362,7 @@ impl Inner {
             self.cache
                 .record_base(pattern, value_fp, sys.clone(), self.opts.whatif_bases);
         }
-        Ok((setup, sym_hit, Hit::Miss))
+        Ok((setup, sym_hit, Hit::Miss, HitPath::Cold))
     }
 
     /// The what-if fast path: finds the retained base whose values are
@@ -1379,6 +1513,57 @@ mod tests {
 
     fn spec() -> TransientSpec {
         TransientSpec::new(0.0, 1e-9, 2e-11).unwrap()
+    }
+
+    #[test]
+    fn stats_snapshots_are_internally_consistent_under_concurrent_load() {
+        // Satellite-1 regression: `stats()` used to take one racing
+        // pass over the independent atomics, so a poller could observe
+        // skewed states (a job in `completed` but not yet `warm_jobs`,
+        // or hit counters ahead of `submitted`). The double-read
+        // snapshot must only return states whose accounting invariants
+        // hold, no matter how hard it races the executors.
+        let engine = Arc::new(ScenarioEngine::new(EngineOptions {
+            executors: 3,
+            threads: Some(3),
+            ..EngineOptions::default()
+        }));
+        let sys = grid(11);
+        // Populate the cache synchronously first — otherwise two
+        // executors can race the same cold miss and the final warm
+        // count would depend on scheduling.
+        engine.run(&JobSpec::new(sys.clone(), spec())).unwrap();
+        let mut ids = Vec::new();
+        for k in 0..12 {
+            let job = JobSpec::new(sys.clone(), spec()).source_scale(1.0 + 0.05 * (k % 4) as f64);
+            ids.push(engine.submit(job).unwrap());
+        }
+        // Poll snapshots while the fleet drains.
+        let poller = {
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let s = engine.stats();
+                    assert!(
+                        s.completed + s.failed + s.cancelled <= s.submitted,
+                        "resolved more than submitted: {s:?}"
+                    );
+                    assert!(s.warm_jobs <= s.completed, "warm ahead of completed: {s:?}");
+                    assert!(
+                        s.setup_hits <= s.submitted,
+                        "hits ahead of submissions: {s:?}"
+                    );
+                    std::thread::yield_now();
+                }
+            })
+        };
+        for id in ids {
+            engine.wait(id).unwrap();
+        }
+        poller.join().unwrap();
+        let s = engine.stats();
+        assert_eq!(s.completed, 13);
+        assert_eq!(s.warm_jobs, 12);
     }
 
     #[test]
@@ -1825,6 +2010,7 @@ mod tests {
                         .seeded(7, 1000, FaultKind::Error)
                         .on_sites(&["store.read", "store.write"]),
                 ),
+                ..StoreOptions::default()
             },
         )
         .unwrap();

@@ -361,6 +361,35 @@ impl Hit {
     }
 }
 
+/// Where a job's numeric setup actually came from — the hit-path label
+/// stamped on every job span and latency histogram, finer than [`Hit`]:
+/// it separates in-memory cache hits from disk-store hydrations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HitPath {
+    /// Built fresh: full factorization ran.
+    #[default]
+    Cold,
+    /// In-memory cache hit (the warm fast path).
+    Cache,
+    /// Hydrated from the disk-backed artifact store.
+    Store,
+    /// Served by low-rank correction of a cached base (what-if).
+    Whatif,
+}
+
+impl HitPath {
+    /// Stable metric-label value (`cold` / `cache` / `store` /
+    /// `whatif`).
+    pub fn label(self) -> &'static str {
+        match self {
+            HitPath::Cold => "cold",
+            HitPath::Cache => "cache",
+            HitPath::Store => "store",
+            HitPath::Whatif => "whatif",
+        }
+    }
+}
+
 /// Which cached artifacts a job reused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheReport {
@@ -372,6 +401,8 @@ pub struct CacheReport {
     pub dc: Hit,
     /// Group plan (distributed jobs only).
     pub plan: Hit,
+    /// Where the setup came from (cache / store / what-if / cold).
+    pub hit_path: HitPath,
 }
 
 impl CacheReport {

@@ -73,8 +73,8 @@ pub use cache::CacheSizes;
 pub use engine::{EngineOptions, EngineStats, ScenarioEngine};
 pub use error::ServeError;
 pub use job::{
-    CacheReport, ExecutionMode, Hit, JobId, JobOutcome, JobSpec, JobSpecBuilder, JobStatus,
-    ScenarioOverrides, ScenarioOverridesBuilder,
+    CacheReport, ExecutionMode, Hit, HitPath, JobId, JobOutcome, JobSpec, JobSpecBuilder,
+    JobStatus, ScenarioOverrides, ScenarioOverridesBuilder,
 };
 pub use json::{parse_flat_json, JsonValue};
 pub use loadgen::{run_load, FrameMode, LoadJob, LoadMode, LoadReport, LoadSpec};

@@ -228,6 +228,14 @@ pub struct LoadSpec {
     /// default. Shared by every client, so one seeded plan schedules
     /// faults fleet-wide.
     pub faults: FaultHook,
+    /// Client-side observability (disabled by default). When enabled,
+    /// every client records a `loadgen.job` span per attempt and feeds
+    /// submit→stream-complete latency into the `loadgen_job_seconds`
+    /// histogram (labeled by outcome and by client index), and the
+    /// report carries a merged Chrome trace — the clients' spans
+    /// concatenated with the server's own timeline fetched over the
+    /// `trace` verb.
+    pub obs: matex_obs::Obs,
 }
 
 impl LoadSpec {
@@ -241,6 +249,7 @@ impl LoadSpec {
             frames: Vec::new(),
             max_retries: 0,
             faults: FaultHook::default(),
+            obs: matex_obs::Obs::disabled(),
         }
     }
 
@@ -265,6 +274,12 @@ impl LoadSpec {
     /// Arms the connection-fault hook (builder style).
     pub fn faults(mut self, faults: FaultHook) -> LoadSpec {
         self.faults = faults;
+        self
+    }
+
+    /// Enables client-side observability (builder style).
+    pub fn obs(mut self, obs: matex_obs::Obs) -> LoadSpec {
+        self.obs = obs;
         self
     }
 
@@ -324,6 +339,14 @@ pub struct LoadReport {
     /// Reconnections after a dropped connection, each followed by a
     /// resubmit of the in-flight job.
     pub reconnects: usize,
+    /// Merged Chrome trace JSON — the clients' `loadgen.job` spans
+    /// concatenated with the server's timeline (fetched over the
+    /// `trace` verb after the run). Present only when [`LoadSpec::obs`]
+    /// was enabled. Each side's timestamps are relative to its own
+    /// recorder epoch, so the two timelines align per-side, not to each
+    /// other — good enough to read each job's queue/solve phase split
+    /// next to the client-observed latency.
+    pub trace_json: Option<String>,
 }
 
 impl LoadReport {
@@ -364,8 +387,20 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ServeError> {
         let max_retries = spec.max_retries;
         // Clones share occurrence counters: one plan schedules the fleet.
         let faults = spec.faults.clone();
+        // Clients share one recorder; each tags its spans by index.
+        let obs = spec.obs.clone();
         handles.push(std::thread::spawn(move || {
-            client_run(&addr, &jobs, &mode, fmode, barrier, max_retries, &faults)
+            client_run(
+                &addr,
+                &jobs,
+                &mode,
+                fmode,
+                barrier,
+                max_retries,
+                &faults,
+                &obs,
+                i,
+            )
         }));
     }
     let mut latencies: Vec<Duration> = Vec::new();
@@ -416,6 +451,13 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ServeError> {
             .filter_map(|client| client.get(j).copied().flatten())
             .all(|h| *seen.get_or_insert(h) == h)
     });
+    // Merge the fleet's client-side spans with the server's timeline
+    // into one Chrome trace. A server without the `trace` verb (or an
+    // unreachable one) degrades to a client-only trace.
+    let trace_json = spec.obs.is_enabled().then(|| {
+        let server = fetch_trace_events(&spec.addr).unwrap_or_else(|_| "[]".into());
+        merge_chrome_traces(&[&spec.obs.chrome_trace_events(), &server])
+    });
     Ok(LoadReport {
         completed,
         failed,
@@ -431,7 +473,50 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, ServeError> {
         binary_bytes,
         retries,
         reconnects,
+        trace_json,
     })
+}
+
+/// Fetches the server's Chrome-trace event array over the `trace` verb.
+fn fetch_trace_events(addr: &str) -> Result<String, ServeError> {
+    let mut conn = Conn::connect(addr, FrameMode::Json)?;
+    writeln!(conn.writer, "{{\"cmd\": \"trace\"}}")?;
+    conn.writer.flush()?;
+    let line = conn.read_line()?;
+    let pat = "\"events\": ";
+    let at = line
+        .find(pat)
+        .ok_or_else(|| ServeError::Protocol(format!("no events in trace response: {line}")))?;
+    // The array runs to the envelope's final closing brace.
+    let events = line[at + pat.len()..].trim_end();
+    Ok(events
+        .strip_suffix('}')
+        .unwrap_or(events)
+        .trim()
+        .to_string())
+}
+
+/// Concatenates Chrome-trace event arrays into one complete trace
+/// document (openable in `chrome://tracing` / Perfetto).
+fn merge_chrome_traces(parts: &[&str]) -> String {
+    let mut events = String::from("[");
+    for p in parts {
+        let inner = p
+            .trim()
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .unwrap_or("")
+            .trim();
+        if inner.is_empty() {
+            continue;
+        }
+        if events.len() > 1 {
+            events.push(',');
+        }
+        events.push_str(inner);
+    }
+    events.push(']');
+    format!("{{\"displayTimeUnit\":\"ms\",\"traceEvents\":{events}}}")
 }
 
 struct ClientOutcome {
@@ -591,6 +676,7 @@ fn run_one_job(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn client_run(
     addr: &str,
     jobs: &[LoadJob],
@@ -599,6 +685,8 @@ fn client_run(
     barrier: Option<Arc<Barrier>>,
     max_retries: usize,
     faults: &FaultHook,
+    obs: &matex_obs::Obs,
+    client: usize,
 ) -> Result<ClientOutcome, ServeError> {
     let mut conn = Conn::connect(addr, fmode)?;
     let mut hash = Fnv64::new();
@@ -621,7 +709,7 @@ fn client_run(
         LoadMode::SlowReader { frame_delay } => Some(*frame_delay),
         _ => None,
     };
-    for job in jobs {
+    for (jidx, job) in jobs.iter().enumerate() {
         // Burst: rendezvous so every client's submit lands in the same
         // instant — a synchronized wave against the admission queue.
         if let Some(b) = &barrier {
@@ -633,6 +721,7 @@ fn client_run(
         // way the job's determinism vote comes from the attempt that
         // completed.
         let mut attempts = 0usize;
+        let mut outcome = "failed";
         let vote = loop {
             match run_one_job(
                 &mut conn,
@@ -649,11 +738,13 @@ fn client_run(
                     }
                     completed += 1;
                     latencies.push(t0.elapsed());
+                    outcome = "completed";
                     break Some(job_hash);
                 }
                 Ok(JobTry::Rejected { retry_after_ms }) => {
                     if attempts >= max_retries {
                         rejected += 1;
+                        outcome = "rejected";
                         break None;
                     }
                     attempts += 1;
@@ -682,6 +773,20 @@ fn client_run(
                 }
             }
         };
+        // The client-observed latency: submit through stream-complete,
+        // retries and reconnects included — what a caller would feel.
+        if obs.is_enabled() {
+            let d = t0.elapsed();
+            let client_label = client.to_string();
+            obs.record_span(
+                "loadgen.job",
+                jidx as u64,
+                t0,
+                d,
+                &[("client", &client_label), ("outcome", outcome)],
+            );
+            obs.observe_labeled("loadgen_job_seconds", &[("outcome", outcome)], d);
+        }
         job_hashes.push(vote);
     }
     Ok(ClientOutcome {
@@ -926,6 +1031,40 @@ mod tests {
         .unwrap();
         assert_eq!(slow.completed, 4, "slow: {slow:?}");
         assert!(slow.deterministic);
+        handle.stop();
+    }
+
+    #[test]
+    fn observed_load_run_merges_client_and_server_traces() {
+        let engine = Arc::new(ScenarioEngine::new(EngineOptions {
+            executors: 2,
+            threads: Some(2),
+            obs: matex_obs::Obs::enabled(),
+            ..EngineOptions::default()
+        }));
+        let handle = serve(engine, &ServiceOptions::default()).unwrap();
+        let jobs = vec![
+            LoadJob::pdn(6, 6, 8, 3, 1),
+            LoadJob::pdn(6, 6, 8, 3, 1).scaled(1.25),
+        ];
+        let client_obs = matex_obs::Obs::enabled();
+        let spec = LoadSpec::new(handle.addr().to_string(), 2, jobs).obs(client_obs.clone());
+        let report = run_load(&spec).unwrap();
+        assert_eq!(report.completed, 4, "{report:?}");
+        // Client-side latency histogram: every job observed.
+        let (p50, _, p99) = client_obs.quantiles("loadgen_job_seconds");
+        assert!(p50 > 0.0 && p99 >= p50);
+        // The merged trace carries both sides of the wire: the clients'
+        // job spans and the engine's queue/run/solver phases.
+        let trace = report.trace_json.as_deref().expect("trace present");
+        assert!(
+            trace.starts_with("{\"displayTimeUnit\""),
+            "{}",
+            &trace[..40]
+        );
+        for site in ["loadgen.job", "engine.run", "solver.expm"] {
+            assert!(trace.contains(site), "missing {site} in merged trace");
+        }
         handle.stop();
     }
 

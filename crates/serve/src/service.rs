@@ -15,7 +15,9 @@
 //! | `{"cmd":"wait","job":N}` | as `poll`, but blocks until resolved |
 //! | `{"cmd":"cancel","job":N}` | `{"ok":true,"code":"ok","job":N,"state":...}` — queued jobs drop, running jobs stop at the next step |
 //! | `{"cmd":"stream","job":N}` | a meta line, then `frames` waveform chunks in the negotiated encoding |
-//! | `{"cmd":"stats"}` | engine counters (overload: `rejected`, `cancelled`, `deadline_misses`, `queue_depth`; store: `store_hits`, `store_writes`) and cache sizes |
+//! | `{"cmd":"stats"}` | engine counters (overload: `rejected`, `cancelled`, `deadline_misses`, `queue_depth`; store: `store_hits`, `store_writes`) and cache sizes — plus `job_p50_us`/`p90`/`p99` and `queue_wait_p50_us`/`p90`/`p99` histogram quantiles when the engine runs with observability enabled |
+//! | `{"cmd":"metrics"}` | `{"ok":true,"code":"ok","lines":N}`, then `N` raw Prometheus text-exposition lines from the engine's [`matex_obs`] recorder (comment-only page when observability is disabled) |
+//! | `{"cmd":"trace"}` | `{"ok":true,"code":"ok","events":[...]}` — the Chrome-trace event array (concatenable with a client's own events into one `chrome://tracing` timeline) |
 //!
 //! # Protocol versions and frame encodings
 //!
@@ -78,7 +80,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -300,6 +302,25 @@ struct ConnState {
     frames_binary: bool,
 }
 
+/// Flushes the connection writer, timing the flush into the engine's
+/// `service_flush_seconds` histogram when observability is enabled. A
+/// slow flush here is the signature of a peer that stopped draining its
+/// receive window — the histogram's tail is the early-warning signal
+/// the `io_timeout` guard acts on.
+fn flush_timed(writer: &mut BufWriter<TcpStream>, obs: &matex_obs::Obs) -> std::io::Result<()> {
+    if !obs.is_enabled() {
+        return writer.flush();
+    }
+    let t0 = Instant::now();
+    let r = writer.flush();
+    obs.observe_labeled(
+        "service_flush_seconds",
+        &[("ok", if r.is_ok() { "1" } else { "0" })],
+        t0.elapsed(),
+    );
+    r
+}
+
 fn handle_connection(stream: TcpStream, state: &ServiceState) {
     let reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
@@ -307,6 +328,7 @@ fn handle_connection(stream: TcpStream, state: &ServiceState) {
     });
     let mut writer = BufWriter::new(stream);
     let mut conn = ConnState::default();
+    let obs = state.engine.obs().clone();
     for line in reader.lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
@@ -324,11 +346,11 @@ fn handle_connection(stream: TcpStream, state: &ServiceState) {
             if wrote.is_err() {
                 return;
             }
-            if (i + 1) % FLUSH_EVERY_LINES == 0 && writer.flush().is_err() {
+            if (i + 1) % FLUSH_EVERY_LINES == 0 && flush_timed(&mut writer, &obs).is_err() {
                 return;
             }
         }
-        if writer.flush().is_err() {
+        if flush_timed(&mut writer, &obs).is_err() {
             return;
         }
     }
@@ -397,6 +419,11 @@ fn handle_request(
         }
         "stream" => stream_payloads(&req, state, conn),
         "stats" => Ok(vec![Payload::Line(stats_line(state))]),
+        "metrics" => Ok(metrics_payloads(state)),
+        "trace" => Ok(vec![Payload::Line(format!(
+            "{{\"ok\": true, \"code\": \"ok\", \"events\": {}}}",
+            state.engine.obs().chrome_trace_events()
+        ))]),
         other => Err(ServeError::Protocol(format!("unknown cmd {other:?}"))),
     }
 }
@@ -478,9 +505,25 @@ fn status_line(id: JobId, state: &ServiceState) -> Result<String, ServeError> {
     Ok(line)
 }
 
+/// The Prometheus page as a protocol response: one JSON meta line
+/// announcing the raw text line count, then the page verbatim. The page
+/// is text exposition format, not JSON — announcing the count first
+/// keeps the JSON-lines framing unambiguous (same pattern as `stream`).
+fn metrics_payloads(state: &ServiceState) -> Vec<Payload> {
+    let page = state.engine.obs().prometheus_text();
+    let lines: Vec<&str> = page.lines().collect();
+    let mut payloads = Vec::with_capacity(lines.len() + 1);
+    payloads.push(Payload::Line(format!(
+        "{{\"ok\": true, \"code\": \"ok\", \"lines\": {}}}",
+        lines.len()
+    )));
+    payloads.extend(lines.into_iter().map(|l| Payload::Line(l.to_string())));
+    payloads
+}
+
 fn stats_line(state: &ServiceState) -> String {
     let s = state.engine.stats();
-    format!(
+    let mut line = format!(
         "{{\"ok\": true, \"code\": \"ok\", \
          \"submitted\": {}, \"completed\": {}, \"failed\": {}, \
          \"rejected\": {}, \"cancelled\": {}, \"deadline_misses\": {}, \
@@ -490,7 +533,7 @@ fn stats_line(state: &ServiceState) -> String {
          \"whatif_hits\": {}, \"whatif_rank\": {}, \"whatif_fallbacks\": {}, \
          \"anchor_plants\": {}, \"evictions\": {}, \
          \"store_hits\": {}, \"store_writes\": {}, \
-         \"circuits_cached\": {}, \"setups_cached\": {}}}",
+         \"circuits_cached\": {}, \"setups_cached\": {}",
         s.submitted,
         s.completed,
         s.failed,
@@ -513,7 +556,26 @@ fn stats_line(state: &ServiceState) -> String {
         s.store_writes,
         s.cache.circuits,
         s.cache.setups,
-    )
+    );
+    // Histogram quantiles ride along when the engine observes itself —
+    // absent otherwise, so disabled engines keep the legacy line shape.
+    let obs = state.engine.obs();
+    if obs.is_enabled() {
+        let (jp50, jp90, jp99) = obs.quantiles("engine_job_seconds");
+        let (qp50, qp90, qp99) = obs.quantiles("engine_queue_wait_seconds");
+        line.push_str(&format!(
+            ", \"job_p50_us\": {:.0}, \"job_p90_us\": {:.0}, \"job_p99_us\": {:.0}, \
+             \"queue_wait_p50_us\": {:.0}, \"queue_wait_p90_us\": {:.0}, \"queue_wait_p99_us\": {:.0}",
+            jp50 * 1e6,
+            jp90 * 1e6,
+            jp99 * 1e6,
+            qp50 * 1e6,
+            qp90 * 1e6,
+            qp99 * 1e6,
+        ));
+    }
+    line.push('}');
+    line
 }
 
 /// Emits a stream response: one meta line, then chunked waveform frames
@@ -827,6 +889,81 @@ mod tests {
         // Unknown job ids carry their own stable code.
         let err = roundtrip(&mut conn, r#"{"cmd": "wait", "job": 999}"#);
         assert!(err[0].contains("\"code\": \"unknown_job\""), "{err:?}");
+        handle.stop();
+    }
+
+    #[test]
+    fn metrics_and_trace_verbs_export_observability() {
+        let engine = Arc::new(ScenarioEngine::new(EngineOptions {
+            executors: 2,
+            obs: matex_obs::Obs::enabled(),
+            ..EngineOptions::default()
+        }));
+        let handle = serve(engine.clone(), &ServiceOptions::default()).unwrap();
+        let mut conn = TcpStream::connect(handle.addr()).unwrap();
+        // Two jobs of one circuit: a cold path and a cache-hit path, so
+        // the job histogram splits by hit-path label.
+        for _ in 0..2 {
+            roundtrip(
+                &mut conn,
+                r#"{"cmd": "submit", "pdn_nx": 6, "pdn_ny": 6, "t_stop": 1e-9, "dt_out": 2e-11}"#,
+            );
+        }
+        roundtrip(&mut conn, r#"{"cmd": "wait", "job": 0}"#);
+        roundtrip(&mut conn, r#"{"cmd": "wait", "job": 1}"#);
+
+        // metrics: meta line + raw Prometheus page, lint-clean, with
+        // the job histogram split by hit path and solver timings.
+        let mut w = conn.try_clone().unwrap();
+        writeln!(w, r#"{{"cmd": "metrics"}}"#).unwrap();
+        w.flush().unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut meta = String::new();
+        reader.read_line(&mut meta).unwrap();
+        assert!(meta.contains("\"lines\": "), "{meta}");
+        let n: usize = {
+            let at = meta.find("\"lines\": ").unwrap() + 9;
+            let rest = &meta[at..];
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse().unwrap()
+        };
+        let mut page = String::new();
+        for _ in 0..n {
+            let mut l = String::new();
+            reader.read_line(&mut l).unwrap();
+            page.push_str(&l);
+        }
+        matex_obs::lint_prometheus(&page).unwrap();
+        assert!(
+            page.contains("matex_engine_jobs_total{path=\"cold\"}"),
+            "{page}"
+        );
+        assert!(
+            page.contains("matex_engine_jobs_total{path=\"cache\"}"),
+            "{page}"
+        );
+        assert!(page.contains("matex_engine_job_seconds"), "{page}");
+        assert!(page.contains("matex_solver_expm_seconds"), "{page}");
+
+        // stats gains histogram quantiles on an observing engine.
+        let stats = roundtrip(&mut conn, r#"{"cmd": "stats"}"#);
+        assert!(stats[0].contains("\"job_p99_us\": "), "{stats:?}");
+
+        // trace: one envelope line whose events array reconstructs the
+        // per-job solver phase split (factor / T_H expm / T_e combine).
+        let trace = roundtrip(&mut conn, r#"{"cmd": "trace"}"#);
+        assert!(trace[0].contains("\"events\": ["), "{}", &trace[0][..80]);
+        for site in [
+            "engine.run",
+            "engine.queue_wait",
+            "solver.factor",
+            "solver.expm",
+            "solver.combine",
+        ] {
+            assert!(trace[0].contains(site), "missing {site} in trace");
+        }
         handle.stop();
     }
 

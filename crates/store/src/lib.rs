@@ -65,6 +65,7 @@ use matex_waveform::Fnv64;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Record layout revision. Bumping it orphans (skips) every record an
 /// older build wrote; old processes likewise skip newer records.
@@ -198,6 +199,12 @@ pub struct StoreOptions {
     /// or crash, an injected read is a miss like a corrupted record —
     /// so faults exercise exactly the store's real failure contract.
     pub faults: FaultHook,
+    /// Observability handle: every record save and load records a
+    /// `store.write` / `store.read` span labeled by artifact class and
+    /// outcome, plus `store_write_seconds` / `store_read_seconds`
+    /// histograms and a `store_io_errors_total` counter. Disabled by
+    /// default (one branch per event).
+    pub obs: matex_obs::Obs,
 }
 
 /// A disk-backed artifact store rooted at one directory.
@@ -346,8 +353,32 @@ impl ArtifactStore {
         self.dir.join(name)
     }
 
-    /// Assembles a record and publishes it atomically.
+    /// Assembles a record and publishes it atomically, timing the
+    /// attempt when observability is enabled.
     fn save_raw(&self, class: ArtifactClass, key: &[u64], payload: &[u8]) -> io::Result<()> {
+        let obs = &self.opts.obs;
+        if !obs.is_enabled() {
+            return self.save_raw_inner(class, key, payload);
+        }
+        let t0 = Instant::now();
+        let out = self.save_raw_inner(class, key, payload);
+        let d = t0.elapsed();
+        let ok = if out.is_ok() { "1" } else { "0" };
+        obs.record_span(
+            "store.write",
+            obs.job(),
+            t0,
+            d,
+            &[("class", class.label()), ("ok", ok)],
+        );
+        obs.observe_labeled("store_write_seconds", &[("class", class.label())], d);
+        if out.is_err() {
+            obs.add_labeled("store_io_errors_total", &[("op", "write")], 1);
+        }
+        out
+    }
+
+    fn save_raw_inner(&self, class: ArtifactClass, key: &[u64], payload: &[u8]) -> io::Result<()> {
         let mut record = Vec::with_capacity(payload.len() + 64);
         record.extend_from_slice(MAGIC);
         record.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
@@ -401,6 +432,30 @@ impl ArtifactStore {
     /// failure mode — absent file, bad magic, foreign schema, class or
     /// key mismatch, truncation, checksum mismatch — is a miss.
     fn load_raw(&self, class: ArtifactClass, key: &[u64]) -> Option<Vec<u8>> {
+        let obs = &self.opts.obs;
+        if !obs.is_enabled() {
+            return self.load_raw_inner(class, key);
+        }
+        let t0 = Instant::now();
+        let errors_before = self.io_errors();
+        let out = self.load_raw_inner(class, key);
+        let d = t0.elapsed();
+        let result = if out.is_some() { "hit" } else { "miss" };
+        obs.record_span(
+            "store.read",
+            obs.job(),
+            t0,
+            d,
+            &[("class", class.label()), ("result", result)],
+        );
+        obs.observe_labeled("store_read_seconds", &[("class", class.label())], d);
+        if self.io_errors() > errors_before {
+            obs.add_labeled("store_io_errors_total", &[("op", "read")], 1);
+        }
+        out
+    }
+
+    fn load_raw_inner(&self, class: ArtifactClass, key: &[u64]) -> Option<Vec<u8>> {
         if matches!(
             self.opts.faults.check("store.read"),
             Some(FaultKind::Panic | FaultKind::Error)
@@ -673,6 +728,7 @@ mod tests {
                     0,
                     FaultKind::Error,
                 )),
+                ..StoreOptions::default()
             },
         )
         .unwrap();
@@ -724,6 +780,7 @@ mod tests {
             &dir,
             StoreOptions {
                 faults: FaultHook::new(FaultPlan::new().fail_at("store.read", 0, FaultKind::Error)),
+                ..StoreOptions::default()
             },
         )
         .unwrap();

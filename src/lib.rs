@@ -62,6 +62,7 @@ pub use matex_core as core;
 pub use matex_dense as dense;
 pub use matex_dist as dist;
 pub use matex_krylov as krylov;
+pub use matex_obs as obs;
 pub use matex_par as par;
 pub use matex_serve as serve;
 pub use matex_sparse as sparse;
